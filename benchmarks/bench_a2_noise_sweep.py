@@ -1,0 +1,47 @@
+"""A2 — ablation: measurement noise vs detection instances.
+
+The paper's motivation for correlating: "minor changes to the signal
+spectrum ... can be detected in the presence of the composite noise
+signal yn(t)".  The sweep adds white noise to the observed response and
+shows the correlation-domain detection degrading only gradually, thanks
+to the correlator's processing gain.
+"""
+
+import numpy as np
+
+from repro.circuits.op1 import op1_follower
+from repro.core import (
+    TransientResponseTester,
+    TransientTestConfig,
+    detection_instances,
+)
+from repro.faults import StuckAtFault, inject
+
+SIGMAS = [0.0, 0.02, 0.05, 0.1, 0.2]
+
+
+def sweep_noise():
+    ckt = op1_follower(input_value=2.5)
+    fault = StuckAtFault.sa1("7")
+    rows = []
+    for sigma in SIGMAS:
+        cfg = TransientTestConfig(low_v=2.0, high_v=3.5, sim_dt_s=10e-6,
+                                  noise_sigma_v=sigma)
+        tester = TransientResponseTester(cfg)
+        ref = tester.measure(ckt).correlation
+        m = tester.measure(inject(ckt, fault)).correlation
+        rows.append((sigma, detection_instances(ref, m,
+                                                rel_threshold=0.02)))
+    return rows
+
+
+def test_a2_noise_sweep(once):
+    rows = once(sweep_noise)
+    print()
+    print("A2 noise sweep: sigma(V)  detection")
+    for sigma, det in rows:
+        print(f"  {sigma:7.2f}  {100 * det:8.1f}%")
+    # detection survives noise an order of magnitude above the
+    # correlation threshold band
+    assert rows[0][1] > 0.9
+    assert all(det > 0.5 for _, det in rows)

@@ -1,0 +1,27 @@
+"""A4 — ablation: BIST transistor-budget audit.
+
+Paper: "The analogue section of the testing macro had an overhead of 152
+transistors.  The digital section of the testing macro needed 484
+transistors.  However the digital test structures could also be used to
+test further digital areas of a mixed chip."
+"""
+
+from repro.core import bist_overhead
+from repro.core.partition import (
+    ANALOG_TEST_MACROS,
+    DIGITAL_TEST_MACROS,
+    adc_transistor_count,
+)
+
+
+def test_a4_overhead_audit(once):
+    audit = once(bist_overhead)
+    print()
+    print(audit.summary())
+    print("  analogue macros:", ANALOG_TEST_MACROS)
+    print("  digital macros: ", DIGITAL_TEST_MACROS)
+    assert audit.analog_total == 152
+    assert audit.digital_total == 484
+    assert adc_transistor_count() == 1000
+    # overhead relative to the ADC stays under ~2/3
+    assert audit.overhead_fraction < 0.67

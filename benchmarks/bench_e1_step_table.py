@@ -1,0 +1,19 @@
+"""E1 — regenerate the paper's step-input fall-time table.
+
+Paper rows: steps 0, 0.59, 0.96, 1.41, 1.8, 2.5 V →
+fall times 2.6, 2.2, 1.9, 1.2, 0.8, 0.1 ms.
+"""
+
+from repro.experiments import e1_step_table
+
+
+def test_e1_step_fall_time_table(once):
+    result = once(e1_step_table.run)
+    print()
+    print(result.summary())
+    # shape: monotone decreasing, endpoints pinned to the paper
+    assert result.monotone_decreasing()
+    rows = result.rows()
+    assert rows[0][1] == 2.6e-3
+    assert abs(rows[-1][1] - 0.1e-3) < 0.02e-3
+    assert result.max_abs_error_s < 0.3e-3

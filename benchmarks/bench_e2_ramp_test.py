@@ -1,0 +1,18 @@
+"""E2 — regenerate the ramp-test measurements and the gain-error
+masking demonstration.
+
+Paper: ramp 0→2.5 V over 1 s, 6 measurements at 200 ms intervals; a ramp
+gain error that compensates an ADC gain error leaves no indication of an
+error at the output.
+"""
+
+from repro.experiments import e2_ramp_test
+
+
+def test_e2_ramp_measurements_and_masking(once):
+    result = once(e2_ramp_test.run)
+    print()
+    print(result.summary())
+    assert len(result.nominal_codes) == 6
+    assert result.unmasked_detected       # honest ramp catches the fault
+    assert result.masking_occurs          # compensating ramp hides it

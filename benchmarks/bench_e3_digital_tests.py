@@ -1,0 +1,18 @@
+"""E3 — regenerate the digital test results.
+
+Paper rows: conversion time within the 5.6 ms specification at the
+100 kHz counter clock; a 10 µs fall-time difference corresponds to 10 mV
+of input per output-code change.
+"""
+
+from repro.experiments import e3_digital_tests
+
+
+def test_e3_digital_test_rows(once):
+    result = once(e3_digital_tests.run)
+    print()
+    print(result.summary())
+    assert result.passed
+    assert result.report.max_conversion_time_s <= 5.6e-3
+    assert abs(result.report.fall_time_delta_s - 10e-6) < 1e-9
+    assert abs(result.report.mv_per_code - 10.0) < 0.2

@@ -1,0 +1,17 @@
+"""E4 — regenerate the compressed test results.
+
+Paper: the MISR signature over the consecutive step responses and the
+2-bit analogue signature from the 1.9/3.6 V level sensor gave expected
+results on all (healthy) chips; the bench additionally shows broken
+devices failing.
+"""
+
+from repro.experiments import e4_compressed
+
+
+def test_e4_compressed_signatures(once):
+    result = once(e4_compressed.run)
+    print()
+    print(result.summary())
+    assert result.healthy_passes
+    assert result.faulty_fail

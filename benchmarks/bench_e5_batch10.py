@@ -1,0 +1,16 @@
+"""E5 — regenerate the batch-of-10 screening result.
+
+Paper: "A batch of 10 devices were fabricated ... All devices passed the
+analogue, digital and compressed tests."  The defective batch provides
+the negative control the paper's flow implies.
+"""
+
+from repro.experiments import e5_batch10
+
+
+def test_e5_batch_screening(once):
+    result = once(e5_batch10.run, n_devices=10)
+    print()
+    print(result.summary())
+    assert result.all_good_pass
+    assert result.all_defective_fail

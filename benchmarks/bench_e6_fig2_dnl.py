@@ -1,0 +1,28 @@
+"""E6 / Figure 2 — regenerate the full ADC characterisation.
+
+Paper: gain error ±0.5 LSB and offset < 0.2 LSB (in spec) but max INL
+1.3 LSB and max DNL 1.2 LSB (out of the 1 LSB spec); Figure 2 plots DNL
+against input codes 0–100.
+"""
+
+import numpy as np
+
+from repro.experiments import e6_fig2_dnl
+
+
+def test_e6_full_characterization_figure2(once):
+    result = once(e6_fig2_dnl.run)
+    print()
+    print(result.summary())
+    codes, dnl = result.dnl_series()
+    # print the figure's series in compact strips
+    print("Figure 2 series (code: DNL in LSB):")
+    for start in range(0, len(codes), 20):
+        chunk = ", ".join(f"{c}:{d:+.2f}" for c, d in
+                          zip(codes[start:start + 20], dnl[start:start + 20]))
+        print("  " + chunk)
+    assert result.offset_gain_in_spec
+    assert result.violates_linearity_spec
+    ch = result.characterization
+    assert abs(ch.max_inl_lsb - 1.3) < 0.15
+    assert abs(ch.max_dnl_lsb - 1.2) < 0.15

@@ -1,0 +1,17 @@
+"""E8 — regenerate the circuit-2 z-domain design check.
+
+Paper: the SC integrator is designed for
+H(z) = z^-1 / (6.8 (1 - z^-1)) with 5 us non-overlapping clocks.
+Verified analytically and by transistor-level MNA simulation.
+"""
+
+from repro.experiments import e8_zdomain
+
+
+def test_e8_zdomain_design_check(once):
+    result = once(e8_zdomain.run)
+    print()
+    print(result.summary())
+    assert result.analytic_matches
+    assert abs(result.pole_magnitude - 1.0) < 1e-9
+    assert result.transistor_error_fraction < 0.05

@@ -1,0 +1,14 @@
+"""E9 — ADC macro sanity: the Figure 1 dual-slope converter covers its
+full code range monotonically within the timing specification."""
+
+from repro.experiments import e9_adc_transfer
+
+
+def test_e9_adc_transfer_function(once):
+    result = once(e9_adc_transfer.run)
+    print()
+    print(result.summary())
+    assert result.monotonic
+    lo, hi = result.full_range
+    assert lo == 0 and hi >= 99
+    assert result.within_timing_spec

@@ -1,0 +1,44 @@
+"""Simulator micro-benchmarks.
+
+Not a paper artefact — these time the MNA substrate itself so
+performance regressions in the engine show up in the benchmark run.
+Multiple rounds are meaningful here (unlike the experiment benches).
+"""
+
+import numpy as np
+
+from repro.circuits.op1 import op1_follower
+from repro.spice import Circuit, dc_operating_point, transient
+
+
+def test_perf_dc_operating_point_op1(benchmark):
+    """Newton bias solve of the 13-transistor amplifier."""
+    circuit = op1_follower(input_value=2.5)
+    voltages, _ = benchmark(dc_operating_point, circuit)
+    assert abs(voltages["3"] - 2.5) < 0.05
+
+
+def test_perf_transient_op1_1000_steps(benchmark):
+    """1000 backward-Euler steps of the amplifier under a step drive."""
+    circuit = op1_follower(
+        input_value=lambda t: 2.2 if t < 50e-6 else 3.0)
+
+    def run():
+        return transient(circuit, t_stop=1e-3, dt=1e-6, record=["3"])
+
+    result = benchmark(run)
+    assert result.final("3") == np.float64(result.final("3"))
+
+
+def test_perf_transient_rc_10000_steps(benchmark):
+    """Raw engine throughput on a small linear network."""
+    circuit = Circuit("rc")
+    circuit.vsource("VIN", "in", "0", lambda t: 5.0 if t > 0 else 0.0)
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-6)
+
+    def run():
+        return transient(circuit, t_stop=10e-3, dt=1e-6, record=["out"])
+
+    result = benchmark(run)
+    assert result.final("out") > 4.9

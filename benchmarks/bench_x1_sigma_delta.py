@@ -1,0 +1,112 @@
+"""X1 — extension: the BIST applied to the sigma-delta architecture.
+
+The paper's future work: on-chip functional testing for sigma-delta
+ADCs "where the switched capacitor integrator forms a major part of the
+circuit".  The bench makes the case for that research direction
+quantitatively:
+
+* the existing step-generator levels exercise the sigma-delta converter
+  and match the dual-slope macro's codes (the BIST stimulus transfers);
+* transfer-corrupting defects (stuck comparator, DAC reference error)
+  are caught by the same window check;
+* **but** integrator gain/leak defects are *masked by the modulator's
+  feedback loop* — the code-domain quick test cannot see them — while
+  the transient-response view of the integrator itself (the paper's
+  circuit-3 technique) exposes them immediately.  That asymmetry is
+  precisely why the paper proposes transient testing of the SC
+  integrator for sigma-delta parts.
+"""
+
+import numpy as np
+
+from repro.adc import DualSlopeADC, SigmaDeltaADC
+from repro.core import PAPER_STEP_LEVELS
+
+
+def window_check(adc, tolerance=2):
+    """The compressed-test style window compare on the step levels."""
+    lsb = adc.lsb_v
+    return all(
+        abs(adc.code_of(level) - min(adc.n_codes, round(level / lsb)))
+        <= tolerance
+        for level in PAPER_STEP_LEVELS)
+
+
+def integrator_transient_check(adc, band=0.05, n=32):
+    """Circuit-3-style check on the modulator's integrator alone:
+    open the loop, apply a unit charge packet, compare the response to
+    nominal.  Returns True when the response stays inside the band."""
+    def impulse_response(mod):
+        v = 0.0
+        out = []
+        for k in range(n):
+            u = 1.0 if k == 0 else 0.0
+            v = (1.0 - mod.integrator_leak) * v \
+                + mod.integrator_gain * u + mod.integrator_offset_v
+            out.append(v)
+        return np.asarray(out)
+
+    nominal = impulse_response(SigmaDeltaADC().modulator)
+    measured = impulse_response(adc.modulator)
+    return bool(np.max(np.abs(measured - nominal)) <= band)
+
+
+TRANSFER_DEFECTS = {
+    "comparator stuck": lambda a: setattr(
+        a.modulator.comparator, "stuck_output", 1),
+    "DAC high ref -20%": lambda a: setattr(
+        a.modulator, "dac_high_error_v", -0.5),
+}
+
+MASKED_DEFECTS = {
+    "integrator gain 0.5": lambda a: setattr(
+        a.modulator, "integrator_gain", 0.5),
+    "integrator leak 5%": lambda a: setattr(
+        a.modulator, "integrator_leak", 0.05),
+}
+
+
+def run_extension():
+    healthy = SigmaDeltaADC()
+    dual_slope = DualSlopeADC()
+    codes_sd = [healthy.code_of(v) for v in PAPER_STEP_LEVELS]
+    codes_ds = [dual_slope.code_of(v) for v in PAPER_STEP_LEVELS]
+
+    def plant(defects):
+        out = {}
+        for name, do in defects.items():
+            broken = SigmaDeltaADC()
+            do(broken)
+            out[name] = (window_check(broken),
+                         integrator_transient_check(broken))
+        return out
+
+    return (codes_sd, codes_ds, window_check(healthy),
+            integrator_transient_check(healthy),
+            plant(TRANSFER_DEFECTS), plant(MASKED_DEFECTS))
+
+
+def test_x1_sigma_delta_bist(once):
+    (codes_sd, codes_ds, healthy_window, healthy_transient,
+     transfer, masked) = once(run_extension)
+    print()
+    print("X1 sigma-delta extension:")
+    print(f"  step levels:       {PAPER_STEP_LEVELS}")
+    print(f"  sigma-delta codes: {codes_sd}")
+    print(f"  dual-slope codes:  {codes_ds}")
+    print(f"  healthy: window {'PASS' if healthy_window else 'FAIL'}, "
+          f"transient {'PASS' if healthy_transient else 'FAIL'}")
+    print("  defect                 window-check   integrator-transient")
+    for name, (w, t) in {**transfer, **masked}.items():
+        print(f"  {name:22s} {'pass (missed)' if w else 'FAIL->caught':14s} "
+              f"{'pass (missed)' if t else 'FAIL->caught'}")
+
+    # the BIST stimulus transfers between architectures
+    assert all(abs(a - b) <= 2 for a, b in zip(codes_sd, codes_ds))
+    assert healthy_window and healthy_transient
+    # transfer-corrupting defects: caught by the code-domain check
+    assert not any(w for w, _t in transfer.values())
+    # loop-masked defects: invisible to the code-domain check...
+    assert all(w for w, _t in masked.values())
+    # ...but exposed by the integrator's transient response
+    assert not any(t for _w, t in masked.values())

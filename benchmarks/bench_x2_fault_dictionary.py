@@ -1,0 +1,40 @@
+"""X2 — extension: diagnostic test patterns / fault dictionary.
+
+The paper's future work: "development of more comprehensive test
+patterns for fault diagnosis designed to a specific ADC architecture".
+The bench builds the dictionary from the standard fault library and
+verifies that the pattern distinguishes and self-identifies every
+library fault while classifying a healthy device as healthy.
+"""
+
+from repro.adc import DualSlopeADC
+from repro.core import STANDARD_FAULT_LIBRARY, FaultDictionary
+
+
+def run_dictionary():
+    dictionary = FaultDictionary().build(DualSlopeADC())
+    hits = {}
+    for name, plant in STANDARD_FAULT_LIBRARY.items():
+        device = DualSlopeADC()
+        plant(device)
+        match = dictionary.match(device)
+        hits[name] = (match.best, match.is_healthy)
+    healthy = dictionary.match(DualSlopeADC())
+    return dictionary, hits, healthy
+
+
+def test_x2_fault_dictionary(once):
+    dictionary, hits, healthy = once(run_dictionary)
+    print()
+    print("X2 fault dictionary:")
+    print(f"  {len(dictionary.entries)} library faults, "
+          f"distinguishability {dictionary.distinguishability():.3f}")
+    correct = 0
+    for name, (best, flagged_healthy) in hits.items():
+        ok = best == name and not flagged_healthy
+        correct += ok
+        print(f"  {name:26s} -> {best:26s} {'OK' if ok else 'MISS'}")
+    print(f"  healthy device: {healthy.summary()}")
+    assert correct == len(hits)            # every fault self-identifies
+    assert healthy.is_healthy
+    assert dictionary.distinguishability() > 0.0

@@ -1,0 +1,49 @@
+"""X3 — extension: DAC loopback BIST and converter self-calibration.
+
+Two flows the paper's research background describes for the converter
+pair:
+
+* the counter-driven DAC -> ADC loopback sweep as a purely digital quick
+  test of both converters,
+* measuring the ADC transfer during final test and using it to
+  self-calibrate ("formulate the required compensation").
+"""
+
+from repro.adc import DualSlopeADC, LoopbackTest, R2RDAC
+from repro.adc.calibration import ADCCalibration
+from repro.adc.selfcal import calibration_improvement
+
+
+def run_flows():
+    adc = DualSlopeADC()
+    healthy = LoopbackTest(tolerance=3).run(R2RDAC(), adc)
+
+    stuck_dac = R2RDAC()
+    stuck_dac.stuck_bits[6] = 0
+    dac_fault = LoopbackTest(tolerance=3).run(stuck_dac, adc)
+
+    broken_adc = adc.copy()
+    broken_adc.integrator.gain = 0.7
+    adc_fault = LoopbackTest(tolerance=3).run(R2RDAC(), broken_adc)
+
+    bowed = DualSlopeADC(ADCCalibration(comparator_offset_v=30e-3,
+                                        cap_voltage_coeff=0.08))
+    raw, linear = calibration_improvement(bowed, use_inl_table=False)
+    _, with_table = calibration_improvement(bowed, use_inl_table=True)
+    return healthy, dac_fault, adc_fault, (raw, linear, with_table)
+
+
+def test_x3_loopback_and_selfcal(once):
+    healthy, dac_fault, adc_fault, cal = once(run_flows)
+    raw, linear, with_table = cal
+    print()
+    print("X3 loopback + self-calibration:")
+    print(f"  healthy pair:      {healthy.summary()}")
+    print(f"  DAC bit6 stuck 0:  {dac_fault.summary()}")
+    print(f"  ADC gain 0.7:      {adc_fault.summary()}")
+    print(f"  self-cal worst error: raw {raw:.1f} LSB -> linear "
+          f"{linear:.1f} LSB -> +INL table {with_table:.1f} LSB")
+    assert healthy.passed
+    assert not dac_fault.passed
+    assert not adc_fault.passed
+    assert with_table < raw

@@ -1,0 +1,70 @@
+"""Full ADC characterisation — the paper's Figure 2, on your terminal.
+
+Servo-measures every code transition of the dual-slope ADC, computes
+offset / gain / INL / DNL against the macro's specification and draws
+the DNL-vs-code strip chart.
+
+Run:  python examples/full_characterization.py
+"""
+
+import numpy as np
+
+from repro.adc import DualSlopeADC
+from repro.adc.calibration import (
+    SPEC_DNL_LSB,
+    SPEC_GAIN_LSB,
+    SPEC_INL_LSB,
+    SPEC_OFFSET_LSB,
+)
+from repro.adc.histogram import characterize_servo
+from repro.core.diagnosis import Symptoms, diagnose
+
+
+def dnl_chart(dnl: np.ndarray, width_per_code: int = 1) -> str:
+    """Figure 2 as ASCII: one column per code, rows are DNL levels."""
+    levels = np.arange(1.25, -1.26, -0.25)
+    lines = []
+    for level in levels:
+        marks = []
+        for value in dnl:
+            if level > 0:
+                marks.append("#" if value >= level else " ")
+            elif level < 0:
+                marks.append("#" if value <= level else " ")
+            else:
+                marks.append("-")
+        lines.append(f"{level:+5.2f} |" + "".join(
+            m * width_per_code for m in marks))
+    lines.append("      +" + "-" * (len(dnl) * width_per_code))
+    lines.append("       input code equivalent 0 to 100")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    adc = DualSlopeADC()
+    print(f"characterising: {adc.describe()}")
+    ch = characterize_servo(adc)
+
+    print()
+    print("metric            measured     spec     verdict")
+    rows = [
+        ("zero offset (LSB)", abs(ch.offset_error_lsb), SPEC_OFFSET_LSB),
+        ("gain error  (LSB)", abs(ch.gain_error_lsb), SPEC_GAIN_LSB),
+        ("max INL     (LSB)", ch.max_inl_lsb, SPEC_INL_LSB),
+        ("max DNL     (LSB)", ch.max_dnl_lsb, SPEC_DNL_LSB),
+    ]
+    for name, measured, spec in rows:
+        verdict = "PASS" if measured <= spec else "FAIL"
+        print(f"{name:18s} {measured:8.2f} {spec:8.1f}     {verdict}")
+    print(f"missing codes: {ch.missing_codes or 'none'}")
+    print()
+    print("DNL vs input code (Figure 2):")
+    print(dnl_chart(ch.dnl_lsb))
+    print()
+
+    symptoms = Symptoms.from_characterization(ch)
+    print(diagnose(symptoms).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package (offline environments); all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

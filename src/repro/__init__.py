@@ -1,0 +1,24 @@
+"""repro — reproduction of Cobley, "Approaches to On-chip Testing of
+Mixed Signal Macros in ASICs" (ED&TC / DATE 1996).
+
+Top-level convenience re-exports cover the most common entry points; the
+sub-packages hold the full API:
+
+* :mod:`repro.core`     — the paper's contribution: on-chip BIST macros and
+  transient-response testing.
+* :mod:`repro.spice`    — MNA transient circuit simulator (HSPICE substitute).
+* :mod:`repro.lti`      — state-space / transfer-function toolkit.
+* :mod:`repro.signals`  — waveforms, PRBS, correlation.
+* :mod:`repro.faults`   — fault models, injection, campaigns.
+* :mod:`repro.dft`      — scan, LFSR/MISR, counters, monotonicity FSM.
+* :mod:`repro.process`  — process variation, device batches.
+* :mod:`repro.circuits` — the paper's example circuits (OP1, SC integrator...).
+* :mod:`repro.adc`      — behavioural dual-slope ADC macro and metrics.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.signals import Waveform
+
+__all__ = ["Waveform", "__version__"]

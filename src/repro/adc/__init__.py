@@ -1,0 +1,86 @@
+"""Behavioural dual-slope ADC macro (Figure 1) and its sub-macros.
+
+The ADC is modelled at the level the paper tests it: functional
+sub-macros (switched-capacitor integrator, comparator, counter, control
+FSM, output latch) with physically motivated non-idealities calibrated to
+the paper's measured silicon (see :mod:`repro.adc.calibration`).  Each
+sub-macro exposes the parameters the fault campaigns perturb, and the
+composite :class:`~repro.adc.dual_slope.DualSlopeADC` provides both the
+normal conversion mode and the BIST test modes (step fall-time test,
+precharge/discharge, peak capture).
+"""
+
+from repro.adc.calibration import PAPER_CALIBRATION, ADCCalibration
+from repro.adc.integrator import IntegratorModel
+from repro.adc.comparator import ComparatorModel
+from repro.adc.latch import OutputLatch
+from repro.adc.control import DualSlopeControl, ControlState
+from repro.adc.dual_slope import DualSlopeADC, ConversionTrace
+from repro.adc.errors import (
+    ADCCharacterization,
+    characterize_from_transitions,
+    dnl_from_transitions,
+    inl_from_transitions,
+)
+from repro.adc.dac import (
+    LoopbackReport,
+    LoopbackTest,
+    R2RDAC,
+    dac_characterization,
+)
+from repro.adc.dynamic import (
+    DynamicCharacterization,
+    dynamic_characterization,
+    sine_fit,
+)
+from repro.adc.selfcal import (
+    CalibratedADC,
+    CalibrationTable,
+    SelfCalibration,
+    calibration_improvement,
+)
+from repro.adc.sigma_delta import (
+    DecimationFilter,
+    SDConversion,
+    SigmaDeltaADC,
+    SigmaDeltaModulator,
+)
+from repro.adc.histogram import (
+    ramp_histogram_characterization,
+    servo_transition_levels,
+    transfer_curve,
+)
+
+__all__ = [
+    "PAPER_CALIBRATION",
+    "ADCCalibration",
+    "IntegratorModel",
+    "ComparatorModel",
+    "OutputLatch",
+    "DualSlopeControl",
+    "ControlState",
+    "DualSlopeADC",
+    "ConversionTrace",
+    "ADCCharacterization",
+    "characterize_from_transitions",
+    "dnl_from_transitions",
+    "inl_from_transitions",
+    "LoopbackReport",
+    "LoopbackTest",
+    "R2RDAC",
+    "dac_characterization",
+    "DynamicCharacterization",
+    "dynamic_characterization",
+    "sine_fit",
+    "CalibratedADC",
+    "CalibrationTable",
+    "SelfCalibration",
+    "calibration_improvement",
+    "DecimationFilter",
+    "SDConversion",
+    "SigmaDeltaADC",
+    "SigmaDeltaModulator",
+    "ramp_histogram_characterization",
+    "servo_transition_levels",
+    "transfer_curve",
+]

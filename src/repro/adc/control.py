@@ -1,0 +1,103 @@
+"""The dual-slope control FSM sub-macro.
+
+"Finally control circuit faults will stop the conversion process" — the
+FSM can be frozen in any state to reproduce that signature.
+
+States: IDLE → AUTOZERO → INTEGRATE (fixed cycles) → DEINTEGRATE (count
+until the comparator trips) → DONE.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class ControlState(enum.Enum):
+    IDLE = "idle"
+    AUTOZERO = "autozero"
+    INTEGRATE = "integrate"
+    DEINTEGRATE = "deintegrate"
+    DONE = "done"
+
+
+#: legal transitions of the healthy FSM
+_NEXT = {
+    ControlState.IDLE: ControlState.AUTOZERO,
+    ControlState.AUTOZERO: ControlState.INTEGRATE,
+    ControlState.INTEGRATE: ControlState.DEINTEGRATE,
+    ControlState.DEINTEGRATE: ControlState.DONE,
+    ControlState.DONE: ControlState.IDLE,
+}
+
+
+class DualSlopeControl:
+    """Cycle-counting conversion sequencer."""
+
+    def __init__(self, integrate_cycles: int = 100,
+                 autozero_cycles: int = 4,
+                 max_deintegrate_cycles: int = 160) -> None:
+        if integrate_cycles < 1 or autozero_cycles < 0:
+            raise ValueError("bad cycle configuration")
+        self.integrate_cycles = integrate_cycles
+        self.autozero_cycles = autozero_cycles
+        self.max_deintegrate_cycles = max_deintegrate_cycles
+        self.state = ControlState.IDLE
+        self.cycles_in_state = 0
+        self.total_cycles = 0
+        #: fault lever: FSM frozen in this state (conversion stops)
+        self.stuck_state: Optional[ControlState] = None
+
+    def copy(self) -> "DualSlopeControl":
+        dup = DualSlopeControl(self.integrate_cycles, self.autozero_cycles,
+                               self.max_deintegrate_cycles)
+        dup.state = self.state
+        dup.cycles_in_state = self.cycles_in_state
+        dup.total_cycles = self.total_cycles
+        dup.stuck_state = self.stuck_state
+        return dup
+
+    def start(self) -> None:
+        """Kick off a conversion from IDLE."""
+        self.state = ControlState.IDLE
+        self.cycles_in_state = 0
+        self.total_cycles = 0
+        self._advance()
+
+    def _advance(self) -> None:
+        self.state = _NEXT[self.state]
+        self.cycles_in_state = 0
+
+    def clock(self, comparator_high: bool) -> ControlState:
+        """One control clock; returns the state *after* the edge.
+
+        ``comparator_high`` is the integrator-above-threshold flag that
+        ends the de-integrate phase.
+        """
+        self.total_cycles += 1
+        if self.stuck_state is not None:
+            self.state = self.stuck_state
+            self.cycles_in_state += 1
+            return self.state
+        self.cycles_in_state += 1
+        if self.state == ControlState.AUTOZERO:
+            if self.cycles_in_state >= self.autozero_cycles:
+                self._advance()
+        elif self.state == ControlState.INTEGRATE:
+            if self.cycles_in_state >= self.integrate_cycles:
+                self._advance()
+        elif self.state == ControlState.DEINTEGRATE:
+            if not comparator_high:
+                self._advance()
+            elif self.cycles_in_state >= self.max_deintegrate_cycles:
+                # overflow guard: a healthy FSM aborts to DONE
+                self.state = ControlState.DONE
+                self.cycles_in_state = 0
+        return self.state
+
+    @property
+    def done(self) -> bool:
+        return self.state == ControlState.DONE
+
+    def conversion_time_s(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz

@@ -1,0 +1,110 @@
+"""ADC error metrics: offset, gain, INL, DNL.
+
+All metrics follow the code-transition-level definitions the paper's
+characterisation uses:
+
+* transition level T(k): the input voltage where the output changes from
+  code k−1 to code k,
+* offset error: shift of T(1) from its ideal 0.5 LSB position,
+* gain error: shift of the full-scale transition after offset removal,
+* DNL(k) = (T(k+1) − T(k)) / LSB − 1,
+* INL(k): deviation of T(k) from the endpoint-fit line, in LSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ADCCharacterization:
+    """Full characterisation result (everything in LSB units)."""
+
+    offset_error_lsb: float
+    gain_error_lsb: float
+    dnl_lsb: np.ndarray
+    inl_lsb: np.ndarray
+    transition_levels_v: np.ndarray
+    lsb_v: float
+    missing_codes: List[int] = field(default_factory=list)
+
+    @property
+    def max_dnl_lsb(self) -> float:
+        return float(np.max(np.abs(self.dnl_lsb))) if len(self.dnl_lsb) else 0.0
+
+    @property
+    def max_inl_lsb(self) -> float:
+        return float(np.max(np.abs(self.inl_lsb))) if len(self.inl_lsb) else 0.0
+
+    def meets_spec(self, offset_lsb: float = 0.3, gain_lsb: float = 0.5,
+                   inl_lsb: float = 1.0, dnl_lsb: float = 1.0) -> bool:
+        """Check against the paper's ADC specification."""
+        return (abs(self.offset_error_lsb) < offset_lsb
+                and abs(self.gain_error_lsb) <= gain_lsb
+                and self.max_inl_lsb <= inl_lsb
+                and self.max_dnl_lsb <= dnl_lsb
+                and not self.missing_codes)
+
+    def summary(self) -> str:
+        return (f"offset {self.offset_error_lsb:+.2f} LSB, "
+                f"gain {self.gain_error_lsb:+.2f} LSB, "
+                f"max INL {self.max_inl_lsb:.2f} LSB, "
+                f"max DNL {self.max_dnl_lsb:.2f} LSB, "
+                f"{len(self.missing_codes)} missing codes")
+
+
+def dnl_from_transitions(transitions_v: Sequence[float],
+                         lsb_v: float) -> np.ndarray:
+    """DNL per code from consecutive transition levels."""
+    t = np.asarray(transitions_v, dtype=float)
+    if len(t) < 2:
+        return np.empty(0)
+    if lsb_v <= 0:
+        raise ValueError("lsb_v must be positive")
+    return np.diff(t) / lsb_v - 1.0
+
+
+def inl_from_transitions(transitions_v: Sequence[float],
+                         lsb_v: float) -> np.ndarray:
+    """INL per transition against the endpoint-fit line."""
+    t = np.asarray(transitions_v, dtype=float)
+    if len(t) < 2:
+        return np.zeros(len(t))
+    if lsb_v <= 0:
+        raise ValueError("lsb_v must be positive")
+    # Endpoint fit: line through the first and last transition.
+    k = np.arange(len(t))
+    ideal = t[0] + (t[-1] - t[0]) * k / (len(t) - 1)
+    return (t - ideal) / lsb_v
+
+
+def characterize_from_transitions(transitions_v: Sequence[float],
+                                  lsb_v: float,
+                                  missing_codes: Sequence[int] = ()
+                                  ) -> ADCCharacterization:
+    """Build the full characterisation from measured transition levels.
+
+    ``transitions_v[k]`` is T(k+1): the input where code k→k+1.
+    """
+    t = np.asarray(transitions_v, dtype=float)
+    if len(t) < 2:
+        raise ValueError("need at least two transition levels")
+    if lsb_v <= 0:
+        raise ValueError("lsb_v must be positive")
+    # Ideal T(1) sits at 0.5 LSB (mid-tread converter).
+    offset = (t[0] - 0.5 * lsb_v) / lsb_v
+    n = len(t)
+    ideal_span = (n - 1) * lsb_v
+    gain = ((t[-1] - t[0]) - ideal_span) / lsb_v
+    return ADCCharacterization(
+        offset_error_lsb=float(offset),
+        gain_error_lsb=float(gain),
+        dnl_lsb=dnl_from_transitions(t, lsb_v),
+        inl_lsb=inl_from_transitions(t, lsb_v),
+        transition_levels_v=t,
+        lsb_v=lsb_v,
+        missing_codes=list(missing_codes),
+    )

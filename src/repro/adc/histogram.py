@@ -1,0 +1,116 @@
+"""ADC characterisation procedures: servo search, ramp histogram,
+transfer curve.
+
+The paper's "full manual test of ADC conversion" measures the transfer
+function against specification.  Two standard procedures are provided:
+
+* :func:`servo_transition_levels` — binary-search every code transition
+  (precise; used for Figure 2),
+* :func:`ramp_histogram_characterization` — the classic linear-ramp code
+  histogram (what an on-chip ramp BIST can approximate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.adc.dual_slope import DualSlopeADC
+from repro.adc.errors import ADCCharacterization, characterize_from_transitions
+
+
+def transfer_curve(adc: DualSlopeADC, n_points: int = 256,
+                   v_lo: float = 0.0, v_hi: float = None
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the static transfer function; returns ``(v_in, codes)``."""
+    if v_hi is None:
+        v_hi = adc.cal.full_scale_v
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    v = np.linspace(v_lo, v_hi, n_points)
+    codes = np.array([adc.code_of(float(x)) for x in v])
+    return v, codes
+
+
+def servo_transition_levels(adc: DualSlopeADC,
+                            codes: Sequence[int] = None,
+                            tolerance_v: float = 25e-6) -> np.ndarray:
+    """Binary-search the input voltage of each code transition.
+
+    ``codes`` lists the upper code of each transition to find (default: 1
+    to n_codes).  Assumes a monotonic converter, which the dual-slope
+    architecture guarantees structurally; non-monotonic faulted devices
+    are exactly what the monotonicity BIST exists to catch.
+    """
+    cal = adc.cal
+    if codes is None:
+        codes = range(1, cal.n_codes + 1)
+    if tolerance_v <= 0:
+        raise ValueError("tolerance_v must be positive")
+    levels: List[float] = []
+    for code in codes:
+        lo, hi = 0.0, cal.full_scale_v * 1.1
+        # Establish that the transition is bracketed.
+        if adc.code_of(hi) < code:
+            levels.append(float("nan"))
+            continue
+        while hi - lo > tolerance_v:
+            mid = 0.5 * (lo + hi)
+            if adc.code_of(mid) >= code:
+                hi = mid
+            else:
+                lo = mid
+        levels.append(0.5 * (lo + hi))
+    return np.asarray(levels)
+
+
+def ramp_histogram_characterization(adc: DualSlopeADC,
+                                    n_samples: int = 4000,
+                                    v_lo: float = None,
+                                    v_hi: float = None) -> ADCCharacterization:
+    """Linear-ramp histogram characterisation.
+
+    A uniform input sweep makes each code's hit count proportional to its
+    code width; transition levels are reconstructed from the cumulative
+    histogram and fed to the standard metric pipeline.
+    """
+    cal = adc.cal
+    lsb = cal.lsb_v
+    if v_lo is None:
+        v_lo = -1.5 * lsb
+    if v_hi is None:
+        v_hi = cal.full_scale_v + 1.5 * lsb
+    if n_samples < 10 * cal.n_codes:
+        raise ValueError("need at least ~10 samples per code")
+    v = np.linspace(v_lo, v_hi, n_samples)
+    codes = np.array([adc.code_of(float(x)) for x in v])
+    dv = (v_hi - v_lo) / (n_samples - 1)
+    top = cal.n_codes
+    # Transition T(k): midpoint between the last sample coded < k and the
+    # first coded >= k.
+    transitions = []
+    missing = []
+    for k in range(1, top + 1):
+        idx = np.nonzero(codes >= k)[0]
+        if len(idx) == 0:
+            transitions.append(float("nan"))
+            continue
+        first = idx[0]
+        transitions.append(v[first] - 0.5 * dv)
+        if k < top and not np.any(codes == k):
+            missing.append(k)
+    t = np.asarray(transitions)
+    valid = ~np.isnan(t)
+    return characterize_from_transitions(t[valid], lsb, missing_codes=missing)
+
+
+def characterize_servo(adc: DualSlopeADC,
+                       tolerance_v: float = 25e-6) -> ADCCharacterization:
+    """Full characterisation via servo-searched transitions (Figure 2's
+    measurement route)."""
+    t = servo_transition_levels(adc, tolerance_v=tolerance_v)
+    valid = ~np.isnan(t)
+    missing = [int(k) for k in np.nonzero(~valid)[0] + 1]
+    return characterize_from_transitions(t[valid], adc.cal.lsb_v,
+                                         missing_codes=missing)

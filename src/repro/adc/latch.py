@@ -1,0 +1,62 @@
+"""The output latch sub-macro.
+
+"Faults in the output latch submacro will manifest as multiple incorrect
+output codes" — modelled with stuck bits and a transparency fault that
+lets the counter's changing value leak through after capture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class OutputLatch:
+    """Captures the counter value at end of conversion."""
+
+    def __init__(self, width: int = 8) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self._value = 0
+        #: bit index -> forced value (stuck-at fault lever)
+        self.stuck_bits: Dict[int, int] = {}
+        #: transparency fault: the latch does not hold — reads track the
+        #: live input instead of the captured value
+        self.transparent_fault = False
+        self._live_input = 0
+
+    def copy(self) -> "OutputLatch":
+        dup = OutputLatch(self.width)
+        dup._value = self._value
+        dup.stuck_bits = dict(self.stuck_bits)
+        dup.transparent_fault = self.transparent_fault
+        dup._live_input = self._live_input
+        return dup
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def _apply_stuck(self, value: int) -> int:
+        for bit, forced in self.stuck_bits.items():
+            if forced:
+                value |= (1 << bit)
+            else:
+                value &= ~(1 << bit)
+        return value & self.mask
+
+    def capture(self, value: int) -> int:
+        """Latch a counter value (end of conversion)."""
+        self._live_input = value & self.mask
+        self._value = self._apply_stuck(self._live_input)
+        return self._value
+
+    def track(self, value: int) -> None:
+        """The counter keeps running; a healthy latch ignores this."""
+        self._live_input = value & self.mask
+
+    def read(self) -> int:
+        """The output code presented to the digital side."""
+        if self.transparent_fault:
+            return self._apply_stuck(self._live_input)
+        return self._value

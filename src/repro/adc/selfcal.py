@@ -1,0 +1,125 @@
+"""Converter self-calibration from BIST measurements.
+
+From the paper's research background (on Fasang / Ohletz / Pritchard):
+"detailed fault analysis of the ADC and DAC macros measure their
+transfer function.  This measurement can be used during the final
+complete ASUT test, to self-calibrate the ADC / DAC macros and formulate
+the required compensation in the remaining analogue macros."
+
+:class:`SelfCalibration` implements that flow: measure the transfer
+function with the on-chip ramp (or a servo bench), fit the linear
+correction (offset + gain), optionally record a per-code INL table, and
+wrap the converter so corrected codes come out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.adc.dual_slope import DualSlopeADC
+from repro.adc.errors import ADCCharacterization
+from repro.adc.histogram import characterize_servo
+
+
+@dataclass
+class CalibrationTable:
+    """The digital correction derived from a measured transfer."""
+
+    offset_lsb: float
+    gain_factor: float
+    inl_correction_lsb: Optional[np.ndarray] = None   # per raw code
+
+    def correct(self, raw_code: int) -> int:
+        """Apply the correction to one raw code.
+
+        A transition shifted *up* by e LSB makes the raw code read e LSB
+        *low*, so the correction adds the measured error back:
+        ``corrected = raw·gain_factor + offset + INL(raw)``.
+        """
+        value = float(raw_code) * self.gain_factor + self.offset_lsb
+        if self.inl_correction_lsb is not None:
+            idx = min(max(raw_code, 0), len(self.inl_correction_lsb) - 1)
+            value += float(self.inl_correction_lsb[idx])
+        return int(round(value))
+
+    def describe(self) -> str:
+        inl = ("with INL table"
+               if self.inl_correction_lsb is not None else "linear only")
+        return (f"calibration: offset {self.offset_lsb:+.2f} LSB, gain "
+                f"{self.gain_factor:.4f}, {inl}")
+
+
+class CalibratedADC:
+    """A converter wrapped with its digital correction."""
+
+    def __init__(self, adc: DualSlopeADC, table: CalibrationTable) -> None:
+        self.adc = adc
+        self.table = table
+
+    @property
+    def cal(self):
+        return self.adc.cal
+
+    def code_of(self, v_in: float) -> int:
+        raw = self.adc.code_of(v_in)
+        corrected = self.table.correct(raw)
+        return min(max(corrected, 0), self.adc.cal.n_codes)
+
+    def copy(self) -> "CalibratedADC":
+        return CalibratedADC(self.adc.copy(), self.table)
+
+
+class SelfCalibration:
+    """Measure → fit → wrap.
+
+    ``use_inl_table`` adds the per-code INL correction on top of the
+    linear (offset/gain) fit; the linear fit alone is what a small
+    on-chip state machine would realistically store.
+    """
+
+    def __init__(self, use_inl_table: bool = False) -> None:
+        self.use_inl_table = use_inl_table
+
+    def measure(self, adc: DualSlopeADC) -> ADCCharacterization:
+        return characterize_servo(adc)
+
+    def fit(self, ch: ADCCharacterization) -> CalibrationTable:
+        """Derive the correction from a characterisation."""
+        n = len(ch.transition_levels_v)
+        gain = 1.0 + ch.gain_error_lsb / max(n - 1, 1)
+        inl = None
+        if self.use_inl_table and len(ch.inl_lsb):
+            # INL is indexed by transition; map to codes (code k sits
+            # between transitions k and k+1)
+            inl_t = np.concatenate([[0.0], ch.inl_lsb])
+            inl = 0.5 * (inl_t[:-1] + inl_t[1:])
+            inl = np.concatenate([inl, [inl[-1]]])
+        return CalibrationTable(offset_lsb=ch.offset_error_lsb,
+                                gain_factor=gain,
+                                inl_correction_lsb=inl)
+
+    def calibrate(self, adc: DualSlopeADC) -> CalibratedADC:
+        """The full flow on one device."""
+        table = self.fit(self.measure(adc))
+        return CalibratedADC(adc, table)
+
+
+def calibration_improvement(adc: DualSlopeADC,
+                            use_inl_table: bool = True,
+                            probe_points: int = 101
+                            ) -> "tuple[float, float]":
+    """Worst-case conversion error (in LSB) before and after
+    self-calibration, probed at code centres."""
+    calibrated = SelfCalibration(use_inl_table=use_inl_table).calibrate(adc)
+    lsb = adc.cal.lsb_v
+    worst_raw = 0.0
+    worst_cal = 0.0
+    for k in range(probe_points):
+        v = k * adc.cal.full_scale_v / (probe_points - 1)
+        ideal = v / lsb
+        worst_raw = max(worst_raw, abs(adc.code_of(v) - ideal))
+        worst_cal = max(worst_cal, abs(calibrated.code_of(v) - ideal))
+    return worst_raw, worst_cal

@@ -1,0 +1,49 @@
+"""The paper's example circuits and the analogue macro library.
+
+Everything here is a transistor-level netlist in the 5 µm process
+(:data:`repro.spice.mosfet.NMOS_5U` / :data:`~repro.spice.mosfet.PMOS_5U`):
+
+* :func:`add_op1` / :func:`op1_follower` — the 13-transistor CMOS
+  operational amplifier OP1 of Figure 3, with the paper's node numbering
+  (1 = In+, 2 = In−, 3 = Out, 4–9 internal).
+* :func:`sc_integrator_circuit` — circuit 3: the switched-capacitor
+  integrator alone (15 transistors).
+* :func:`sc_integrator_comparator_circuit` — circuit 2: SC integrator
+  followed by a comparator (28 transistors).
+* :mod:`repro.circuits.library` — the gate-array macro library the paper
+  surveys (voltage reference, current mirror, comparator, oscillator).
+"""
+
+from repro.circuits.op1 import (
+    OP1_FAULT_NODES,
+    add_op1,
+    op1_circuit,
+    op1_follower,
+    op1_open_loop,
+)
+from repro.circuits.sc_integrator import (
+    SCIntegratorDesign,
+    sc_integrator_circuit,
+    sc_integrator_comparator_circuit,
+)
+from repro.circuits.library import (
+    voltage_reference_circuit,
+    current_mirror_circuit,
+    ring_oscillator_circuit,
+    comparator_circuit,
+)
+
+__all__ = [
+    "OP1_FAULT_NODES",
+    "add_op1",
+    "op1_circuit",
+    "op1_follower",
+    "op1_open_loop",
+    "SCIntegratorDesign",
+    "sc_integrator_circuit",
+    "sc_integrator_comparator_circuit",
+    "voltage_reference_circuit",
+    "current_mirror_circuit",
+    "ring_oscillator_circuit",
+    "comparator_circuit",
+]

@@ -1,0 +1,92 @@
+"""The gate-array analogue macro library the paper surveys.
+
+"The analogue macros in the macro library included voltage references,
+current mirrors, operational amplifiers, voltage and current comparators,
+oscillators, ADCs and DACs."  These netlists are the small supporting
+macros; OP1 and the ADC live in their own modules.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.op1 import VDD, add_op1
+from repro.spice.netlist import Circuit
+
+
+def voltage_reference_circuit(target_v: float = 2.5) -> Circuit:
+    """A buffered divider voltage reference.
+
+    A resistive divider from the supply sets the target and OP1 buffers
+    it — the classic gate-array reference macro (no bandgap available in
+    a 5 µm digital array).  Output node: ``"ref"``.
+    """
+    if not 0.0 < target_v < VDD:
+        raise ValueError("target_v must lie inside the supply range")
+    ckt = Circuit("vref_macro")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    r_total = 100e3
+    r_low = r_total * target_v / VDD
+    ckt.resistor("RTOP", "vdd", "div", r_total - r_low)
+    ckt.resistor("RBOT", "div", "0", r_low)
+    add_op1(ckt, "div", "ref", "ref", prefix="buf")
+    ckt.capacitor("CREF", "ref", "0", 100e-12)
+    return ckt
+
+
+def current_mirror_circuit(i_ref: float = 20e-6, ratio: float = 1.0) -> Circuit:
+    """NMOS current mirror: reference current in, mirrored sink out.
+
+    ``ratio`` scales the output device width.  The output sinks from node
+    ``"load"`` through a 50 kΩ load so the mirrored current is observable
+    as a node voltage.
+    """
+    if i_ref <= 0 or ratio <= 0:
+        raise ValueError("i_ref and ratio must be positive")
+    ckt = Circuit("current_mirror")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.isource("IREF", "vdd", "diode", i_ref)
+    ckt.nmos("M1", "diode", "diode", "0", w=10e-6, l=5e-6)
+    ckt.nmos("M2", "load", "diode", "0", w=10e-6 * ratio, l=5e-6)
+    ckt.resistor("RLOAD", "vdd", "load", 50e3)
+    return ckt
+
+
+def ring_oscillator_circuit(n_stages: int = 5,
+                            stage_cap_f: float = 20e-12) -> Circuit:
+    """A CMOS ring oscillator — the library's clock/oscillator macro.
+
+    ``n_stages`` must be odd.  Node ``"osc1"`` is the observable output;
+    the per-stage capacitors set the period to roughly
+    ``2 * n_stages * R_inv * stage_cap_f``.
+
+    Simulate with ``uic=True``: the first stage capacitor carries a
+    rail-level initial condition that kicks the ring out of its
+    metastable mid-rail equilibrium (which a DC operating point would
+    otherwise find).  Use a timestep well under a stage delay or
+    backward-Euler damping will kill the oscillation numerically.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError("ring oscillator needs an odd stage count >= 3")
+    ckt = Circuit("ring_oscillator")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    for i in range(n_stages):
+        inp = f"osc{i + 1}"
+        out = f"osc{(i + 1) % n_stages + 1}"
+        ckt.nmos(f"MN{i + 1}", out, inp, "0", w=10e-6, l=5e-6)
+        ckt.pmos(f"MP{i + 1}", out, inp, "vdd", w=25e-6, l=5e-6)
+        ckt.capacitor(f"CS{i + 1}", out, "0", stage_cap_f,
+                      ic=VDD if i == 0 else 0.0)
+    return ckt
+
+
+def comparator_circuit(threshold_v: float = 2.5) -> Circuit:
+    """Voltage comparator macro: OP1 open loop against a threshold.
+
+    Input node ``"in"``, output node ``"out"`` (rails near 0/VDD).
+    """
+    ckt = Circuit("comparator_macro")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.vsource("VTH", "th", "0", threshold_v)
+    add_op1(ckt, "in", "th", "out", prefix="c", compensation_f=None)
+    ckt.capacitor("CO", "out", "0", 5e-12)
+    ckt.resistor("RIN", "in", "th", 10e6)
+    return ckt

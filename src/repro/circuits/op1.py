@@ -1,0 +1,135 @@
+"""OP1 — the paper's 13-transistor CMOS operational amplifier (Figure 3).
+
+Topology (node numbers follow the paper):
+
+* node 4 — bias: an always-on NMOS current sink (M13, the IRef
+  implementation) loads a PMOS diode (M1); PMOS gates at node 4 mirror
+  the reference current.
+* node 6 — "p-type current source": tail of the PMOS differential pair
+  (M2 mirrors the bias current into the pair).
+* nodes 1/2 — In+ / In− gates of the PMOS pair (M4 / M3).
+* node 5 — "n-type current source": diode side of the NMOS mirror load
+  (M5/M6).
+* node 7 — differential-stage output.
+* node 8 — first inverter output (NMOS common-source M7 with PMOS
+  current-source load M8).
+* node 9 — second inverter output (CMOS inverter M9/M10).
+* node 3 — Out: the inverter buffer (CMOS inverter M11/M12).
+
+Raising In+ raises Out (two inversions after the rising node 7), so the
+amplifier is non-inverting from node 1 as required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.spice.netlist import Circuit
+
+#: Major nodes the paper injects single stuck-at faults on (plus the pairs
+#: 8–9, 5–8 and 4–6 for double faults).
+OP1_FAULT_NODES = ("4", "5", "7", "8", "3")
+
+#: Supply voltage of the 5 µm gate-array process.
+VDD = 5.0
+
+
+def add_op1(ckt: Circuit, in_p: str, in_n: str, out: str,
+            vdd: str = "vdd", prefix: str = "",
+            compensation_f: Optional[float] = 20e-12) -> Dict[str, str]:
+    """Instantiate OP1 into ``ckt``.
+
+    Parameters
+    ----------
+    ckt:
+        Target circuit (must already carry the supply on ``vdd``).
+    in_p, in_n, out:
+        Node names for In+ (paper node 1), In− (node 2) and Out (node 3).
+    prefix:
+        Prepended to the internal node (4–9) and device names, so several
+        OP1 instances can coexist.
+    compensation_f:
+        Miller compensation capacitor across the first inverter stage
+        (node 7 → node 8).  ``None`` omits it (the bare 13-transistor
+        macro); the default 20 pF keeps the amplifier stable in unity
+        feedback and sets the dominant pole the transient tests observe.
+
+    Returns the map from paper node numbers ("1"…"9") to actual node
+    names in ``ckt``.
+    """
+    n = {
+        "1": in_p, "2": in_n, "3": out,
+        "4": f"{prefix}4", "5": f"{prefix}5", "6": f"{prefix}6",
+        "7": f"{prefix}7", "8": f"{prefix}8", "9": f"{prefix}9",
+    }
+    p = prefix
+    # Bias chain: M13 is the IRef sink (long-channel NMOS, gate at VDD),
+    # M1 the PMOS diode it loads.
+    ckt.nmos(f"{p}M13", n["4"], vdd, "0", w=5e-6, l=40e-6)
+    ckt.pmos(f"{p}M1", n["4"], n["4"], vdd, w=10e-6, l=5e-6)
+    # P-type current source: tail of the differential pair.
+    ckt.pmos(f"{p}M2", n["6"], n["4"], vdd, w=40e-6, l=5e-6)
+    # PMOS differential pair: In− on M3 (mirror/diode side), In+ on M4.
+    ckt.pmos(f"{p}M3", n["5"], n["2"], n["6"], w=20e-6, l=5e-6)
+    ckt.pmos(f"{p}M4", n["7"], n["1"], n["6"], w=20e-6, l=5e-6)
+    # N-type current-source load (mirror): diode M5, output M6.
+    ckt.nmos(f"{p}M5", n["5"], n["5"], "0", w=10e-6, l=5e-6)
+    ckt.nmos(f"{p}M6", n["7"], n["5"], "0", w=10e-6, l=5e-6)
+    # Gain stage ("inverter" in Figure 3): NMOS common source with PMOS
+    # current-source load.  The Miller capacitor across it makes the
+    # amplifier a classic two-stage design.
+    ckt.nmos(f"{p}M7", n["8"], n["7"], "0", w=20e-6, l=5e-6)
+    ckt.pmos(f"{p}M8", n["8"], n["4"], vdd, w=40e-6, l=5e-6)
+    # Buffer chain ("inverter buffer"): an NMOS source follower with an
+    # NMOS current sink (biased from the node-5 mirror), then a PMOS
+    # source follower with a PMOS current source — near-unity gain and
+    # complementary level shifts, keeping every post-compensation node
+    # low impedance (no further high-gain poles, so the two-stage Miller
+    # compensation holds in unity feedback).
+    ckt.nmos(f"{p}M9", vdd, n["8"], n["9"], w=40e-6, l=5e-6)
+    ckt.nmos(f"{p}M10", n["9"], n["5"], "0", w=10e-6, l=5e-6)
+    ckt.pmos(f"{p}M11", "0", n["9"], n["3"], w=160e-6, l=5e-6)
+    ckt.pmos(f"{p}M12", n["3"], n["4"], vdd, w=20e-6, l=5e-6)
+    if compensation_f is not None:
+        ckt.capacitor(f"{p}CC", n["7"], n["8"], compensation_f)
+    return n
+
+
+def op1_circuit(compensation_f: Optional[float] = 20e-12) -> Circuit:
+    """Standalone OP1 with supply, inputs/outputs on paper node names."""
+    ckt = Circuit("op1")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    add_op1(ckt, "1", "2", "3", compensation_f=compensation_f)
+    return ckt
+
+
+def op1_follower(input_value=2.5, load_f: float = 470e-12,
+                 compensation_f: Optional[float] = 20e-12) -> Circuit:
+    """OP1 in unity feedback driven from node 1 — the transient-test
+    fixture for circuit 1.
+
+    The paper's PRBS stimulus goes into node 1; node 3 (= node 2, the
+    feedback) is the observed output.  ``load_f`` is the bench load; with
+    OP1's output resistance it sets the output time constant the
+    correlation technique sees.
+    """
+    ckt = Circuit("op1_follower")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.vsource("VIN", "1", "0", input_value)
+    add_op1(ckt, "1", "3", "3", compensation_f=compensation_f)
+    ckt.capacitor("CL", "3", "0", load_f)
+    ckt.resistor("RL", "3", "0", 1e6)
+    return ckt
+
+
+def op1_open_loop(in_n_value: float = 2.5, input_value=2.5,
+                  load_f: float = 100e-12) -> Circuit:
+    """OP1 as a comparator: In− held at a reference, no feedback."""
+    ckt = Circuit("op1_comparator")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.vsource("VIN", "1", "0", input_value)
+    ckt.vsource("VREF", "2", "0", in_n_value)
+    add_op1(ckt, "1", "2", "3", compensation_f=None)
+    ckt.capacitor("CL", "3", "0", load_f)
+    return ckt

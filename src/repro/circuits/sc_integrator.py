@@ -1,0 +1,120 @@
+"""Circuits 2 and 3: the switched-capacitor integrator (± comparator).
+
+Circuit 3 is the SC integrator alone — OP1 (13 transistors) plus two NMOS
+switches = 15 transistors.  The sampling capacitor Cs charges to Vin on
+phase φ1 and dumps its charge into the virtual ground on φ2, giving the
+designed z-domain response
+
+    Vout(z)/Vin(z) = H(z) = z⁻¹ / (6.8 (1 − z⁻¹))
+
+per charge packet about the analogue reference (Cs/Cf = 1/6.8).  The
+two-switch topology realises −H(z); the paper's positive H(z) corresponds
+to the input measured below the analogue reference.
+
+Circuit 2 appends a comparator (another OP1, open loop) that slices the
+integrator output against a 0.64 V reference above analogue ground —
+28 transistors total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.op1 import VDD, add_op1
+from repro.spice.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class SCIntegratorDesign:
+    """Design constants of the paper's integrator."""
+
+    cap_ratio: float = 6.8          # Cf / Cs
+    cs_f: float = 10e-12            # sampling capacitor
+    clock_period_s: float = 5e-6    # the paper's non-overlapping clocks
+    v_ref: float = 2.5              # analogue ground (mid-rail)
+    comparator_threshold: float = 0.64  # volts above analogue ground
+    switch_w_m: float = 5e-6        # switch width: sized so gate-charge
+                                    # injection stays ~1 % of a packet
+    opamp_compensation_f: float = 2e-12  # Miller cap for 5 us settling
+
+    @property
+    def cf_f(self) -> float:
+        return self.cap_ratio * self.cs_f
+
+    @property
+    def gain_per_cycle(self) -> float:
+        """Integrator step per volt of held input (the 1/6.8)."""
+        return 1.0 / self.cap_ratio
+
+
+PAPER_DESIGN = SCIntegratorDesign()
+
+
+def sc_integrator_circuit(phi1, phi2, vin,
+                          design: SCIntegratorDesign = PAPER_DESIGN,
+                          prefix: str = "") -> Circuit:
+    """Circuit 3: the 15-transistor switched-capacitor integrator.
+
+    Parameters
+    ----------
+    phi1, phi2:
+        Clock drive values for the switch gates — floats, callables of
+        time, or :class:`~repro.signals.Waveform` (non-overlapping).
+    vin:
+        Input source value (same accepted types), referenced to ground;
+        the charge packet is proportional to ``vin - v_ref``.
+    design:
+        Capacitor sizing and references.
+    prefix:
+        Namespace prefix for the op-amp internals (paper nodes 4–9).
+
+    Output is node ``"out"``; the op-amp summing node is ``"sum"``.
+    """
+    ckt = Circuit(f"{prefix}sc_integrator" if prefix else "sc_integrator")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.vsource("VIN", "vin", "0", vin)
+    ckt.vsource("VAGND", "agnd", "0", design.v_ref)
+    ckt.vsource("PHI1", "phi1", "0", phi1)
+    ckt.vsource("PHI2", "phi2", "0", phi2)
+    # Switch transistors (the two extra devices of the 15).
+    ckt.nmos(f"{prefix}MS1", "vin", "phi1", f"{prefix}a",
+             w=design.switch_w_m, l=5e-6)
+    ckt.nmos(f"{prefix}MS2", f"{prefix}a", "phi2", f"{prefix}sum",
+             w=design.switch_w_m, l=5e-6)
+    ckt.capacitor(f"{prefix}CS", f"{prefix}a", "agnd", design.cs_f)
+    ckt.capacitor(f"{prefix}CF", f"{prefix}sum", f"{prefix}out",
+                  design.cf_f, ic=0.0)
+    # OP1 holds the summing node at the analogue reference: the summing
+    # node is the inverting input (negative feedback through Cf), the
+    # classic two-switch SC integrator.  The realised response is
+    # −H(z); the paper's positive H(z) corresponds to the input measured
+    # below the analogue reference.
+    add_op1(ckt, "agnd", f"{prefix}sum", f"{prefix}out", prefix=prefix,
+            compensation_f=design.opamp_compensation_f)
+    # Weak bleed keeps the summing node biased before the loop takes over.
+    ckt.resistor(f"{prefix}RSUM", f"{prefix}sum", "agnd", 100e6)
+    # DC feedback across Cf (the reset-switch leakage path): closes the
+    # op-amp loop at the operating point so the transient starts from a
+    # settled integrator instead of a railed one.  1 GΩ · Cf ≈ 68 ms,
+    # far beyond any simulated run, so the integrator behaviour is
+    # untouched.
+    ckt.resistor(f"{prefix}RFB", f"{prefix}sum", f"{prefix}out", 1e9)
+    return ckt
+
+
+def sc_integrator_comparator_circuit(phi1, phi2, vin,
+                                     design: SCIntegratorDesign = PAPER_DESIGN
+                                     ) -> Circuit:
+    """Circuit 2: SC integrator followed by a comparator (28 transistors).
+
+    The comparator (an open-loop OP1, prefix ``cmp``) slices the
+    integrator output against ``v_ref + comparator_threshold``; its
+    output is node ``"cmp_out"``.
+    """
+    ckt = sc_integrator_circuit(phi1, phi2, vin, design=design)
+    ckt.name = "sc_integrator_comparator"
+    ckt.vsource("VCMP", "vcmp", "0", design.v_ref + design.comparator_threshold)
+    add_op1(ckt, "out", "vcmp", "cmp_out", prefix="cmp", compensation_f=None)
+    ckt.capacitor("CCMP", "cmp_out", "0", 10e-12)
+    return ckt

@@ -1,0 +1,97 @@
+"""The paper's contribution: on-chip test macros for mixed-signal ASICs
+and transient-response testing of analogue/mixed sub-macros.
+
+Three test ranges (the paper's quick BIST):
+
+* analogue — :class:`~repro.core.step_generator.StepGeneratorMacro` and
+  :class:`~repro.core.ramp_generator.RampGeneratorMacro` drive the ADC's
+  analogue partitions; fall times are measured on-chip.
+* digital — :class:`~repro.core.digital_monitor.DigitalTestMonitor`
+  checks conversion time and the fall-time/LSB relationship with the
+  100 kHz counter.
+* compressed — :class:`~repro.core.signature.CompressedTest` folds the
+  step responses into a MISR signature and the
+  :class:`~repro.core.level_sensor.DCLevelSensor` compresses the
+  integrator peak into a 2-bit analogue signature.
+
+:class:`~repro.core.bist.BISTController` orchestrates all three;
+:class:`~repro.core.transient_test.TransientResponseTester` and
+:mod:`repro.core.impulse_method` implement the transient-response
+technique; :mod:`repro.core.detection` scores detection instances
+(Figure 4's metric).
+"""
+
+from repro.core.step_generator import StepGeneratorMacro, PAPER_STEP_LEVELS
+from repro.core.ramp_generator import RampGeneratorMacro
+from repro.core.level_sensor import DCLevelSensor
+from repro.core.digital_monitor import DigitalTestMonitor, DigitalTestReport
+from repro.core.signature import CompressedTest, CompressedTestReport
+from repro.core.monotonicity import MonotonicityBIST, MonotonicityReport
+from repro.core.partition import MacroPartition, ADC_PARTITION, bist_overhead
+from repro.core.bist import BISTController, BISTReport
+from repro.core.transient_test import (
+    TransientTestConfig,
+    TransientMeasurement,
+    TransientResponseTester,
+)
+from repro.core.impulse_method import (
+    ImpulseMethodConfig,
+    extract_integrator_model,
+    integrator_impulse_response,
+    circuit2_response,
+)
+from repro.core.detection import detection_instances, detection_profile
+from repro.core.test_patterns import (
+    DiagnosticPattern,
+    DictionaryMatch,
+    FaultDictionary,
+    STANDARD_FAULT_LIBRARY,
+)
+from repro.core.idd_testing import (
+    IddMeasurement,
+    IddTester,
+    idd_detection,
+    quiescent_ratio,
+)
+from repro.core.asut import ASUT, ExternalTester, TesterLog
+from repro.core.diagnosis import diagnose, DiagnosisResult
+
+__all__ = [
+    "StepGeneratorMacro",
+    "PAPER_STEP_LEVELS",
+    "RampGeneratorMacro",
+    "DCLevelSensor",
+    "DigitalTestMonitor",
+    "DigitalTestReport",
+    "CompressedTest",
+    "CompressedTestReport",
+    "MonotonicityBIST",
+    "MonotonicityReport",
+    "MacroPartition",
+    "ADC_PARTITION",
+    "bist_overhead",
+    "BISTController",
+    "BISTReport",
+    "TransientTestConfig",
+    "TransientMeasurement",
+    "TransientResponseTester",
+    "ImpulseMethodConfig",
+    "extract_integrator_model",
+    "integrator_impulse_response",
+    "circuit2_response",
+    "detection_instances",
+    "detection_profile",
+    "DiagnosticPattern",
+    "DictionaryMatch",
+    "FaultDictionary",
+    "STANDARD_FAULT_LIBRARY",
+    "IddMeasurement",
+    "IddTester",
+    "idd_detection",
+    "quiescent_ratio",
+    "ASUT",
+    "ExternalTester",
+    "TesterLog",
+    "diagnose",
+    "DiagnosisResult",
+]

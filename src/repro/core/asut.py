@@ -1,0 +1,172 @@
+"""The ASUT — the complete analogue section under test, on the bus.
+
+The related-work architectures the paper builds on (Fasang, Ohletz,
+Pritchard) treat "the Analogue Section Under Test (ASUT) as the ADC
+macro, the DAC macro and the other analogue macros", with test data
+scanned in "via scan shift registers and the response monitored and
+captured on the serial test bus".
+
+:class:`ASUT` assembles that whole section: the dual-slope ADC, the R-2R
+DAC, the on-chip test macros and the BIST controller — all reachable
+through memory-mapped registers on a :class:`~repro.dft.testbus.SerialTestBus`.
+An external tester (or this module's :class:`ExternalTester` helper)
+only ever talks frames on the bus, exactly the single-access-mechanism
+constraint the on-chip test philosophy imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.adc.dac import LoopbackTest, R2RDAC
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.bist import BISTController
+from repro.dft.testbus import SerialTestBus
+
+#: Register map of the ASUT's test interface.
+REG_ID = 0x00             # read-only identification word
+REG_CONTROL = 0x01        # write 1: start conversion; 2: run BIST;
+                          # 3: run loopback; 4: fall-time test
+REG_STATUS = 0x02         # bit0 busy, bit1 done, bit2 pass
+REG_ADC_INPUT_MV = 0x03   # conversion input, millivolts
+REG_ADC_CODE = 0x04       # last conversion result
+REG_DAC_CODE = 0x05       # DAC input code (loopback uses its own sweep)
+REG_FALL_STEP_MV = 0x06   # fall-time test step, millivolts
+REG_FALL_TIME_US = 0x07   # measured fall time, microseconds
+REG_BIST_RESULT = 0x08    # detailed BIST flags (analog|digital<<1|comp<<2)
+
+ASUT_ID_WORD = 0x1996     # the year, naturally
+
+CMD_CONVERT = 1
+CMD_RUN_BIST = 2
+CMD_RUN_LOOPBACK = 3
+CMD_FALL_TIME = 4
+
+
+class ASUT:
+    """ADC + DAC + BIST behind a serial test bus."""
+
+    def __init__(self, adc: Optional[DualSlopeADC] = None,
+                 dac: Optional[R2RDAC] = None,
+                 controller: Optional[BISTController] = None) -> None:
+        self.adc = adc or DualSlopeADC()
+        self.dac = dac or R2RDAC()
+        self.controller = controller or BISTController()
+        self.bus = SerialTestBus()
+        self._status = 0
+        self._build_register_map()
+
+    # ------------------------------------------------------------------
+    def _build_register_map(self) -> None:
+        bus = self.bus
+        bus.attach_register(REG_ID, initial=ASUT_ID_WORD)
+        bus.attach_register(REG_CONTROL, on_write=self._on_command)
+        bus.attach_register(REG_STATUS, on_read=lambda: self._status)
+        bus.attach_register(REG_ADC_INPUT_MV, initial=0)
+        bus.attach_register(REG_ADC_CODE, initial=0)
+        bus.attach_register(REG_DAC_CODE, initial=0,
+                            on_write=self._on_dac_code)
+        bus.attach_register(REG_FALL_STEP_MV, initial=0)
+        bus.attach_register(REG_FALL_TIME_US, initial=0)
+        bus.attach_register(REG_BIST_RESULT, initial=0)
+
+    def _set_status(self, done: bool, passed: bool) -> None:
+        self._status = (0 if done else 1) | (int(done) << 1) \
+            | (int(passed) << 2)
+        self.bus.registers[REG_STATUS] = self._status
+
+    def _on_dac_code(self, code: int) -> None:
+        # clamp into the DAC's range; the analogue output is observable
+        # only through the ADC (loopback), as on the real chip
+        self.bus.registers[REG_DAC_CODE] = min(code, self.dac.n_codes - 1)
+
+    def _on_command(self, command: int) -> None:
+        if command == CMD_CONVERT:
+            v_in = self.bus.registers[REG_ADC_INPUT_MV] * 1e-3
+            trace = self.adc.convert(v_in)
+            self.bus.registers[REG_ADC_CODE] = trace.code
+            self._set_status(done=True, passed=trace.completed)
+        elif command == CMD_RUN_BIST:
+            report = self.controller.run_all(self.adc)
+            flags = (int(report.analog.passed)
+                     | (int(report.digital.passed) << 1)
+                     | (int(report.compressed.passed) << 2))
+            self.bus.registers[REG_BIST_RESULT] = flags
+            self._set_status(done=True, passed=report.passed)
+        elif command == CMD_RUN_LOOPBACK:
+            report = LoopbackTest(tolerance=3).run(self.dac, self.adc)
+            self.bus.registers[REG_ADC_CODE] = report.adc_codes[-1]
+            self._set_status(done=True, passed=report.passed)
+        elif command == CMD_FALL_TIME:
+            step_v = self.bus.registers[REG_FALL_STEP_MV] * 1e-3
+            t = self.adc.test_fall_time(step_v)
+            micros = 0xFFFF if t == float("inf") else int(round(t * 1e6))
+            self.bus.registers[REG_FALL_TIME_US] = min(micros, 0xFFFF)
+            self._set_status(done=True, passed=micros < 0xFFFF)
+        else:
+            self._set_status(done=True, passed=False)
+
+
+@dataclass
+class TesterLog:
+    """What the external tester concluded."""
+
+    identified: bool
+    bist_passed: bool
+    loopback_passed: bool
+    conversion_code: int
+    fall_time_us: int
+    bus_frames: int
+
+    def summary(self) -> str:
+        return (f"ASUT via test bus: id={'ok' if self.identified else 'BAD'}, "
+                f"BIST {'PASS' if self.bist_passed else 'FAIL'}, loopback "
+                f"{'PASS' if self.loopback_passed else 'FAIL'}, "
+                f"{self.bus_frames} bus frames")
+
+
+class ExternalTester:
+    """A tester that only speaks bus frames — no analogue access at all."""
+
+    def __init__(self, asut: ASUT) -> None:
+        self.asut = asut
+        self.bus = asut.bus
+
+    def identify(self) -> bool:
+        return self.bus.read(REG_ID) == ASUT_ID_WORD
+
+    def convert(self, v_in: float) -> int:
+        self.bus.write(REG_ADC_INPUT_MV, int(round(v_in * 1e3)))
+        self.bus.write(REG_CONTROL, CMD_CONVERT)
+        assert self.bus.read(REG_STATUS) & 0b10, "conversion did not finish"
+        return self.bus.read(REG_ADC_CODE)
+
+    def run_bist(self) -> bool:
+        self.bus.write(REG_CONTROL, CMD_RUN_BIST)
+        return bool(self.bus.read(REG_STATUS) & 0b100)
+
+    def run_loopback(self) -> bool:
+        self.bus.write(REG_CONTROL, CMD_RUN_LOOPBACK)
+        return bool(self.bus.read(REG_STATUS) & 0b100)
+
+    def fall_time_us(self, step_v: float) -> int:
+        self.bus.write(REG_FALL_STEP_MV, int(round(step_v * 1e3)))
+        self.bus.write(REG_CONTROL, CMD_FALL_TIME)
+        return self.bus.read(REG_FALL_TIME_US)
+
+    def production_flow(self) -> TesterLog:
+        """The complete go/no-go flow over the bus."""
+        identified = self.identify()
+        code = self.convert(1.25)
+        bist = self.run_bist()
+        loopback = self.run_loopback()
+        fall = self.fall_time_us(1.0)
+        return TesterLog(
+            identified=identified,
+            bist_passed=bist,
+            loopback_passed=loopback,
+            conversion_code=code,
+            fall_time_us=fall,
+            bus_frames=len(self.bus.log),
+        )

@@ -1,0 +1,149 @@
+"""The on-chip BIST controller.
+
+Orchestrates the paper's three test ranges against a dual-slope ADC:
+
+* analogue — step fall-time table and ramp measurements,
+* digital — conversion timing and fall-time/LSB checks,
+* compressed — MISR + 2-bit analogue signature.
+
+"These tests provide a quick check of the ADC operation" — the controller
+returns a structured report whose ``passed`` property is the chip-level
+quick-test verdict used in the batch screening experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.adc.calibration import expected_fall_time
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.digital_monitor import DigitalTestMonitor, DigitalTestReport
+from repro.core.level_sensor import DCLevelSensor
+from repro.core.ramp_generator import RampGeneratorMacro
+from repro.core.signature import CompressedTest, CompressedTestReport
+from repro.core.step_generator import StepGeneratorMacro
+
+
+@dataclass
+class AnalogTestReport:
+    """Step fall-time table + ramp measurement results."""
+
+    step_levels_v: List[float]
+    fall_times_s: List[float]
+    expected_fall_times_s: List[float]
+    tolerance_s: float
+    ramp_codes: List[int]
+    ramp_expected_codes: List[int]
+    ramp_tolerance_codes: int
+
+    @property
+    def steps_ok(self) -> bool:
+        return all(
+            t != float("inf") and abs(t - e) <= self.tolerance_s
+            for t, e in zip(self.fall_times_s, self.expected_fall_times_s))
+
+    @property
+    def ramp_ok(self) -> bool:
+        return all(abs(c - e) <= self.ramp_tolerance_codes
+                   for c, e in zip(self.ramp_codes, self.ramp_expected_codes))
+
+    @property
+    def passed(self) -> bool:
+        return self.steps_ok and self.ramp_ok
+
+    def table(self) -> str:
+        lines = ["step (V)  fall time (ms)  expected (ms)"]
+        for v, t, e in zip(self.step_levels_v, self.fall_times_s,
+                           self.expected_fall_times_s):
+            shown = "stuck" if t == float("inf") else f"{1e3 * t:13.2f}"
+            lines.append(f"{v:8.2f}  {shown}  {1e3 * e:13.2f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class BISTReport:
+    """Combined quick-test verdict."""
+
+    analog: AnalogTestReport
+    digital: DigitalTestReport
+    compressed: CompressedTestReport
+
+    @property
+    def passed(self) -> bool:
+        return (self.analog.passed and self.digital.passed
+                and self.compressed.passed)
+
+    def summary(self) -> str:
+        return (f"BIST: analogue {'PASS' if self.analog.passed else 'FAIL'}, "
+                f"digital {'PASS' if self.digital.passed else 'FAIL'}, "
+                f"compressed "
+                f"{'PASS' if self.compressed.passed else 'FAIL'} → "
+                f"{'PASS' if self.passed else 'FAIL'}")
+
+
+class BISTController:
+    """Drives the three test ranges using the on-chip test macros."""
+
+    def __init__(self, steps: Optional[StepGeneratorMacro] = None,
+                 ramp: Optional[RampGeneratorMacro] = None,
+                 sensor: Optional[DCLevelSensor] = None,
+                 monitor: Optional[DigitalTestMonitor] = None,
+                 fall_time_tolerance_s: float = 0.25e-3,
+                 ramp_tolerance_codes: int = 3) -> None:
+        self.steps = steps or StepGeneratorMacro()
+        self.ramp = ramp or RampGeneratorMacro()
+        self.sensor = sensor or DCLevelSensor()
+        self.monitor = monitor or DigitalTestMonitor()
+        self.compressed = CompressedTest(steps=self.steps, ramp=self.ramp,
+                                         sensor=self.sensor)
+        self.fall_time_tolerance_s = fall_time_tolerance_s
+        self.ramp_tolerance_codes = ramp_tolerance_codes
+
+    # ------------------------------------------------------------------
+    def run_analog(self, adc: DualSlopeADC) -> AnalogTestReport:
+        """Step fall-time table plus the 6-point ramp measurement."""
+        fall_times = []
+        expected = []
+        for i, level in enumerate(self.steps.levels):
+            t_fall = adc.test_fall_time(self.steps.output(i))
+            fall_times.append(self.monitor.quantize(t_fall)
+                              if t_fall != float("inf") else float("inf"))
+            expected.append(expected_fall_time(level, adc.cal))
+        ramp_codes = []
+        ramp_expected = []
+        lsb = adc.cal.lsb_v
+        for _t, v in self.ramp.measurement_points(n=6):
+            ramp_codes.append(adc.code_of(v))
+            # the BIST compares against the *intended* ramp voltage
+            intended = self.ramp.v_start + (self.ramp.v_stop
+                                            - self.ramp.v_start) \
+                * (_t / self.ramp.period_s)
+            ramp_expected.append(min(adc.cal.n_codes, round(intended / lsb)))
+        return AnalogTestReport(
+            step_levels_v=list(self.steps.levels),
+            fall_times_s=fall_times,
+            expected_fall_times_s=expected,
+            tolerance_s=self.fall_time_tolerance_s,
+            ramp_codes=ramp_codes,
+            ramp_expected_codes=ramp_expected,
+            ramp_tolerance_codes=self.ramp_tolerance_codes,
+        )
+
+    def run_digital(self, adc: DualSlopeADC) -> DigitalTestReport:
+        return self.monitor.run(adc)
+
+    def run_compressed(self, adc: DualSlopeADC) -> CompressedTestReport:
+        return self.compressed.run(adc)
+
+    def run_all(self, adc: DualSlopeADC) -> BISTReport:
+        """All three test ranges — the complete quick check."""
+        return BISTReport(
+            analog=self.run_analog(adc),
+            digital=self.run_digital(adc),
+            compressed=self.run_compressed(adc),
+        )
+
+    def quick_pass(self, adc: DualSlopeADC) -> bool:
+        """Chip-level pass/fail (the batch-screening predicate)."""
+        return self.run_all(adc).passed

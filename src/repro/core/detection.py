@@ -1,0 +1,95 @@
+"""The detection-instances metric (Figure 4).
+
+"The percentage of detection instances of the faulty results are
+compared in Figure 4. ... all plots show a significant number of time
+instances when detection is likely during the testing sequence."
+
+A *detection instance* is a time (or lag) point where the faulty
+response leaves the fault-free tolerance band.  The band combines a
+relative threshold (a fraction of the fault-free peak) with an absolute
+noise floor, mirroring how a comparator-based on-chip monitor would be
+margined against the composite noise signal yn(t).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+
+def _band(reference: Waveform, rel_threshold: float,
+          noise_sigma: float, noise_k: float) -> float:
+    scale = float(np.max(np.abs(reference.values))) if len(reference) else 0.0
+    return max(rel_threshold * scale, noise_k * noise_sigma)
+
+
+def detection_profile(reference: Waveform, faulty: Waveform,
+                      rel_threshold: float = 0.05,
+                      noise_sigma: float = 0.0,
+                      noise_k: float = 3.0) -> Waveform:
+    """Per-sample detection flags (1.0 where the deviation exceeds the
+    tolerance band), on the reference's time axis."""
+    if rel_threshold < 0 or noise_sigma < 0 or noise_k < 0:
+        raise ValueError("thresholds must be non-negative")
+    if abs(reference.dt - faulty.dt) > 1e-15 * max(reference.dt, faulty.dt):
+        faulty = faulty.resample(reference.dt)
+    n = min(len(reference), len(faulty))
+    if n == 0:
+        raise ValueError("empty waveforms")
+    band = _band(reference, rel_threshold, noise_sigma, noise_k)
+    deviation = np.abs(faulty.values[:n] - reference.values[:n])
+    return Waveform((deviation > band).astype(float), reference.dt,
+                    reference.t0, name="detection")
+
+
+def detection_instances(reference: Waveform, faulty: Waveform,
+                        rel_threshold: float = 0.05,
+                        noise_sigma: float = 0.0,
+                        noise_k: float = 3.0) -> float:
+    """Fraction of time instances where the fault is detectable.
+
+    This is Figure 4's y axis divided by 100.  ``reference`` and
+    ``faulty`` are typically normalised cross-correlations (circuit 1)
+    or impulse responses (circuits 2 and 3).
+    """
+    profile = detection_profile(reference, faulty, rel_threshold,
+                                noise_sigma, noise_k)
+    return float(np.mean(profile.values))
+
+
+def first_detection_time(reference: Waveform, faulty: Waveform,
+                         rel_threshold: float = 0.05,
+                         noise_sigma: float = 0.0,
+                         noise_k: float = 3.0) -> Optional[float]:
+    """Earliest time instance at which the fault is detectable — how long
+    the test sequence must run before this fault shows."""
+    profile = detection_profile(reference, faulty, rel_threshold,
+                                noise_sigma, noise_k)
+    hits = np.nonzero(profile.values > 0)[0]
+    if len(hits) == 0:
+        return None
+    return float(profile.times[hits[0]])
+
+
+def detection_runs(reference: Waveform, faulty: Waveform,
+                   rel_threshold: float = 0.05,
+                   noise_sigma: float = 0.0) -> Tuple[int, int]:
+    """Return ``(number_of_detection_runs, longest_run)`` in samples —
+    the burstiness of detection instances along the sequence."""
+    profile = detection_profile(reference, faulty, rel_threshold,
+                                noise_sigma).values
+    runs = 0
+    longest = 0
+    current = 0
+    for flag in profile:
+        if flag > 0:
+            current += 1
+            if current == 1:
+                runs += 1
+            longest = max(longest, current)
+        else:
+            current = 0
+    return runs, longest

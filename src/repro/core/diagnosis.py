@@ -1,0 +1,126 @@
+"""Functional macro-level fault diagnosis.
+
+One of the paper's headline benefits is "providing faulty chip diagnosis
+at a functional macro level".  The mapping is the paper's own:
+
+* comparator faults  → offset error and gain error,
+* integrator faults  → linearity errors, gain error, offset error,
+* counter faults     → INL/DNL error or regular missed codes,
+* output latch faults→ multiple incorrect output codes,
+* control faults     → the conversion process stops.
+
+:func:`diagnose` inverts that table: given an observed characterisation
+(and the quick-test observations), it ranks the sub-macros most likely to
+be at fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adc.errors import ADCCharacterization
+
+
+@dataclass
+class Symptoms:
+    """Observed misbehaviour extracted from test results."""
+
+    offset_error: bool = False
+    gain_error: bool = False
+    linearity_error: bool = False
+    missed_codes: bool = False
+    missed_codes_regular: bool = False
+    multiple_incorrect_codes: bool = False
+    conversion_stops: bool = False
+    #: output codes decrease along a rising ramp (counter wrap / latch
+    #: corruption) — observed by the monotonicity BIST, not by a static
+    #: characterisation
+    non_monotonic: bool = False
+
+    @staticmethod
+    def from_characterization(ch: ADCCharacterization,
+                              completed: bool = True,
+                              spec_offset_lsb: float = 0.3,
+                              spec_gain_lsb: float = 0.5,
+                              spec_inl_lsb: float = 1.0,
+                              spec_dnl_lsb: float = 1.0) -> "Symptoms":
+        """Derive symptoms from a full characterisation vs spec."""
+        missed = sorted(ch.missing_codes)
+        regular = False
+        if len(missed) >= 3:
+            # The counter's stuck-bit signature: bit b stuck removes
+            # exactly the codes with one value of bit b.  Check that the
+            # missing set equals that pattern over its own span — a
+            # clipped range (gain defect) or scattered misses never do,
+            # so they must not implicate the counter.
+            lo, hi = missed[0], missed[-1]
+            for bit in range(8):
+                shared = (lo >> bit) & 1
+                pattern = [k for k in range(lo, hi + 1)
+                           if ((k >> bit) & 1) == shared]
+                # the bit must actually partition the span (a bit that is
+                # constant across the whole range matches any contiguous
+                # block trivially and proves nothing)
+                if pattern == missed and len(pattern) < hi - lo + 1:
+                    regular = True
+                    break
+        return Symptoms(
+            offset_error=abs(ch.offset_error_lsb) >= spec_offset_lsb,
+            gain_error=abs(ch.gain_error_lsb) > spec_gain_lsb,
+            linearity_error=(ch.max_inl_lsb > spec_inl_lsb
+                             or ch.max_dnl_lsb > spec_dnl_lsb),
+            missed_codes=bool(missed),
+            missed_codes_regular=regular,
+            multiple_incorrect_codes=False,
+            conversion_stops=not completed,
+        )
+
+
+#: Sub-macro → the symptoms its faults produce (weight per symptom).
+_SIGNATURE_TABLE: Dict[str, Dict[str, float]] = {
+    "comparator": {"offset_error": 1.0, "gain_error": 1.0},
+    "integrator": {"linearity_error": 1.0, "gain_error": 0.8,
+                   "offset_error": 0.8},
+    "counter": {"linearity_error": 0.6, "missed_codes": 1.0,
+                "missed_codes_regular": 1.5, "non_monotonic": 1.2},
+    "output_latch": {"multiple_incorrect_codes": 1.5, "missed_codes": 0.5,
+                     "non_monotonic": 0.8},
+    "control": {"conversion_stops": 2.0},
+}
+
+
+@dataclass
+class DiagnosisResult:
+    """Ranked sub-macro suspicion."""
+
+    scores: List[Tuple[str, float]]
+    symptoms: Symptoms
+
+    @property
+    def prime_suspect(self) -> Optional[str]:
+        if not self.scores or self.scores[0][1] <= 0.0:
+            return None
+        return self.scores[0][0]
+
+    def suspects(self, min_score: float = 0.5) -> List[str]:
+        return [name for name, score in self.scores if score >= min_score]
+
+    def summary(self) -> str:
+        if self.prime_suspect is None:
+            return "diagnosis: no sub-macro implicated (device healthy?)"
+        ranked = ", ".join(f"{n} ({s:.1f})" for n, s in self.scores if s > 0)
+        return f"diagnosis: {ranked}"
+
+
+def diagnose(symptoms: Symptoms) -> DiagnosisResult:
+    """Rank sub-macros by how well their signature matches the symptoms."""
+    observed = {name for name, value in vars(symptoms).items() if value}
+    scores = []
+    for macro, signature in _SIGNATURE_TABLE.items():
+        score = sum(weight for symptom, weight in signature.items()
+                    if symptom in observed)
+        # Penalise signatures whose cardinal symptom is absent entirely.
+        scores.append((macro, score))
+    scores.sort(key=lambda pair: -pair[1])
+    return DiagnosisResult(scores=scores, symptoms=symptoms)

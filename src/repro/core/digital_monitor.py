@@ -1,0 +1,125 @@
+"""Digital test monitoring of the ADC.
+
+"The conversion time for the control logic was specified as a maximum of
+5.6 msec.  The counter macro was run at 100 kHz clock speed as
+recommended.  The measured time difference in fall time was 10 µsec.
+This represented 10 mV input for each incremented output code change."
+
+The monitor times conversions with the on-chip counter (so all time
+measurements quantise to the 10 µs clock period) and verifies the
+fall-time-per-input-voltage relationship of the integrator test mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.adc.dual_slope import DualSlopeADC
+from repro.dft.counter import CounterMacro
+
+
+@dataclass
+class DigitalTestReport:
+    """Results of the digital test range."""
+
+    conversion_times_s: List[float]
+    conversion_time_limit_s: float
+    fall_time_delta_s: Optional[float]
+    mv_per_code: Optional[float]
+    completed_all: bool
+
+    @property
+    def max_conversion_time_s(self) -> float:
+        return max(self.conversion_times_s) if self.conversion_times_s else 0.0
+
+    @property
+    def conversion_time_ok(self) -> bool:
+        return (self.completed_all
+                and self.max_conversion_time_s <= self.conversion_time_limit_s)
+
+    @property
+    def passed(self) -> bool:
+        return self.conversion_time_ok and self.fall_time_delta_s is not None
+
+    def summary(self) -> str:
+        delta = (f"{1e6 * self.fall_time_delta_s:.0f} us"
+                 if self.fall_time_delta_s is not None else "n/a")
+        return (f"digital test: max conversion "
+                f"{1e3 * self.max_conversion_time_s:.2f} ms "
+                f"(limit {1e3 * self.conversion_time_limit_s:.1f} ms), "
+                f"fall-time delta {delta}, "
+                f"{'PASS' if self.passed else 'FAIL'}")
+
+
+class DigitalTestMonitor:
+    """On-chip digital measurements via the counter macro."""
+
+    def __init__(self, clock_hz: float = 100e3,
+                 conversion_time_limit_s: float = 5.6e-3) -> None:
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        self.clock_hz = clock_hz
+        self.conversion_time_limit_s = conversion_time_limit_s
+
+    @property
+    def resolution_s(self) -> float:
+        """One counter tick — the paper's 10 µs."""
+        return 1.0 / self.clock_hz
+
+    def quantize(self, seconds: float) -> float:
+        """Time as the counter sees it (floor to whole clock periods)."""
+        ticks = int(seconds * self.clock_hz)
+        return ticks / self.clock_hz
+
+    # ------------------------------------------------------------------
+    def time_conversions(self, adc: DualSlopeADC,
+                         inputs: Tuple[float, ...] = (0.0, 1.25, 2.5)
+                         ) -> Tuple[List[float], bool]:
+        """Measure conversion time over representative inputs.
+
+        Returns the counter-quantised times and whether every conversion
+        actually completed (a stuck control FSM never finishes — the
+        paper's control-fault signature).
+        """
+        times = []
+        all_done = True
+        for v in inputs:
+            trace = adc.convert(v)
+            times.append(self.quantize(trace.conversion_time_s))
+            all_done = all_done and trace.completed
+        return times, all_done
+
+    def fall_time_lsb_check(self, adc: DualSlopeADC, v_base: float = 1.0,
+                            delta_v: float = 10e-3
+                            ) -> Tuple[Optional[float], Optional[float]]:
+        """Verify the 10 µs ↔ 10 mV relationship of the integrator test.
+
+        Measures the fall time at ``v_base`` and ``v_base + delta_v``
+        through the counter and returns ``(fall_time_delta, mv_per_code)``
+        — ``None`` values when either fall never happens (faulted part).
+        """
+        t1 = adc.test_fall_time(v_base)
+        t2 = adc.test_fall_time(v_base + delta_v)
+        if not (t1 < float("inf") and t2 < float("inf")):
+            return None, None
+        q1, q2 = self.quantize(t1), self.quantize(t2)
+        delta = q1 - q2
+        if delta <= 0:
+            return None, None
+        # Each counter tick of fall-time difference corresponds to this
+        # much input voltage:
+        mv_per_code = 1e3 * delta_v * (self.resolution_s / delta)
+        return delta, mv_per_code
+
+    def run(self, adc: DualSlopeADC) -> DigitalTestReport:
+        """The complete digital test range."""
+        times, all_done = self.time_conversions(adc)
+        delta, mv_per_code = self.fall_time_lsb_check(adc)
+        return DigitalTestReport(
+            conversion_times_s=times,
+            conversion_time_limit_s=self.conversion_time_limit_s,
+            fall_time_delta_s=delta,
+            mv_per_code=mv_per_code,
+            completed_all=all_done,
+        )

@@ -1,0 +1,267 @@
+"""The second testing approach: state-space impulse-response comparison.
+
+"In a second approach ... HSPICE was used to determine the poles, zeros
+and constants for the transfer functions of the fault-free circuit and
+faulty circuits.  Matrices were then created in Matlab to provide a
+state-space representation of both fault-free and faulty circuits.  The
+impulse response of these circuit representations was determined and
+compared."
+
+Pipeline for the switched-capacitor circuits (2 and 3):
+
+1. Bias the (possibly faulted) OP1 as the integrator's amplifier and
+   extract its transfer function from the linearised MNA pencil
+   (:func:`repro.spice.linearize.extract_transfer_function`) plus its
+   large-signal DC gain/offset — the "HSPICE poles/zeros/constants"
+   step.
+2. Map the amplifier's DC gain, offset and per-phase settling onto the
+   discrete integrator model (charge-transfer gain, leak, per-cycle
+   drift) — the "Matlab state-space matrices" step, taken in the z
+   domain where a switched-capacitor circuit naturally lives.
+3. Compute the responses and compare against fault-free with the
+   detection-instances metric:
+
+   * circuit 3 — the integrator's impulse response including offset
+     drift and output saturation (an offset fault walks the response
+     away from nominal until the op-amp rails);
+   * circuit 2 — the comparator's output while the integrator processes
+     a PRBS charge sequence, observed through the same correlation
+     R(y, p) used for circuit 1 (y is a logic-amplitude signal, exactly
+     as the paper describes).
+
+Fault coupling: the paper's fault voltage generators connect to internal
+transistor nodes through the local defect path; the campaigns model that
+with a finite generator resistance (see
+:attr:`ImpulseMethodConfig.stuck_resistance_ohm`).  Dead shorts (1 Ω)
+invariably kill the amplifier outright and flatten Figure 4's spread;
+the ~3 kΩ default reproduces the paper's graded detection percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.op1 import VDD, add_op1
+from repro.circuits.sc_integrator import PAPER_DESIGN, SCIntegratorDesign
+from repro.faults.model import Fault
+from repro.faults.universe import paper_integrator_faults
+from repro.lti.transferfunction import TransferFunction
+from repro.lti.zdomain import ZTransferFunction, sc_integrator_ztf
+from repro.signals.prbs import prbs_sequence
+from repro.signals.waveform import Waveform
+from repro.spice.linearize import extract_transfer_function
+from repro.spice.netlist import Circuit
+from repro.spice.solver import dc_operating_point
+
+
+@dataclass(frozen=True)
+class ImpulseMethodConfig:
+    """Parameters of the impulse-response comparison."""
+
+    design: SCIntegratorDesign = PAPER_DESIGN
+    n_samples: int = 256           # circuit-3 response length (clock cycles)
+    max_order: int = 3             # rational-model order kept from extraction
+    saturation_v: float = 2.0      # hard cap on integrator swing about agnd
+    impulse_amplitude_v: float = 2.0   # circuit-3 test packet (full input)
+    range_probe_v: float = 1.2     # how far the extraction probes the
+                                   # amplifier's output range about agnd
+    # circuit-2 stimulus/observation
+    prbs_order: int = 5
+    prbs_chips: int = 256
+    prbs_amplitude_v: float = 2.0
+    base_leak: float = 0.05        # SC parasitic discharge per cycle
+    correlation_window: int = 16   # lags evaluated around zero
+    # fault coupling (see module docstring)
+    stuck_resistance_ohm: float = 3.0e3
+    bridge_resistance_ohm: float = 1.0e3
+
+    def paper_faults(self) -> List[Fault]:
+        """The paper's 12 integrator faults at this config's coupling."""
+        return paper_integrator_faults(
+            stuck_resistance=self.stuck_resistance_ohm,
+            bridge_resistance=self.bridge_resistance_ohm)
+
+
+def integrator_opamp_fixture(input_value: Optional[float] = None) -> Circuit:
+    """OP1 biased as the SC integrator's amplifier (follower around the
+    analogue reference) — the linearisation operating point.
+
+    Node names keep the paper's numbering, so the integrator fault list
+    (nodes 4, 5, 7, 8, 9 and bridges 6–7, 5–8) applies directly.
+    """
+    v_ref = PAPER_DESIGN.v_ref
+    ckt = Circuit("integrator_opamp")
+    ckt.vsource("VDD", "vdd", "0", VDD)
+    ckt.vsource("VIN", "1", "0", v_ref if input_value is None else input_value)
+    add_op1(ckt, "1", "3", "3")
+    ckt.capacitor("CL", "3", "0", PAPER_DESIGN.cf_f)
+    return ckt
+
+
+@dataclass
+class ExtractedIntegrator:
+    """The discrete integrator parameters extracted from a netlist."""
+
+    charge_gain: float       # per-cycle charge-transfer efficiency
+    leak_per_cycle: float
+    offset_v: float          # amplifier offset referred to the input
+    amplifier_tf: Optional[TransferFunction]
+    #: fraction of final value the *amplifier* reaches in half a clock
+    #: period (from the extracted dominant pole).  Reported for analysis
+    #: but not folded into charge_gain: the per-cycle charge transfer is
+    #: switch-RC-limited in this design, as the transistor-level E8 run
+    #: verifies (98 % complete packets).
+    settling_fraction: float = 1.0
+    #: measured output swing about the analogue reference (faults that
+    #: weaken the buffer chain clip the range long before they shift the
+    #: small-signal gain)
+    sat_hi_v: float = 2.0
+    sat_lo_v: float = -2.0
+
+    def to_ztf(self, design: SCIntegratorDesign = PAPER_DESIGN
+               ) -> ZTransferFunction:
+        cap_ratio = design.cap_ratio / max(self.charge_gain, 1e-9)
+        return sc_integrator_ztf(cap_ratio=cap_ratio,
+                                 dt=design.clock_period_s,
+                                 leak=self.leak_per_cycle)
+
+
+def extract_integrator_model(opamp_fixture: Circuit,
+                             config: ImpulseMethodConfig = ImpulseMethodConfig()
+                             ) -> ExtractedIntegrator:
+    """Steps 1–2 of the pipeline: characterise the amplifier, map onto
+    the discrete integrator model.
+
+    A dead or railed amplifier (many stuck-at faults) yields a charge
+    gain near zero and a large offset; partial faults yield reduced gain
+    and leak.
+    """
+    design = config.design
+    v_ref = design.v_ref
+    # Large-signal DC behaviour: perturb the input, watch the output.
+    delta = 0.05
+    v0, op_vec = dc_operating_point(opamp_fixture)
+    fixture_hi = opamp_fixture.copy()
+    fixture_hi.element("VIN").value = v_ref + delta
+    v1, _ = dc_operating_point(fixture_hi)
+    dc_gain = (v1["3"] - v0["3"]) / delta
+    offset = v0["3"] - v_ref
+
+    # Output-range probe: drive the follower toward both extremes and
+    # record where the output actually lands — a weakened buffer chain
+    # (e.g. a node-9 fault) clips the range while leaving the mid-scale
+    # gain untouched.
+    probe = config.range_probe_v
+    sat = config.saturation_v
+    try:
+        fixture_top = opamp_fixture.copy()
+        fixture_top.element("VIN").value = v_ref + probe
+        v_top, _ = dc_operating_point(fixture_top)
+        sat_hi = min(sat, v_top["3"] - v_ref)
+    except Exception:
+        sat_hi = 0.0
+    try:
+        fixture_bot = opamp_fixture.copy()
+        fixture_bot.element("VIN").value = v_ref - probe
+        v_bot, _ = dc_operating_point(fixture_bot)
+        sat_lo = max(-sat, v_bot["3"] - v_ref)
+    except Exception:
+        sat_lo = 0.0
+    if sat_hi < sat_lo:
+        sat_hi, sat_lo = sat_lo, sat_hi
+
+    # Rational model of the closed-loop amplifier at the OP — the
+    # "poles, zeros and constants" extraction.
+    try:
+        tf = extract_transfer_function(opamp_fixture, "VIN", "3",
+                                       op_vector=op_vec,
+                                       max_order=config.max_order)
+    except Exception:
+        tf = None
+
+    # Per-phase settling from the dominant pole of the extracted model.
+    settle = 1.0
+    if tf is not None and len(tf.poles()):
+        real_parts = np.real(tf.poles())
+        stable = real_parts[real_parts < 0]
+        if len(stable):
+            slowest = float(np.max(stable))   # closest to the axis
+            phase = design.clock_period_s / 2.0
+            settle = 1.0 - float(np.exp(slowest * phase))
+        else:
+            settle = 0.0
+
+    charge_gain = float(np.clip(dc_gain, 0.0, 2.0))
+    # Finite amplifier gain leaks charge each cycle: with closed-loop
+    # gain deficit d the integrator pole moves inside the unit circle by
+    # roughly d * (1 + Cs/Cf).
+    deficit = max(0.0, 1.0 - float(np.clip(dc_gain, 0.0, 1.0)))
+    leak = min(0.9, deficit * (1.0 + 1.0 / design.cap_ratio))
+    return ExtractedIntegrator(charge_gain=charge_gain,
+                               leak_per_cycle=leak,
+                               offset_v=offset,
+                               amplifier_tf=tf,
+                               settling_fraction=float(np.clip(settle, 0.0, 1.0)),
+                               sat_hi_v=sat_hi,
+                               sat_lo_v=sat_lo)
+
+
+# ----------------------------------------------------------------------
+# Response simulators (step 3)
+# ----------------------------------------------------------------------
+def _march(model: ExtractedIntegrator, u: np.ndarray, leak_extra: float,
+           config: ImpulseMethodConfig) -> np.ndarray:
+    """Run the saturating discrete integrator over an input sequence."""
+    design = config.design
+    drift = model.charge_gain * model.offset_v / design.cap_ratio
+    leak = min(0.95, model.leak_per_cycle + leak_extra)
+    hi = min(config.saturation_v, model.sat_hi_v)
+    lo = max(-config.saturation_v, model.sat_lo_v)
+    v = 0.0
+    out = np.empty(len(u))
+    for k, u_k in enumerate(u):
+        v = (1.0 - leak) * v + model.charge_gain * u_k / design.cap_ratio \
+            + drift
+        v = min(hi, max(lo, v))
+        out[k] = v
+    return out
+
+
+def integrator_impulse_response(model: ExtractedIntegrator,
+                                config: ImpulseMethodConfig = ImpulseMethodConfig()
+                                ) -> Waveform:
+    """Circuit 3's measurement: the integrator impulse response h[n]
+    including offset drift and saturation."""
+    u = np.zeros(config.n_samples)
+    u[0] = config.impulse_amplitude_v
+    out = _march(model, u, leak_extra=0.0, config=config)
+    return Waveform(out, config.design.clock_period_s, name="h[n]")
+
+
+def circuit2_response(model: ExtractedIntegrator,
+                      config: ImpulseMethodConfig = ImpulseMethodConfig()
+                      ) -> Waveform:
+    """Circuit 2's measurement: R(y, p) of the comparator output.
+
+    The integrator processes a PRBS charge sequence (±amplitude about
+    analogue ground); the comparator slices its output against the
+    0.64 V reference and the logic-amplitude response is correlated with
+    the stimulus — the same R(y, p) operation used for circuit 1.
+    """
+    design = config.design
+    bits = prbs_sequence(config.prbs_order, n_bits=config.prbs_chips, seed=1)
+    u = np.where(bits > 0, config.prbs_amplitude_v, -config.prbs_amplitude_v)
+    v_out = _march(model, u, leak_extra=config.base_leak, config=config)
+    y = (v_out > design.comparator_threshold).astype(float)
+    yc = y - np.mean(y)
+    uc = u - np.mean(u)
+    r = np.correlate(yc, uc, mode="full") / float(np.sum(uc ** 2))
+    lag0 = -(len(uc) - 1)
+    wave = Waveform(r, design.clock_period_s,
+                    t0=lag0 * design.clock_period_s, name="R(y,p)")
+    w = config.correlation_window
+    return wave.slice_time(-w * design.clock_period_s,
+                           w * design.clock_period_s)

@@ -1,0 +1,67 @@
+"""The DC level sensor macro.
+
+"The integrator output was also connected to the DC level sensor, which
+compared the analogue signal to thresholds of 1.9 volts and 3.6 volts ...
+the maximum integrator voltage signal was compressed into a 2 bit code."
+
+The sensor is two comparators; the 2-bit code is
+``(above_high << 1) | above_low``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.adc.comparator import ComparatorModel
+from repro.signals.waveform import Waveform
+
+
+class DCLevelSensor:
+    """Two-threshold window sensor producing the 2-bit analogue signature."""
+
+    def __init__(self, low_threshold_v: float = 1.9,
+                 high_threshold_v: float = 3.6,
+                 comparator_offset_v: float = 0.0,
+                 transistor_count: int = 32) -> None:
+        if high_threshold_v <= low_threshold_v:
+            raise ValueError("high threshold must exceed low threshold")
+        self.low_threshold_v = low_threshold_v
+        self.high_threshold_v = high_threshold_v
+        self._cmp_low = ComparatorModel(offset_v=comparator_offset_v)
+        self._cmp_high = ComparatorModel(offset_v=comparator_offset_v)
+        self.transistor_count = transistor_count
+
+    def copy(self) -> "DCLevelSensor":
+        dup = DCLevelSensor(self.low_threshold_v, self.high_threshold_v,
+                            self._cmp_low.offset_v, self.transistor_count)
+        dup._cmp_low = self._cmp_low.copy()
+        dup._cmp_high = self._cmp_high.copy()
+        return dup
+
+    # ------------------------------------------------------------------
+    def code(self, voltage: float) -> int:
+        """2-bit code for a DC level: 00 below both thresholds, 01
+        between, 11 above both (10 is impossible in a healthy sensor)."""
+        low = self._cmp_low.compare(voltage, self.low_threshold_v)
+        high = self._cmp_high.compare(voltage, self.high_threshold_v)
+        return (high << 1) | low
+
+    def classify_peak(self, wave: Waveform) -> int:
+        """Compress a waveform's maximum into the 2-bit signature —
+        exactly the compressed analogue test."""
+        return self.code(wave.peak())
+
+    def window(self, voltage: float) -> str:
+        """Human-readable window name."""
+        return {0: "below", 1: "inside", 3: "above"}.get(
+            self.code(voltage), "invalid")
+
+    def is_consistent(self, code: int) -> bool:
+        """A healthy sensor can never report 0b10 (above high but not
+        low); seeing it is itself a fault indication."""
+        return code in (0b00, 0b01, 0b11)
+
+    def describe(self) -> str:
+        return (f"DC level sensor: thresholds {self.low_threshold_v:g} / "
+                f"{self.high_threshold_v:g} V, "
+                f"{self.transistor_count} transistors")

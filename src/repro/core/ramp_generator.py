@@ -1,0 +1,71 @@
+"""The on-chip ramp signal generator macro.
+
+"The ramp signal generator varied from 0 to 2.5 volts over a 1 Sec
+period, allowing time for 6 measurements at 200 mSec intervals.  If there
+was a gain error in the ADC, which was compensated by a gain error in the
+ramp input, there will be no indication of an error at the output."
+
+The model carries an explicit ``gain_error`` so that masking caveat can
+be demonstrated quantitatively (experiment E2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.signals.sources import ramp_waveform
+from repro.signals.waveform import Waveform
+
+
+class RampGeneratorMacro:
+    """Behavioural model of the ramp-generator test macro."""
+
+    def __init__(self, v_start: float = 0.0, v_stop: float = 2.5,
+                 period_s: float = 1.0, gain_error: float = 0.0,
+                 offset_v: float = 0.0, nonlinearity: float = 0.0,
+                 transistor_count: int = 56) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.v_start = v_start
+        self.v_stop = v_stop
+        self.period_s = period_s
+        #: fractional slope error (a +2 % ramp gain error is 0.02)
+        self.gain_error = gain_error
+        self.offset_v = offset_v
+        #: quadratic bow as a fraction of full scale at mid-ramp
+        self.nonlinearity = nonlinearity
+        self.transistor_count = transistor_count
+
+    def copy(self) -> "RampGeneratorMacro":
+        return RampGeneratorMacro(self.v_start, self.v_stop, self.period_s,
+                                  self.gain_error, self.offset_v,
+                                  self.nonlinearity, self.transistor_count)
+
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """Ramp output voltage at time ``t`` (held at the top after the
+        period ends)."""
+        frac = min(max(t / self.period_s, 0.0), 1.0)
+        span = self.v_stop - self.v_start
+        v = self.v_start + span * frac * (1.0 + self.gain_error)
+        v += self.nonlinearity * span * 4.0 * frac * (1.0 - frac)
+        return v + self.offset_v
+
+    def waveform(self, dt: float = 1e-3) -> Waveform:
+        t = np.arange(0.0, self.period_s + dt / 2, dt)
+        return Waveform([self.value_at(float(x)) for x in t], dt, name="ramp")
+
+    def measurement_points(self, n: int = 6) -> List[Tuple[float, float]]:
+        """The BIST's sampling schedule: ``n`` (time, voltage) points at
+        equal intervals — the paper's 6 measurements at 200 ms."""
+        if n < 2:
+            raise ValueError("need at least 2 measurement points")
+        interval = self.period_s / (n - 1)
+        return [(k * interval, self.value_at(k * interval)) for k in range(n)]
+
+    def describe(self) -> str:
+        return (f"ramp generator: {self.v_start:g}→{self.v_stop:g} V over "
+                f"{self.period_s:g} s, gain error {100 * self.gain_error:+.2f}%, "
+                f"{self.transistor_count} transistors")

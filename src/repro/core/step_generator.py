@@ -1,0 +1,91 @@
+"""The on-chip step input generator macro.
+
+"The step input macro produced voltage steps of 0, 0.59, 0.96, 1.41, 1.8
+and 2.5 volts."  The macro is a tapped divider/reference network buffered
+onto the ADC input; its levels are therefore fixed by design, with a
+small per-level accuracy band from process variation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.signals.sources import staircase_waveform, step_waveform
+from repro.signals.waveform import Waveform
+
+#: The paper's step levels, volts.
+PAPER_STEP_LEVELS: Tuple[float, ...] = (0.0, 0.59, 0.96, 1.41, 1.8, 2.5)
+
+
+class StepGeneratorMacro:
+    """Behavioural model of the step-generator test macro.
+
+    Parameters
+    ----------
+    levels:
+        Programmed DC output levels.
+    accuracy_v:
+        Absolute accuracy of each level (the divider/buffer error budget).
+    settle_time_s:
+        Time the output needs after a level select before it is valid.
+    transistor_count:
+        Area bookkeeping for the overhead audit (part of the paper's
+        152-transistor analogue test overhead).
+    """
+
+    def __init__(self, levels: Sequence[float] = PAPER_STEP_LEVELS,
+                 accuracy_v: float = 5e-3, settle_time_s: float = 20e-6,
+                 transistor_count: int = 64,
+                 level_errors_v: Optional[Sequence[float]] = None) -> None:
+        if not levels:
+            raise ValueError("need at least one step level")
+        if accuracy_v < 0 or settle_time_s < 0:
+            raise ValueError("accuracy and settle time must be non-negative")
+        self.levels = tuple(float(v) for v in levels)
+        self.accuracy_v = accuracy_v
+        self.settle_time_s = settle_time_s
+        self.transistor_count = transistor_count
+        if level_errors_v is None:
+            self.level_errors_v = tuple(0.0 for _ in self.levels)
+        else:
+            if len(level_errors_v) != len(self.levels):
+                raise ValueError("one error entry per level required")
+            self.level_errors_v = tuple(float(e) for e in level_errors_v)
+
+    def copy(self) -> "StepGeneratorMacro":
+        return StepGeneratorMacro(self.levels, self.accuracy_v,
+                                  self.settle_time_s, self.transistor_count,
+                                  self.level_errors_v)
+
+    # ------------------------------------------------------------------
+    def output(self, index: int) -> float:
+        """The actual DC level produced for step ``index``."""
+        if not 0 <= index < len(self.levels):
+            raise IndexError(f"no step level {index}")
+        return self.levels[index] + self.level_errors_v[index]
+
+    def all_outputs(self) -> List[float]:
+        return [self.output(i) for i in range(len(self.levels))]
+
+    def step_waveform(self, index: int, duration: float,
+                      dt: float = 1e-6) -> Waveform:
+        """The macro's output waveform for one selected level, including
+        the finite settling edge."""
+        return step_waveform(self.output(index), duration, dt,
+                             rise_time=self.settle_time_s)
+
+    def staircase(self, dwell_s: float, dt: float = 1e-6) -> Waveform:
+        """All levels applied consecutively (the compressed-test drive)."""
+        return staircase_waveform(self.all_outputs(), dwell_s, dt)
+
+    def within_accuracy(self) -> bool:
+        """Self-check: are all realised levels within the accuracy band?"""
+        return all(abs(e) <= self.accuracy_v for e in self.level_errors_v)
+
+    def describe(self) -> str:
+        lv = ", ".join(f"{v:.2f}" for v in self.levels)
+        return (f"step generator: levels [{lv}] V, accuracy "
+                f"±{1e3 * self.accuracy_v:.0f} mV, "
+                f"{self.transistor_count} transistors")

@@ -1,0 +1,196 @@
+"""Diagnostic test patterns and the fault dictionary.
+
+The paper's closing future work: "the development of more comprehensive
+test patterns for fault diagnosis designed to a specific ADC
+architecture".  This module implements that for the dual-slope macro:
+
+* :class:`DiagnosticPattern` — a fixed stimulus set (conversion points,
+  fall-time steps, a timing probe and a short monotonicity ramp) whose
+  measured responses form a numeric *signature vector*;
+* :class:`FaultDictionary` — signatures pre-computed for a library of
+  known sub-macro faults; matching an observed signature against the
+  dictionary names the closest known fault, a finer answer than the
+  symptom-table diagnosis in :mod:`repro.core.diagnosis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adc.control import ControlState
+from repro.adc.dual_slope import DualSlopeADC
+
+
+@dataclass(frozen=True)
+class DiagnosticPattern:
+    """The stimulus set applied to build a signature.
+
+    The defaults exercise every sub-macro: conversion points spread over
+    the range (comparator/integrator/counter), fall-time steps (the
+    integrator test mode), a conversion-time probe (control FSM) and a
+    short ramp (latch/counter ordering).
+    """
+
+    conversion_points_v: Tuple[float, ...] = (0.2, 0.7, 1.25, 1.8, 2.3)
+    fall_steps_v: Tuple[float, ...] = (0.5, 1.5)
+    ramp_points: int = 24
+    timeout_code: float = 999.0      # sentinel for "never completed"
+
+    def signature_length(self) -> int:
+        return (len(self.conversion_points_v) + len(self.fall_steps_v)
+                + 2 + self.ramp_points)
+
+    def measure(self, adc: DualSlopeADC) -> np.ndarray:
+        """Apply the pattern; return the signature vector.
+
+        Components (in order): output codes at the conversion points,
+        fall times in ms, conversion time in ms, completed flag, and the
+        ramp's code sequence.
+        """
+        signature: List[float] = []
+        completed = True
+        for v in self.conversion_points_v:
+            trace = adc.convert(v)
+            completed = completed and trace.completed
+            signature.append(float(trace.code) if trace.completed
+                             else self.timeout_code)
+        for v in self.fall_steps_v:
+            t = adc.test_fall_time(v)
+            signature.append(1e3 * t if t != float("inf") else 99.0)
+        trace = adc.convert(1.25)
+        signature.append(1e3 * trace.conversion_time_s)
+        signature.append(1.0 if trace.completed else 0.0)
+        lsb = adc.cal.lsb_v
+        top = adc.cal.full_scale_v
+        for k in range(self.ramp_points):
+            v = top * k / (self.ramp_points - 1)
+            signature.append(float(adc.code_of(v)))
+        return np.asarray(signature)
+
+
+#: The library of known faults a dictionary is built from — one planting
+#: function per named defect, spanning every sub-macro.
+def _set(path: str, value):
+    def plant(adc: DualSlopeADC) -> None:
+        obj = adc
+        *parents, attr = path.split(".")
+        for p in parents:
+            obj = getattr(obj, p)
+        setattr(obj, attr, value)
+    return plant
+
+
+def _stuck_counter_bit(bit: int, value: int):
+    def plant(adc: DualSlopeADC) -> None:
+        adc.counter.stuck_bits[bit] = value
+    return plant
+
+
+def _stuck_latch_bit(bit: int, value: int):
+    def plant(adc: DualSlopeADC) -> None:
+        adc.latch.stuck_bits[bit] = value
+    return plant
+
+
+STANDARD_FAULT_LIBRARY: Dict[str, Callable[[DualSlopeADC], None]] = {
+    "integrator.gain_low": _set("integrator.gain", 0.8),
+    "integrator.gain_high": _set("integrator.gain", 1.2),
+    "integrator.leaky": _set("integrator.leak_per_cycle", 0.02),
+    "integrator.dead": _set("integrator.enabled", False),
+    "comparator.offset_pos": _set("comparator.offset_v", 60e-3),
+    "comparator.offset_neg": _set("comparator.offset_v", -60e-3),
+    "comparator.stuck_high": _set("comparator.stuck_output", 1),
+    "control.stuck_integrate": _set("control.stuck_state",
+                                    ControlState.INTEGRATE),
+    "counter.bit2_stuck0": _stuck_counter_bit(2, 0),
+    "counter.bit4_stuck0": _stuck_counter_bit(4, 0),
+    "latch.bit6_stuck1": _stuck_latch_bit(6, 1),
+    "latch.transparent": _set("latch.transparent_fault", True),
+}
+
+
+@dataclass
+class DictionaryMatch:
+    """Result of matching an observed signature against the dictionary."""
+
+    ranked: List[Tuple[str, float]]    # (fault name, distance), ascending
+    healthy_distance: float
+
+    @property
+    def best(self) -> str:
+        return self.ranked[0][0]
+
+    @property
+    def is_healthy(self) -> bool:
+        """Closer to the fault-free signature than to any known fault."""
+        return self.healthy_distance <= self.ranked[0][1]
+
+    def summary(self) -> str:
+        if self.is_healthy:
+            return (f"dictionary match: healthy "
+                    f"(distance {self.healthy_distance:.2f})")
+        top = ", ".join(f"{n} ({d:.2f})" for n, d in self.ranked[:3])
+        return f"dictionary match: {top}"
+
+
+class FaultDictionary:
+    """Signature dictionary for one ADC design.
+
+    Built once from a healthy reference device and a fault library; then
+    any manufactured device's measured signature can be matched to the
+    nearest known defect.
+    """
+
+    def __init__(self, pattern: Optional[DiagnosticPattern] = None,
+                 library: Optional[Dict[str, Callable]] = None) -> None:
+        self.pattern = pattern or DiagnosticPattern()
+        self.library = dict(library or STANDARD_FAULT_LIBRARY)
+        self.entries: Dict[str, np.ndarray] = {}
+        self.healthy_signature: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def build(self, reference: DualSlopeADC) -> "FaultDictionary":
+        """Simulate every library fault on copies of ``reference``."""
+        self.healthy_signature = self.pattern.measure(reference.copy())
+        for name, plant in self.library.items():
+            faulty = reference.copy()
+            plant(faulty)
+            self.entries[name] = self.pattern.measure(faulty)
+        # per-component scale: normalise by the spread across entries so
+        # codes (0..100) and times (ms) weigh comparably
+        all_rows = np.vstack([self.healthy_signature,
+                              *self.entries.values()])
+        spread = np.std(all_rows, axis=0)
+        self._scale = np.where(spread > 1e-9, spread, 1.0)
+        return self
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.linalg.norm((a - b) / self._scale)
+                     / np.sqrt(len(a)))
+
+    def match(self, device: DualSlopeADC) -> DictionaryMatch:
+        """Measure a device and rank the library faults by distance."""
+        if self.healthy_signature is None:
+            raise RuntimeError("dictionary not built; call build() first")
+        signature = self.pattern.measure(device)
+        ranked = sorted(
+            ((name, self._distance(signature, entry))
+             for name, entry in self.entries.items()),
+            key=lambda pair: pair[1])
+        healthy = self._distance(signature, self.healthy_signature)
+        return DictionaryMatch(ranked=ranked, healthy_distance=healthy)
+
+    def distinguishability(self) -> float:
+        """Smallest pairwise distance between dictionary entries — how
+        well this pattern separates the library's faults (0 means two
+        faults are indistinguishable under the pattern)."""
+        names = list(self.entries)
+        best = float("inf")
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                best = min(best, self._distance(self.entries[a],
+                                                self.entries[b]))
+        return best

@@ -1,0 +1,165 @@
+"""Transient response testing — the paper's second technique.
+
+"A transient stimulus vector, propagating in a mixed signal circuit, can
+be described as the applied stimulus vector, convolved with the impulse
+response h(t) of each circuit block ... minor changes to the signal
+spectrum, indicative of circuit faults, can be detected in the presence
+of the composite noise signal yn(t) by correlating the transient signal
+y(t) with the specific correlation signal p(t), which was derived from
+the applied stimulus vector set.  This operation produces a correlation
+function R(y,p) that is identical to the composite impulse response of
+the IC signal path currently propagating the stimulus vector."
+
+The tester drives a circuit with a PRBS, simulates it in the MNA engine
+and produces R(y, p) scaled by the stimulus energy, so it approximates
+the composite impulse response *with amplitude preserved* (a dead output
+correlates to zero rather than re-normalising to unity — essential for
+detecting catastrophic faults).  The detection-instances metric is
+evaluated over the correlation window around zero lag where the impulse
+response lives.
+
+Note on stimulus levels: the paper drives 0–5 V.  Our 5 µm OP1 substitute
+clips outside roughly 1.6–3.8 V in unity feedback, which would mask
+mid-scale faults behind identical rail clipping; the circuit-1 experiment
+therefore uses 2.0/3.5 V chips (documented in DESIGN.md).  The 0/5 V
+default remains available for the clipping ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.signals.correlation import normalized_cross_correlation
+from repro.signals.prbs import prbs_waveform
+from repro.signals.waveform import Waveform
+from repro.spice.elements import VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.transient import transient
+
+
+@dataclass(frozen=True)
+class TransientTestConfig:
+    """Stimulus and measurement parameters.
+
+    Defaults follow the paper's circuit-1 experiment: a 15-chip PRBS
+    (order-4 maximal LFSR) with 250 µs chips.
+    """
+
+    prbs_order: int = 4
+    chip_time_s: float = 250e-6
+    low_v: float = 0.0
+    high_v: float = 5.0
+    sim_dt_s: float = 5e-6
+    seed: int = 1
+    repeats: int = 1
+    noise_sigma_v: float = 0.0
+    noise_seed: int = 7
+    #: correlation-lag window (in chips) the detection metric evaluates
+    window_chips: Tuple[float, float] = (-1.0, 1.0)
+
+    def stimulus(self) -> Waveform:
+        """The PRBS stimulus x(t)."""
+        return prbs_waveform(order=self.prbs_order,
+                             chip_time=self.chip_time_s,
+                             low=self.low_v, high=self.high_v,
+                             dt=self.sim_dt_s, seed=self.seed,
+                             repeats=self.repeats)
+
+    def correlation_signal(self) -> Waveform:
+        """p(t): derived from the applied stimulus (here, the stimulus
+        itself; the correlator removes the mean)."""
+        return self.stimulus()
+
+
+@dataclass
+class TransientMeasurement:
+    """What one transient test run produces."""
+
+    response: Waveform          # y(t) at the observed node
+    correlation: Waveform       # R(y, p)/E_p — the impulse-response view
+    normalized: Waveform        # classic unit-peak normalised correlation
+    stimulus: Waveform          # x(t) actually applied
+
+    def correlation_peak(self) -> float:
+        return float(np.max(np.abs(self.correlation.values)))
+
+
+class TransientResponseTester:
+    """Applies the PRBS test to a netlist and correlates the response.
+
+    Parameters
+    ----------
+    config:
+        Stimulus/measurement configuration.
+    source_name:
+        The independent voltage source inside the target circuit whose
+        value the tester replaces with the PRBS (the stimulus entry
+        point).
+    output_node:
+        The node whose voltage is the observed transient signal y(t).
+    """
+
+    def __init__(self, config: Optional[TransientTestConfig] = None,
+                 source_name: str = "VIN", output_node: str = "3") -> None:
+        self.config = config or TransientTestConfig()
+        self.source_name = source_name
+        self.output_node = output_node
+
+    # ------------------------------------------------------------------
+    def prepared_circuit(self, circuit: Circuit) -> Circuit:
+        """A copy of ``circuit`` with the PRBS wired into the source."""
+        prepared = circuit.copy()
+        elem = prepared.element(self.source_name)
+        if not isinstance(elem, VoltageSource):
+            raise TypeError(f"{self.source_name!r} is not a voltage source")
+        elem.value = self.config.stimulus()
+        return prepared
+
+    def _impulse_estimate(self, y: Waveform, p: Waveform) -> Waveform:
+        """R(y, p) / E_p with both signals mean-removed — amplitude
+        carries through, so attenuation faults stay visible."""
+        yc = y.values - np.mean(y.values)
+        pc = p.values - np.mean(p.values)
+        energy = float(np.sum(pc ** 2)) * p.dt
+        if energy <= 0.0:
+            raise ValueError("degenerate correlation signal")
+        r = np.correlate(yc, pc, mode="full") * p.dt / energy
+        lag0 = -(len(pc) - 1)
+        return Waveform(r, p.dt, t0=lag0 * p.dt, name="R(y,p)/Ep")
+
+    def measure(self, circuit: Circuit) -> TransientMeasurement:
+        """Run the transient test on a (fault-free or faulty) circuit."""
+        cfg = self.config
+        stimulus = cfg.stimulus()
+        prepared = self.prepared_circuit(circuit)
+        result = transient(prepared, t_stop=stimulus.duration,
+                           dt=cfg.sim_dt_s, record=[self.output_node])
+        y = result[self.output_node]
+        if cfg.noise_sigma_v > 0.0:
+            y = y.with_noise(cfg.noise_sigma_v, seed=cfg.noise_seed)
+        p = cfg.correlation_signal()
+        return TransientMeasurement(
+            response=y,
+            correlation=self.windowed(self._impulse_estimate(y, p)),
+            normalized=normalized_cross_correlation(y, p),
+            stimulus=stimulus,
+        )
+
+    def windowed(self, r: Waveform) -> Waveform:
+        """Trim a correlation to the configured lag window."""
+        lo_chips, hi_chips = self.config.window_chips
+        if hi_chips <= lo_chips:
+            raise ValueError("window_chips must be increasing")
+        chip = self.config.chip_time_s
+        return r.slice_time(lo_chips * chip, hi_chips * chip)
+
+    # ------------------------------------------------------------------
+    def technique(self) -> Callable[[Circuit], Waveform]:
+        """The measurement callable a fault campaign consumes: the
+        windowed impulse-response-scaled correlation."""
+        def run(circuit: Circuit) -> Waveform:
+            return self.measure(circuit).correlation
+        return run

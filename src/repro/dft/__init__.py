@@ -1,0 +1,32 @@
+"""Digital design-for-test substrate.
+
+The paper's digital test structures (484 transistors) provide scan access,
+pattern generation, response compaction and the counter/state-machine
+monitors used by the ADC BIST.  This package models those structures at
+the register-transfer level: scan shift registers and chains, a serial
+test bus, LFSR pattern generators, MISR signature compactors, and the
+counter macro clocked at 100 kHz.
+"""
+
+from repro.dft.lfsr import MISR, SignatureRegister
+from repro.dft.scan import ScanRegister, ScanChain
+from repro.dft.testbus import SerialTestBus, BusTransaction
+from repro.dft.counter import CounterMacro
+from repro.dft.bist_engine import (
+    BISTSession,
+    LogicBISTEngine,
+    stuck_at_output_variants,
+)
+
+__all__ = [
+    "MISR",
+    "SignatureRegister",
+    "ScanRegister",
+    "ScanChain",
+    "SerialTestBus",
+    "BusTransaction",
+    "CounterMacro",
+    "BISTSession",
+    "LogicBISTEngine",
+    "stuck_at_output_variants",
+]

@@ -1,0 +1,103 @@
+"""Response compaction: multiple-input signature registers.
+
+The paper's compressed test "compress[es] the digital output signature
+from the consecutive application of the DC step input values".  A MISR is
+the canonical on-chip compactor for that job: it folds a stream of output
+words into a fixed-width signature whose final value is compared against
+the known-good signature.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.signals.prbs import MAXIMAL_TAPS
+
+
+class MISR:
+    """Multiple-input signature register.
+
+    A Galois-style LFSR whose stages are additionally XOR-ed with the
+    parallel input word each clock.  Width defaults to 16 bits, the
+    natural size for compacting the ADC's output codes.
+    """
+
+    def __init__(self, width: int = 16, taps: Optional[Sequence[int]] = None,
+                 seed: int = 0) -> None:
+        if width < 2:
+            raise ValueError("MISR width must be >= 2")
+        if not 0 <= seed < (1 << width):
+            raise ValueError("seed does not fit in the register width")
+        if taps is None:
+            if width not in MAXIMAL_TAPS:
+                raise ValueError(f"no default taps for width {width}; pass taps=")
+            taps = MAXIMAL_TAPS[width]
+        self.width = width
+        self.taps = tuple(sorted(set(int(t) for t in taps)))
+        if any(t < 1 or t > width for t in self.taps):
+            raise ValueError(f"taps must lie in 1..{width}")
+        self._poly = 0
+        for t in self.taps:
+            self._poly |= 1 << (t - 1)
+        self.state = int(seed)
+        self._seed = int(seed)
+        self.n_clocked = 0
+
+    def reset(self) -> None:
+        self.state = self._seed
+        self.n_clocked = 0
+
+    def clock(self, word: int = 0) -> int:
+        """Shift once, folding in ``word`` (masked to the width)."""
+        word &= (1 << self.width) - 1
+        msb = (self.state >> (self.width - 1)) & 1
+        self.state = ((self.state << 1) & ((1 << self.width) - 1))
+        if msb:
+            self.state ^= self._poly
+        self.state ^= word
+        self.n_clocked += 1
+        return self.state
+
+    def compact(self, words: Iterable[int]) -> int:
+        """Clock in a whole response stream; return the final signature."""
+        for word in words:
+            self.clock(word)
+        return self.state
+
+    def signature(self) -> int:
+        return self.state
+
+    def signature_hex(self) -> str:
+        digits = (self.width + 3) // 4
+        return f"{self.state:0{digits}X}"
+
+
+class SignatureRegister:
+    """Known-good-signature comparator.
+
+    Wraps a :class:`MISR` with the expected value and a pass/fail check —
+    the on-chip comparison step of the compressed test.
+    """
+
+    def __init__(self, width: int = 16, expected: Optional[int] = None,
+                 taps: Optional[Sequence[int]] = None) -> None:
+        self.misr = MISR(width=width, taps=taps)
+        self.expected = expected
+
+    def learn(self, words: Sequence[int]) -> int:
+        """Record the golden signature from a known-good response."""
+        self.misr.reset()
+        self.expected = self.misr.compact(words)
+        return self.expected
+
+    def check(self, words: Sequence[int]) -> bool:
+        """Compact a response stream and compare against the golden value."""
+        if self.expected is None:
+            raise RuntimeError("no expected signature; call learn() first")
+        self.misr.reset()
+        return self.misr.compact(words) == self.expected
+
+    def aliasing_probability(self) -> float:
+        """Probability a random wrong stream aliases to the good signature
+        (the classic 2^-k bound for a k-bit MISR)."""
+        return 2.0 ** (-self.misr.width)

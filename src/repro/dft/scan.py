@@ -1,0 +1,93 @@
+"""Scan shift registers and scan chains.
+
+The related-work architectures the paper builds on (Fasang, Ohletz,
+Pritchard) scan analogue test data in "via scan shift registers" and
+capture responses for the serial test bus.  These classes model that
+digital access mechanism bit-accurately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class ScanRegister:
+    """A single scan-able register of ``width`` bits.
+
+    In *functional* mode the register holds a parallel word; in *scan*
+    mode it shifts serially (LSB first out).
+    """
+
+    def __init__(self, width: int, name: str = "reg") -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.name = name
+        self.bits: List[int] = [0] * width
+
+    @property
+    def value(self) -> int:
+        return sum(b << i for i, b in enumerate(self.bits))
+
+    def load(self, value: int) -> None:
+        """Parallel (functional) load."""
+        if not 0 <= value < (1 << self.width):
+            raise ValueError(f"value does not fit in {self.width} bits")
+        self.bits = [(value >> i) & 1 for i in range(self.width)]
+
+    def shift(self, scan_in: int) -> int:
+        """One scan clock: shift in ``scan_in``, return the bit shifted out."""
+        out = self.bits[0]
+        self.bits = self.bits[1:] + [1 if scan_in else 0]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScanRegister({self.name!r}, width={self.width}, value={self.value})"
+
+
+class ScanChain:
+    """Registers stitched into a serial chain (scan-out of one feeds the
+    next register's scan-in)."""
+
+    def __init__(self, registers: Sequence[ScanRegister]) -> None:
+        if not registers:
+            raise ValueError("chain needs at least one register")
+        self.registers = list(registers)
+
+    @property
+    def length(self) -> int:
+        return sum(r.width for r in self.registers)
+
+    def shift(self, scan_in: int) -> int:
+        """One chain-wide scan clock."""
+        bit = 1 if scan_in else 0
+        for reg in self.registers:
+            bit = reg.shift(bit)
+        return bit
+
+    def shift_in(self, bits: Iterable[int]) -> List[int]:
+        """Shift a bit sequence in; returns the bits that fell out."""
+        return [self.shift(b) for b in bits]
+
+    def load_serial(self, bits: Sequence[int]) -> None:
+        """Fill the entire chain with ``bits`` (first bit ends up deepest,
+        i.e. as the last register's MSB after a full shift sequence)."""
+        if len(bits) != self.length:
+            raise ValueError(f"need exactly {self.length} bits, got {len(bits)}")
+        for b in bits:
+            self.shift(b)
+
+    def capture_serial(self) -> List[int]:
+        """Shift the whole chain out (zero fill); returns captured bits in
+        shift-out order."""
+        return self.shift_in([0] * self.length)
+
+    def values(self) -> List[int]:
+        return [r.value for r in self.registers]
+
+    def load_values(self, values: Sequence[int]) -> None:
+        """Parallel-load each register (functional capture)."""
+        if len(values) != len(self.registers):
+            raise ValueError("one value per register required")
+        for reg, value in zip(self.registers, values):
+            reg.load(value)

@@ -1,0 +1,125 @@
+"""Serial test bus.
+
+Models the single-wire test access the related-work architectures use to
+move stimulus words in and response words out of an embedded macro: a
+simple framed protocol (address, read/write, payload) over a scan-style
+serial link.  The BIST controller uses it to talk to the ADC's registers
+without dedicated parallel test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class BusTransaction:
+    """One framed transfer recorded by the bus monitor."""
+
+    address: int
+    write: bool
+    data: int
+    bits_on_wire: int
+
+    def describe(self) -> str:
+        kind = "WR" if self.write else "RD"
+        return f"{kind} @0x{self.address:02X} = 0x{self.data:04X}"
+
+
+class SerialTestBus:
+    """A master-driven serial test bus with memory-mapped registers.
+
+    Frame format (LSB first on the wire):
+      [start=1][addr:8][rw:1][data:16][parity:1]
+
+    Registers are plain integers held in a dict; macro models register
+    callbacks to react to writes (e.g. "start conversion") and to supply
+    read data lazily.
+    """
+
+    ADDR_BITS = 8
+    DATA_BITS = 16
+
+    def __init__(self) -> None:
+        self.registers: Dict[int, int] = {}
+        self._write_hooks: Dict[int, callable] = {}
+        self._read_hooks: Dict[int, callable] = {}
+        self.log: List[BusTransaction] = []
+        self.wire_bits = 0
+
+    # ------------------------------------------------------------------
+    def attach_register(self, address: int, initial: int = 0,
+                        on_write=None, on_read=None) -> None:
+        """Declare a register at ``address`` with optional access hooks."""
+        if not 0 <= address < (1 << self.ADDR_BITS):
+            raise ValueError("address out of range")
+        self.registers[address] = initial & ((1 << self.DATA_BITS) - 1)
+        if on_write is not None:
+            self._write_hooks[address] = on_write
+        if on_read is not None:
+            self._read_hooks[address] = on_read
+
+    def _frame_bits(self) -> int:
+        return 1 + self.ADDR_BITS + 1 + self.DATA_BITS + 1
+
+    # ------------------------------------------------------------------
+    def write(self, address: int, data: int) -> BusTransaction:
+        """Master write; runs the register's write hook."""
+        self._check(address)
+        data &= (1 << self.DATA_BITS) - 1
+        self.registers[address] = data
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            hook(data)
+        return self._record(address, True, data)
+
+    def read(self, address: int) -> int:
+        """Master read; the read hook may refresh the register first."""
+        self._check(address)
+        hook = self._read_hooks.get(address)
+        if hook is not None:
+            self.registers[address] = hook() & ((1 << self.DATA_BITS) - 1)
+        data = self.registers[address]
+        self._record(address, False, data)
+        return data
+
+    def _check(self, address: int) -> None:
+        if address not in self.registers:
+            raise KeyError(f"no register at address 0x{address:02X}")
+
+    def _record(self, address: int, write: bool, data: int) -> BusTransaction:
+        txn = BusTransaction(address=address, write=write, data=data,
+                             bits_on_wire=self._frame_bits())
+        self.log.append(txn)
+        self.wire_bits += txn.bits_on_wire
+        return txn
+
+    # ------------------------------------------------------------------
+    def serialize(self, txn: BusTransaction) -> List[int]:
+        """Bit-level frame for a transaction (LSB-first), with odd parity."""
+        bits = [1]
+        bits += [(txn.address >> i) & 1 for i in range(self.ADDR_BITS)]
+        bits += [1 if txn.write else 0]
+        bits += [(txn.data >> i) & 1 for i in range(self.DATA_BITS)]
+        parity = (sum(bits) + 1) & 1
+        bits.append(parity)
+        return bits
+
+    @staticmethod
+    def deserialize(bits: List[int]) -> Tuple[int, bool, int]:
+        """Decode a frame; raises on bad start bit or parity."""
+        expect = 1 + SerialTestBus.ADDR_BITS + 1 + SerialTestBus.DATA_BITS + 1
+        if len(bits) != expect:
+            raise ValueError(f"frame must be {expect} bits")
+        if bits[0] != 1:
+            raise ValueError("missing start bit")
+        if (sum(bits[:-1]) + 1) & 1 != bits[-1]:
+            raise ValueError("parity error")
+        pos = 1
+        addr = sum(bits[pos + i] << i for i in range(SerialTestBus.ADDR_BITS))
+        pos += SerialTestBus.ADDR_BITS
+        write = bool(bits[pos])
+        pos += 1
+        data = sum(bits[pos + i] << i for i in range(SerialTestBus.DATA_BITS))
+        return addr, write, data

@@ -1,0 +1,45 @@
+"""Experiment runners — one per table/figure in the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a structured result
+with ``rows()`` (the table the paper printed) and ``summary()``.  The
+benchmark files under ``benchmarks/`` execute these runners; the
+experiment index lives in DESIGN.md and the measured-vs-paper record in
+EXPERIMENTS.md.
+
+=====  ==================================================================
+E1     step-input fall-time table ("Analogue test results")
+E2     ramp test + gain-error masking caveat
+E3     digital test results (conversion time, 10 µs ↔ 10 mV)
+E4     compressed test (MISR + 2-bit analogue signature)
+E5     batch of 10 devices through the quick BIST
+E6     Figure 2 — full characterisation, DNL vs code
+E7     Figure 4 — detection instances, circuits 1/2/3
+E8     circuit-2 z-domain design check, H(z) = z⁻¹/(6.8(1−z⁻¹))
+E9     ADC transfer-function sanity (Figure 1 macro)
+A1–A4  ablations (PRBS sweep, noise sweep, method comparison, overhead)
+=====  ==================================================================
+"""
+
+from repro.experiments import (
+    e1_step_table,
+    e2_ramp_test,
+    e3_digital_tests,
+    e4_compressed,
+    e5_batch10,
+    e6_fig2_dnl,
+    e7_fig4_detection,
+    e8_zdomain,
+    e9_adc_transfer,
+)
+
+__all__ = [
+    "e1_step_table",
+    "e2_ramp_test",
+    "e3_digital_tests",
+    "e4_compressed",
+    "e5_batch10",
+    "e6_fig2_dnl",
+    "e7_fig4_detection",
+    "e8_zdomain",
+    "e9_adc_transfer",
+]

@@ -1,0 +1,16 @@
+"""``python -m repro.experiments [E1 E7 ...]`` — regenerate the paper's
+evaluation tables/figures from the command line."""
+
+import sys
+
+from repro.experiments.registry import run_all
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    run_all(args or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

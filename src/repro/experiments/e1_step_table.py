@@ -1,0 +1,55 @@
+"""E1 — the step-input fall-time table ("Analogue test results").
+
+Paper: "The step input macro produced voltage steps of 0, 0.59, 0.96,
+1.41, 1.8 and 2.5 volts.  This gave a measured integrator fall time of
+2.6, 2.2, 1.9, 1.2, 0.8, and 0.1 msec."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.adc.calibration import PAPER_STEP_TABLE
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.digital_monitor import DigitalTestMonitor
+from repro.core.step_generator import StepGeneratorMacro
+
+
+@dataclass
+class StepTableResult:
+    """Measured vs paper fall times."""
+
+    rows_data: List[Tuple[float, float, float]]  # (step V, measured s, paper s)
+
+    def rows(self) -> List[Tuple[float, float, float]]:
+        return self.rows_data
+
+    @property
+    def max_abs_error_s(self) -> float:
+        return max(abs(m - p) for _, m, p in self.rows_data)
+
+    def monotone_decreasing(self) -> bool:
+        times = [m for _, m, _ in self.rows_data]
+        return all(a > b for a, b in zip(times, times[1:]))
+
+    def summary(self) -> str:
+        lines = ["E1 step fall-time table",
+                 "step (V)  measured (ms)  paper (ms)"]
+        for v, m, p in self.rows_data:
+            lines.append(f"{v:8.2f}  {1e3 * m:13.2f}  {1e3 * p:10.1f}")
+        lines.append(f"max |error| = {1e3 * self.max_abs_error_s:.2f} ms")
+        return "\n".join(lines)
+
+
+def run(adc: Optional[DualSlopeADC] = None) -> StepTableResult:
+    """Apply the step macro's levels, measure fall times through the
+    on-chip counter (10 µs resolution)."""
+    adc = adc or DualSlopeADC()
+    steps = StepGeneratorMacro()
+    monitor = DigitalTestMonitor(clock_hz=adc.cal.clock_hz)
+    rows = []
+    for i, (level, paper_s) in enumerate(PAPER_STEP_TABLE):
+        measured = monitor.quantize(adc.test_fall_time(steps.output(i)))
+        rows.append((level, measured, paper_s))
+    return StepTableResult(rows_data=rows)

@@ -1,0 +1,99 @@
+"""E2 — the ramp test and its gain-error masking caveat.
+
+Paper: "The ramp signal generator varied from 0 to 2.5 volts over a 1 Sec
+period, allowing time for 6 measurements at 200 mSec intervals.  If there
+was a gain error in the ADC, which was compensated by a gain error in the
+ramp input, there will be no indication of an error at the output."
+
+The experiment runs the 6-point ramp measurement on a healthy device,
+then demonstrates the caveat: an ADC with a deliberate gain error paired
+with a ramp whose gain error compensates it produces the same codes as
+the healthy pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.adc.calibration import ADCCalibration
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.ramp_generator import RampGeneratorMacro
+
+
+@dataclass
+class RampTestResult:
+    nominal_codes: List[int]
+    expected_codes: List[int]
+    faulty_unmasked_codes: List[int]     # gain-faulted ADC, healthy ramp
+    faulty_masked_codes: List[int]       # gain-faulted ADC, compensating ramp
+    adc_gain_error: float
+
+    def rows(self) -> List[Tuple[float, int, int, int, int]]:
+        points = RampGeneratorMacro().measurement_points(len(self.nominal_codes))
+        return [(t, e, n, u, m) for (t, _v), e, n, u, m in zip(
+            points, self.expected_codes, self.nominal_codes,
+            self.faulty_unmasked_codes, self.faulty_masked_codes)]
+
+    @property
+    def unmasked_detected(self) -> bool:
+        """Does the healthy ramp expose the ADC gain fault?"""
+        return any(abs(u - e) > 1
+                   for u, e in zip(self.faulty_unmasked_codes,
+                                   self.expected_codes))
+
+    @property
+    def masking_occurs(self) -> bool:
+        """Does the compensating ramp hide the same fault?"""
+        return all(abs(m - n) <= 1
+                   for m, n in zip(self.faulty_masked_codes,
+                                   self.nominal_codes))
+
+    def summary(self) -> str:
+        lines = ["E2 ramp test (codes at 200 ms intervals)",
+                 " t(ms)  expected  nominal  faulty  masked"]
+        for t, e, n, u, m in self.rows():
+            lines.append(f"{1e3 * t:6.0f}  {e:8d}  {n:7d}  {u:6d}  {m:6d}")
+        lines.append(f"fault exposed by healthy ramp: {self.unmasked_detected}; "
+                     f"masked by compensating ramp: {self.masking_occurs}")
+        return "\n".join(lines)
+
+
+def run(adc: Optional[DualSlopeADC] = None,
+        adc_gain_error: float = 0.05) -> RampTestResult:
+    """Run the 6-point ramp test, then the masking demonstration.
+
+    ``adc_gain_error`` is the injected fractional gain fault (5 % ≈ 5
+    codes at full scale — comfortably detectable by the 6-point check).
+    """
+    adc = adc or DualSlopeADC()
+    ramp = RampGeneratorMacro()
+    lsb = adc.cal.lsb_v
+
+    nominal_codes = []
+    expected_codes = []
+    for t, v in ramp.measurement_points(n=6):
+        nominal_codes.append(adc.code_of(v))
+        expected_codes.append(min(adc.cal.n_codes, round(
+            (ramp.v_start + (ramp.v_stop - ramp.v_start)
+             * t / ramp.period_s) / lsb)))
+
+    # A gain-faulted ADC: the de-integrate reference drifted.
+    faulty_cal = adc.cal.copy()
+    faulty_cal.deintegrate_gain = adc.cal.deintegrate_gain * (1.0 + adc_gain_error)
+    faulty_adc = DualSlopeADC(faulty_cal)
+
+    unmasked = [faulty_adc.code_of(v) for _t, v in ramp.measurement_points(6)]
+
+    # The compensating ramp: its slope error exactly cancels the ADC's.
+    masked_ramp = RampGeneratorMacro(gain_error=adc_gain_error)
+    masked = [faulty_adc.code_of(v) for _t, v in
+              masked_ramp.measurement_points(6)]
+
+    return RampTestResult(
+        nominal_codes=nominal_codes,
+        expected_codes=expected_codes,
+        faulty_unmasked_codes=unmasked,
+        faulty_masked_codes=masked,
+        adc_gain_error=adc_gain_error,
+    )

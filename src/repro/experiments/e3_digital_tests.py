@@ -1,0 +1,54 @@
+"""E3 — digital test results.
+
+Paper: "The conversion time for the control logic was specified as a
+maximum of 5.6 msec.  The counter macro was run at 100 kHz clock speed as
+recommended.  The measured time difference in fall time was 10 µsec.
+This represented 10 mV input for each incremented output code change."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adc.calibration import SPEC_MAX_CONVERSION_S
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.digital_monitor import DigitalTestMonitor, DigitalTestReport
+
+
+@dataclass
+class DigitalTestsResult:
+    report: DigitalTestReport
+    paper_fall_delta_s: float = 10e-6
+    paper_mv_per_code: float = 10.0
+
+    def rows(self):
+        return [
+            ("max conversion time (ms)",
+             1e3 * self.report.max_conversion_time_s,
+             1e3 * SPEC_MAX_CONVERSION_S),
+            ("fall-time delta (us)",
+             None if self.report.fall_time_delta_s is None
+             else 1e6 * self.report.fall_time_delta_s,
+             1e6 * self.paper_fall_delta_s),
+            ("mV per code",
+             self.report.mv_per_code, self.paper_mv_per_code),
+        ]
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+    def summary(self) -> str:
+        lines = ["E3 digital tests", self.report.summary()]
+        if self.report.mv_per_code is not None:
+            lines.append(f"mV per code: {self.report.mv_per_code:.1f} "
+                         f"(paper: {self.paper_mv_per_code:.0f})")
+        return "\n".join(lines)
+
+
+def run(adc: Optional[DualSlopeADC] = None) -> DigitalTestsResult:
+    adc = adc or DualSlopeADC()
+    monitor = DigitalTestMonitor(clock_hz=adc.cal.clock_hz,
+                                 conversion_time_limit_s=SPEC_MAX_CONVERSION_S)
+    return DigitalTestsResult(report=monitor.run(adc))

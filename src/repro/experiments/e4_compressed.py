@@ -1,0 +1,73 @@
+"""E4 — the compressed test results.
+
+Paper: "The built-in self test macros were configured to perform a quick
+functional test of the ADC by compressing the digital output signature
+from the consecutive application of the DC step input values. ... This
+analogue signature gave expected results on all chips."
+
+Besides the healthy device, the experiment checks that the compressed
+test actually rejects broken devices: a stuck control FSM and a dead
+integrator must both fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adc.control import ControlState
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.signature import CompressedTest, CompressedTestReport
+
+
+@dataclass
+class CompressedResult:
+    healthy: CompressedTestReport
+    stuck_control: CompressedTestReport
+    dead_integrator: CompressedTestReport
+
+    @property
+    def healthy_passes(self) -> bool:
+        return self.healthy.passed
+
+    @property
+    def faulty_fail(self) -> bool:
+        return (not self.stuck_control.passed
+                and not self.dead_integrator.passed)
+
+    def rows(self):
+        return [
+            ("healthy", self.healthy.passed, self.healthy.digital_signature,
+             self.healthy.analog_code),
+            ("stuck control FSM", self.stuck_control.passed,
+             self.stuck_control.digital_signature,
+             self.stuck_control.analog_code),
+            ("dead integrator", self.dead_integrator.passed,
+             self.dead_integrator.digital_signature,
+             self.dead_integrator.analog_code),
+        ]
+
+    def summary(self) -> str:
+        lines = ["E4 compressed test"]
+        for name, passed, sig, code in self.rows():
+            lines.append(f"{name:18s} sig=0x{sig:04X} analog={code:02b} "
+                         f"{'PASS' if passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run(adc: Optional[DualSlopeADC] = None) -> CompressedResult:
+    adc = adc or DualSlopeADC()
+    test = CompressedTest()
+
+    healthy = test.run(adc)
+
+    stuck = adc.copy()
+    stuck.control.stuck_state = ControlState.INTEGRATE
+    stuck_report = test.run(stuck)
+
+    dead = adc.copy()
+    dead.integrator.enabled = False
+    dead_report = test.run(dead)
+
+    return CompressedResult(healthy=healthy, stuck_control=stuck_report,
+                            dead_integrator=dead_report)

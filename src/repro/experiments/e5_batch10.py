@@ -1,0 +1,73 @@
+"""E5 — the batch of 10 fabricated devices.
+
+Paper: "A batch of 10 devices were fabricated.  These comprised the
+built-in self test macros described and the ADC system.  All devices
+passed the analogue, digital and compressed tests."
+
+A Monte Carlo batch with realistic in-spec process spread must pass the
+quick BIST on every device; a second batch with gross (out-of-spec)
+defects injected must fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adc.dual_slope import DualSlopeADC
+from repro.core.bist import BISTController
+from repro.process.batch import Batch, ScreenResult
+from repro.process.variation import VariationModel, VariationSpec
+
+#: In-spec device-to-device spread of the behavioural ADC parameters.
+GOOD_VARIATION = [
+    VariationSpec("cal.comparator_offset_v", sigma=1.0e-3, relative=False),
+    VariationSpec("cal.deintegrate_gain", sigma=0.001, relative=False),
+    VariationSpec("cal.cap_voltage_coeff", sigma=0.05, relative=True),
+    VariationSpec("cal.counter_inject_v", sigma=0.1, relative=True),
+    VariationSpec("cal.discharge_slope_v_per_s", sigma=0.002, relative=True),
+]
+
+#: A defective lot: the same spread plus a gross integrator gain defect.
+def _defective_factory() -> DualSlopeADC:
+    adc = DualSlopeADC()
+    adc.integrator.gain = 0.6        # catastrophic charge-transfer loss
+    return adc
+
+
+@dataclass
+class BatchResult:
+    good: ScreenResult
+    defective: ScreenResult
+
+    @property
+    def all_good_pass(self) -> bool:
+        return len(self.good.failed) == 0
+
+    @property
+    def all_defective_fail(self) -> bool:
+        return len(self.defective.passed) == 0
+
+    def rows(self):
+        return [
+            ("good batch", len(self.good.devices), len(self.good.passed)),
+            ("defective batch", len(self.defective.devices),
+             len(self.defective.passed)),
+        ]
+
+    def summary(self) -> str:
+        return ("E5 batch screening\n"
+                f"good batch:      {self.good.describe()}\n"
+                f"defective batch: {self.defective.describe()}")
+
+
+def run(n_devices: int = 10, seed: int = 1996) -> BatchResult:
+    """Screen a good batch and a defective batch through the quick BIST."""
+    controller = BISTController()
+    variation = VariationModel(GOOD_VARIATION, seed=seed)
+
+    good = Batch(DualSlopeADC, variation).screen(
+        n_devices, test=controller.quick_pass)
+    defective = Batch(_defective_factory, variation).screen(
+        n_devices, test=controller.quick_pass)
+    return BatchResult(good=good, defective=defective)

@@ -1,0 +1,81 @@
+"""E6 — Figure 2: the full ADC characterisation against specification.
+
+Paper: "The ADC macro had a specification of: Max Clock rate of 100 kHz,
+Zero offset error < 0.3 LSB, Gain error < 0.5 LSB, INL < 1 LSB, and
+DNL < 1 LSB.  The results ... gave an overall Gain error of ±0.5 LSB and
+a Zero offset error of < 0.2 LSB.  However there was a maximum INL error
+value of 1.3 LSB and a maximum DNL error of 1.2 LSB, which is shown in
+Figure 2 [DNL vs input code 0 to 100]."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.adc.calibration import (
+    PAPER_MEASURED_GAIN_ERROR_LSB,
+    PAPER_MEASURED_MAX_DNL_LSB,
+    PAPER_MEASURED_MAX_INL_LSB,
+    PAPER_MEASURED_OFFSET_LSB,
+    SPEC_DNL_LSB,
+    SPEC_GAIN_LSB,
+    SPEC_INL_LSB,
+    SPEC_OFFSET_LSB,
+)
+from repro.adc.dual_slope import DualSlopeADC
+from repro.adc.errors import ADCCharacterization
+from repro.adc.histogram import characterize_servo
+
+
+@dataclass
+class Fig2Result:
+    characterization: ADCCharacterization
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        """(metric, measured, paper-measured, spec) rows."""
+        ch = self.characterization
+        return [
+            ("offset (LSB)", abs(ch.offset_error_lsb),
+             PAPER_MEASURED_OFFSET_LSB, SPEC_OFFSET_LSB),
+            ("gain (LSB)", abs(ch.gain_error_lsb),
+             PAPER_MEASURED_GAIN_ERROR_LSB, SPEC_GAIN_LSB),
+            ("max INL (LSB)", ch.max_inl_lsb,
+             PAPER_MEASURED_MAX_INL_LSB, SPEC_INL_LSB),
+            ("max DNL (LSB)", ch.max_dnl_lsb,
+             PAPER_MEASURED_MAX_DNL_LSB, SPEC_DNL_LSB),
+        ]
+
+    def dnl_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Figure 2's plotted series: (code, DNL in LSB)."""
+        dnl = self.characterization.dnl_lsb
+        return np.arange(1, len(dnl) + 1), dnl
+
+    @property
+    def violates_linearity_spec(self) -> bool:
+        """The paper's headline: INL and DNL exceed the 1 LSB spec."""
+        ch = self.characterization
+        return ch.max_inl_lsb > SPEC_INL_LSB and ch.max_dnl_lsb > SPEC_DNL_LSB
+
+    @property
+    def offset_gain_in_spec(self) -> bool:
+        ch = self.characterization
+        return (abs(ch.offset_error_lsb) < SPEC_OFFSET_LSB
+                and abs(ch.gain_error_lsb) <= SPEC_GAIN_LSB)
+
+    def summary(self) -> str:
+        lines = ["E6 full characterisation (Figure 2)",
+                 "metric          measured  paper  spec"]
+        for name, meas, paper, spec in self.rows():
+            lines.append(f"{name:15s} {meas:8.2f}  {paper:5.1f}  {spec:4.1f}")
+        lines.append(f"linearity out of spec (as the paper found): "
+                     f"{self.violates_linearity_spec}")
+        return "\n".join(lines)
+
+
+def run(adc: Optional[DualSlopeADC] = None) -> Fig2Result:
+    """Servo-characterise the device (the bench 'full manual test')."""
+    adc = adc or DualSlopeADC()
+    return Fig2Result(characterization=characterize_servo(adc))

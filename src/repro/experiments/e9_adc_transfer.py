@@ -1,0 +1,68 @@
+"""E9 — ADC macro sanity (Figure 1).
+
+The 250-gate dual-slope macro converts correctly over its full scale:
+the transfer curve is monotonic, covers codes 0–100 over 0–2.5 V and
+every conversion terminates inside the timing specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.adc.calibration import SPEC_MAX_CONVERSION_S
+from repro.adc.dual_slope import DualSlopeADC
+from repro.adc.histogram import transfer_curve
+
+
+@dataclass
+class TransferResult:
+    v_in: np.ndarray
+    codes: np.ndarray
+    max_conversion_time_s: float
+    all_completed: bool
+
+    @property
+    def monotonic(self) -> bool:
+        return bool(np.all(np.diff(self.codes) >= 0))
+
+    @property
+    def full_range(self) -> Tuple[int, int]:
+        return int(self.codes.min()), int(self.codes.max())
+
+    @property
+    def within_timing_spec(self) -> bool:
+        return (self.all_completed
+                and self.max_conversion_time_s <= SPEC_MAX_CONVERSION_S)
+
+    def rows(self):
+        lo, hi = self.full_range
+        return [
+            ("codes covered", f"{lo}..{hi}"),
+            ("monotonic", self.monotonic),
+            ("max conversion (ms)", 1e3 * self.max_conversion_time_s),
+        ]
+
+    def summary(self) -> str:
+        lo, hi = self.full_range
+        return (f"E9 transfer: codes {lo}..{hi}, "
+                f"monotonic={self.monotonic}, max conversion "
+                f"{1e3 * self.max_conversion_time_s:.2f} ms "
+                f"(spec {1e3 * SPEC_MAX_CONVERSION_S:.1f} ms)")
+
+
+def run(adc: Optional[DualSlopeADC] = None,
+        n_points: int = 200) -> TransferResult:
+    adc = adc or DualSlopeADC()
+    v, codes = transfer_curve(adc, n_points=n_points)
+    max_time = 0.0
+    all_done = True
+    for x in (0.0, adc.cal.full_scale_v / 2, adc.cal.full_scale_v):
+        trace = adc.convert(x)
+        max_time = max(max_time, trace.conversion_time_s)
+        all_done = all_done and trace.completed
+    return TransferResult(v_in=v, codes=codes,
+                          max_conversion_time_s=max_time,
+                          all_completed=all_done)

@@ -1,0 +1,91 @@
+"""Experiment registry and command-line runner.
+
+``python -m repro.experiments`` runs every registered experiment and
+prints its summary — the quickest way to regenerate the paper's
+evaluation section without pytest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    e1_step_table,
+    e2_ramp_test,
+    e3_digital_tests,
+    e4_compressed,
+    e5_batch10,
+    e6_fig2_dnl,
+    e7_fig4_detection,
+    e8_zdomain,
+    e9_adc_transfer,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    exp_id: str
+    title: str
+    paper_artifact: str
+    run: Callable[[], object]
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, paper_artifact: str,
+             run: Callable[[], object]) -> None:
+    if exp_id in REGISTRY:
+        raise ValueError(f"duplicate experiment id {exp_id!r}")
+    REGISTRY[exp_id] = Experiment(exp_id, title, paper_artifact, run)
+
+
+register("E1", "step fall-time table", "Analogue test results",
+         e1_step_table.run)
+register("E2", "ramp test + masking caveat", "Analogue test results",
+         e2_ramp_test.run)
+register("E3", "digital test results", "Digital test results",
+         e3_digital_tests.run)
+register("E4", "compressed test", "Compressed test results",
+         e4_compressed.run)
+register("E5", "batch of 10 screening", "Batch fabrication paragraph",
+         e5_batch10.run)
+register("E6", "full ADC characterisation", "Figure 2",
+         e6_fig2_dnl.run)
+register("E7", "detection instances", "Figure 4",
+         e7_fig4_detection.run)
+register("E8", "z-domain design check", "H(z) design equation",
+         e8_zdomain.run)
+register("E9", "ADC transfer sanity", "Figure 1",
+         e9_adc_transfer.run)
+
+
+def run_experiment(exp_id: str):
+    """Run one experiment by id and return its result object."""
+    exp_id = exp_id.upper()
+    if exp_id not in REGISTRY:
+        raise KeyError(f"unknown experiment {exp_id!r}; "
+                       f"known: {sorted(REGISTRY)}")
+    return REGISTRY[exp_id].run()
+
+
+def run_all(ids: Optional[List[str]] = None, echo: bool = True) -> Dict[str, object]:
+    """Run all (or the selected) experiments; returns id → result."""
+    selected = [i.upper() for i in ids] if ids else sorted(REGISTRY)
+    results = {}
+    for exp_id in selected:
+        exp = REGISTRY[exp_id]
+        start = time.perf_counter()
+        result = exp.run()
+        elapsed = time.perf_counter() - start
+        results[exp_id] = result
+        if echo:
+            print(f"--- {exp.exp_id}: {exp.title} "
+                  f"({exp.paper_artifact}) [{elapsed:.1f} s]")
+            print(result.summary())
+            print()
+    return results

@@ -1,0 +1,45 @@
+"""Fault models, netlist fault injection and fault-simulation campaigns.
+
+The paper introduces faults "at the transistor level using voltage
+generators, which could produce a stuck-at-0 or stuck-at-1 fault signal"
+at circuit nodes, plus double faults "which approximated to bridging
+faults across the MOS transistors".  This package reproduces exactly that
+mechanism for netlists, adds behavioural parameter faults for the
+macro-level ADC models, and provides campaign helpers that run a fault
+universe through a detection technique.
+"""
+
+from repro.faults.model import (
+    FaultKind,
+    Fault,
+    StuckAtFault,
+    BridgingFault,
+    ParameterFault,
+    MultipleFault,
+)
+from repro.faults.injector import inject, inject_all
+from repro.faults.universe import (
+    stuck_at_universe,
+    bridging_universe,
+    paper_circuit1_faults,
+    paper_integrator_faults,
+)
+from repro.faults.campaign import FaultCampaign, CampaignResult, FaultOutcome
+
+__all__ = [
+    "FaultKind",
+    "Fault",
+    "StuckAtFault",
+    "BridgingFault",
+    "ParameterFault",
+    "MultipleFault",
+    "inject",
+    "inject_all",
+    "stuck_at_universe",
+    "bridging_universe",
+    "paper_circuit1_faults",
+    "paper_integrator_faults",
+    "FaultCampaign",
+    "CampaignResult",
+    "FaultOutcome",
+]

@@ -1,0 +1,122 @@
+"""Fault injection into netlists and behavioural models.
+
+Netlist injection follows the paper's method: a stuck-at fault is a
+voltage generator (source + series resistance) attached to the faulted
+node; a bridging fault is a resistor between the bridged nodes.  The
+original circuit is never mutated — injection returns a fresh copy.
+
+Behavioural injection sets an attribute (possibly dotted) on a *copy* of
+the model, which must expose a ``copy()`` method.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Iterable, List
+
+from repro.faults.model import (
+    BridgingFault,
+    Fault,
+    MultipleFault,
+    ParameterFault,
+    StuckAtFault,
+)
+from repro.spice.netlist import Circuit
+
+
+def inject(target: Any, fault: Fault):
+    """Return a copy of ``target`` (Circuit or behavioural model) with the
+    fault applied."""
+    if isinstance(target, Circuit):
+        faulty = target.copy()
+        faulty.name = f"{target.name}+{fault.describe()}"
+        _apply_to_circuit(faulty, fault)
+        return faulty
+    return _apply_to_model(target, fault)
+
+
+def inject_all(target: Any, faults: Iterable[Fault]) -> List:
+    """Inject each fault independently; returns one faulty copy per fault."""
+    return [inject(target, f) for f in faults]
+
+
+# ----------------------------------------------------------------------
+# Netlist injection
+# ----------------------------------------------------------------------
+def _apply_to_circuit(circuit: Circuit, fault: Fault) -> None:
+    if isinstance(fault, MultipleFault):
+        for sub in fault.faults:
+            _apply_to_circuit(circuit, sub)
+        return
+    if isinstance(fault, StuckAtFault):
+        _check_node(circuit, fault.node, fault)
+        tag = _unique_name(circuit, f"FLT_{fault.name}")
+        # The paper's fault voltage generator: an ideal source pulling the
+        # node to the fault level through a series resistance.
+        internal = f"_flt_{fault.name}"
+        circuit.vsource(f"{tag}_V", internal, "0", fault.level)
+        circuit.resistor(f"{tag}_R", internal, fault.node, fault.resistance)
+        return
+    if isinstance(fault, BridgingFault):
+        _check_node(circuit, fault.node_a, fault)
+        _check_node(circuit, fault.node_b, fault)
+        tag = _unique_name(circuit, f"FLT_{fault.name}")
+        circuit.resistor(f"{tag}_R", fault.node_a, fault.node_b,
+                         fault.resistance)
+        return
+    if isinstance(fault, ParameterFault):
+        raise TypeError(
+            f"parameter fault {fault.name!r} cannot be injected into a "
+            f"netlist; use a behavioural model target")
+    raise TypeError(f"unsupported fault type {type(fault).__name__}")
+
+
+def _check_node(circuit: Circuit, node: str, fault: Fault) -> None:
+    canonical = circuit.canonical_node(node)
+    if canonical != "0" and canonical not in circuit.nodes():
+        raise KeyError(
+            f"fault {fault.name!r} references unknown node {node!r} in "
+            f"circuit {circuit.name!r}")
+
+
+def _unique_name(circuit: Circuit, base: str) -> str:
+    name = base
+    n = 1
+    while circuit.has_element(f"{name}_V") or circuit.has_element(f"{name}_R"):
+        n += 1
+        name = f"{base}{n}"
+    return name
+
+
+# ----------------------------------------------------------------------
+# Behavioural injection
+# ----------------------------------------------------------------------
+def _apply_to_model(model: Any, fault: Fault):
+    if hasattr(model, "copy") and callable(model.copy):
+        faulty = model.copy()
+    else:
+        faulty = _copy.deepcopy(model)
+    _set_on_model(faulty, fault)
+    return faulty
+
+
+def _set_on_model(model: Any, fault: Fault) -> None:
+    if isinstance(fault, MultipleFault):
+        for sub in fault.faults:
+            _set_on_model(model, sub)
+        return
+    if not isinstance(fault, ParameterFault):
+        raise TypeError(
+            f"{type(fault).__name__} cannot be injected into a behavioural "
+            f"model; netlist faults need a Circuit target")
+    obj = model
+    *path, attr = fault.parameter.split(".")
+    for part in path:
+        if not hasattr(obj, part):
+            raise AttributeError(
+                f"model has no sub-object {part!r} (fault {fault.name!r})")
+        obj = getattr(obj, part)
+    if not hasattr(obj, attr):
+        raise AttributeError(
+            f"model has no parameter {fault.parameter!r} (fault {fault.name!r})")
+    setattr(obj, attr, fault.value)

@@ -1,0 +1,150 @@
+"""Fault model definitions.
+
+Three families cover the paper's experiments:
+
+* :class:`StuckAtFault` — a node forced to a rail through a fault
+  voltage generator (the paper's mechanism; the generator's series
+  resistance models the strength of the short).
+* :class:`BridgingFault` — a resistive bridge between two nodes,
+  approximating shorts across MOS transistor terminals.
+* :class:`ParameterFault` — a behavioural model parameter pushed out of
+  range (used on the macro-level ADC sub-macro models where no netlist
+  exists).
+
+:class:`MultipleFault` composes several of the above (the paper's
+"double faults").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+class FaultKind(enum.Enum):
+    """Classification used for reporting and campaign slicing."""
+
+    STUCK_AT_0 = "sa0"
+    STUCK_AT_1 = "sa1"
+    BRIDGE = "bridge"
+    PARAMETER = "parameter"
+    MULTIPLE = "multiple"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: a named, injectable defect."""
+
+    name: str
+
+    @property
+    def kind(self) -> FaultKind:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+@dataclass(frozen=True)
+class StuckAtFault(Fault):
+    """Node forced to ``level`` volts through ``resistance`` ohms.
+
+    ``level`` is typically a rail (0 V or 5 V); the default series
+    resistance of 1 Ω models a hard short, larger values model weaker
+    defects.
+    """
+
+    node: str = ""
+    level: float = 0.0
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("StuckAtFault needs a node")
+        if self.resistance <= 0:
+            raise ValueError("fault generator resistance must be positive")
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.STUCK_AT_0 if self.level <= 0.0 else FaultKind.STUCK_AT_1
+
+    @staticmethod
+    def sa0(node: str, resistance: float = 1.0) -> "StuckAtFault":
+        """Stuck-at-0: node shorted toward 0 V."""
+        return StuckAtFault(name=f"{node}-sa0", node=node, level=0.0,
+                            resistance=resistance)
+
+    @staticmethod
+    def sa1(node: str, vdd: float = 5.0, resistance: float = 1.0) -> "StuckAtFault":
+        """Stuck-at-1: node shorted toward the supply."""
+        return StuckAtFault(name=f"{node}-sa1", node=node, level=vdd,
+                            resistance=resistance)
+
+
+@dataclass(frozen=True)
+class BridgingFault(Fault):
+    """Resistive bridge between two circuit nodes."""
+
+    node_a: str = ""
+    node_b: str = ""
+    resistance: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.node_a or not self.node_b:
+            raise ValueError("BridgingFault needs two nodes")
+        if self.node_a == self.node_b:
+            raise ValueError("bridge endpoints must differ")
+        if self.resistance <= 0:
+            raise ValueError("bridge resistance must be positive")
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.BRIDGE
+
+    @staticmethod
+    def between(node_a: str, node_b: str,
+                resistance: float = 10.0) -> "BridgingFault":
+        return BridgingFault(name=f"{node_a}-{node_b}-bridge",
+                             node_a=node_a, node_b=node_b,
+                             resistance=resistance)
+
+
+@dataclass(frozen=True)
+class ParameterFault(Fault):
+    """Behavioural-model fault: attribute ``parameter`` set to ``value``.
+
+    ``target`` selects which sub-macro the parameter belongs to when
+    injecting into a composite model (matched against attribute paths,
+    e.g. ``"integrator.leak_per_cycle"``).
+    """
+
+    parameter: str = ""
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.parameter:
+            raise ValueError("ParameterFault needs a parameter path")
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.PARAMETER
+
+
+@dataclass(frozen=True)
+class MultipleFault(Fault):
+    """Several simultaneous defects (the paper's double faults)."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.faults) < 2:
+            raise ValueError("MultipleFault needs at least two components")
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.MULTIPLE
+
+    def describe(self) -> str:
+        inner = "+".join(f.describe() for f in self.faults)
+        return f"multiple:{self.name}({inner})"

@@ -1,0 +1,96 @@
+"""Fault-universe enumeration.
+
+Generic generators build exhaustive stuck-at / bridging universes over a
+circuit's nodes; the ``paper_*`` functions reproduce the specific fault
+lists the paper simulated:
+
+* circuit 1 (OP1): "Single separate faults were imposed at the major
+  nodes 4, 5, 7, 8 and 3.  Double faults were imposed separately at nodes
+  8 to 9, nodes 5 to 8 and nodes 4 to 6" — with stuck-at-0 and stuck-at-1
+  variants that makes the 16 faulty circuits of Figure 4.
+* circuits 2/3 (SC integrator): "single stuck-at faults at the switched
+  capacitor integrator nodes 4, 5, 7, 8 and 9 and separate bridging
+  faults on nodes 6 to 7 and nodes 5 to 8" — the 12 faulty circuits.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+from repro.faults.model import BridgingFault, Fault, MultipleFault, StuckAtFault
+from repro.spice.netlist import Circuit
+
+
+def stuck_at_universe(nodes: Sequence[str], vdd: float = 5.0,
+                      resistance: float = 1.0) -> List[Fault]:
+    """SA0 and SA1 at every listed node."""
+    faults: List[Fault] = []
+    for node in nodes:
+        faults.append(StuckAtFault.sa0(node, resistance=resistance))
+        faults.append(StuckAtFault.sa1(node, vdd=vdd, resistance=resistance))
+    return faults
+
+
+def bridging_universe(nodes: Sequence[str],
+                      resistance: float = 10.0) -> List[Fault]:
+    """A bridge between every pair of listed nodes."""
+    return [BridgingFault.between(a, b, resistance=resistance)
+            for a, b in combinations(nodes, 2)]
+
+
+def full_node_universe(circuit: Circuit, vdd: float = 5.0,
+                       exclude: Sequence[str] = ()) -> List[Fault]:
+    """Stuck-at universe over all circuit nodes except supplies/excluded."""
+    skip = set(exclude) | {"0"}
+    nodes = [n for n in circuit.nodes() if n not in skip]
+    return stuck_at_universe(nodes, vdd=vdd)
+
+
+def paper_circuit1_faults(vdd: float = 5.0) -> List[Fault]:
+    """The 16 faulty variants of circuit 1 (OP1) from the paper.
+
+    10 single stuck-at faults (SA0/SA1 at nodes 4, 5, 7, 8, 3) plus 6
+    double faults at the pairs (8,9), (5,8), (4,6) — each pair driven to
+    both rails, approximating bridging across the MOS transistors.
+    """
+    faults: List[Fault] = list(stuck_at_universe(["4", "5", "7", "8", "3"],
+                                                 vdd=vdd))
+    for a, b in (("8", "9"), ("5", "8"), ("4", "6")):
+        for level, tag in ((0.0, "sa0"), (vdd, "sa1")):
+            pair = MultipleFault(
+                name=f"{a}-{b}-{tag}",
+                faults=(
+                    StuckAtFault(name=f"{a}-{tag}", node=a, level=level),
+                    StuckAtFault(name=f"{b}-{tag}", node=b, level=level),
+                ),
+            )
+            faults.append(pair)
+    assert len(faults) == 16
+    return faults
+
+
+def paper_integrator_faults(vdd: float = 5.0,
+                            node_prefix: str = "",
+                            stuck_resistance: float = 1.0,
+                            bridge_resistance: float = 10.0) -> List[Fault]:
+    """The 12 faulty variants of the SC integrator (circuits 2 and 3).
+
+    10 single stuck-at faults (SA0/SA1 at integrator nodes 4, 5, 7, 8, 9)
+    plus bridging faults on node pairs (6,7) and (5,8).
+
+    ``node_prefix`` maps the OP1-relative node numbers onto the composite
+    circuit's namespace (e.g. ``"int_"`` when the integrator instance was
+    merged with that prefix).  The resistances set how stiffly the fault
+    generators couple to the nodes (see
+    :class:`repro.core.impulse_method.ImpulseMethodConfig`).
+    """
+    nodes = [f"{node_prefix}{n}" for n in ("4", "5", "7", "8", "9")]
+    faults: List[Fault] = list(stuck_at_universe(nodes, vdd=vdd,
+                                                 resistance=stuck_resistance))
+    for a, b in (("6", "7"), ("5", "8")):
+        faults.append(BridgingFault.between(f"{node_prefix}{a}",
+                                            f"{node_prefix}{b}",
+                                            resistance=bridge_resistance))
+    assert len(faults) == 12
+    return faults

@@ -1,0 +1,31 @@
+"""LTI system toolkit — the reproduction's Matlab substitute.
+
+The paper's second test method extracts poles/zeros/constants from HSPICE,
+builds state-space matrices in Matlab and compares impulse responses of
+fault-free and faulty circuits.  This package provides those mathematical
+objects: continuous-time state space and transfer functions, z-domain
+transfer functions for switched-capacitor blocks, and impulse/step
+response computation.
+"""
+
+from repro.lti.statespace import StateSpace
+from repro.lti.transferfunction import TransferFunction, tf_from_poles_zeros
+from repro.lti.zdomain import ZTransferFunction, sc_integrator_ztf
+from repro.lti.impulse import (
+    impulse_response,
+    step_response,
+    impulse_response_z,
+    response_difference,
+)
+
+__all__ = [
+    "StateSpace",
+    "TransferFunction",
+    "tf_from_poles_zeros",
+    "ZTransferFunction",
+    "sc_integrator_ztf",
+    "impulse_response",
+    "step_response",
+    "impulse_response_z",
+    "response_difference",
+]

@@ -1,0 +1,81 @@
+"""Impulse/step responses and response-difference metrics.
+
+The paper's second test method ("the impulse responses ... were also
+plotted so that the percentage of detection instances can be derived")
+compares the impulse response of each faulty circuit model against the
+fault-free one.  These helpers compute responses from the LTI objects and
+quantify the differences.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.lti.statespace import StateSpace
+from repro.lti.transferfunction import TransferFunction
+from repro.lti.zdomain import ZTransferFunction
+from repro.signals.waveform import Waveform
+
+System = Union[StateSpace, TransferFunction]
+
+
+def _as_statespace(system: System) -> StateSpace:
+    if isinstance(system, TransferFunction):
+        return system.to_statespace()
+    if isinstance(system, StateSpace):
+        return system
+    raise TypeError(f"unsupported system type {type(system).__name__}")
+
+
+def impulse_response(system: System, dt: float, duration: float) -> Waveform:
+    """Continuous-time impulse response sampled on a uniform grid."""
+    return _as_statespace(system).impulse(dt, duration)
+
+
+def step_response(system: System, dt: float, duration: float) -> Waveform:
+    """Continuous-time unit-step response."""
+    return _as_statespace(system).step(dt, duration)
+
+
+def impulse_response_z(ztf: ZTransferFunction, n_samples: int,
+                       dt: float = 1.0) -> Waveform:
+    """Discrete impulse response of a z-domain system as a waveform."""
+    h = ztf.impulse(n_samples)
+    return Waveform(h, ztf.dt or dt, name="h[n]")
+
+
+def response_difference(reference: Waveform, candidate: Waveform) -> Waveform:
+    """Pointwise difference ``candidate - reference`` on a common grid."""
+    if abs(reference.dt - candidate.dt) > 1e-15 * max(reference.dt, candidate.dt):
+        candidate = candidate.resample(reference.dt)
+    n = min(len(reference), len(candidate))
+    return Waveform(candidate.values[:n] - reference.values[:n],
+                    reference.dt, reference.t0, name="delta")
+
+
+def normalized_deviation(reference: Waveform, candidate: Waveform,
+                         floor: float = 1e-12) -> Waveform:
+    """Deviation normalised by the reference's peak magnitude.
+
+    Each sample is ``|candidate - reference| / max|reference|`` — the
+    per-time-instance quantity thresholded by the detection-instances
+    metric.
+    """
+    delta = response_difference(reference, candidate)
+    scale = max(float(np.max(np.abs(reference.values))), floor)
+    return Waveform(np.abs(delta.values) / scale, delta.dt, delta.t0,
+                    name="normdev")
+
+
+def rms_deviation(reference: Waveform, candidate: Waveform) -> float:
+    """Root-mean-square deviation between two responses."""
+    return response_difference(reference, candidate).rms()
+
+
+def peak_deviation(reference: Waveform, candidate: Waveform) -> Tuple[float, float]:
+    """Return ``(peak_abs_deviation, time_of_peak)``."""
+    delta = response_difference(reference, candidate)
+    idx = int(np.argmax(np.abs(delta.values)))
+    return float(abs(delta.values[idx])), float(delta.times[idx])

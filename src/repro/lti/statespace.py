@@ -1,0 +1,206 @@
+"""Continuous-time state-space systems.
+
+``dx/dt = A x + B u``, ``y = C x + D u`` — the representation the paper
+builds in Matlab from HSPICE-extracted poles, zeros and constants, used to
+compare the impulse responses of fault-free and faulty circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.signals.waveform import Waveform
+
+
+class StateSpace:
+    """A SISO/MIMO continuous-time linear system in state-space form."""
+
+    def __init__(self, a, b, c, d) -> None:
+        self.a = np.atleast_2d(np.asarray(a, dtype=float))
+        self.b = np.atleast_2d(np.asarray(b, dtype=float))
+        self.c = np.atleast_2d(np.asarray(c, dtype=float))
+        self.d = np.atleast_2d(np.asarray(d, dtype=float))
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise ValueError(f"A must be square, got {self.a.shape}")
+        if self.b.shape[0] != n:
+            raise ValueError(f"B row count {self.b.shape[0]} != order {n}")
+        if self.c.shape[1] != n:
+            raise ValueError(f"C column count {self.c.shape[1]} != order {n}")
+        if self.d.shape != (self.c.shape[0], self.b.shape[1]):
+            raise ValueError(
+                f"D shape {self.d.shape} inconsistent with C rows/B columns")
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    def poles(self) -> np.ndarray:
+        """System poles (eigenvalues of A)."""
+        return np.linalg.eigvals(self.a)
+
+    def is_stable(self, margin: float = 0.0) -> bool:
+        """All poles strictly in the left half-plane (by ``margin``)."""
+        return bool(np.all(np.real(self.poles()) < -margin))
+
+    def dc_gain(self) -> np.ndarray:
+        """Steady-state gain ``D - C A^-1 B`` (requires invertible A)."""
+        return self.d - self.c @ np.linalg.solve(self.a, self.b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"StateSpace(order={self.order}, inputs={self.n_inputs}, "
+                f"outputs={self.n_outputs})")
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def cascade(self, other: "StateSpace") -> "StateSpace":
+        """Series connection: the output of ``self`` drives ``other``."""
+        if self.n_outputs != other.n_inputs:
+            raise ValueError("cascade dimension mismatch")
+        n1, n2 = self.order, other.order
+        a = np.zeros((n1 + n2, n1 + n2))
+        a[:n1, :n1] = self.a
+        a[n1:, n1:] = other.a
+        a[n1:, :n1] = other.b @ self.c
+        b = np.vstack([self.b, other.b @ self.d])
+        c = np.hstack([other.d @ self.c, other.c])
+        d = other.d @ self.d
+        return StateSpace(a, b, c, d)
+
+    def parallel(self, other: "StateSpace") -> "StateSpace":
+        """Summing-junction parallel connection (same input, outputs add)."""
+        if self.n_inputs != other.n_inputs or self.n_outputs != other.n_outputs:
+            raise ValueError("parallel dimension mismatch")
+        n1, n2 = self.order, other.order
+        a = np.zeros((n1 + n2, n1 + n2))
+        a[:n1, :n1] = self.a
+        a[n1:, n1:] = other.a
+        b = np.vstack([self.b, other.b])
+        c = np.hstack([self.c, other.c])
+        d = self.d + other.d
+        return StateSpace(a, b, c, d)
+
+    def scaled(self, gain: float) -> "StateSpace":
+        """Output scaled by a constant gain."""
+        return StateSpace(self.a, self.b, gain * self.c, gain * self.d)
+
+    # ------------------------------------------------------------------
+    # Discretisation and simulation
+    # ------------------------------------------------------------------
+    def discretize(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-order-hold discretisation; returns ``(Ad, Bd)``.
+
+        Uses the standard augmented-matrix exponential so singular A is
+        handled (integrators are common in this work).
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        n, m = self.order, self.n_inputs
+        block = np.zeros((n + m, n + m))
+        block[:n, :n] = self.a
+        block[:n, n:] = self.b
+        eblock = expm(block * dt)
+        return eblock[:n, :n], eblock[:n, n:]
+
+    def simulate(self, u: Waveform, x0: Optional[np.ndarray] = None) -> Waveform:
+        """Simulate the (SISO view of the) system against input waveform ``u``.
+
+        Zero-order-hold between samples.  Returns the first output.
+        """
+        ad, bd = self.discretize(u.dt)
+        n = self.order
+        x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).reshape(n)
+        y = np.empty(len(u))
+        c0 = self.c[0]
+        d0 = self.d[0, 0] if self.d.size else 0.0
+        uin = u.values
+        for k in range(len(u)):
+            y[k] = c0 @ x + d0 * uin[k]
+            x = ad @ x + bd[:, 0] * uin[k]
+        return Waveform(y, u.dt, u.t0, name="y")
+
+    def impulse(self, dt: float, duration: float) -> Waveform:
+        """Impulse response ``C e^{At} B`` sampled on a uniform grid.
+
+        The t=0 sample includes the D feed-through as an area-``1/dt``
+        impulse approximation.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        n_samples = int(round(duration / dt)) + 1
+        phi = expm(self.a * dt)
+        h = np.empty(n_samples)
+        m = np.eye(self.order)
+        b0 = self.b[:, 0]
+        c0 = self.c[0]
+        for k in range(n_samples):
+            h[k] = c0 @ m @ b0
+            m = phi @ m
+        if self.d.size and self.d[0, 0] != 0.0:
+            h[0] += self.d[0, 0] / dt
+        return Waveform(h, dt, name="h(t)")
+
+    def step(self, dt: float, duration: float) -> Waveform:
+        """Unit-step response."""
+        n_samples = int(round(duration / dt)) + 1
+        u = Waveform(np.ones(n_samples), dt, name="u")
+        return self.simulate(u)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_transfer_function(num, den) -> "StateSpace":
+        """Controllable canonical realisation of ``num(s)/den(s)``.
+
+        Coefficients are highest power first, as in scipy.signal.
+        """
+        num = np.atleast_1d(np.asarray(num, dtype=float))
+        den = np.atleast_1d(np.asarray(den, dtype=float))
+        den = np.trim_zeros(den, "f")
+        if len(den) == 0 or den[0] == 0.0:
+            raise ValueError("denominator leading coefficient must be nonzero")
+        if len(num) > len(den):
+            raise ValueError("improper transfer function (deg num > deg den)")
+        den = den / den[0]
+        n = len(den) - 1
+        if n == 0:
+            return StateSpace(np.zeros((1, 1)), np.zeros((1, 1)),
+                              np.zeros((1, 1)), [[num[0] / 1.0]])
+        num_full = np.concatenate([np.zeros(len(den) - len(num)), num])
+        d = num_full[0]
+        # After removing the direct term, the strictly proper numerator:
+        num_sp = num_full[1:] - d * den[1:]
+        a = np.zeros((n, n))
+        a[0, :] = -den[1:]
+        if n > 1:
+            a[1:, :-1] = np.eye(n - 1)
+        b = np.zeros((n, 1))
+        b[0, 0] = 1.0
+        c = num_sp.reshape(1, n)
+        return StateSpace(a, b, c, [[d]])
+
+    @staticmethod
+    def integrator(gain: float = 1.0) -> "StateSpace":
+        """Ideal integrator ``gain / s``."""
+        return StateSpace([[0.0]], [[1.0]], [[gain]], [[0.0]])
+
+    @staticmethod
+    def first_order(pole: float, gain: float = 1.0) -> "StateSpace":
+        """Single-pole low-pass ``gain * p / (s + p)`` with ``pole`` rad/s."""
+        if pole <= 0:
+            raise ValueError("pole must be a positive rad/s magnitude")
+        return StateSpace([[-pole]], [[pole]], [[gain]], [[0.0]])

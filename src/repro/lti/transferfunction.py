@@ -1,0 +1,125 @@
+"""Continuous-time (s-domain) transfer functions.
+
+The paper's flow extracts "poles, zeros and constants" from HSPICE and then
+builds state-space matrices from them; :func:`tf_from_poles_zeros` is that
+step, and :class:`TransferFunction` carries the polynomial form with
+conversion into :class:`~repro.lti.statespace.StateSpace`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.lti.statespace import StateSpace
+
+
+class TransferFunction:
+    """Rational transfer function ``num(s) / den(s)``.
+
+    Coefficients are stored highest-power-first (numpy polynomial order).
+    """
+
+    def __init__(self, num: Sequence[float], den: Sequence[float]) -> None:
+        num_arr = np.trim_zeros(np.atleast_1d(np.asarray(num, dtype=float)), "f")
+        den_arr = np.trim_zeros(np.atleast_1d(np.asarray(den, dtype=float)), "f")
+        if len(den_arr) == 0:
+            raise ValueError("denominator must be nonzero")
+        if len(num_arr) == 0:
+            num_arr = np.array([0.0])
+        if len(num_arr) > len(den_arr):
+            raise ValueError("improper transfer function (deg num > deg den)")
+        # Normalise so den is monic; keeps comparisons canonical.
+        self.num = num_arr / den_arr[0]
+        self.den = den_arr / den_arr[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return len(self.den) - 1
+
+    def poles(self) -> np.ndarray:
+        if self.order == 0:
+            return np.empty(0, dtype=complex)
+        return np.roots(self.den)
+
+    def zeros(self) -> np.ndarray:
+        if len(self.num) <= 1:
+            return np.empty(0, dtype=complex)
+        return np.roots(self.num)
+
+    def gain_constant(self) -> float:
+        """Leading numerator coefficient with monic denominator."""
+        return float(self.num[0])
+
+    def dc_gain(self) -> float:
+        """Gain at s = 0; ``inf`` when there is a pole at the origin."""
+        den0 = self.den[-1]
+        num0 = self.num[-1]
+        if den0 == 0.0:
+            return float("inf") if num0 != 0.0 else float("nan")
+        return float(num0 / den0)
+
+    def evaluate(self, s: complex) -> complex:
+        """Evaluate H(s) at a complex frequency."""
+        return complex(np.polyval(self.num, s) / np.polyval(self.den, s))
+
+    def magnitude_db(self, omega: np.ndarray) -> np.ndarray:
+        """Gain magnitude in dB over an angular-frequency vector."""
+        h = np.polyval(self.num, 1j * omega) / np.polyval(self.den, 1j * omega)
+        return 20.0 * np.log10(np.maximum(np.abs(h), 1e-300))
+
+    def to_statespace(self) -> StateSpace:
+        return StateSpace.from_transfer_function(self.num, self.den)
+
+    def is_stable(self) -> bool:
+        return bool(np.all(np.real(self.poles()) < 0.0))
+
+    # ------------------------------------------------------------------
+    def cascade(self, other: "TransferFunction") -> "TransferFunction":
+        return TransferFunction(np.polymul(self.num, other.num),
+                                np.polymul(self.den, other.den))
+
+    def __mul__(self, other) -> "TransferFunction":
+        if isinstance(other, TransferFunction):
+            return self.cascade(other)
+        return TransferFunction(self.num * float(other), self.den)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TransferFunction(num={self.num.tolist()}, den={self.den.tolist()})"
+
+    def almost_equal(self, other: "TransferFunction", rtol: float = 1e-6) -> bool:
+        return (len(self.num) == len(other.num)
+                and len(self.den) == len(other.den)
+                and bool(np.allclose(self.num, other.num, rtol=rtol, atol=1e-12))
+                and bool(np.allclose(self.den, other.den, rtol=rtol, atol=1e-12)))
+
+
+def tf_from_poles_zeros(poles: Sequence[complex], zeros: Sequence[complex],
+                        constant: float = 1.0) -> TransferFunction:
+    """Build ``H(s) = constant * prod(s - z_i) / prod(s - p_i)``.
+
+    This is the paper's "poles, zeros and constants" → matrices step.
+    Complex singularities must come in conjugate pairs so the resulting
+    polynomial coefficients are real.
+    """
+    num = np.real_if_close(np.poly(np.asarray(zeros, dtype=complex))) * constant \
+        if len(zeros) else np.array([constant], dtype=float)
+    den = np.real_if_close(np.poly(np.asarray(poles, dtype=complex))) \
+        if len(poles) else np.array([1.0])
+    if np.iscomplexobj(num) and np.max(np.abs(np.imag(num))) > 1e-9 * np.max(np.abs(num)):
+        raise ValueError("zeros must form conjugate pairs (real coefficients)")
+    if np.iscomplexobj(den) and np.max(np.abs(np.imag(den))) > 1e-9 * np.max(np.abs(den)):
+        raise ValueError("poles must form conjugate pairs (real coefficients)")
+    return TransferFunction(np.real(num), np.real(den))
+
+
+def dominant_pole(tf: TransferFunction) -> complex:
+    """The pole closest to the imaginary axis (slowest natural mode)."""
+    poles = tf.poles()
+    if len(poles) == 0:
+        raise ValueError("transfer function has no poles")
+    return complex(poles[np.argmin(np.abs(np.real(poles)))])

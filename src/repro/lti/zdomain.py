@@ -1,0 +1,157 @@
+"""Discrete-time (z-domain) transfer functions.
+
+Switched-capacitor circuits are naturally discrete-time systems clocked by
+their non-overlapping phases.  The paper designs its SC integrator to
+
+    Vout(z) / Vin(z) = H(z) = z^-1 / (6.8 * (1 - z^-1))
+
+i.e. a discrete integrator with per-sample gain 1/6.8 (the capacitor
+ratio Cs/Cf).  :class:`ZTransferFunction` stores H(z) as polynomials in
+z^-1 and runs the associated difference equation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+#: The paper's SC-integrator capacitor ratio: H(z) = z^-1 / (6.8 (1 - z^-1)).
+PAPER_INTEGRATOR_RATIO = 6.8
+
+
+class ZTransferFunction:
+    """Rational function of ``z^-1``: ``H(z) = num(z^-1) / den(z^-1)``.
+
+    ``num[k]`` multiplies ``z^-k``.  The difference equation is
+
+        den[0]*y[n] = sum_k num[k]*u[n-k] - sum_{k>=1} den[k]*y[n-k]
+    """
+
+    def __init__(self, num: Sequence[float], den: Sequence[float],
+                 dt: Optional[float] = None) -> None:
+        num_arr = np.atleast_1d(np.asarray(num, dtype=float))
+        den_arr = np.atleast_1d(np.asarray(den, dtype=float))
+        if len(den_arr) == 0 or den_arr[0] == 0.0:
+            raise ValueError("den[0] (the z^0 coefficient) must be nonzero")
+        self.num = num_arr
+        self.den = den_arr
+        self.dt = dt
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return max(len(self.num), len(self.den)) - 1
+
+    def poles(self) -> np.ndarray:
+        """Poles in the z-plane."""
+        n = len(self.den)
+        if n <= 1:
+            return np.empty(0, dtype=complex)
+        # den as polynomial in z^-1 -> multiply through by z^(n-1):
+        # den[0] z^{n-1} + den[1] z^{n-2} + ... + den[n-1]
+        return np.roots(self.den)
+
+    def zeros(self) -> np.ndarray:
+        if len(self.num) <= 1:
+            return np.empty(0, dtype=complex)
+        return np.roots(self.num)
+
+    def evaluate(self, z: complex) -> complex:
+        zi = 1.0 / z
+        num = sum(c * zi ** k for k, c in enumerate(self.num))
+        den = sum(c * zi ** k for k, c in enumerate(self.den))
+        return complex(num / den)
+
+    def dc_gain(self) -> float:
+        """Gain at z = 1; ``inf`` for an integrator."""
+        num1 = float(np.sum(self.num))
+        den1 = float(np.sum(self.den))
+        if den1 == 0.0:
+            return float("inf") if num1 != 0.0 else float("nan")
+        return num1 / den1
+
+    def is_stable(self) -> bool:
+        """All poles strictly inside the unit circle."""
+        return bool(np.all(np.abs(self.poles()) < 1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ZTransferFunction(num={self.num.tolist()}, den={self.den.tolist()})"
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def filter(self, u: np.ndarray, y0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Run the difference equation over an input sample array."""
+        u = np.asarray(u, dtype=float)
+        y = np.zeros(len(u))
+        if y0 is not None:
+            ny = min(len(y0), len(y))
+            y[:ny] = np.asarray(y0, dtype=float)[:ny]
+        a0 = self.den[0]
+        for n in range(len(u)):
+            acc = 0.0
+            for k, b in enumerate(self.num):
+                if n - k >= 0:
+                    acc += b * u[n - k]
+            for k in range(1, len(self.den)):
+                if n - k >= 0:
+                    acc -= self.den[k] * y[n - k]
+            y[n] = acc / a0
+        return y
+
+    def simulate(self, u: Waveform) -> Waveform:
+        """Filter a waveform sampled at the SC clock rate."""
+        if self.dt is not None and abs(u.dt - self.dt) > 1e-12 * self.dt:
+            u = u.resample(self.dt)
+        return Waveform(self.filter(u.values), u.dt, u.t0, name="y[n]")
+
+    def impulse(self, n_samples: int) -> np.ndarray:
+        """Impulse response h[n] for n = 0..n_samples-1."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        u = np.zeros(n_samples)
+        u[0] = 1.0
+        return self.filter(u)
+
+    def step(self, n_samples: int) -> np.ndarray:
+        """Step response."""
+        return self.filter(np.ones(n_samples))
+
+    def cascade(self, other: "ZTransferFunction") -> "ZTransferFunction":
+        return ZTransferFunction(np.convolve(self.num, other.num),
+                                 np.convolve(self.den, other.den),
+                                 dt=self.dt or other.dt)
+
+
+def sc_integrator_ztf(cap_ratio: float = PAPER_INTEGRATOR_RATIO,
+                      dt: Optional[float] = None,
+                      inverting: bool = False,
+                      leak: float = 0.0) -> ZTransferFunction:
+    """The paper's switched-capacitor integrator in the z domain.
+
+    ``H(z) = ± z^-1 / (cap_ratio * (1 - (1 - leak) z^-1))``
+
+    Parameters
+    ----------
+    cap_ratio:
+        Feedback-to-sampling capacitor ratio Cf/Cs; the paper uses 6.8.
+    dt:
+        Clock period the difference equation runs at (e.g. 5 µs).
+    inverting:
+        Sign of the charge transfer.
+    leak:
+        Fractional charge loss per cycle (0 = ideal).  Finite op-amp gain
+        or switch leakage shows up as a leaky integrator — one of the
+        fault/degradation mechanisms studied in the campaigns.
+    """
+    if cap_ratio <= 0:
+        raise ValueError("cap_ratio must be positive")
+    if not 0.0 <= leak < 1.0:
+        raise ValueError("leak must lie in [0, 1)")
+    sign = -1.0 if inverting else 1.0
+    num = [0.0, sign / cap_ratio]
+    den = [1.0, -(1.0 - leak)]
+    return ZTransferFunction(num, den, dt=dt)

@@ -1,0 +1,18 @@
+"""Process variation and device batches — the silicon substitute.
+
+The paper fabricates a batch of 10 gate-array devices and runs the quick
+BIST on all of them.  Here a :class:`~repro.process.variation.VariationModel`
+perturbs behavioural macro parameters with device-to-device spread and a
+:class:`~repro.process.batch.Batch` 'fabricates' N device instances.
+"""
+
+from repro.process.variation import VariationSpec, VariationModel
+from repro.process.batch import Batch, FabricatedDevice
+from repro.process.yield_analysis import (
+    YieldReport,
+    parametric_yield,
+    yield_vs_spec_limit,
+)
+
+__all__ = ["VariationSpec", "VariationModel", "Batch", "FabricatedDevice",
+           "YieldReport", "parametric_yield", "yield_vs_spec_limit"]

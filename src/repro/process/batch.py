@@ -1,0 +1,104 @@
+"""Fabricated device batches.
+
+``Batch.fabricate`` clones a nominal behavioural device model N times and
+applies sampled process variation to each clone — the software stand-in
+for the paper's batch of 10 fabricated gate-array devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.process.variation import VariationModel
+
+
+@dataclass
+class FabricatedDevice:
+    """One device instance: the varied model plus its parameter draw."""
+
+    index: int
+    model: Any
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v:.4g}" for k, v in self.parameters.items())
+        return f"device[{self.index}]: {params}"
+
+
+def _get_path(obj: Any, path: str) -> float:
+    for part in path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _set_path(obj: Any, path: str, value: float) -> None:
+    *parents, attr = path.split(".")
+    for part in parents:
+        obj = getattr(obj, part)
+    setattr(obj, attr, value)
+
+
+class Batch:
+    """A fabrication run of N devices from one nominal design.
+
+    Parameters
+    ----------
+    nominal_factory:
+        Zero-argument callable returning a fresh nominal device model
+        (so clones never share mutable state).
+    variation:
+        The process-variation model to sample per device.
+    """
+
+    def __init__(self, nominal_factory: Callable[[], Any],
+                 variation: VariationModel) -> None:
+        self.nominal_factory = nominal_factory
+        self.variation = variation
+
+    def fabricate(self, n_devices: int) -> List[FabricatedDevice]:
+        """Produce ``n_devices`` varied instances."""
+        if n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        reference = self.nominal_factory()
+        nominals = {p: float(_get_path(reference, p))
+                    for p in self.variation.parameters()}
+        devices = []
+        for i in range(n_devices):
+            model = self.nominal_factory()
+            draw = self.variation.sample_device(nominals, i)
+            for path, value in draw.items():
+                _set_path(model, path, value)
+            devices.append(FabricatedDevice(index=i, model=model,
+                                            parameters=draw))
+        return devices
+
+    def screen(self, n_devices: int,
+               test: Callable[[Any], bool]) -> "ScreenResult":
+        """Fabricate a batch and run a pass/fail test on every device."""
+        devices = self.fabricate(n_devices)
+        passed = []
+        failed = []
+        for dev in devices:
+            (passed if test(dev.model) else failed).append(dev)
+        return ScreenResult(devices=devices, passed=passed, failed=failed)
+
+
+@dataclass
+class ScreenResult:
+    """Outcome of screening a fabricated batch."""
+
+    devices: List[FabricatedDevice]
+    passed: List[FabricatedDevice]
+    failed: List[FabricatedDevice]
+
+    @property
+    def yield_fraction(self) -> float:
+        if not self.devices:
+            return 0.0
+        return len(self.passed) / len(self.devices)
+
+    def describe(self) -> str:
+        return (f"batch of {len(self.devices)}: {len(self.passed)} passed, "
+                f"{len(self.failed)} failed "
+                f"(yield {100 * self.yield_fraction:.0f}%)")

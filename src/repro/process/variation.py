@@ -1,0 +1,97 @@
+"""Parameter variation models.
+
+A :class:`VariationSpec` describes how one behavioural parameter spreads
+across fabricated devices (normal or lognormal, absolute or relative
+sigma); a :class:`VariationModel` bundles specs and samples whole
+parameter sets reproducibly from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Spread description for one parameter.
+
+    Parameters
+    ----------
+    parameter:
+        Dotted attribute path on the device model
+        (e.g. ``"integrator.cap_ratio"``).
+    sigma:
+        Standard deviation of the perturbation.
+    relative:
+        When true, ``sigma`` is a fraction of the nominal value.
+    distribution:
+        ``"normal"`` or ``"lognormal"`` (lognormal suits strictly positive
+        quantities like capacitances).
+    clip_lo, clip_hi:
+        Optional hard physical bounds applied after sampling.
+    """
+
+    parameter: str
+    sigma: float
+    relative: bool = True
+    distribution: str = "normal"
+    clip_lo: Optional[float] = None
+    clip_hi: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.distribution not in ("normal", "lognormal"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    def sample(self, nominal: float, rng: np.random.Generator) -> float:
+        """Draw one device's value of this parameter."""
+        if self.distribution == "lognormal":
+            # sigma interpreted as the log-domain std deviation
+            value = nominal * float(rng.lognormal(0.0, self.sigma))
+        else:
+            spread = self.sigma * (abs(nominal) if self.relative else 1.0)
+            value = nominal + float(rng.normal(0.0, spread))
+        if self.clip_lo is not None:
+            value = max(value, self.clip_lo)
+        if self.clip_hi is not None:
+            value = min(value, self.clip_hi)
+        return value
+
+
+class VariationModel:
+    """A set of variation specs sampled together per device."""
+
+    def __init__(self, specs: Iterable[VariationSpec], seed: int = 1996) -> None:
+        self.specs = list(specs)
+        names = [s.parameter for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter in variation specs")
+        self.seed = seed
+
+    def sample_device(self, nominals: Dict[str, float],
+                      device_index: int) -> Dict[str, float]:
+        """Parameter values for device ``device_index``.
+
+        Sampling is keyed by (seed, device index) so a batch is
+        reproducible and each device independent.
+        """
+        rng = np.random.default_rng((self.seed, device_index))
+        values = {}
+        for spec in self.specs:
+            if spec.parameter not in nominals:
+                raise KeyError(f"no nominal value for {spec.parameter!r}")
+            values[spec.parameter] = spec.sample(nominals[spec.parameter], rng)
+        return values
+
+    def sample_batch(self, nominals: Dict[str, float],
+                     n_devices: int) -> List[Dict[str, float]]:
+        if n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        return [self.sample_device(nominals, i) for i in range(n_devices)]
+
+    def parameters(self) -> List[str]:
+        return [s.parameter for s in self.specs]

@@ -1,0 +1,115 @@
+"""Parametric yield analysis over a fabricated batch.
+
+Connects the process-variation substrate to the characterisation
+pipeline: fabricate N devices, fully characterise each, and report how
+many meet each specification line — the quantitative backdrop to the
+paper's batch-of-10 result (a lot whose nominal device already violates
+the INL/DNL spec will show a linearity-limited yield, while the quick
+BIST still passes every device on its functional criteria).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.adc.calibration import (
+    SPEC_DNL_LSB,
+    SPEC_GAIN_LSB,
+    SPEC_INL_LSB,
+    SPEC_OFFSET_LSB,
+)
+from repro.adc.dual_slope import DualSlopeADC
+from repro.adc.errors import ADCCharacterization
+from repro.adc.histogram import characterize_servo
+from repro.process.batch import Batch
+from repro.process.variation import VariationModel
+
+
+@dataclass
+class YieldReport:
+    """Per-spec-line pass counts over a characterised batch."""
+
+    n_devices: int
+    offset_pass: int
+    gain_pass: int
+    inl_pass: int
+    dnl_pass: int
+    all_pass: int
+    characterizations: List[ADCCharacterization] = field(default_factory=list)
+
+    def line_yield(self) -> Dict[str, float]:
+        n = max(self.n_devices, 1)
+        return {
+            "offset": self.offset_pass / n,
+            "gain": self.gain_pass / n,
+            "inl": self.inl_pass / n,
+            "dnl": self.dnl_pass / n,
+            "all": self.all_pass / n,
+        }
+
+    def worst_metric(self) -> str:
+        """The spec line limiting overall yield."""
+        line = self.line_yield()
+        return min(("offset", "gain", "inl", "dnl"), key=lambda k: line[k])
+
+    def summary(self) -> str:
+        line = self.line_yield()
+        parts = ", ".join(f"{k} {100 * v:.0f}%" for k, v in line.items())
+        return (f"parametric yield over {self.n_devices} devices: {parts} "
+                f"(limited by {self.worst_metric()})")
+
+
+def parametric_yield(variation: VariationModel,
+                     n_devices: int = 10,
+                     factory: Callable[[], DualSlopeADC] = DualSlopeADC,
+                     spec_offset_lsb: float = SPEC_OFFSET_LSB,
+                     spec_gain_lsb: float = SPEC_GAIN_LSB,
+                     spec_inl_lsb: float = SPEC_INL_LSB,
+                     spec_dnl_lsb: float = SPEC_DNL_LSB,
+                     keep_characterizations: bool = False) -> YieldReport:
+    """Characterise a fabricated batch against the four spec lines."""
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    devices = Batch(factory, variation).fabricate(n_devices)
+    offset = gain = inl = dnl = everything = 0
+    kept: List[ADCCharacterization] = []
+    for device in devices:
+        ch = characterize_servo(device.model)
+        ok_offset = abs(ch.offset_error_lsb) < spec_offset_lsb
+        ok_gain = abs(ch.gain_error_lsb) <= spec_gain_lsb
+        ok_inl = ch.max_inl_lsb <= spec_inl_lsb
+        ok_dnl = ch.max_dnl_lsb <= spec_dnl_lsb
+        offset += ok_offset
+        gain += ok_gain
+        inl += ok_inl
+        dnl += ok_dnl
+        everything += (ok_offset and ok_gain and ok_inl and ok_dnl
+                       and not ch.missing_codes)
+        if keep_characterizations:
+            kept.append(ch)
+    return YieldReport(n_devices=n_devices, offset_pass=offset,
+                       gain_pass=gain, inl_pass=inl, dnl_pass=dnl,
+                       all_pass=everything, characterizations=kept)
+
+
+def yield_vs_spec_limit(variation: VariationModel,
+                        limits_lsb: "list[float]",
+                        n_devices: int = 10) -> "list[tuple[float, float]]":
+    """Overall yield as a function of a shared INL/DNL spec limit — the
+    curve a product engineer trades accuracy against yield with."""
+    if not limits_lsb:
+        raise ValueError("need at least one limit")
+    devices = Batch(DualSlopeADC, variation).fabricate(n_devices)
+    characterizations = [characterize_servo(d.model) for d in devices]
+    curve = []
+    for limit in limits_lsb:
+        passing = sum(
+            1 for ch in characterizations
+            if ch.max_inl_lsb <= limit and ch.max_dnl_lsb <= limit
+            and abs(ch.offset_error_lsb) < SPEC_OFFSET_LSB
+            and abs(ch.gain_error_lsb) <= SPEC_GAIN_LSB)
+        curve.append((limit, passing / n_devices))
+    return curve

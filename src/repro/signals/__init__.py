@@ -1,0 +1,49 @@
+"""Signal toolkit: sampled waveforms, PRBS generation, analogue sources,
+convolution and correlation utilities.
+
+This package is the measurement-and-stimulus substrate shared by the
+circuit simulator (:mod:`repro.spice`), the behavioural ADC models
+(:mod:`repro.adc`) and the transient-response test technique
+(:mod:`repro.core.transient_test`).
+"""
+
+from repro.signals.waveform import Waveform
+from repro.signals.prbs import LFSR, prbs_sequence, prbs_waveform
+from repro.signals.sources import (
+    step_waveform,
+    ramp_waveform,
+    sine_waveform,
+    pulse_waveform,
+    noise_waveform,
+    staircase_waveform,
+)
+from repro.signals.correlation import (
+    cross_correlation,
+    normalized_cross_correlation,
+    autocorrelation,
+    correlation_lags,
+)
+from repro.signals.convolution import convolve_waveforms, impulse_response_estimate
+from repro.signals.spectrum import ToneAnalysis, amplitude_spectrum, analyze_tone
+
+__all__ = [
+    "Waveform",
+    "LFSR",
+    "prbs_sequence",
+    "prbs_waveform",
+    "step_waveform",
+    "ramp_waveform",
+    "sine_waveform",
+    "pulse_waveform",
+    "noise_waveform",
+    "staircase_waveform",
+    "cross_correlation",
+    "normalized_cross_correlation",
+    "autocorrelation",
+    "correlation_lags",
+    "convolve_waveforms",
+    "impulse_response_estimate",
+    "ToneAnalysis",
+    "amplitude_spectrum",
+    "analyze_tone",
+]

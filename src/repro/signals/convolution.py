@@ -1,0 +1,86 @@
+"""Convolution helpers.
+
+The paper describes the transient response of a composite mixed-signal
+path as the stimulus convolved with the impulse response of each block it
+propagates through:  ``y(t) = x(t) * h(t) * z(t)``.  These helpers give a
+waveform-level convolution plus a least-squares impulse-response estimator
+used to validate the correlation route against a direct deconvolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+
+def convolve_waveforms(x: Waveform, h: Waveform, mode: str = "full") -> Waveform:
+    """Discrete approximation of the convolution integral ``x * h``.
+
+    The result is scaled by ``dt`` so it approximates continuous-time
+    convolution; both operands must share (or are resampled to) the same
+    sample interval.
+    """
+    if abs(x.dt - h.dt) > 1e-15 * max(x.dt, h.dt):
+        h = h.resample(x.dt)
+    if len(x) == 0 or len(h) == 0:
+        raise ValueError("cannot convolve empty waveforms")
+    y = np.convolve(x.values, h.values, mode=mode) * x.dt
+    return Waveform(y, x.dt, t0=x.t0 + h.t0, name=f"({x.name}*{h.name})")
+
+
+def impulse_response_estimate(x: Waveform, y: Waveform, n_taps: int,
+                              ridge: float = 1e-9) -> Waveform:
+    """Estimate an FIR impulse response h such that ``y ≈ x * h``.
+
+    Solves the regularised least-squares problem over a Toeplitz
+    convolution matrix.  This is the deconvolution-based comparison point
+    for the paper's correlation technique: with an ideal PRBS both should
+    recover the same composite impulse response.
+
+    Parameters
+    ----------
+    x, y:
+        Stimulus and response on the same sample grid.
+    n_taps:
+        Length of the estimated FIR response.
+    ridge:
+        Tikhonov regularisation weight (relative to the largest singular
+        value scale), keeping the estimate stable for band-limited stimuli.
+    """
+    if n_taps < 1:
+        raise ValueError("n_taps must be >= 1")
+    if abs(x.dt - y.dt) > 1e-15 * max(x.dt, y.dt):
+        y = y.resample(x.dt)
+    n = min(len(x), len(y))
+    if n < n_taps:
+        raise ValueError(f"need at least n_taps={n_taps} samples, got {n}")
+    xv = x.values[:n] - np.mean(x.values[:n])
+    yv = y.values[:n] - np.mean(y.values[:n])
+    # Build the convolution (design) matrix column by column: column k is
+    # x delayed by k samples.
+    cols = [np.concatenate([np.zeros(k), xv[:n - k]]) for k in range(n_taps)]
+    a = np.stack(cols, axis=1) * x.dt
+    ata = a.T @ a
+    reg = ridge * np.trace(ata) / n_taps if np.trace(ata) > 0 else ridge
+    h = np.linalg.solve(ata + reg * np.eye(n_taps), a.T @ yv)
+    return Waveform(h, x.dt, t0=0.0, name="h_est")
+
+
+def response_of_cascade(x: Waveform, *impulse_responses: Waveform) -> Waveform:
+    """Propagate ``x`` through a cascade of blocks given by their impulse
+    responses — the ``x * h1 * h2 * ...`` composition from the paper."""
+    y = x
+    for h in impulse_responses:
+        y = convolve_waveforms(y, h)
+    return y
+
+
+def truncate_to(x: Waveform, duration: float) -> Waveform:
+    """Keep only the first ``duration`` seconds of a waveform."""
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    n = min(len(x), int(round(duration / x.dt)) + 1)
+    return Waveform(x.values[:n], x.dt, x.t0, x.name)

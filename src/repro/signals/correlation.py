@@ -1,0 +1,121 @@
+"""Correlation utilities for transient-response testing.
+
+The central operation of the paper's technique: correlating the observed
+transient response ``y(t)`` with a correlation signal ``p(t)`` derived from
+the applied stimulus set.  For a PRBS stimulus (whose autocorrelation
+approximates an impulse) the cross-correlation ``R(y, p)`` recovers the
+composite impulse response of the signal path, even in the presence of the
+composite noise signal ``yn(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+
+def _as_arrays(x, y) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Coerce two waveform-or-array operands onto a common sample grid."""
+    if isinstance(x, Waveform) and isinstance(y, Waveform):
+        if abs(x.dt - y.dt) > 1e-15 * max(x.dt, y.dt):
+            y = y.resample(x.dt)
+        return x.values, y.values, x.dt
+    xv = x.values if isinstance(x, Waveform) else np.asarray(x, dtype=float)
+    yv = y.values if isinstance(y, Waveform) else np.asarray(y, dtype=float)
+    dt = x.dt if isinstance(x, Waveform) else (y.dt if isinstance(y, Waveform) else 1.0)
+    return xv, yv, dt
+
+
+def correlation_lags(n_x: int, n_y: int) -> np.ndarray:
+    """Lag indices matching ``numpy.correlate(x, y, mode="full")`` output."""
+    return np.arange(-(n_y - 1), n_x)
+
+
+def cross_correlation(y, p, mode: str = "full") -> Waveform:
+    """Raw cross-correlation ``R_yp[k] = sum_n y[n+k] * p[n]``.
+
+    Returns a :class:`Waveform` whose time axis is the lag axis (``t0`` at
+    the most negative lag), scaled by the sample interval so values
+    approximate the continuous-time correlation integral.
+    """
+    yv, pv, dt = _as_arrays(y, p)
+    if len(yv) == 0 or len(pv) == 0:
+        raise ValueError("cannot correlate empty signals")
+    r = np.correlate(yv, pv, mode=mode) * dt
+    if mode == "full":
+        lag0 = -(len(pv) - 1)
+    elif mode == "same":
+        lag0 = -(len(r) // 2)
+    elif mode == "valid":
+        lag0 = 0
+    else:
+        raise ValueError(f"bad mode {mode!r}")
+    return Waveform(r, dt, t0=lag0 * dt, name="R(y,p)")
+
+
+def normalized_cross_correlation(y, p, mode: str = "full") -> Waveform:
+    """Cross-correlation normalised by the signal energies.
+
+    The result lies in [-1, 1]; the paper plots the *normalised*
+    cross-correlation between input and output for fault-free and faulty
+    circuits.  Mean removal is applied so DC offsets (e.g. a 2.5 V bias)
+    do not dominate the correlation shape.
+    """
+    yv, pv, dt = _as_arrays(y, p)
+    if len(yv) == 0 or len(pv) == 0:
+        raise ValueError("cannot correlate empty signals")
+    yc = yv - np.mean(yv)
+    pc = pv - np.mean(pv)
+    denom = np.sqrt(np.sum(yc ** 2) * np.sum(pc ** 2))
+    if denom == 0.0:
+        # A flat (dead) signal correlates to zero everywhere — this is the
+        # catastrophically faulty case and must not raise.
+        r = np.zeros(len(yc) + len(pc) - 1 if mode == "full" else len(yc))
+        lag0 = -(len(pc) - 1) if mode == "full" else -(len(r) // 2)
+        return Waveform(r, dt, t0=lag0 * dt, name="NCC(y,p)")
+    r = np.correlate(yc, pc, mode=mode) / denom
+    if mode == "full":
+        lag0 = -(len(pc) - 1)
+    elif mode == "same":
+        lag0 = -(len(r) // 2)
+    elif mode == "valid":
+        lag0 = 0
+    else:
+        raise ValueError(f"bad mode {mode!r}")
+    return Waveform(r, dt, t0=lag0 * dt, name="NCC(y,p)")
+
+
+def autocorrelation(x, mode: str = "full") -> Waveform:
+    """Autocorrelation ``R_xx``; for a maximal-length PRBS this approximates
+    a periodic impulse train, which is why PRBS correlation recovers the
+    impulse response."""
+    return cross_correlation(x, x, mode=mode)
+
+
+def correlation_peak(y, p) -> Tuple[float, float]:
+    """Return ``(peak_value, peak_lag_seconds)`` of the normalised
+    cross-correlation — a compact scalar signature of signal-path health."""
+    r = normalized_cross_correlation(y, p)
+    idx = int(np.argmax(np.abs(r.values)))
+    return float(r.values[idx]), float(r.times[idx])
+
+
+def whiten(p: Waveform, eps: float = 1e-3) -> Waveform:
+    """Spectrally flatten a correlation signal.
+
+    Dividing the spectrum by its magnitude (with regularisation ``eps``)
+    turns correlation-with-p into an approximate deconvolution, sharpening
+    the recovered impulse response when the stimulus autocorrelation is not
+    ideally impulsive.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    spec = np.fft.rfft(p.values - np.mean(p.values))
+    mag = np.abs(spec)
+    scale = np.max(mag) if np.max(mag) > 0 else 1.0
+    flattened = spec / (mag + eps * scale)
+    out = np.fft.irfft(flattened, n=len(p.values))
+    return Waveform(out, p.dt, p.t0, name=f"whitened({p.name})")

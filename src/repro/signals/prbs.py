@@ -1,0 +1,195 @@
+"""Pseudo-random binary sequence generation.
+
+The paper's transient stimulus is "a pseudo random binary sequence of 15
+bits with a step size of 250 µs and amplitude of 0 V or 5 V" — i.e. a
+maximal-length sequence from a 4-stage LFSR (2**4 - 1 = 15 chips).  This
+module provides the LFSR itself (which on silicon would be the digital
+test-pattern-generator macro) and helpers that turn its bit stream into a
+:class:`~repro.signals.waveform.Waveform` stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+#: Feedback tap positions (1-indexed from the output stage) for maximal-length
+#: LFSRs.  Taps follow the x^n + x^k + 1 primitive polynomials commonly used
+#: in BIST pattern generators.
+MAXIMAL_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+}
+
+
+class LFSR:
+    """Fibonacci linear-feedback shift register.
+
+    Parameters
+    ----------
+    order:
+        Number of register stages.
+    taps:
+        Feedback taps, 1-indexed.  Defaults to a maximal-length polynomial
+        from :data:`MAXIMAL_TAPS`.
+    seed:
+        Initial register state as an integer (must be non-zero and fit in
+        ``order`` bits).
+    """
+
+    def __init__(self, order: int, taps: Optional[Sequence[int]] = None,
+                 seed: int = 1) -> None:
+        if order < 2:
+            raise ValueError("LFSR order must be >= 2")
+        if taps is None:
+            if order not in MAXIMAL_TAPS:
+                raise ValueError(
+                    f"no default maximal taps for order {order}; pass taps=")
+            taps = MAXIMAL_TAPS[order]
+        taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        if any(t < 1 or t > order for t in taps):
+            raise ValueError(f"taps must lie in 1..{order}, got {taps}")
+        if seed <= 0 or seed >= (1 << order):
+            raise ValueError(f"seed must be in 1..{(1 << order) - 1}")
+        self.order = order
+        self.taps = taps
+        self.state = int(seed)
+        self._seed = int(seed)
+
+    @property
+    def period(self) -> int:
+        """Sequence period for a maximal-length configuration."""
+        return (1 << self.order) - 1
+
+    def reset(self) -> None:
+        """Return the register to its seed state."""
+        self.state = self._seed
+
+    def step(self) -> int:
+        """Advance one clock; return the output bit (LSB before the shift).
+
+        Right-shift Fibonacci form: a tap at polynomial position ``t``
+        reads register bit ``order - t`` (the LSB is the highest-order
+        tap, as in the classic x^16+x^14+x^13+x^11 example where the
+        feedback is bits 0, 2, 3 and 5).
+        """
+        out = self.state & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.order - tap)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.order - 1))
+        return out
+
+    def bits(self, n: int) -> List[int]:
+        """Generate the next ``n`` output bits."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self.step() for _ in range(n)]
+
+    def states(self, n: int) -> List[int]:
+        """Record the register state over ``n`` steps (state *after* each)."""
+        result = []
+        for _ in range(n):
+            self.step()
+            result.append(self.state)
+        return result
+
+
+def prbs_sequence(order: int, n_bits: Optional[int] = None,
+                  seed: int = 1,
+                  taps: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Return a PRBS bit array from a maximal-length LFSR.
+
+    ``n_bits`` defaults to one full period (``2**order - 1``).
+    """
+    lfsr = LFSR(order, taps=taps, seed=seed)
+    if n_bits is None:
+        n_bits = lfsr.period
+    return np.array(lfsr.bits(n_bits), dtype=int)
+
+
+def prbs_waveform(order: int = 4, chip_time: float = 250e-6,
+                  low: float = 0.0, high: float = 5.0,
+                  dt: Optional[float] = None, seed: int = 1,
+                  n_bits: Optional[int] = None,
+                  repeats: int = 1) -> Waveform:
+    """Build the paper's PRBS stimulus as a sampled waveform.
+
+    Defaults reproduce the paper's stimulus: a 15-chip sequence
+    (order 4), 250 µs per chip, swinging 0 V to 5 V.
+
+    Parameters
+    ----------
+    order:
+        LFSR order; the sequence has ``2**order - 1`` chips per period.
+    chip_time:
+        Duration each bit is held, in seconds.
+    low, high:
+        Output levels for bit 0 / bit 1.
+    dt:
+        Sample interval.  Defaults to ``chip_time / 25`` which resolves
+        chip edges comfortably for correlation work.
+    seed:
+        LFSR seed.
+    n_bits:
+        Number of chips; defaults to one full period.
+    repeats:
+        Repeat the chip sequence this many times back to back.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if chip_time <= 0:
+        raise ValueError("chip_time must be positive")
+    bits = prbs_sequence(order, n_bits=n_bits, seed=seed)
+    bits = np.tile(bits, repeats)
+    if dt is None:
+        dt = chip_time / 25.0
+    samples_per_chip = max(1, int(round(chip_time / dt)))
+    dt = chip_time / samples_per_chip
+    levels = np.where(bits > 0, high, low).astype(float)
+    values = np.repeat(levels, samples_per_chip)
+    return Waveform(values, dt, name=f"prbs{order}")
+
+
+def chips_from_waveform(wave: Waveform, chip_time: float,
+                        threshold: Optional[float] = None) -> np.ndarray:
+    """Recover the chip (bit) sequence from a PRBS-shaped waveform.
+
+    Samples are taken at each chip centre and sliced against ``threshold``
+    (defaults to the midpoint of the waveform's range).  Useful for
+    verifying that a stimulus survived a signal path.
+    """
+    if chip_time <= 0:
+        raise ValueError("chip_time must be positive")
+    if threshold is None:
+        threshold = 0.5 * (wave.peak() + wave.trough())
+    n_chips = int(round((wave.duration + wave.dt) / chip_time))
+    centres = wave.t0 + chip_time * (np.arange(n_chips) + 0.5)
+    centres = centres[centres <= wave.t_end]
+    return (np.asarray(wave(centres)) > threshold).astype(int)
+
+
+def balance(bits: Iterable[int]) -> int:
+    """Ones minus zeros.  A maximal-length PRBS period balances to +1."""
+    total = 0
+    count = 0
+    for b in bits:
+        total += 1 if b else -1
+        count += 1
+    if count == 0:
+        raise ValueError("empty bit sequence")
+    return total

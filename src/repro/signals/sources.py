@@ -1,0 +1,128 @@
+"""Analogue stimulus generators as sampled waveforms.
+
+These mirror the waveform shapes the paper's on-chip macros produce: DC
+steps, a slow voltage ramp, pulses, and noise for robustness studies.  The
+behavioural on-chip macros in :mod:`repro.core` wrap these with macro
+specifications (settling, accuracy, transistor budget); this module is the
+pure signal layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+
+def _grid(duration: float, dt: float) -> np.ndarray:
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    n = int(round(duration / dt)) + 1
+    return dt * np.arange(n)
+
+
+def step_waveform(amplitude: float, duration: float, dt: float,
+                  t_step: float = 0.0, baseline: float = 0.0,
+                  rise_time: float = 0.0) -> Waveform:
+    """A step from ``baseline`` to ``amplitude`` at ``t_step``.
+
+    ``rise_time`` > 0 gives a linear ramp edge, approximating the finite
+    slew of a real on-chip step generator.
+    """
+    t = _grid(duration, dt)
+    if rise_time < 0:
+        raise ValueError("rise_time must be non-negative")
+    if rise_time == 0.0:
+        v = np.where(t >= t_step, amplitude, baseline)
+    else:
+        frac = np.clip((t - t_step) / rise_time, 0.0, 1.0)
+        v = baseline + (amplitude - baseline) * frac
+    return Waveform(v, dt, name=f"step{amplitude:g}V")
+
+
+def ramp_waveform(v_start: float, v_stop: float, duration: float, dt: float,
+                  hold: float = 0.0) -> Waveform:
+    """Linear ramp from ``v_start`` to ``v_stop`` over ``duration`` seconds,
+    then held at ``v_stop`` for a further ``hold`` seconds."""
+    if duration <= 0:
+        raise ValueError("ramp duration must be positive")
+    if hold < 0:
+        raise ValueError("hold must be non-negative")
+    t = _grid(duration + hold, dt)
+    frac = np.clip(t / duration, 0.0, 1.0)
+    v = v_start + (v_stop - v_start) * frac
+    return Waveform(v, dt, name="ramp")
+
+
+def sine_waveform(amplitude: float, frequency: float, duration: float,
+                  dt: float, offset: float = 0.0, phase: float = 0.0) -> Waveform:
+    """Sinusoid ``offset + amplitude * sin(2*pi*f*t + phase)``."""
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    t = _grid(duration, dt)
+    return Waveform(offset + amplitude * np.sin(2 * np.pi * frequency * t + phase),
+                    dt, name=f"sine{frequency:g}Hz")
+
+
+def pulse_waveform(low: float, high: float, period: float, duty: float,
+                   duration: float, dt: float, t_delay: float = 0.0) -> Waveform:
+    """Rectangular pulse train (clock-like) with the given duty cycle."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError("duty must lie in [0, 1]")
+    t = _grid(duration, dt)
+    phase = np.mod(t - t_delay, period)
+    v = np.where((t >= t_delay) & (phase < duty * period), high, low)
+    return Waveform(v, dt, name="pulse")
+
+
+def noise_waveform(sigma: float, duration: float, dt: float,
+                   mean: float = 0.0, seed: Optional[int] = None) -> Waveform:
+    """White Gaussian noise, e.g. the composite noise signal yn(t)."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    t = _grid(duration, dt)
+    return Waveform(mean + rng.normal(0.0, sigma, len(t)), dt, name="noise")
+
+
+def staircase_waveform(levels: Sequence[float], dwell: float, dt: float) -> Waveform:
+    """Hold each level for ``dwell`` seconds in turn.
+
+    This is the shape the step-input macro produces when the BIST controller
+    sequences through its programmed DC levels (the paper applies the step
+    values consecutively when forming the compressed signature).
+    """
+    if len(levels) == 0:
+        raise ValueError("levels must be non-empty")
+    if dwell <= 0:
+        raise ValueError("dwell must be positive")
+    samples_per_level = max(1, int(round(dwell / dt)))
+    dt = dwell / samples_per_level
+    values = np.repeat(np.asarray(levels, dtype=float), samples_per_level)
+    return Waveform(values, dt, name="staircase")
+
+
+def two_phase_clocks(period: float, duration: float, dt: float,
+                     high: float = 5.0, low: float = 0.0,
+                     non_overlap: float = 0.05) -> tuple:
+    """Non-overlapping two-phase clocks for switched-capacitor circuits.
+
+    ``non_overlap`` is the dead-time fraction of the period inserted between
+    the phases (both low).  Returns ``(phi1, phi2)`` waveforms.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= non_overlap < 0.5:
+        raise ValueError("non_overlap must lie in [0, 0.5)")
+    t = _grid(duration, dt)
+    phase = np.mod(t, period) / period
+    gap = non_overlap / 2.0
+    phi1 = np.where((phase >= gap) & (phase < 0.5 - gap), high, low)
+    phi2 = np.where((phase >= 0.5 + gap) & (phase < 1.0 - gap), high, low)
+    return (Waveform(phi1, dt, name="phi1"), Waveform(phi2, dt, name="phi2"))

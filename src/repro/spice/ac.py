@@ -1,0 +1,103 @@
+"""Small-signal AC analysis (frequency sweeps).
+
+Built on the same linearised ``(G, C)`` pencil as the pole/zero
+extraction: at each angular frequency the complex system
+``(G + jωC) x = b`` is solved and the output node's transfer recorded.
+This is the ``.AC`` counterpart to :mod:`repro.spice.linearize`'s
+``.PZ`` and completes the HSPICE-substitute feature set the paper's
+methodology touches (frequency-domain views of the faulty/fault-free
+circuits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.spice.linearize import (
+    _input_vector,
+    _output_vector,
+    small_signal_matrices,
+)
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class ACSweepResult:
+    """Frequency response of one input → output path."""
+
+    frequencies_hz: np.ndarray
+    response: np.ndarray          # complex H(j 2π f)
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.response)
+
+    @property
+    def magnitude_db(self) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(self.magnitude, 1e-300))
+
+    @property
+    def phase_deg(self) -> np.ndarray:
+        return np.degrees(np.unwrap(np.angle(self.response)))
+
+    def dc_gain(self) -> float:
+        """Gain at the lowest swept frequency."""
+        return float(self.magnitude[0])
+
+    def bandwidth_3db(self) -> Optional[float]:
+        """First frequency where the gain falls 3 dB below its
+        low-frequency value; ``None`` if it never does in the sweep."""
+        reference = self.magnitude_db[0]
+        below = np.nonzero(self.magnitude_db <= reference - 3.0)[0]
+        if len(below) == 0:
+            return None
+        idx = below[0]
+        if idx == 0:
+            return float(self.frequencies_hz[0])
+        # log-interpolate the crossing
+        f1, f2 = self.frequencies_hz[idx - 1], self.frequencies_hz[idx]
+        g1, g2 = self.magnitude_db[idx - 1], self.magnitude_db[idx]
+        target = reference - 3.0
+        frac = (target - g1) / (g2 - g1) if g2 != g1 else 0.5
+        return float(f1 * (f2 / f1) ** frac)
+
+    def unity_gain_frequency(self) -> Optional[float]:
+        """First frequency where |H| crosses 1 from above."""
+        mags = self.magnitude
+        for i in range(1, len(mags)):
+            if mags[i - 1] >= 1.0 > mags[i]:
+                f1, f2 = self.frequencies_hz[i - 1], self.frequencies_hz[i]
+                g1, g2 = mags[i - 1], mags[i]
+                frac = (g1 - 1.0) / (g1 - g2) if g1 != g2 else 0.5
+                return float(f1 * (f2 / f1) ** frac)
+        return None
+
+
+def ac_sweep(circuit: Circuit, input_source: str, output_node: str,
+             f_start: float = 1.0, f_stop: float = 10e6,
+             points_per_decade: int = 10,
+             op_vector: Optional[np.ndarray] = None) -> ACSweepResult:
+    """Logarithmic AC sweep of ``input_source`` → ``output_node``.
+
+    The circuit is linearised once at its DC operating point; each
+    frequency point is a complex linear solve.
+    """
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    assembler, g, c, _op = small_signal_matrices(circuit, op_vector)
+    b = _input_vector(assembler, input_source)
+    c_vec = _output_vector(assembler, output_node)
+    n_decades = np.log10(f_stop / f_start)
+    n_points = max(2, int(round(n_decades * points_per_decade)) + 1)
+    freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
+    response = np.empty(n_points, dtype=complex)
+    for i, f in enumerate(freqs):
+        s = 2j * np.pi * f
+        x = np.linalg.solve(g + s * c, b.astype(complex))
+        response[i] = c_vec @ x
+    return ACSweepResult(frequencies_hz=freqs, response=response)

@@ -1,0 +1,173 @@
+"""Small-signal linearisation: poles, zeros and transfer functions.
+
+This is the HSPICE ``.PZ`` / ``.AC`` substitute used by the paper's second
+test method: linearise the circuit at its DC operating point into the MNA
+pencil ``(G + sC) x = b u``, then
+
+* poles   = finite generalised eigenvalues of ``(-G, C)``,
+* zeros   = finite generalised eigenvalues of the augmented pencil that
+  forces the output to zero,
+* H(s)    = ``c^T (G + sC)^{-1} b`` evaluated anywhere in the s-plane.
+
+:func:`extract_transfer_function` packages poles/zeros/constant into a
+:class:`~repro.lti.transferfunction.TransferFunction`, the exact object
+the paper builds its Matlab state-space matrices from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.lti.transferfunction import TransferFunction, tf_from_poles_zeros
+from repro.spice.elements import CurrentSource, VoltageSource
+from repro.spice.mna import Assembler
+from repro.spice.netlist import Circuit
+from repro.spice.solver import dc_operating_point
+
+
+def small_signal_matrices(circuit: Circuit,
+                          op_vector: Optional[np.ndarray] = None):
+    """Linearise at the operating point.
+
+    Returns ``(assembler, G, C, op_vector)`` where ``G`` and ``C`` are the
+    MNA conductance and capacitance matrices at the OP.
+    """
+    if op_vector is None:
+        _, op_vector = dc_operating_point(circuit)
+    assembler = Assembler(circuit)
+    n = assembler.n
+    g = np.zeros((n, n))
+    c = np.zeros((n, n))
+    for elem in circuit.elements:
+        elem.stamp_ac(g, c, op_vector)
+    # Small gmin keeps G nonsingular for floating gates.
+    for i in range(assembler.n_nodes):
+        g[i, i] += 1e-12
+    return assembler, g, c, op_vector
+
+
+def _input_vector(assembler: Assembler, source_name: str) -> np.ndarray:
+    elem = assembler.circuit.element(source_name)
+    if not isinstance(elem, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{source_name!r} is not an independent source")
+    b = np.zeros(assembler.n)
+    elem.ac_input_vector(b)
+    return b
+
+
+def _output_vector(assembler: Assembler, output_node: str) -> np.ndarray:
+    c_vec = np.zeros(assembler.n)
+    idx = assembler.index.get(assembler.circuit.canonical_node(output_node), -1)
+    if idx < 0:
+        raise KeyError(f"unknown output node {output_node!r}")
+    c_vec[idx] = 1.0
+    return c_vec
+
+
+def _finite_eigs(a: np.ndarray, b: np.ndarray,
+                 cutoff: float = 1e12) -> np.ndarray:
+    """Finite generalised eigenvalues of the pencil (a, b)."""
+    alpha, beta = scipy.linalg.eig(a, b, right=False, homogeneous_eigvals=True)
+    finite = np.abs(beta) > 1e-300
+    eigs = alpha[finite] / beta[finite]
+    eigs = eigs[np.isfinite(eigs)]
+    return eigs[np.abs(eigs) < cutoff]
+
+
+def circuit_poles(circuit: Circuit, op_vector: Optional[np.ndarray] = None,
+                  cutoff: float = 1e12) -> np.ndarray:
+    """Natural frequencies of the linearised circuit (rad/s).
+
+    Solves ``(G + sC) x = 0``: poles are the finite generalised
+    eigenvalues of the pencil ``(-G, C)``.  ``cutoff`` discards the
+    near-infinite modes created by the gmin regularisation.
+    """
+    _, g, c, _ = small_signal_matrices(circuit, op_vector)
+    return _finite_eigs(-g, c, cutoff=cutoff)
+
+
+def circuit_zeros(circuit: Circuit, input_source: str, output_node: str,
+                  op_vector: Optional[np.ndarray] = None,
+                  cutoff: float = 1e12) -> np.ndarray:
+    """Transmission zeros of the path input_source → output_node.
+
+    A zero is an ``s`` where a nonzero (x, u) satisfies
+    ``(G + sC)x = b u`` with ``c^T x = 0`` — i.e. a finite generalised
+    eigenvalue of the augmented pencil.
+    """
+    assembler, g, c, _op = small_signal_matrices(circuit, op_vector)
+    b = _input_vector(assembler, input_source)
+    c_vec = _output_vector(assembler, output_node)
+    n = assembler.n
+    a0 = np.zeros((n + 1, n + 1))
+    a1 = np.zeros((n + 1, n + 1))
+    a0[:n, :n] = g
+    a0[:n, n] = -b
+    a0[n, :n] = c_vec
+    a1[:n, :n] = c
+    return _finite_eigs(-a0, a1, cutoff=cutoff)
+
+
+def transfer_function_at(circuit: Circuit, input_source: str,
+                         output_node: str, s: complex,
+                         op_vector: Optional[np.ndarray] = None) -> complex:
+    """Evaluate the small-signal transfer function H(s) at one point."""
+    assembler, g, c, _op = small_signal_matrices(circuit, op_vector)
+    b = _input_vector(assembler, input_source)
+    c_vec = _output_vector(assembler, output_node)
+    x = np.linalg.solve(g + s * c, b.astype(complex))
+    return complex(c_vec @ x)
+
+
+def extract_transfer_function(circuit: Circuit, input_source: str,
+                              output_node: str,
+                              op_vector: Optional[np.ndarray] = None,
+                              cutoff: float = 1e12,
+                              max_order: Optional[int] = None
+                              ) -> TransferFunction:
+    """Extract poles/zeros/constant and build a TransferFunction.
+
+    This is the full "HSPICE → Matlab" step of the paper: the rational
+    model's constant is fitted so H matches the exact MNA evaluation at a
+    reference frequency.  ``max_order`` optionally keeps only the
+    slowest (most dominant) poles, which is how hand analysis reduces a
+    transistor-level circuit to a tractable model.
+    """
+    if op_vector is None:
+        _, op_vector = dc_operating_point(circuit)
+    poles = circuit_poles(circuit, op_vector, cutoff=cutoff)
+    zeros = circuit_zeros(circuit, input_source, output_node,
+                          op_vector, cutoff=cutoff)
+    if max_order is not None and len(poles) > max_order:
+        order = np.argsort(np.abs(poles.real))
+        poles = poles[order[:max_order]]
+        zeros = zeros[np.argsort(np.abs(zeros.real))[:max(0, max_order - 1)]]
+    # Pair up conjugates cleanly (numerical noise can de-pair them).
+    poles = _symmetrize(poles)
+    zeros = _symmetrize(zeros)
+    tf = tf_from_poles_zeros(poles, zeros, constant=1.0)
+    # Fit the constant at a reference frequency well inside the passband.
+    ref_mag = max((abs(p.real) for p in poles), default=1.0)
+    s_ref = 1j * 1e-3 * ref_mag if len(poles) else 0.0
+    h_exact = transfer_function_at(circuit, input_source, output_node,
+                                   s_ref, op_vector)
+    h_model = tf.evaluate(s_ref)
+    if abs(h_model) < 1e-300:
+        raise ValueError("degenerate rational model (H_model ~ 0)")
+    k = (h_exact / h_model).real
+    return tf_from_poles_zeros(poles, zeros, constant=k)
+
+
+def _symmetrize(values: np.ndarray, imag_tol: float = 1e-6) -> np.ndarray:
+    """Force near-real eigenvalues real so np.poly gives real coefficients."""
+    values = np.asarray(values, dtype=complex)
+    out = []
+    for v in values:
+        if abs(v.imag) <= imag_tol * max(1.0, abs(v.real)):
+            out.append(complex(v.real, 0.0))
+        else:
+            out.append(v)
+    return np.asarray(out, dtype=complex)

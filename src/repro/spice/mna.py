@@ -1,0 +1,142 @@
+"""MNA matrix assembly and simulation state shared by DC and transient."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.netlist import Circuit, GROUND
+
+
+class MNASystem:
+    """The linear system ``G x = b`` rebuilt every Newton iteration.
+
+    Row/column indices are MNA unknown indices; ``-1`` denotes ground and
+    is silently skipped by the stamping helpers.  The matrices are
+    allocated once and zeroed per iteration (:meth:`reset`) — the
+    allocation, not the arithmetic, dominates small-circuit solves.
+    """
+
+    __slots__ = ("n", "g", "b")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.g = np.zeros((n, n))
+        self.b = np.zeros(n)
+
+    def reset(self) -> None:
+        self.g[:] = 0.0
+        self.b[:] = 0.0
+
+    def add_g(self, i: int, j: int, value: float) -> None:
+        if i >= 0 and j >= 0:
+            self.g[i, j] += value
+
+    def add_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a two-terminal conductance between unknowns a and b."""
+        self.add_g(a, a, g)
+        self.add_g(b, b, g)
+        self.add_g(a, b, -g)
+        self.add_g(b, a, -g)
+
+    def add_transconductance(self, out_p: int, out_m: int,
+                             in_p: int, in_m: int, gm: float) -> None:
+        """Stamp a VCCS: current gm*(v_inp - v_inm) flowing out_p → out_m."""
+        self.add_g(out_p, in_p, gm)
+        self.add_g(out_p, in_m, -gm)
+        self.add_g(out_m, in_p, -gm)
+        self.add_g(out_m, in_m, gm)
+
+    def add_b(self, i: int, value: float) -> None:
+        if i >= 0:
+            self.b[i] += value
+
+    def add_current(self, a: int, b: int, current: float) -> None:
+        """Stamp an independent current flowing from node a to node b."""
+        self.add_b(a, -current)
+        self.add_b(b, current)
+
+    def solve(self) -> np.ndarray:
+        return np.linalg.solve(self.g, self.b)
+
+
+class SimState:
+    """Context handed to every element's ``stamp`` call.
+
+    Carries the present Newton estimate ``x``, the previous-timestep
+    solution ``x_prev``, timing information (``dt is None`` means DC
+    analysis: capacitors open), the global ``gmin``, and the source
+    scaling factor used during source-stepping homotopy.
+    """
+
+    __slots__ = ("index", "x", "x_prev", "t", "dt", "gmin", "source_scale",
+                 "method", "aux")
+
+    def __init__(self, index: Dict[str, int], n: int) -> None:
+        self.index = index
+        self.x = np.zeros(n)
+        self.x_prev = np.zeros(n)
+        self.t = 0.0
+        self.dt: Optional[float] = None
+        self.gmin = 1e-12
+        self.source_scale = 1.0
+        self.method = "be"
+        #: scratch storage for element integration state (e.g. trapezoidal
+        #: capacitor currents), keyed by element name.
+        self.aux: Dict[str, float] = {}
+
+    def voltage(self, i: int) -> float:
+        """Present Newton-estimate voltage of unknown ``i`` (ground = 0)."""
+        return 0.0 if i < 0 else float(self.x[i])
+
+    def voltage_prev(self, i: int) -> float:
+        return 0.0 if i < 0 else float(self.x_prev[i])
+
+
+class Assembler:
+    """Binds a circuit's elements to MNA indices and builds systems."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.index = circuit.node_index()
+        self.n_nodes = len(circuit.nodes())
+        offset = self.n_nodes
+        for elem in circuit.elements:
+            branches = getattr(elem, "n_branches", 0)
+            if branches:
+                elem.bind(self.index, branch_offset=offset)
+                offset += branches
+            else:
+                elem.bind(self.index)
+        self.n = offset
+        self.node_names = circuit.nodes()
+        self._scratch = MNASystem(self.n)
+
+    def new_state(self) -> SimState:
+        return SimState(self.index, self.n)
+
+    def build(self, state: SimState) -> MNASystem:
+        """Assemble ``G x = b`` for the present state (one Newton step).
+
+        Returns the assembler's scratch system — callers must not hold a
+        reference across iterations.
+        """
+        sys = self._scratch
+        sys.reset()
+        for elem in self.circuit.elements:
+            elem.stamp(sys, state)
+        # gmin from every node (not branch) to ground keeps the matrix
+        # nonsingular for floating nodes and helps Newton convergence.
+        if state.gmin > 0.0:
+            for i in range(self.n_nodes):
+                sys.g[i, i] += state.gmin
+        return sys
+
+    def voltages(self, x: np.ndarray) -> Dict[str, float]:
+        """Translate a solution vector into a node-voltage dict."""
+        result = {GROUND: 0.0}
+        for name, idx in self.index.items():
+            if idx >= 0:
+                result[name] = float(x[idx])
+        return result

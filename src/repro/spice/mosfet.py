@@ -1,0 +1,186 @@
+"""Level-1 (square-law) MOSFET model.
+
+The paper's circuits are 5 µm CMOS; at that node the classic SPICE level-1
+model (square law with channel-length modulation) is the appropriate
+abstraction and is what the qualitative fault behaviour depends on.
+
+The model is symmetric in drain/source (terminals swap when ``vds < 0``),
+ignores the body terminal (sources are tied to their local body in the
+paper's gate-array macros), and adds a small drain-source leakage
+conductance for numerical robustness in cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.spice.elements import Element, _stamp_cond
+
+
+@dataclass(frozen=True)
+class MOSParams:
+    """Process parameters for a level-1 device."""
+
+    polarity: int          # +1 NMOS, -1 PMOS
+    vto: float             # threshold voltage (positive number for both)
+    kp: float              # transconductance parameter mu*Cox [A/V^2]
+    lam: float = 0.02      # channel-length modulation [1/V]
+    cgs_per_area: float = 0.35e-3   # gate-source cap density [F/m^2]
+    cgd_overlap: float = 0.2e-9     # gate-drain overlap cap per width [F/m]
+    g_leak: float = 1e-9   # off-state drain-source leakage conductance [S]
+
+    def scaled(self, **kwargs) -> "MOSParams":
+        return replace(self, **kwargs)
+
+
+#: Representative 5 µm CMOS gate-array process corner.
+NMOS_5U = MOSParams(polarity=+1, vto=1.0, kp=20e-6, lam=0.02)
+PMOS_5U = MOSParams(polarity=-1, vto=1.0, kp=8e-6, lam=0.02)
+
+
+class MOSFET(Element):
+    """Three-terminal level-1 MOSFET (drain, gate, source)."""
+
+    def __init__(self, name: str, d: str, g: str, s: str,
+                 params: MOSParams, w: float = 10e-6, l: float = 5e-6) -> None:
+        if w <= 0 or l <= 0:
+            raise ValueError(f"{name}: W and L must be positive")
+        super().__init__(name, d, g, s)
+        self.params = params
+        self.w = float(w)
+        self.l = float(l)
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor kp * W / L."""
+        return self.params.kp * self.w / self.l
+
+    # ------------------------------------------------------------------
+    # Device equations
+    # ------------------------------------------------------------------
+    def evaluate(self, vd: float, vg: float, vs: float) -> Tuple[float, float, float]:
+        """Return ``(ids, di/dvd, di/dvg)`` at the given terminal voltages.
+
+        ``ids`` is the current flowing into the drain terminal and out of
+        the source terminal (negative for a conducting PMOS or when the
+        terminals are operating swapped).  The full Jacobian used by the
+        Newton stamp is available from :meth:`_small_signal`.
+        """
+        ids, di_dd, di_dg, _di_ds = self._small_signal(vd, vg, vs)
+        return ids, di_dd, di_dg
+
+    # ------------------------------------------------------------------
+    def _small_signal(self, vd: float, vg: float, vs: float):
+        """Numerically robust small-signal parameters via the analytic
+        equations, returned as the Jacobian of i_d with respect to
+        (vd, vg, vs) in the external frame."""
+        pol = self.params.polarity
+        vd_n, vg_n, vs_n = pol * vd, pol * vg, pol * vs
+        swapped = vd_n < vs_n
+        d, s = (vs_n, vd_n) if swapped else (vd_n, vs_n)
+        vgs = vg_n - s
+        vds = d - s
+        vov = vgs - self.params.vto
+        beta = self.beta
+        lam = self.params.lam
+        if vov <= 0.0:
+            ids, gm, gds = 0.0, 0.0, 0.0
+        elif vds < vov:
+            ids = beta * (vov * vds - 0.5 * vds * vds) * (1.0 + lam * vds)
+            gm = beta * vds * (1.0 + lam * vds)
+            gds = (beta * (vov - vds) * (1.0 + lam * vds)
+                   + beta * (vov * vds - 0.5 * vds * vds) * lam)
+        else:
+            ids = 0.5 * beta * vov * vov * (1.0 + lam * vds)
+            gm = beta * vov * (1.0 + lam * vds)
+            gds = 0.5 * beta * vov * vov * lam
+        # Drain-source leakage: a real (if tiny) ohmic term, which also
+        # keeps the Jacobian nonsingular in cutoff.  Applied uniformly so
+        # current and derivatives stay consistent.
+        ids += self.params.g_leak * vds
+        gds += self.params.g_leak
+        # Internal frame: i flows d->s; di/dd = gds, di/dg = gm,
+        # di/ds = -(gm + gds).
+        if swapped:
+            # Internal drain is the external source and vice versa, and the
+            # external drain current is -i_int:
+            #   i_ext(vd, vg, vs) = -I(vd'=vs, vg, vs'=vd)
+            i_ext = -ids
+            di_dd_ext, di_dg_ext, di_ds_ext = gm + gds, -gm, -gds
+        else:
+            i_ext = ids
+            di_dd_ext, di_dg_ext, di_ds_ext = gds, gm, -(gm + gds)
+        # Undo polarity normalisation: i_true = pol * i_n(pol*v) so the
+        # Jacobian in true voltages equals the normalised Jacobian.
+        return pol * i_ext, di_dd_ext, di_dg_ext, di_ds_ext
+
+    def stamp(self, sys, state) -> None:
+        d, g, s = self._idx
+        vd = state.voltage(d)
+        vg = state.voltage(g)
+        vs = state.voltage(s)
+        i0, di_dd, di_dg, di_ds = self._small_signal(vd, vg, vs)
+        # Newton companion: i(v) ≈ i0 + J . (v - v0)
+        # Current flows drain -> source externally (i0 may be negative).
+        ieq = i0 - (di_dd * vd + di_dg * vg + di_ds * vs)
+        # KCL at drain: +i ; at source: -i
+        for col, deriv in ((d, di_dd), (g, di_dg), (s, di_ds)):
+            sys.add_g(d, col, deriv)
+            sys.add_g(s, col, -deriv)
+        sys.add_current(d, s, ieq)
+        # Gate capacitances give the transient its dynamics.  They are
+        # integrated with backward Euler regardless of the global method
+        # (adequate: they are small and heavily damped).
+        if state.dt is not None:
+            self._stamp_cap(sys, state, g, s,
+                            self.params.cgs_per_area * self.w * self.l)
+            self._stamp_cap(sys, state, g, d, self.params.cgd_overlap * self.w)
+
+    @staticmethod
+    def _stamp_cap(sys, state, a: int, b: int, cap: float) -> None:
+        if cap <= 0.0:
+            return
+        geq = cap / state.dt
+        v_prev = state.voltage_prev(a) - state.voltage_prev(b)
+        sys.add_conductance(a, b, geq)
+        sys.add_current(a, b, -geq * v_prev)
+
+    def stamp_ac(self, g_mat, c_mat, op) -> None:
+        d, g, s = self._idx
+        vd = self._v(op, d)
+        vg = self._v(op, g)
+        vs = self._v(op, s)
+        _i0, di_dd, di_dg, di_ds = self._small_signal(vd, vg, vs)
+        for col, deriv in ((d, di_dd), (g, di_dg), (s, di_ds)):
+            if col >= 0:
+                if d >= 0:
+                    g_mat[d, col] += deriv
+                if s >= 0:
+                    g_mat[s, col] -= deriv
+        # Gate capacitances: Cgs to source, Cgd overlap to drain.
+        cgs = self.params.cgs_per_area * self.w * self.l
+        cgd = self.params.cgd_overlap * self.w
+        _stamp_cond(c_mat, g, s, cgs)
+        _stamp_cond(c_mat, g, d, cgd)
+
+    def operating_region(self, vd: float, vg: float, vs: float) -> str:
+        """Classify the OP: ``cutoff``, ``triode`` or ``saturation``."""
+        pol = self.params.polarity
+        vd_n, vg_n, vs_n = pol * vd, pol * vg, pol * vs
+        if vd_n < vs_n:
+            vd_n, vs_n = vs_n, vd_n
+        vov = (vg_n - vs_n) - self.params.vto
+        if vov <= 0.0:
+            return "cutoff"
+        return "triode" if (vd_n - vs_n) < vov else "saturation"
+
+    def clone(self) -> "MOSFET":
+        return MOSFET(self.name, *self.nodes, self.params, w=self.w, l=self.l)
+
+    def describe(self) -> str:
+        kind = "NMOS" if self.params.polarity > 0 else "PMOS"
+        return (f"M {self.name} {self.nodes[0]} {self.nodes[1]} {self.nodes[2]} "
+                f"{kind} W={self.w:g} L={self.l:g}")

@@ -1,0 +1,185 @@
+"""Circuit container and node bookkeeping for the MNA engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+GROUND = "0"
+
+SourceValue = Union[float, int, "object"]  # float | callable(t) | Waveform
+
+
+class Circuit:
+    """A netlist: named elements connected between named nodes.
+
+    Nodes are created implicitly as elements reference them.  The ground
+    node is ``"0"`` (``"gnd"`` is accepted as an alias and normalised).
+
+    The class offers builder methods (``resistor``, ``nmos``, ...) so
+    netlists read like a SPICE deck::
+
+        ckt = Circuit("divider")
+        ckt.vsource("VIN", "in", "0", 5.0)
+        ckt.resistor("R1", "in", "mid", 1e3)
+        ckt.resistor("R2", "mid", "0", 1e3)
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.elements: List["object"] = []
+        self._by_name: Dict[str, "object"] = {}
+
+    # ------------------------------------------------------------------
+    # Element management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def canonical_node(node: str) -> str:
+        node = str(node)
+        return GROUND if node.lower() in ("0", "gnd", "ground", "vss!") else node
+
+    def add(self, element) -> "object":
+        """Add an element object (already constructed)."""
+        if element.name in self._by_name:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        element.nodes = tuple(self.canonical_node(n) for n in element.nodes)
+        self.elements.append(element)
+        self._by_name[element.name] = element
+        return element
+
+    def element(self, name: str):
+        """Look up an element by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no element named {name!r} in circuit {self.name!r}")
+
+    def remove(self, name: str) -> None:
+        """Remove an element by name."""
+        elem = self.element(name)
+        self.elements.remove(elem)
+        del self._by_name[name]
+
+    def has_element(self, name: str) -> bool:
+        return name in self._by_name
+
+    def elements_of_type(self, cls: Type) -> List:
+        return [e for e in self.elements if isinstance(e, cls)]
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[str]:
+        """All non-ground nodes in first-reference order."""
+        seen: Dict[str, None] = {}
+        for elem in self.elements:
+            for node in elem.nodes:
+                if node != GROUND and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    def node_index(self) -> Dict[str, int]:
+        """Map node name → MNA row index (ground maps to -1)."""
+        index = {GROUND: -1}
+        for i, node in enumerate(self.nodes()):
+            index[node] = i
+        return index
+
+    def branch_elements(self) -> List:
+        """Elements that introduce branch-current unknowns, in order."""
+        return [e for e in self.elements if getattr(e, "n_branches", 0) > 0]
+
+    def system_size(self) -> int:
+        """Number of MNA unknowns: node voltages + branch currents."""
+        return len(self.nodes()) + sum(e.n_branches for e in self.branch_elements())
+
+    # ------------------------------------------------------------------
+    # Builder helpers
+    # ------------------------------------------------------------------
+    def resistor(self, name: str, a: str, b: str, resistance: float):
+        from repro.spice.elements import Resistor
+        return self.add(Resistor(name, a, b, resistance))
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float,
+                  ic: Optional[float] = None):
+        from repro.spice.elements import Capacitor
+        return self.add(Capacitor(name, a, b, capacitance, ic=ic))
+
+    def vsource(self, name: str, plus: str, minus: str, value: SourceValue):
+        from repro.spice.elements import VoltageSource
+        return self.add(VoltageSource(name, plus, minus, value))
+
+    def isource(self, name: str, frm: str, to: str, value: SourceValue):
+        from repro.spice.elements import CurrentSource
+        return self.add(CurrentSource(name, frm, to, value))
+
+    def vcvs(self, name: str, out_p: str, out_m: str, in_p: str, in_m: str,
+             gain: float):
+        from repro.spice.elements import VCVS
+        return self.add(VCVS(name, out_p, out_m, in_p, in_m, gain))
+
+    def vccs(self, name: str, out_p: str, out_m: str, in_p: str, in_m: str,
+             transconductance: float):
+        from repro.spice.elements import VCCS
+        return self.add(VCCS(name, out_p, out_m, in_p, in_m, transconductance))
+
+    def switch(self, name: str, a: str, b: str, ctrl_p: str, ctrl_m: str,
+               v_on: float = 2.5, r_on: float = 100.0, r_off: float = 1e9):
+        from repro.spice.elements import Switch
+        return self.add(Switch(name, a, b, ctrl_p, ctrl_m, v_on, r_on, r_off))
+
+    def nmos(self, name: str, d: str, g: str, s: str, w: float = 10e-6,
+             l: float = 5e-6, params=None):
+        from repro.spice.mosfet import MOSFET, NMOS_5U
+        return self.add(MOSFET(name, d, g, s, params or NMOS_5U, w=w, l=l))
+
+    def pmos(self, name: str, d: str, g: str, s: str, w: float = 20e-6,
+             l: float = 5e-6, params=None):
+        from repro.spice.mosfet import MOSFET, PMOS_5U
+        return self.add(MOSFET(name, d, g, s, params or PMOS_5U, w=w, l=l))
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Circuit":
+        """Deep-enough copy: new container, cloned elements."""
+        dup = Circuit(self.name)
+        for elem in self.elements:
+            dup.add(elem.clone())
+        return dup
+
+    def merge(self, other: "Circuit", prefix: str = "",
+              node_map: Optional[Dict[str, str]] = None) -> None:
+        """Splice another circuit into this one.
+
+        ``node_map`` renames the sub-circuit's nodes (its ports) onto this
+        circuit's nodes; unmapped non-ground nodes are prefixed to stay
+        private.  Element names are prefixed to avoid collisions.
+        """
+        node_map = dict(node_map or {})
+        for elem in other.elements:
+            clone = elem.clone()
+            clone.name = prefix + clone.name
+            mapped = []
+            for node in clone.nodes:
+                if node == GROUND:
+                    mapped.append(node)
+                elif node in node_map:
+                    mapped.append(node_map[node])
+                else:
+                    mapped.append(prefix + node)
+            clone.nodes = tuple(mapped)
+            self.add(clone)
+
+    def transistor_count(self) -> int:
+        from repro.spice.mosfet import MOSFET
+        return len(self.elements_of_type(MOSFET))
+
+    def summary(self) -> str:
+        """One-line-per-element description, SPICE-deck flavoured."""
+        lines = [f"* circuit {self.name}: {len(self.elements)} elements, "
+                 f"{len(self.nodes())} nodes"]
+        for elem in self.elements:
+            lines.append(elem.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Circuit({self.name!r}, {len(self.elements)} elements, "
+                f"{len(self.nodes())} nodes)")

@@ -1,0 +1,204 @@
+"""SPICE-deck netlist parser.
+
+Reads the classic card format the 1996-era flows exchanged, so netlists
+can live as plain text next to the Python models::
+
+    * OP1 bias test
+    VDD vdd 0 5.0
+    IB  vdd d 20u
+    M1  d d 0 NMOS W=10u L=5u
+    R1  d out 1k
+    C1  out 0 10p IC=0
+    .end
+
+Supported cards: ``R``, ``C``, ``V``, ``I`` (DC value or ``PULSE``/
+``PWL``), ``E`` (VCVS), ``G`` (VCCS), ``S`` (switch), ``M`` (MOSFET with
+``NMOS``/``PMOS`` model and ``W=``/``L=``), comments (``*``, ``;``),
+continuation lines (``+``) and engineering suffixes (``f p n u m k meg
+g t``).  ``.end`` terminates; other dot-cards are ignored with a note in
+:attr:`ParseResult.warnings`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.spice.netlist import Circuit
+
+_SUFFIXES = {
+    "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+    "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?\d+\.?\d*(?:[eE][+-]?\d+)?)(meg|[fpnumkgt])?$",
+    re.IGNORECASE)
+
+
+class NetlistSyntaxError(ValueError):
+    """Raised for a malformed card, with the line number."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with engineering suffix (``10k``, ``2.2u``,
+    ``1meg``)."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"bad numeric value {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _parse_params(tokens: List[str]) -> Dict[str, str]:
+    params = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        params[key.strip().lower()] = value.strip()
+    return params
+
+
+def _parse_source_value(tokens: List[str]):
+    """DC value, PULSE(...) or PWL(...)."""
+    joined = " ".join(tokens)
+    upper = joined.upper()
+    if upper.startswith("PULSE"):
+        inner = joined[joined.index("(") + 1:joined.rindex(")")]
+        args = [parse_value(t) for t in inner.replace(",", " ").split()]
+        if len(args) < 4:
+            raise ValueError("PULSE needs v1 v2 delay period [duty]")
+        v1, v2, delay, period = args[:4]
+        duty = args[4] if len(args) > 4 else 0.5
+        def pulse(t: float) -> float:
+            if t < delay:
+                return v1
+            phase = ((t - delay) % period) / period
+            return v2 if phase < duty else v1
+        return pulse
+    if upper.startswith("PWL"):
+        inner = joined[joined.index("(") + 1:joined.rindex(")")]
+        args = [parse_value(t) for t in inner.replace(",", " ").split()]
+        if len(args) < 4 or len(args) % 2:
+            raise ValueError("PWL needs t1 v1 t2 v2 ...")
+        times = args[0::2]
+        values = args[1::2]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL times must increase")
+        def pwl(t: float) -> float:
+            if t <= times[0]:
+                return values[0]
+            if t >= times[-1]:
+                return values[-1]
+            for i in range(1, len(times)):
+                if t <= times[i]:
+                    frac = (t - times[i - 1]) / (times[i] - times[i - 1])
+                    return values[i - 1] + frac * (values[i] - values[i - 1])
+            return values[-1]
+        return pwl
+    if len(tokens) == 1 or (len(tokens) == 2 and tokens[0].upper() == "DC"):
+        return parse_value(tokens[-1])
+    raise ValueError(f"cannot parse source value {joined!r}")
+
+
+@dataclass
+class ParseResult:
+    """Parsed circuit plus any non-fatal notes."""
+
+    circuit: Circuit
+    warnings: List[str] = field(default_factory=list)
+
+
+def parse_netlist(text: str, name: str = "netlist") -> ParseResult:
+    """Parse a SPICE-style deck into a :class:`Circuit`."""
+    # join continuation lines first
+    raw_lines = text.splitlines()
+    lines: List[Tuple[int, str]] = []
+    for i, raw in enumerate(raw_lines, start=1):
+        stripped = raw.strip()
+        if stripped.startswith("+") and lines:
+            prev_no, prev = lines[-1]
+            lines[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            lines.append((i, stripped))
+
+    ckt = Circuit(name)
+    warnings: List[str] = []
+    for line_no, line in lines:
+        if not line or line.startswith("*") or line.startswith(";"):
+            continue
+        if ";" in line:
+            line = line.split(";", 1)[0].strip()
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == ".":
+                if card.lower() == ".end":
+                    break
+                warnings.append(f"line {line_no}: ignored card {card}")
+                continue
+            if kind == "R":
+                _need(tokens, 4, "R name n+ n- value")
+                ckt.resistor(card, tokens[1], tokens[2],
+                             parse_value(tokens[3]))
+            elif kind == "C":
+                _need(tokens, 4, "C name n+ n- value [IC=v]")
+                params = _parse_params(tokens[4:])
+                ic = parse_value(params["ic"]) if "ic" in params else None
+                ckt.capacitor(card, tokens[1], tokens[2],
+                              parse_value(tokens[3]), ic=ic)
+            elif kind == "V":
+                _need(tokens, 4, "V name n+ n- value|PULSE|PWL")
+                ckt.vsource(card, tokens[1], tokens[2],
+                            _parse_source_value(tokens[3:]))
+            elif kind == "I":
+                _need(tokens, 4, "I name n+ n- value|PULSE|PWL")
+                ckt.isource(card, tokens[1], tokens[2],
+                            _parse_source_value(tokens[3:]))
+            elif kind == "E":
+                _need(tokens, 6, "E name out+ out- in+ in- gain")
+                ckt.vcvs(card, tokens[1], tokens[2], tokens[3], tokens[4],
+                         parse_value(tokens[5]))
+            elif kind == "G":
+                _need(tokens, 6, "G name out+ out- in+ in- gm")
+                ckt.vccs(card, tokens[1], tokens[2], tokens[3], tokens[4],
+                         parse_value(tokens[5]))
+            elif kind == "S":
+                _need(tokens, 6, "S name n+ n- ctl+ ctl- [params]")
+                params = _parse_params(tokens[6:])
+                ckt.switch(card, tokens[1], tokens[2], tokens[3], tokens[4],
+                           v_on=parse_value(params.get("von", "2.5")),
+                           r_on=parse_value(params.get("ron", "100")),
+                           r_off=parse_value(params.get("roff", "1g")))
+            elif kind == "M":
+                _need(tokens, 5, "M name d g s MODEL [W= L=]")
+                model = tokens[4].upper()
+                params = _parse_params(tokens[5:])
+                w = parse_value(params.get("w", "10u"))
+                l = parse_value(params.get("l", "5u"))
+                if model == "NMOS":
+                    ckt.nmos(card, tokens[1], tokens[2], tokens[3], w=w, l=l)
+                elif model == "PMOS":
+                    ckt.pmos(card, tokens[1], tokens[2], tokens[3], w=w, l=l)
+                else:
+                    raise ValueError(f"unknown MOS model {model!r}")
+            else:
+                raise ValueError(f"unknown element type {kind!r}")
+        except NetlistSyntaxError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise NetlistSyntaxError(line_no, line, str(exc)) from exc
+    return ParseResult(circuit=ckt, warnings=warnings)
+
+
+def _need(tokens: List[str], n: int, usage: str) -> None:
+    if len(tokens) < n:
+        raise ValueError(f"too few fields (usage: {usage})")

@@ -1,0 +1,115 @@
+"""Newton–Raphson nonlinear solve: DC operating point with homotopy.
+
+The solver applies three escalating strategies, mirroring what production
+simulators do for hard bias points:
+
+1. plain damped Newton from the given (or zero) initial guess,
+2. gmin stepping: solve with a large gmin, then relax it decade by decade,
+3. source stepping: ramp all independent sources from 0 to 100 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.mna import Assembler, SimState
+from repro.spice.netlist import Circuit
+
+
+class NewtonError(RuntimeError):
+    """Raised when every convergence strategy fails."""
+
+
+#: Largest per-iteration voltage move allowed (limits Newton overshoot
+#: through the square-law kinks).
+MAX_STEP_V = 0.6
+
+
+def newton_solve(assembler: Assembler, state: SimState,
+                 max_iter: int = 120, vtol: float = 1e-7,
+                 x0: Optional[np.ndarray] = None) -> np.ndarray:
+    """Damped Newton iteration on the MNA system for the present state.
+
+    Returns the converged solution vector.  Raises :class:`NewtonError`
+    on failure (singular matrix or iteration budget exhausted).
+    """
+    n = assembler.n
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
+    state.x = x
+    for _ in range(max_iter):
+        sys = assembler.build(state)
+        try:
+            x_new = sys.solve()
+        except np.linalg.LinAlgError as exc:
+            raise NewtonError(f"singular MNA matrix: {exc}") from exc
+        if not np.all(np.isfinite(x_new)):
+            raise NewtonError("non-finite solution from linear solve")
+        delta = x_new - x
+        max_move = float(np.max(np.abs(delta))) if n else 0.0
+        if max_move > MAX_STEP_V:
+            x = x + delta * (MAX_STEP_V / max_move)
+        else:
+            x = x_new
+        state.x = x
+        if max_move < vtol:
+            return x
+    raise NewtonError(f"Newton failed to converge in {max_iter} iterations "
+                      f"(last move {max_move:.3g} V)")
+
+
+def dc_operating_point(circuit: Circuit, t: float = 0.0,
+                       x0: Optional[np.ndarray] = None,
+                       max_iter: int = 120) -> Tuple[Dict[str, float], np.ndarray]:
+    """Solve the DC operating point at time ``t``.
+
+    Capacitors are open (except those carrying explicit initial
+    conditions, which are weakly enforced).  Returns
+    ``(node_voltages, solution_vector)``.
+    """
+    assembler = Assembler(circuit)
+    state = assembler.new_state()
+    state.dt = None
+    state.t = t
+
+    x = _solve_with_homotopy(assembler, state, x0=x0, max_iter=max_iter)
+    return assembler.voltages(x), x
+
+
+def _solve_with_homotopy(assembler: Assembler, state: SimState,
+                         x0: Optional[np.ndarray] = None,
+                         max_iter: int = 120) -> np.ndarray:
+    """Plain Newton, then gmin stepping, then source stepping."""
+    # Strategy 1: plain Newton.
+    state.gmin = 1e-12
+    state.source_scale = 1.0
+    try:
+        return newton_solve(assembler, state, max_iter=max_iter, x0=x0)
+    except NewtonError:
+        pass
+
+    # Strategy 2: gmin stepping.
+    x = x0
+    try:
+        for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12):
+            state.gmin = gmin
+            x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
+        return x
+    except NewtonError:
+        pass
+
+    # Strategy 3: source stepping (with a safety gmin floor).
+    x = None
+    state.gmin = 1e-9
+    try:
+        for scale in np.linspace(0.0, 1.0, 21):
+            state.source_scale = float(scale)
+            x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
+        state.source_scale = 1.0
+        state.gmin = 1e-12
+        return newton_solve(assembler, state, max_iter=max_iter, x0=x)
+    except NewtonError as exc:
+        raise NewtonError(
+            f"operating point failed for circuit {assembler.circuit.name!r}: "
+            f"{exc}") from exc

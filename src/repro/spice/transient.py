@@ -1,0 +1,209 @@
+"""Fixed-step transient analysis with local step subdivision.
+
+The engine walks a uniform output grid (``dt``), solving the nonlinear
+companion-model system at each point with Newton.  If a step refuses to
+converge (typical at switching edges), the step is recursively halved up
+to ``max_subdivisions`` levels — the output grid is unchanged, only the
+internal march is refined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+from repro.spice.elements import Capacitor
+from repro.spice.mna import Assembler, SimState
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.solver import NewtonError, newton_solve, _solve_with_homotopy
+
+
+class TransientResult:
+    """Node waveforms (and source branch currents) from :func:`transient`."""
+
+    def __init__(self, times: np.ndarray, samples: Dict[str, np.ndarray],
+                 circuit_name: str = "",
+                 branch_samples: Optional[Dict[str, np.ndarray]] = None
+                 ) -> None:
+        self.times = times
+        self._samples = samples
+        self._branches = branch_samples or {}
+        self.circuit_name = circuit_name
+
+    @property
+    def dt(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[1] - self.times[0])
+
+    def nodes(self) -> List[str]:
+        return list(self._samples)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._samples
+
+    def __getitem__(self, node: str) -> Waveform:
+        if node not in self._samples:
+            raise KeyError(f"node {node!r} was not recorded "
+                           f"(available: {sorted(self._samples)})")
+        return Waveform(self._samples[node], self.dt,
+                        t0=float(self.times[0]), name=node)
+
+    def array(self, node: str) -> np.ndarray:
+        return self._samples[node]
+
+    def final(self, node: str) -> float:
+        return float(self._samples[node][-1])
+
+    def branches(self) -> List[str]:
+        return list(self._branches)
+
+    def branch_current(self, source_name: str) -> Waveform:
+        """Current through a recorded voltage source (positive into its
+        + terminal) — the dynamic-Idd observation point."""
+        if source_name not in self._branches:
+            raise KeyError(
+                f"branch current for {source_name!r} was not recorded "
+                f"(available: {sorted(self._branches)})")
+        return Waveform(self._branches[source_name], self.dt,
+                        t0=float(self.times[0]), name=f"I({source_name})")
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              record: Optional[Sequence[str]] = None,
+              record_branches: Optional[Sequence[str]] = None,
+              method: str = "be",
+              x0: Optional[np.ndarray] = None,
+              uic: bool = False,
+              max_newton: int = 60,
+              max_subdivisions: int = 8) -> TransientResult:
+    """Run a transient analysis from t = 0 to ``t_stop``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.  Time-varying independent sources (callables or
+        Waveforms) are evaluated along the march.
+    t_stop, dt:
+        Simulation span and output timestep.
+    record:
+        Node names to record; default all non-ground nodes.
+    record_branches:
+        Names of voltage sources whose branch currents to record (the
+        MNA solves for them anyway; this exposes them, e.g. the supply
+        current for dynamic-Idd testing).
+    method:
+        ``"be"`` (backward Euler, default, robust for switching circuits)
+        or ``"trap"`` (trapezoidal, second order).
+    x0:
+        Initial MNA solution vector; when omitted the DC operating point
+        at t = 0 seeds the march (unless ``uic``).
+    uic:
+        "Use initial conditions": skip the OP solve and start from zero /
+        capacitor ``ic`` values, as SPICE's ``UIC`` does.
+    max_newton:
+        Newton iteration budget per solve.
+    max_subdivisions:
+        Levels of local step halving tried on Newton failure.
+    """
+    if t_stop <= 0:
+        raise ValueError("t_stop must be positive")
+    if dt <= 0 or dt > t_stop:
+        raise ValueError("dt must lie in (0, t_stop]")
+    if method not in ("be", "trap"):
+        raise ValueError(f"unknown method {method!r}")
+
+    assembler = Assembler(circuit)
+    state = assembler.new_state()
+    state.method = method
+    capacitors = circuit.elements_of_type(Capacitor)
+
+    # --- initial point ------------------------------------------------
+    if x0 is not None:
+        x = np.array(x0, dtype=float)
+    elif uic:
+        x = np.zeros(assembler.n)
+        # Seed capacitor initial conditions as node-voltage guesses.
+        for cap in capacitors:
+            if cap.ic is not None:
+                a, b = cap._idx
+                if a >= 0 and b < 0:
+                    x[a] = cap.ic
+    else:
+        state.dt = None
+        state.t = 0.0
+        x = _solve_with_homotopy(assembler, state, max_iter=max_newton * 2)
+
+    n_steps = int(round(t_stop / dt))
+    record_nodes = list(record) if record is not None else assembler.node_names
+    for node in record_nodes:
+        if node != GROUND and node not in assembler.index:
+            raise KeyError(f"cannot record unknown node {node!r}")
+    branch_indices: Dict[str, int] = {}
+    for name in (record_branches or ()):
+        elem = circuit.element(name)
+        if getattr(elem, "n_branches", 0) < 1:
+            raise TypeError(f"{name!r} carries no branch current "
+                            f"(not a voltage source)")
+        branch_indices[name] = elem.branch_index()
+    times = dt * np.arange(n_steps + 1)
+    traces = {node: np.empty(n_steps + 1) for node in record_nodes}
+    branch_traces = {name: np.empty(n_steps + 1) for name in branch_indices}
+
+    def capture(k: int, vec: np.ndarray) -> None:
+        for node in record_nodes:
+            idx = assembler.index.get(node, -1)
+            traces[node][k] = 0.0 if idx < 0 else vec[idx]
+        for name, idx in branch_indices.items():
+            branch_traces[name][k] = vec[idx]
+
+    capture(0, x)
+
+    # --- march ----------------------------------------------------------
+    state.gmin = 1e-12
+    state.source_scale = 1.0
+    for k in range(1, n_steps + 1):
+        # Trapezoidal integration needs a consistent initial capacitor
+        # current; a backward-Euler start-up step provides it even when
+        # sources are discontinuous at t = 0 (the SPICE convention).
+        state.method = "be" if (method == "trap" and k == 1) else method
+        t_target = float(times[k])
+        x = _advance(assembler, state, capacitors, x,
+                     t_from=t_target - dt, t_to=t_target,
+                     max_newton=max_newton, depth=max_subdivisions)
+        capture(k, x)
+
+    return TransientResult(times, traces, circuit_name=circuit.name,
+                           branch_samples=branch_traces)
+
+
+def _advance(assembler: Assembler, state: SimState,
+             capacitors: Iterable[Capacitor], x: np.ndarray,
+             t_from: float, t_to: float, max_newton: int,
+             depth: int) -> np.ndarray:
+    """Advance the solution from ``t_from`` to ``t_to``; subdivide on
+    Newton failure."""
+    step = t_to - t_from
+    state.dt = step
+    state.t = t_to
+    state.x_prev = x
+    try:
+        x_new = newton_solve(assembler, state, max_iter=max_newton, x0=x)
+    except NewtonError:
+        if depth <= 0:
+            raise
+        aux_backup = dict(state.aux)
+        t_mid = t_from + step / 2.0
+        try:
+            x_mid = _advance(assembler, state, capacitors, x, t_from, t_mid,
+                             max_newton, depth - 1)
+            return _advance(assembler, state, capacitors, x_mid, t_mid, t_to,
+                            max_newton, depth - 1)
+        except NewtonError:
+            state.aux = aux_backup
+            raise
+    for cap in capacitors:
+        cap.record_state(state, x_new)
+    return x_new

@@ -1,0 +1,232 @@
+"""Tests for the composite dual-slope ADC and its characterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import (
+    ADCCalibration,
+    ADCCharacterization,
+    DualSlopeADC,
+    characterize_from_transitions,
+    dnl_from_transitions,
+    inl_from_transitions,
+    ramp_histogram_characterization,
+    servo_transition_levels,
+    transfer_curve,
+)
+from repro.adc.calibration import SPEC_MAX_CONVERSION_S
+from repro.adc.control import ControlState
+from repro.adc.histogram import characterize_servo
+
+
+@pytest.fixture(scope="module")
+def adc():
+    return DualSlopeADC()
+
+
+@pytest.fixture(scope="module")
+def ideal_adc():
+    cal = ADCCalibration(comparator_offset_v=0.0, cap_voltage_coeff=0.0,
+                         counter_inject_v=0.0, deintegrate_gain=1.0)
+    return DualSlopeADC(cal)
+
+
+class TestConversion:
+    def test_zero_gives_zero(self, adc):
+        assert adc.code_of(0.0) == 0
+
+    def test_full_scale_gives_top_code(self, adc):
+        assert adc.code_of(2.5) in (99, 100)
+
+    def test_midscale(self, adc):
+        assert adc.code_of(1.25) == pytest.approx(50, abs=1)
+
+    def test_monotonic_transfer(self, adc):
+        _, codes = transfer_curve(adc, n_points=120)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_ideal_adc_quantizes_exactly(self, ideal_adc):
+        lsb = ideal_adc.cal.lsb_v
+        for k in (5, 37, 73):
+            v = k * lsb  # mid-tread: k*lsb converts to k
+            assert ideal_adc.code_of(v) == k
+
+    def test_conversion_completes_within_spec(self, adc):
+        for v in (0.0, 1.0, 2.5):
+            trace = adc.convert(v)
+            assert trace.completed
+            assert trace.conversion_time_s <= SPEC_MAX_CONVERSION_S
+
+    def test_conversion_time_grows_with_input(self, adc):
+        t_low = adc.conversion_time(0.2)
+        t_high = adc.conversion_time(2.3)
+        assert t_high > t_low
+
+    def test_trace_recording(self, adc):
+        trace = adc.convert(1.25, record_trace=True)
+        assert len(trace.integrator_v) > 100
+        assert ControlState.INTEGRATE in trace.states
+        assert ControlState.DEINTEGRATE in trace.states
+        wave = trace.integrator_waveform(adc.cal.clock_period_s)
+        assert wave.peak() == pytest.approx(trace.peak_v, abs=0.05)
+
+    def test_peak_tracks_input(self, adc):
+        p1 = adc.convert(1.0).peak_v
+        p2 = adc.convert(2.0).peak_v
+        assert p2 > p1
+
+    def test_stuck_control_never_completes(self, adc):
+        broken = adc.copy()
+        broken.control.stuck_state = ControlState.INTEGRATE
+        trace = broken.convert(1.0)
+        assert not trace.completed
+
+    def test_stuck_comparator_overflows(self, adc):
+        broken = adc.copy()
+        broken.comparator.stuck_output = 1
+        trace = broken.convert(0.5)
+        # counter runs to the de-integrate guard
+        assert trace.code >= broken.cal.n_codes
+
+    def test_dead_integrator_gives_zero_code(self, adc):
+        broken = adc.copy()
+        broken.integrator.enabled = False
+        # output frozen above baseline? integrator reset puts it at
+        # baseline+0.5LSB; comparator sees no discharge
+        trace = broken.convert(2.0)
+        assert trace.code != adc.code_of(2.0)
+
+    def test_counter_stuck_bit_corrupts_codes(self, adc):
+        broken = adc.copy()
+        broken.counter.stuck_bits[1] = 0
+        codes = {broken.code_of(v) for v in np.linspace(0.1, 2.4, 20)}
+        assert all((c >> 1) & 1 == 0 for c in codes)
+
+    def test_latch_stuck_bit_biases_output(self, adc):
+        broken = adc.copy()
+        broken.latch.stuck_bits[6] = 1
+        assert broken.code_of(0.2) >= 64
+
+    def test_copy_isolated(self, adc):
+        dup = adc.copy()
+        dup.integrator.gain = 0.5
+        assert adc.integrator.gain == 1.0
+
+    def test_describe(self, adc):
+        assert "100 codes" in adc.describe()
+
+
+class TestErrorMetrics:
+    def test_perfect_transitions_zero_errors(self):
+        lsb = 0.025
+        transitions = lsb * (0.5 + np.arange(100))
+        ch = characterize_from_transitions(transitions, lsb)
+        assert ch.offset_error_lsb == pytest.approx(0.0, abs=1e-9)
+        assert ch.gain_error_lsb == pytest.approx(0.0, abs=1e-9)
+        assert ch.max_dnl_lsb == pytest.approx(0.0, abs=1e-9)
+        assert ch.max_inl_lsb == pytest.approx(0.0, abs=1e-9)
+
+    def test_pure_offset(self):
+        lsb = 0.025
+        transitions = lsb * (0.5 + np.arange(100)) + 2 * lsb
+        ch = characterize_from_transitions(transitions, lsb)
+        assert ch.offset_error_lsb == pytest.approx(2.0)
+        assert ch.gain_error_lsb == pytest.approx(0.0, abs=1e-9)
+
+    def test_pure_gain(self):
+        lsb = 0.025
+        transitions = lsb * (0.5 + np.arange(100)) * 1.01
+        ch = characterize_from_transitions(transitions, lsb)
+        # 1% gain over 99 LSB span
+        assert ch.gain_error_lsb == pytest.approx(0.99, rel=0.05)
+        assert ch.max_dnl_lsb == pytest.approx(0.01, abs=0.005)
+
+    def test_dnl_single_wide_code(self):
+        lsb = 1.0
+        transitions = [0.5, 1.5, 3.5, 4.5]  # code 2 is 2 LSB wide
+        dnl = dnl_from_transitions(transitions, lsb)
+        assert dnl[1] == pytest.approx(1.0)
+
+    def test_inl_endpoint_fit_zeroes_ends(self):
+        transitions = [0.0, 1.2, 1.9, 3.0]
+        inl = inl_from_transitions(transitions, 1.0)
+        assert inl[0] == pytest.approx(0.0)
+        assert inl[-1] == pytest.approx(0.0)
+
+    def test_dnl_inl_relationship(self):
+        """INL(k+1)-INL(k) = DNL(k) modulo the endpoint-fit slope."""
+        rng = np.random.default_rng(5)
+        lsb = 1.0
+        transitions = np.cumsum(1.0 + 0.1 * rng.normal(size=50))
+        dnl = dnl_from_transitions(transitions, lsb)
+        inl = inl_from_transitions(transitions, lsb)
+        slope = (transitions[-1] - transitions[0]) / (len(transitions) - 1)
+        expected_diff = np.diff(inl)
+        reconstructed = (np.diff(transitions) - slope) / lsb
+        assert np.allclose(expected_diff, reconstructed, atol=1e-9)
+
+    def test_meets_spec_logic(self):
+        ch = ADCCharacterization(
+            offset_error_lsb=0.1, gain_error_lsb=0.2,
+            dnl_lsb=np.array([0.5]), inl_lsb=np.array([0.5]),
+            transition_levels_v=np.zeros(2), lsb_v=0.025)
+        assert ch.meets_spec()
+        ch.missing_codes = [17]
+        assert not ch.meets_spec()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characterize_from_transitions([0.1], 0.025)
+        with pytest.raises(ValueError):
+            characterize_from_transitions([0.1, 0.2], -1.0)
+        with pytest.raises(ValueError):
+            dnl_from_transitions([1.0, 2.0], 0.0)
+
+
+class TestCharacterizationProcedures:
+    def test_servo_finds_transitions(self, ideal_adc):
+        levels = servo_transition_levels(ideal_adc, codes=[1, 50, 100])
+        lsb = ideal_adc.cal.lsb_v
+        assert levels[0] == pytest.approx(0.5 * lsb, abs=lsb * 0.1)
+        assert levels[1] == pytest.approx(49.5 * lsb, abs=lsb * 0.1)
+
+    def test_servo_characterization_nominal_matches_paper(self, adc):
+        ch = characterize_servo(adc)
+        assert abs(ch.offset_error_lsb) < 0.3
+        assert abs(ch.gain_error_lsb) <= 0.7
+        assert 1.0 < ch.max_inl_lsb < 1.6
+        assert 1.0 < ch.max_dnl_lsb < 1.5
+        assert not ch.missing_codes
+
+    def test_histogram_agrees_with_servo(self, adc):
+        servo = characterize_servo(adc)
+        hist = ramp_histogram_characterization(adc, n_samples=3000)
+        assert hist.max_dnl_lsb == pytest.approx(servo.max_dnl_lsb, abs=0.3)
+        assert hist.offset_error_lsb == pytest.approx(
+            servo.offset_error_lsb, abs=0.3)
+
+    def test_histogram_needs_enough_samples(self, adc):
+        with pytest.raises(ValueError):
+            ramp_histogram_characterization(adc, n_samples=100)
+
+    def test_transfer_curve_shape(self, adc):
+        v, codes = transfer_curve(adc, n_points=64)
+        assert len(v) == len(codes) == 64
+        assert codes[0] == 0
+        assert codes[-1] >= 99
+
+    def test_servo_tolerance_validation(self, adc):
+        with pytest.raises(ValueError):
+            servo_transition_levels(adc, codes=[1], tolerance_v=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.0, 2.5))
+def test_conversion_error_bounded(v_in):
+    """Any input converts within a few LSB of ideal (global accuracy)."""
+    adc = DualSlopeADC()
+    code = adc.code_of(v_in)
+    ideal = v_in / adc.cal.lsb_v
+    assert abs(code - ideal) <= 2.5

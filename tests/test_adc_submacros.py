@@ -1,0 +1,304 @@
+"""Tests for the ADC sub-macros: integrator, comparator, latch, control."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    ADCCalibration,
+    ComparatorModel,
+    ControlState,
+    DualSlopeControl,
+    IntegratorModel,
+    OutputLatch,
+    PAPER_CALIBRATION,
+)
+from repro.adc.calibration import PAPER_STEP_TABLE, expected_fall_time
+from repro.signals import Waveform
+
+
+class TestIntegrator:
+    def test_reset_precharges(self):
+        integ = IntegratorModel()
+        integ.reset()
+        assert integ.v_out == pytest.approx(3.6)
+
+    def test_reset_to_level(self):
+        integ = IntegratorModel()
+        integ.reset(1.0)
+        assert integ.v_out == 1.0
+
+    def test_full_scale_integration_swing(self):
+        """100 cycles at full scale lift the output by ~2.5 V."""
+        integ = IntegratorModel()
+        integ.cal.cap_voltage_coeff = 0.0
+        integ.reset(1.0)
+        for _ in range(100):
+            integ.integrate_cycle(2.5)
+        assert integ.v_out == pytest.approx(3.5, abs=0.01)
+
+    def test_integration_linear_in_input(self):
+        integ = IntegratorModel()
+        integ.cal.cap_voltage_coeff = 0.0
+        integ.reset(1.0)
+        integ.integrate_cycle(1.25)
+        half_step = integ.v_out - 1.0
+        integ.reset(1.0)
+        integ.integrate_cycle(2.5)
+        assert integ.v_out - 1.0 == pytest.approx(2 * half_step, rel=1e-9)
+
+    def test_deintegrate_steps_down(self):
+        integ = IntegratorModel()
+        integ.cal.cap_voltage_coeff = 0.0
+        integ.reset(3.0)
+        integ.deintegrate_cycle()
+        assert integ.v_out == pytest.approx(3.0 - 2.5 / 100, rel=1e-6)
+
+    def test_leak_decays_state(self):
+        integ = IntegratorModel()
+        integ.leak_per_cycle = 0.1
+        integ.reset(2.0)
+        integ.integrate_cycle(0.0)
+        assert integ.v_out < 2.0
+
+    def test_disabled_integrator_frozen(self):
+        integ = IntegratorModel()
+        integ.enabled = False
+        integ.reset(2.0)
+        integ.integrate_cycle(2.5)
+        integ.deintegrate_cycle()
+        integ.couple_step(1.0)
+        assert integ.v_out == 2.0
+
+    def test_saturation(self):
+        integ = IntegratorModel()
+        integ.reset(4.0)
+        for _ in range(200):
+            integ.integrate_cycle(2.5)
+        assert integ.v_out <= integ.v_max
+
+    def test_fall_time_matches_analytic_line(self):
+        integ = IntegratorModel()
+        for v_step in (0.0, 1.0, 2.0, 2.5):
+            t = integ.fall_time(v_step)
+            assert t == pytest.approx(expected_fall_time(v_step), abs=2e-5)
+
+    def test_fall_time_decreases_with_step(self):
+        integ = IntegratorModel()
+        times = [integ.fall_time(v) for v, _ in PAPER_STEP_TABLE]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_fall_time_stuck_is_infinite(self):
+        integ = IntegratorModel()
+        integ.enabled = False
+        assert integ.fall_time(1.0) == float("inf")
+
+    def test_coupled_voltage_dead_zone(self):
+        integ = IntegratorModel()
+        integ.cal.couple_dead_scale = 0.3
+        assert integ.coupled_voltage(0.3) < 0.3
+        # large steps couple almost fully
+        assert integ.coupled_voltage(2.5) == pytest.approx(2.5, rel=0.01)
+
+    def test_coupled_voltage_never_negative_input(self):
+        integ = IntegratorModel()
+        assert integ.coupled_voltage(-1.0) == 0.0
+
+    def test_copy_independent(self):
+        integ = IntegratorModel()
+        dup = integ.copy()
+        dup.gain = 0.5
+        dup.cal.cap_voltage_coeff = 0.9
+        assert integ.gain == 1.0
+        assert integ.cal.cap_voltage_coeff != 0.9
+
+    def test_to_ztf_leak(self):
+        integ = IntegratorModel()
+        integ.leak_per_cycle = 0.05
+        ztf = integ.to_ztf()
+        assert ztf.is_stable()
+
+    def test_discharge_waveform_slope(self):
+        integ = IntegratorModel()
+        integ.reset(3.6)
+        wave = integ.discharge_to_threshold(dt=10e-6)
+        slope = (wave.values[0] - wave.values[10]) / (10 * 10e-6)
+        assert slope == pytest.approx(1000.0, rel=1e-6)
+
+    def test_discharge_bad_dt(self):
+        with pytest.raises(ValueError):
+            IntegratorModel().discharge_to_threshold(dt=0.0)
+
+
+class TestComparator:
+    def test_basic_compare(self):
+        cmp_ = ComparatorModel()
+        assert cmp_.compare(2.0, 1.0) == 1
+        assert cmp_.compare(1.0, 2.0) == 0
+
+    def test_offset_shifts_trip(self):
+        cmp_ = ComparatorModel(offset_v=0.1)
+        assert cmp_.compare(1.05, 1.0) == 0
+        assert cmp_.compare(1.15, 1.0) == 1
+
+    def test_hysteresis(self):
+        cmp_ = ComparatorModel(hysteresis_v=0.2)
+        cmp_._last_output = 0
+        # from low state, needs to exceed +hyst/2
+        assert cmp_.compare(1.05, 1.0) == 0
+        assert cmp_.compare(1.15, 1.0) == 1
+        # now from high state, small dip does not reset
+        assert cmp_.compare(0.95, 1.0) == 1
+
+    def test_stuck_output(self):
+        cmp_ = ComparatorModel()
+        cmp_.stuck_output = 1
+        assert cmp_.compare(0.0, 5.0) == 1
+
+    def test_crossing_time_with_delay(self):
+        cmp_ = ComparatorModel(delay_s=1e-3)
+        wave = Waveform([2.0, 1.0, 0.0], 1.0)
+        t = cmp_.crossing_time(wave, 0.5, "falling")
+        assert t == pytest.approx(1.5 + 1e-3)
+
+    def test_crossing_stuck_returns_none(self):
+        cmp_ = ComparatorModel()
+        cmp_.stuck_output = 0
+        wave = Waveform([2.0, 0.0], 1.0)
+        assert cmp_.crossing_time(wave, 1.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComparatorModel(hysteresis_v=-0.1)
+        with pytest.raises(ValueError):
+            ComparatorModel(delay_s=-1.0)
+
+    def test_copy(self):
+        cmp_ = ComparatorModel(offset_v=0.05)
+        dup = cmp_.copy()
+        dup.offset_v = 0.5
+        assert cmp_.offset_v == 0.05
+
+
+class TestLatch:
+    def test_capture_and_read(self):
+        latch = OutputLatch(8)
+        latch.capture(42)
+        assert latch.read() == 42
+
+    def test_track_does_not_change_read(self):
+        latch = OutputLatch(8)
+        latch.capture(42)
+        latch.track(99)
+        assert latch.read() == 42
+
+    def test_transparent_fault_leaks_live_value(self):
+        latch = OutputLatch(8)
+        latch.capture(42)
+        latch.transparent_fault = True
+        latch.track(99)
+        assert latch.read() == 99
+
+    def test_stuck_bits(self):
+        latch = OutputLatch(8)
+        latch.stuck_bits[0] = 1
+        latch.capture(0b1000)
+        assert latch.read() == 0b1001
+
+    def test_width_mask(self):
+        latch = OutputLatch(4)
+        latch.capture(0x1F)
+        assert latch.read() == 0xF
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutputLatch(0)
+
+    def test_copy(self):
+        latch = OutputLatch(8)
+        latch.capture(5)
+        dup = latch.copy()
+        dup.capture(9)
+        assert latch.read() == 5
+
+
+class TestControl:
+    def run_conversion(self, ctrl, deintegrate_cycles):
+        """Clock through a whole conversion; comparator goes low after
+        the given number of de-integrate cycles."""
+        ctrl.start()
+        seen = []
+        deint = 0
+        for _ in range(1000):
+            high = True
+            if ctrl.state == ControlState.DEINTEGRATE:
+                deint += 1
+                high = deint < deintegrate_cycles
+            seen.append(ctrl.clock(high))
+            if ctrl.done:
+                break
+        return seen
+
+    def test_state_sequence(self):
+        ctrl = DualSlopeControl(integrate_cycles=10, autozero_cycles=2,
+                                max_deintegrate_cycles=20)
+        seen = self.run_conversion(ctrl, deintegrate_cycles=5)
+        states = [s.value for s in dict.fromkeys(seen)]
+        assert states == ["autozero", "integrate", "deintegrate", "done"]
+
+    def test_total_cycles_accounting(self):
+        ctrl = DualSlopeControl(integrate_cycles=10, autozero_cycles=2,
+                                max_deintegrate_cycles=20)
+        self.run_conversion(ctrl, deintegrate_cycles=5)
+        assert ctrl.total_cycles == pytest.approx(2 + 10 + 5, abs=1)
+
+    def test_deintegrate_overflow_guard(self):
+        ctrl = DualSlopeControl(integrate_cycles=5, autozero_cycles=0,
+                                max_deintegrate_cycles=8)
+        seen = self.run_conversion(ctrl, deintegrate_cycles=10_000)
+        assert ctrl.done
+
+    def test_stuck_state_never_finishes(self):
+        ctrl = DualSlopeControl(integrate_cycles=5)
+        ctrl.stuck_state = ControlState.INTEGRATE
+        ctrl.start()
+        for _ in range(500):
+            ctrl.clock(True)
+        assert not ctrl.done
+        assert ctrl.state == ControlState.INTEGRATE
+
+    def test_conversion_time(self):
+        ctrl = DualSlopeControl()
+        ctrl.total_cycles = 200
+        assert ctrl.conversion_time_s(100e3) == pytest.approx(2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualSlopeControl(integrate_cycles=0)
+
+    def test_copy(self):
+        ctrl = DualSlopeControl()
+        ctrl.stuck_state = ControlState.IDLE
+        dup = ctrl.copy()
+        assert dup.stuck_state == ControlState.IDLE
+
+
+class TestCalibration:
+    def test_lsb(self):
+        assert PAPER_CALIBRATION.lsb_v == pytest.approx(0.025)
+
+    def test_integrate_time(self):
+        assert PAPER_CALIBRATION.integrate_time_s == pytest.approx(1e-3)
+
+    def test_copy_independent(self):
+        cal = PAPER_CALIBRATION.copy()
+        cal.n_codes = 50
+        assert PAPER_CALIBRATION.n_codes == 100
+
+    def test_expected_fall_times_match_line(self):
+        # the analytic line: 2.6 ms - 1 ms/V * v
+        assert expected_fall_time(0.0) == pytest.approx(2.6e-3)
+        assert expected_fall_time(2.5) == pytest.approx(0.1e-3)
+        assert expected_fall_time(1.3) == pytest.approx(1.3e-3)
+
+    def test_expected_fall_time_floors_at_zero(self):
+        assert expected_fall_time(10.0) == 0.0

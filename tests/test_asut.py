@@ -1,0 +1,111 @@
+"""Tests for the bus-accessible ASUT assembly."""
+
+import pytest
+
+from repro.adc.control import ControlState
+from repro.core.asut import (
+    ASUT,
+    ASUT_ID_WORD,
+    CMD_CONVERT,
+    CMD_RUN_BIST,
+    ExternalTester,
+    REG_ADC_CODE,
+    REG_ADC_INPUT_MV,
+    REG_CONTROL,
+    REG_ID,
+    REG_STATUS,
+    REG_BIST_RESULT,
+)
+
+
+@pytest.fixture
+def asut():
+    return ASUT()
+
+
+@pytest.fixture
+def tester(asut):
+    return ExternalTester(asut)
+
+
+class TestRegisterMap:
+    def test_id_word(self, tester):
+        assert tester.identify()
+        assert tester.bus.read(REG_ID) == ASUT_ID_WORD
+
+    def test_raw_conversion_sequence(self, asut):
+        bus = asut.bus
+        bus.write(REG_ADC_INPUT_MV, 1250)
+        bus.write(REG_CONTROL, CMD_CONVERT)
+        status = bus.read(REG_STATUS)
+        assert status & 0b10          # done
+        assert status & 0b100         # passed (completed)
+        assert abs(bus.read(REG_ADC_CODE) - 50) <= 1
+
+    def test_unknown_command_fails_status(self, asut):
+        asut.bus.write(REG_CONTROL, 77)
+        assert not asut.bus.read(REG_STATUS) & 0b100
+
+    def test_dac_code_clamped(self, asut):
+        asut.bus.write(0x05, 5000)
+        assert asut.bus.registers[0x05] <= asut.dac.n_codes - 1
+
+
+class TestExternalTester:
+    def test_convert_matches_direct_access(self, asut, tester):
+        via_bus = tester.convert(1.0)
+        direct = asut.adc.code_of(1.0)
+        assert abs(via_bus - direct) <= 1
+
+    def test_bist_pass_on_healthy(self, tester):
+        assert tester.run_bist()
+
+    def test_bist_flags_detail(self, asut, tester):
+        tester.run_bist()
+        flags = asut.bus.read(REG_BIST_RESULT)
+        assert flags == 0b111     # analog, digital, compressed all pass
+
+    def test_loopback_pass_on_healthy(self, tester):
+        assert tester.run_loopback()
+
+    def test_fall_time_readout(self, tester):
+        # 1 V step -> 1.6 ms = 1600 us
+        assert tester.fall_time_us(1.0) == pytest.approx(1600, abs=20)
+
+    def test_fall_time_saturates_on_stuck(self, asut, tester):
+        asut.adc.integrator.enabled = False
+        assert tester.fall_time_us(1.0) == 0xFFFF
+
+    def test_production_flow_healthy(self, tester):
+        log = tester.production_flow()
+        assert log.identified
+        assert log.bist_passed
+        assert log.loopback_passed
+        assert log.bus_frames > 6
+
+    def test_production_flow_broken_adc(self):
+        asut = ASUT()
+        asut.adc.integrator.gain = 0.5
+        log = ExternalTester(asut).production_flow()
+        assert not log.bist_passed
+        assert not log.loopback_passed
+
+    def test_production_flow_stuck_control(self):
+        asut = ASUT()
+        asut.adc.control.stuck_state = ControlState.INTEGRATE
+        log = ExternalTester(asut).production_flow()
+        assert not log.bist_passed
+
+    def test_broken_dac_caught_by_loopback_only(self):
+        asut = ASUT()
+        asut.dac.stuck_bits[6] = 0
+        tester = ExternalTester(asut)
+        # the ADC-only BIST cannot see a DAC fault ...
+        assert tester.run_bist()
+        # ... the loopback can
+        assert not tester.run_loopback()
+
+    def test_all_traffic_went_over_frames(self, tester):
+        tester.production_flow()
+        expected_bits = len(tester.bus.log) * (1 + 8 + 1 + 16 + 1)
+        assert tester.bus.wire_bits == expected_bits

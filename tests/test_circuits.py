@@ -1,0 +1,166 @@
+"""Tests for the transistor-level example circuits (OP1, SC integrator,
+library macros)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    OP1_FAULT_NODES,
+    comparator_circuit,
+    current_mirror_circuit,
+    op1_circuit,
+    op1_follower,
+    op1_open_loop,
+    ring_oscillator_circuit,
+    sc_integrator_circuit,
+    sc_integrator_comparator_circuit,
+    voltage_reference_circuit,
+)
+from repro.circuits.sc_integrator import PAPER_DESIGN
+from repro.signals.sources import two_phase_clocks
+from repro.spice import Circuit, dc_operating_point, transient
+
+
+class TestOP1:
+    def test_thirteen_transistors(self):
+        assert op1_circuit().transistor_count() == 13
+
+    def test_all_paper_nodes_exist(self):
+        ckt = op1_circuit()
+        nodes = set(ckt.nodes())
+        for n in [str(k) for k in range(1, 10)]:
+            assert n in nodes
+        assert set(OP1_FAULT_NODES) <= nodes
+
+    def test_follower_tracks_input(self):
+        for vin in (2.0, 2.5, 3.0, 3.5):
+            v, _ = dc_operating_point(op1_follower(input_value=vin))
+            assert v["3"] == pytest.approx(vin, abs=0.03)
+
+    def test_follower_clips_outside_range(self):
+        v, _ = dc_operating_point(op1_follower(input_value=0.5))
+        assert v["3"] > 1.0  # cannot reach 0.5
+
+    def test_follower_settles_after_step(self):
+        ckt = op1_follower(
+            input_value=lambda t: 2.2 if t < 50e-6 else 3.0)
+        res = transient(ckt, t_stop=400e-6, dt=1e-6, record=["3"])
+        assert res.final("3") == pytest.approx(3.0, abs=0.05)
+
+    def test_open_loop_is_comparator(self):
+        high = op1_open_loop(in_n_value=2.5, input_value=3.0)
+        v, _ = dc_operating_point(high)
+        assert v["3"] > 4.0
+        low = op1_open_loop(in_n_value=2.5, input_value=2.0)
+        v, _ = dc_operating_point(low)
+        # the PMOS-follower output stage floors around 1.5 V; logic-low
+        # is anything clearly below the 2.5 V slicing threshold
+        assert v["3"] < 1.8
+
+    def test_bias_current_flows(self):
+        """The diode node (4) sits between the rails, i.e. bias is live."""
+        v, _ = dc_operating_point(op1_follower(input_value=2.5))
+        assert 1.0 < v["4"] < 4.0
+
+    def test_compensation_optional(self):
+        ckt = op1_circuit(compensation_f=None)
+        assert not any(e.name.endswith("CC") for e in ckt.elements)
+
+
+class TestSCIntegrator:
+    def test_fifteen_transistors(self):
+        phi1, phi2 = two_phase_clocks(5e-6, 20e-6, dt=0.1e-6)
+        ckt = sc_integrator_circuit(phi1, phi2, 2.0)
+        assert ckt.transistor_count() == 15
+
+    def test_circuit2_twenty_eight_transistors(self):
+        phi1, phi2 = two_phase_clocks(5e-6, 20e-6, dt=0.1e-6)
+        ckt = sc_integrator_comparator_circuit(phi1, phi2, 2.0)
+        assert ckt.transistor_count() == 28
+
+    def test_design_constants(self):
+        assert PAPER_DESIGN.cap_ratio == 6.8
+        assert PAPER_DESIGN.gain_per_cycle == pytest.approx(1 / 6.8)
+        assert PAPER_DESIGN.cf_f == pytest.approx(6.8 * PAPER_DESIGN.cs_f)
+        assert PAPER_DESIGN.clock_period_s == 5e-6
+        assert PAPER_DESIGN.comparator_threshold == 0.64
+
+    @pytest.mark.slow
+    def test_integrates_at_designed_rate(self):
+        """Transistor-level charge transfer within a few % of 1/6.8."""
+        n_cycles = 8
+        dt = 50e-9
+        dur = n_cycles * 5e-6
+        phi1, phi2 = two_phase_clocks(5e-6, dur, dt=dt, non_overlap=0.1)
+        ckt = sc_integrator_circuit(phi1, phi2, PAPER_DESIGN.v_ref - 0.5)
+        res = transient(ckt, t_stop=dur, dt=dt, record=["out"])
+        out = res["out"]
+        samples = [out.value_at(k * 5e-6 - 2 * dt)
+                   for k in range(2, n_cycles + 1)]
+        steps = np.diff(samples)
+        gain = float(np.mean(steps)) / 0.5
+        assert gain == pytest.approx(1 / 6.8, rel=0.05)
+
+
+class TestLibraryMacros:
+    def test_voltage_reference_accuracy(self):
+        ckt = voltage_reference_circuit(2.5)
+        v, _ = dc_operating_point(ckt)
+        assert v["ref"] == pytest.approx(2.5, abs=0.05)
+
+    def test_voltage_reference_validation(self):
+        with pytest.raises(ValueError):
+            voltage_reference_circuit(6.0)
+
+    def test_current_mirror_validation(self):
+        with pytest.raises(ValueError):
+            current_mirror_circuit(i_ref=-1.0)
+
+    def test_ring_oscillator_oscillates(self):
+        ckt = ring_oscillator_circuit(n_stages=3)
+        res = transient(ckt, t_stop=20e-6, dt=25e-9, record=["osc1"],
+                        uic=True)
+        wave = res["osc1"].slice_time(5e-6, 20e-6)
+        assert wave.peak() - wave.trough() > 3.0  # rail-to-rail swings
+        # count rising edges: must toggle repeatedly
+        crossings = np.sum(np.diff(wave.values > 2.5).astype(int) == 1)
+        assert crossings >= 3
+
+    def test_ring_oscillator_needs_odd_stages(self):
+        with pytest.raises(ValueError):
+            ring_oscillator_circuit(n_stages=4)
+
+    def test_comparator_macro_slices(self):
+        ckt = comparator_circuit(threshold_v=2.0)
+        ckt.vsource("VIN_DRV", "in", "0", 3.0)
+        v, _ = dc_operating_point(ckt)
+        assert v["out"] > 4.0
+        ckt.element("VIN_DRV").value = 1.0
+        v, _ = dc_operating_point(ckt)
+        assert v["out"] < 1.8
+
+
+class TestNetlistHygiene:
+    def test_summary_lists_elements(self):
+        text = op1_circuit().summary()
+        assert "M1 " in text and "circuit op1" in text
+
+    def test_copy_is_deep_for_elements(self):
+        ckt = op1_circuit()
+        dup = ckt.copy()
+        dup.element("M1").w = 1e-6
+        assert ckt.element("M1").w != 1e-6
+
+    def test_all_op1_instances_coexist(self):
+        """Two prefixed OP1 instances do not collide."""
+        from repro.circuits.op1 import add_op1
+        ckt = Circuit("dual")
+        ckt.vsource("VDD", "vdd", "0", 5.0)
+        ckt.vsource("VA", "a", "0", 2.5)
+        ckt.vsource("VB", "b", "0", 2.5)
+        add_op1(ckt, "a", "outa", "outa", prefix="x")
+        add_op1(ckt, "b", "outb", "outb", prefix="y")
+        assert ckt.transistor_count() == 26
+        v, _ = dc_operating_point(ckt)
+        assert v["outa"] == pytest.approx(2.5, abs=0.05)
+        assert v["outb"] == pytest.approx(2.5, abs=0.05)

@@ -1,0 +1,274 @@
+"""Tests for the on-chip BIST macros and controller."""
+
+import numpy as np
+import pytest
+
+from repro.adc import DualSlopeADC
+from repro.adc.control import ControlState
+from repro.core import (
+    ADC_PARTITION,
+    BISTController,
+    CompressedTest,
+    DCLevelSensor,
+    DigitalTestMonitor,
+    MonotonicityBIST,
+    PAPER_STEP_LEVELS,
+    RampGeneratorMacro,
+    StepGeneratorMacro,
+    bist_overhead,
+)
+from repro.core.partition import partition_by_name
+from repro.signals import Waveform
+
+
+@pytest.fixture
+def adc():
+    return DualSlopeADC()
+
+
+class TestStepGenerator:
+    def test_paper_levels(self):
+        gen = StepGeneratorMacro()
+        assert gen.levels == PAPER_STEP_LEVELS
+        assert gen.all_outputs() == list(PAPER_STEP_LEVELS)
+
+    def test_level_errors_applied(self):
+        gen = StepGeneratorMacro(levels=(1.0, 2.0),
+                                 level_errors_v=(0.01, -0.02))
+        assert gen.output(0) == pytest.approx(1.01)
+        assert gen.output(1) == pytest.approx(1.98)
+
+    def test_accuracy_check(self):
+        gen = StepGeneratorMacro(levels=(1.0,), accuracy_v=5e-3,
+                                 level_errors_v=(0.01,))
+        assert not gen.within_accuracy()
+
+    def test_staircase_covers_all_levels(self):
+        gen = StepGeneratorMacro()
+        stair = gen.staircase(dwell_s=1e-3, dt=1e-4)
+        for i, level in enumerate(gen.levels):
+            assert stair.value_at((i + 0.5) * 1e-3) == pytest.approx(level)
+
+    def test_step_waveform_settles(self):
+        gen = StepGeneratorMacro(settle_time_s=50e-6)
+        wave = gen.step_waveform(5, duration=1e-3, dt=1e-6)
+        assert wave.value_at(0.5e-3) == pytest.approx(2.5)
+        assert wave.value_at(10e-6) < 2.5
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            StepGeneratorMacro().output(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepGeneratorMacro(levels=())
+        with pytest.raises(ValueError):
+            StepGeneratorMacro(level_errors_v=(0.0,))
+
+
+class TestRampGenerator:
+    def test_endpoints(self):
+        ramp = RampGeneratorMacro()
+        assert ramp.value_at(0.0) == pytest.approx(0.0)
+        assert ramp.value_at(1.0) == pytest.approx(2.5)
+        assert ramp.value_at(2.0) == pytest.approx(2.5)  # held
+
+    def test_six_measurement_points(self):
+        points = RampGeneratorMacro().measurement_points(6)
+        assert len(points) == 6
+        times = [t for t, _ in points]
+        assert times == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+
+    def test_gain_error_scales_slope(self):
+        ramp = RampGeneratorMacro(gain_error=0.1)
+        assert ramp.value_at(1.0) == pytest.approx(2.75)
+
+    def test_offset(self):
+        ramp = RampGeneratorMacro(offset_v=0.1)
+        assert ramp.value_at(0.0) == pytest.approx(0.1)
+
+    def test_nonlinearity_bows_midpoint(self):
+        ramp = RampGeneratorMacro(nonlinearity=0.01)
+        mid = ramp.value_at(0.5)
+        assert mid > 1.25
+
+    def test_waveform(self):
+        wave = RampGeneratorMacro().waveform(dt=1e-2)
+        assert wave.values[-1] == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampGeneratorMacro(period_s=0.0)
+        with pytest.raises(ValueError):
+            RampGeneratorMacro().measurement_points(1)
+
+
+class TestLevelSensor:
+    def test_windows(self):
+        s = DCLevelSensor()
+        assert s.code(1.0) == 0b00
+        assert s.code(2.5) == 0b01
+        assert s.code(4.0) == 0b11
+
+    def test_window_names(self):
+        s = DCLevelSensor()
+        assert s.window(1.0) == "below"
+        assert s.window(2.5) == "inside"
+        assert s.window(4.5) == "above"
+
+    def test_classify_peak(self):
+        s = DCLevelSensor()
+        wave = Waveform([0.5, 3.5, 1.0], 1.0)
+        assert s.classify_peak(wave) == 0b01
+
+    def test_consistency_check(self):
+        s = DCLevelSensor()
+        assert s.is_consistent(0b01)
+        assert not s.is_consistent(0b10)
+
+    def test_threshold_order_enforced(self):
+        with pytest.raises(ValueError):
+            DCLevelSensor(low_threshold_v=3.0, high_threshold_v=2.0)
+
+
+class TestDigitalMonitor:
+    def test_quantize_to_clock(self):
+        mon = DigitalTestMonitor(clock_hz=100e3)
+        assert mon.quantize(2.607e-3) == pytest.approx(2.60e-3)
+        assert mon.resolution_s == pytest.approx(10e-6)
+
+    def test_run_on_healthy_adc_passes(self, adc):
+        report = DigitalTestMonitor().run(adc)
+        assert report.passed
+        assert report.max_conversion_time_s <= 5.6e-3
+        assert report.fall_time_delta_s == pytest.approx(10e-6, abs=1e-9)
+        assert report.mv_per_code == pytest.approx(10.0, rel=0.01)
+
+    def test_stuck_control_fails(self, adc):
+        broken = adc.copy()
+        broken.control.stuck_state = ControlState.DEINTEGRATE
+        report = DigitalTestMonitor().run(broken)
+        assert not report.completed_all or not report.conversion_time_ok
+
+    def test_dead_integrator_fails_fall_time(self, adc):
+        broken = adc.copy()
+        broken.integrator.enabled = False
+        delta, mv = DigitalTestMonitor().fall_time_lsb_check(broken)
+        assert delta is None and mv is None
+
+
+class TestCompressedTest:
+    def test_healthy_passes(self, adc):
+        report = CompressedTest().run(adc)
+        assert report.passed
+        assert report.digital_ok and report.analog_ok
+
+    def test_gross_gain_fault_fails(self, adc):
+        broken = adc.copy()
+        broken.integrator.gain = 0.5
+        report = CompressedTest().run(broken)
+        assert not report.passed
+
+    def test_codes_mode_is_stricter(self, adc):
+        """Raw-code compaction flags even a 1-code shift."""
+        strict = CompressedTest(mode="codes", tolerance_codes=0)
+        healthy_sig = strict.run(adc).digital_signature
+        shifted = adc.copy()
+        shifted.comparator.offset_v += adc.cal.lsb_v  # ~1 code shift
+        assert strict.run(shifted).digital_signature != healthy_sig
+
+    def test_window_mode_tolerates_small_shift(self, adc):
+        test = CompressedTest(mode="window", tolerance_codes=2)
+        shifted = adc.copy()
+        shifted.comparator.offset_v += adc.cal.lsb_v
+        assert test.run(shifted).digital_ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompressedTest(mode="magic")
+        with pytest.raises(ValueError):
+            CompressedTest(tolerance_codes=-1)
+
+
+class TestMonotonicityBIST:
+    def test_healthy_adc_monotonic(self, adc):
+        report = MonotonicityBIST(samples=128).run(adc)
+        assert report.monotonic
+        assert report.passed
+
+    def test_healthy_adc_no_missing_codes_when_densely_sampled(self, adc):
+        # ~6 ramp samples per code: every (narrow but present) code shows
+        report = MonotonicityBIST(samples=600).run(adc)
+        assert not report.missed_codes
+
+    def test_latch_fault_breaks_monotonicity(self, adc):
+        broken = adc.copy()
+        broken.latch.stuck_bits[3] = 0
+        report = MonotonicityBIST(samples=128).run(broken)
+        assert not report.monotonic or report.missed_codes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonotonicityBIST(samples=2)
+
+    def test_summary(self, adc):
+        assert "PASS" in MonotonicityBIST(samples=64).run(adc).summary()
+
+
+class TestPartitionAudit:
+    def test_paper_overheads_match(self):
+        audit = bist_overhead()
+        assert audit.analog_total == 152
+        assert audit.digital_total == 484
+        assert audit.analog_ok and audit.digital_ok
+
+    def test_adc_partitions_present(self):
+        names = {p.name for p in ADC_PARTITION}
+        assert names == {"integrator", "comparator", "counter",
+                         "output_latch", "control"}
+
+    def test_partition_lookup(self):
+        p = partition_by_name("integrator")
+        assert "linearity" in p.fault_signature
+        with pytest.raises(KeyError):
+            partition_by_name("dac")
+
+    def test_overhead_fraction_sensible(self):
+        audit = bist_overhead()
+        assert 0.3 < audit.overhead_fraction < 1.0
+
+
+class TestBISTController:
+    def test_healthy_device_passes_all(self, adc):
+        report = BISTController().run_all(adc)
+        assert report.analog.passed
+        assert report.digital.passed
+        assert report.compressed.passed
+        assert report.passed
+
+    def test_fall_time_table_matches_expected(self, adc):
+        report = BISTController().run_analog(adc)
+        for meas, exp in zip(report.fall_times_s,
+                             report.expected_fall_times_s):
+            assert meas == pytest.approx(exp, abs=0.02e-3)
+
+    def test_dead_integrator_fails_analog(self, adc):
+        broken = adc.copy()
+        broken.integrator.enabled = False
+        assert not BISTController().run_analog(broken).passed
+
+    def test_stuck_control_fails_digital(self, adc):
+        broken = adc.copy()
+        broken.control.stuck_state = ControlState.AUTOZERO
+        assert not BISTController().run_digital(broken).passed
+
+    def test_quick_pass_predicate(self, adc):
+        ctrl = BISTController()
+        assert ctrl.quick_pass(adc)
+        broken = adc.copy()
+        broken.integrator.gain = 0.3
+        assert not ctrl.quick_pass(broken)
+
+    def test_report_summary_text(self, adc):
+        s = BISTController().run_all(adc).summary()
+        assert "PASS" in s

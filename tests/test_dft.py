@@ -1,0 +1,270 @@
+"""Tests for the digital DfT substrate: MISR, scan, test bus, counter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dft import (
+    BusTransaction,
+    CounterMacro,
+    MISR,
+    ScanChain,
+    ScanRegister,
+    SerialTestBus,
+    SignatureRegister,
+)
+
+
+class TestMISR:
+    def test_deterministic(self):
+        words = [3, 1, 4, 1, 5, 9, 2, 6]
+        a = MISR(16).compact(words)
+        b = MISR(16).compact(words)
+        assert a == b
+
+    def test_sensitive_to_single_bit(self):
+        words = [3, 1, 4, 1, 5, 9, 2, 6]
+        altered = list(words)
+        altered[3] ^= 1
+        assert MISR(16).compact(words) != MISR(16).compact(altered)
+
+    def test_sensitive_to_order(self):
+        assert MISR(16).compact([1, 2]) != MISR(16).compact([2, 1])
+
+    def test_reset(self):
+        m = MISR(16)
+        m.compact([1, 2, 3])
+        m.reset()
+        assert m.state == 0
+        assert m.n_clocked == 0
+
+    def test_word_masked_to_width(self):
+        m = MISR(4)
+        m.clock(0xFF)
+        assert m.state < 16
+
+    def test_signature_hex_width(self):
+        m = MISR(16)
+        m.compact([12345])
+        assert len(m.signature_hex()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MISR(1)
+        with pytest.raises(ValueError):
+            MISR(16, seed=1 << 16)
+        with pytest.raises(ValueError):
+            MISR(16, taps=(0,))
+        with pytest.raises(ValueError):
+            MISR(13)  # no default taps
+
+    def test_zero_stream_nonzero_signature_with_seed(self):
+        m = MISR(8, seed=0x5A)
+        sig = m.compact([0] * 20)
+        # seeded register cycles even on zero input
+        assert m.n_clocked == 20
+
+
+class TestSignatureRegister:
+    def test_learn_then_check(self):
+        golden = [10, 20, 30, 40]
+        reg = SignatureRegister(16)
+        reg.learn(golden)
+        assert reg.check(golden)
+        assert not reg.check([10, 20, 31, 40])
+
+    def test_check_without_learn(self):
+        with pytest.raises(RuntimeError):
+            SignatureRegister(16).check([1])
+
+    def test_explicit_expected(self):
+        expected = MISR(16).compact([7, 7])
+        reg = SignatureRegister(16, expected=expected)
+        assert reg.check([7, 7])
+
+    def test_aliasing_probability(self):
+        assert SignatureRegister(16).aliasing_probability() == pytest.approx(2 ** -16)
+
+
+class TestScan:
+    def test_register_parallel_load_and_value(self):
+        r = ScanRegister(8)
+        r.load(0xA5)
+        assert r.value == 0xA5
+
+    def test_register_load_overflow(self):
+        with pytest.raises(ValueError):
+            ScanRegister(4).load(16)
+
+    def test_register_shift_lsb_first(self):
+        r = ScanRegister(4)
+        r.load(0b0001)
+        out = r.shift(0)
+        assert out == 1
+        assert r.value == 0b0000
+
+    def test_chain_length(self):
+        chain = ScanChain([ScanRegister(4), ScanRegister(8)])
+        assert chain.length == 12
+
+    def test_chain_shift_through(self):
+        """A bit shifted in emerges after `length` clocks."""
+        chain = ScanChain([ScanRegister(3), ScanRegister(3)])
+        outs = chain.shift_in([1] + [0] * 6)
+        assert outs[:6] == [0, 0, 0, 0, 0, 0]
+        assert outs[6] == 1
+
+    def test_chain_roundtrip(self):
+        chain = ScanChain([ScanRegister(4), ScanRegister(4)])
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0]
+        chain.load_serial(pattern)
+        captured = chain.capture_serial()
+        assert captured == pattern
+
+    def test_chain_functional_capture(self):
+        chain = ScanChain([ScanRegister(4), ScanRegister(4)])
+        chain.load_values([0x3, 0xC])
+        assert chain.values() == [0x3, 0xC]
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            ScanChain([])
+        chain = ScanChain([ScanRegister(4)])
+        with pytest.raises(ValueError):
+            chain.load_serial([1, 0])
+        with pytest.raises(ValueError):
+            chain.load_values([1, 2])
+
+
+class TestSerialBus:
+    def make_bus(self):
+        bus = SerialTestBus()
+        bus.attach_register(0x10, initial=0)
+        return bus
+
+    def test_write_read_roundtrip(self):
+        bus = self.make_bus()
+        bus.write(0x10, 0x1234)
+        assert bus.read(0x10) == 0x1234
+
+    def test_write_hook_fires(self):
+        bus = SerialTestBus()
+        seen = []
+        bus.attach_register(0x01, on_write=seen.append)
+        bus.write(0x01, 99)
+        assert seen == [99]
+
+    def test_read_hook_refreshes(self):
+        bus = SerialTestBus()
+        bus.attach_register(0x02, on_read=lambda: 0xBEEF)
+        assert bus.read(0x02) == 0xBEEF
+
+    def test_unknown_address(self):
+        with pytest.raises(KeyError):
+            self.make_bus().read(0x99)
+
+    def test_log_and_wire_accounting(self):
+        bus = self.make_bus()
+        bus.write(0x10, 1)
+        bus.read(0x10)
+        assert len(bus.log) == 2
+        assert bus.wire_bits == 2 * (1 + 8 + 1 + 16 + 1)
+
+    def test_frame_serialization_roundtrip(self):
+        bus = self.make_bus()
+        txn = bus.write(0x10, 0xCAFE)
+        bits = bus.serialize(txn)
+        addr, write, data = SerialTestBus.deserialize(bits)
+        assert (addr, write, data) == (0x10, True, 0xCAFE)
+
+    def test_frame_parity_detects_corruption(self):
+        bus = self.make_bus()
+        bits = bus.serialize(bus.write(0x10, 0xCAFE))
+        bits[5] ^= 1
+        with pytest.raises(ValueError):
+            SerialTestBus.deserialize(bits)
+
+    def test_frame_bad_length(self):
+        with pytest.raises(ValueError):
+            SerialTestBus.deserialize([1, 0, 1])
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = CounterMacro(width=8)
+        for _ in range(5):
+            c.clock()
+        assert c.count == 5
+
+    def test_enable_gates(self):
+        c = CounterMacro(width=8)
+        c.clock(enable=False)
+        assert c.count == 0
+
+    def test_overflow_wraps_and_flags(self):
+        c = CounterMacro(width=3)
+        for _ in range(9):
+            c.clock()
+        assert c.overflowed
+        assert c.count == 1
+
+    def test_run_for_seconds(self):
+        c = CounterMacro(width=16, clock_hz=100e3)
+        c.run_for(1e-3)
+        assert c.count == 100
+
+    def test_stuck_bit_forces_value(self):
+        c = CounterMacro(width=8)
+        c.stuck_bits[0] = 0  # LSB stuck at 0: all odd counts impossible
+        values = c.sequence(10)
+        assert all(v % 2 == 0 for v in values)
+
+    def test_stuck_bit_high(self):
+        c = CounterMacro(width=8)
+        c.stuck_bits[2] = 1
+        values = c.sequence(10)
+        assert all(v & 0b100 for v in values)
+
+    def test_count_until(self):
+        c = CounterMacro(width=8)
+        cycles = c.count_until(lambda n: n >= 10)
+        assert cycles == 10
+
+    def test_count_until_timeout(self):
+        c = CounterMacro(width=4)
+        with pytest.raises(TimeoutError):
+            c.count_until(lambda n: False, max_cycles=20)
+
+    def test_time_to_count(self):
+        c = CounterMacro(clock_hz=100e3)
+        assert c.time_to_count(100) == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterMacro(width=0)
+        with pytest.raises(ValueError):
+            CounterMacro(clock_hz=0)
+        with pytest.raises(ValueError):
+            CounterMacro().run_for(-1.0)
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=64))
+def test_misr_property_deterministic(words):
+    assert MISR(16).compact(words) == MISR(16).compact(words)
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=2, max_size=32),
+       st.integers(0, 30), st.integers(0, 15))
+def test_misr_detects_single_bit_flip(words, pos, bit):
+    pos = pos % len(words)
+    altered = list(words)
+    altered[pos] ^= (1 << bit)
+    assert MISR(16).compact(words) != MISR(16).compact(altered)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=48))
+def test_scan_chain_is_fifo(bits):
+    chain = ScanChain([ScanRegister(6), ScanRegister(6)])
+    padded = bits + [0] * chain.length
+    outs = chain.shift_in(padded)
+    assert outs[chain.length:] == bits

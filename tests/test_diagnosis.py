@@ -1,0 +1,140 @@
+"""Tests for functional macro-level diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.adc import DualSlopeADC
+from repro.adc.control import ControlState
+from repro.adc.errors import ADCCharacterization
+from repro.adc.histogram import characterize_servo
+from repro.core.diagnosis import DiagnosisResult, Symptoms, diagnose
+
+
+def make_characterization(offset=0.0, gain=0.0, inl=0.0, dnl=0.0,
+                          missing=()):
+    return ADCCharacterization(
+        offset_error_lsb=offset,
+        gain_error_lsb=gain,
+        dnl_lsb=np.array([dnl]),
+        inl_lsb=np.array([inl]),
+        transition_levels_v=np.zeros(2),
+        lsb_v=0.025,
+        missing_codes=list(missing),
+    )
+
+
+class TestSymptoms:
+    def test_healthy_characterization_no_symptoms(self):
+        s = Symptoms.from_characterization(make_characterization())
+        assert not any(vars(s).values())
+
+    def test_offset_flagged(self):
+        s = Symptoms.from_characterization(make_characterization(offset=0.5))
+        assert s.offset_error
+
+    def test_linearity_flagged_by_inl_or_dnl(self):
+        assert Symptoms.from_characterization(
+            make_characterization(inl=1.5)).linearity_error
+        assert Symptoms.from_characterization(
+            make_characterization(dnl=1.5)).linearity_error
+
+    def test_regular_missed_codes(self):
+        # bit-1-stuck-at-1 pattern: every code with bit 1 clear vanishes
+        missing = tuple(k for k in range(8, 24) if not (k >> 1) & 1)
+        s = Symptoms.from_characterization(
+            make_characterization(missing=missing))
+        assert s.missed_codes
+        assert s.missed_codes_regular
+
+    def test_contiguous_missing_block_not_counter_style(self):
+        # a clipped range (gain defect) must not look like a stuck bit
+        s = Symptoms.from_characterization(
+            make_characterization(missing=tuple(range(66, 101))))
+        assert s.missed_codes
+        assert not s.missed_codes_regular
+
+    def test_irregular_missed_codes(self):
+        s = Symptoms.from_characterization(
+            make_characterization(missing=(3, 17, 50)))
+        assert s.missed_codes
+        assert not s.missed_codes_regular
+
+    def test_conversion_stops(self):
+        s = Symptoms.from_characterization(make_characterization(),
+                                           completed=False)
+        assert s.conversion_stops
+
+
+class TestDiagnosis:
+    def test_conversion_stop_blames_control(self):
+        result = diagnose(Symptoms(conversion_stops=True))
+        assert result.prime_suspect == "control"
+
+    def test_regular_missed_codes_blames_counter(self):
+        result = diagnose(Symptoms(missed_codes=True,
+                                   missed_codes_regular=True))
+        assert result.prime_suspect == "counter"
+
+    def test_offset_and_gain_blames_comparator(self):
+        result = diagnose(Symptoms(offset_error=True, gain_error=True))
+        assert result.prime_suspect == "comparator"
+
+    def test_linearity_gain_offset_blames_integrator(self):
+        result = diagnose(Symptoms(linearity_error=True, gain_error=True,
+                                   offset_error=True))
+        assert result.prime_suspect == "integrator"
+
+    def test_multiple_incorrect_codes_blames_latch(self):
+        result = diagnose(Symptoms(multiple_incorrect_codes=True))
+        assert result.prime_suspect == "output_latch"
+
+    def test_no_symptoms_no_suspect(self):
+        result = diagnose(Symptoms())
+        assert result.prime_suspect is None
+        assert "healthy" in result.summary()
+
+    def test_suspects_list_threshold(self):
+        result = diagnose(Symptoms(linearity_error=True))
+        assert "integrator" in result.suspects(min_score=0.5)
+
+    def test_summary_format(self):
+        result = diagnose(Symptoms(conversion_stops=True))
+        assert "control" in result.summary()
+
+
+class TestEndToEndDiagnosis:
+    """Inject a sub-macro fault, characterise, diagnose — the paper's
+    'faulty chip diagnosis at a functional macro level'."""
+
+    def test_stuck_control_diagnosed(self):
+        adc = DualSlopeADC()
+        adc.control.stuck_state = ControlState.INTEGRATE
+        trace = adc.convert(1.0)
+        symptoms = Symptoms(conversion_stops=not trace.completed)
+        assert diagnose(symptoms).prime_suspect == "control"
+
+    def test_comparator_offset_diagnosed(self):
+        adc = DualSlopeADC()
+        adc.comparator.offset_v += 4 * adc.cal.lsb_v
+        ch = characterize_servo(adc)
+        symptoms = Symptoms.from_characterization(ch)
+        assert symptoms.offset_error
+        result = diagnose(symptoms)
+        assert result.prime_suspect in ("comparator", "integrator")
+
+    def test_counter_stuck_bit_diagnosed(self):
+        adc = DualSlopeADC()
+        adc.counter.stuck_bits[3] = 0
+        ch = characterize_servo(adc)
+        symptoms = Symptoms.from_characterization(ch)
+        assert symptoms.missed_codes
+        result = diagnose(symptoms)
+        assert "counter" in result.suspects()
+
+    def test_integrator_nonlinearity_diagnosed(self):
+        adc = DualSlopeADC()
+        adc.cal.cap_voltage_coeff = 0.15  # gross linearity fault
+        ch = characterize_servo(adc)
+        symptoms = Symptoms.from_characterization(ch)
+        assert symptoms.linearity_error
+        assert "integrator" in diagnose(symptoms).suspects()

@@ -1,0 +1,193 @@
+"""Tests for dynamic ADC characterisation and the logic BIST engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import DualSlopeADC
+from repro.adc.calibration import ADCCalibration
+from repro.adc.dynamic import (
+    DynamicCharacterization,
+    coherent_frequency,
+    dynamic_characterization,
+    sine_fit,
+)
+from repro.adc.sigma_delta import SigmaDeltaADC
+from repro.dft import LogicBISTEngine, stuck_at_output_variants
+
+
+class TestSineFit:
+    def test_exact_recovery(self):
+        fs, f0 = 1000.0, 37.0
+        t = np.arange(256) / fs
+        y = 0.3 + 1.2 * np.cos(2 * np.pi * f0 * t + 0.7)
+        fit = sine_fit(y, fs, f0)
+        assert fit.amplitude == pytest.approx(1.2, rel=1e-6)
+        assert fit.offset == pytest.approx(0.3, abs=1e-9)
+        assert fit.phase_rad == pytest.approx(0.7, abs=1e-6)
+        assert fit.residual_rms < 1e-9
+
+    def test_noise_goes_to_residual(self):
+        rng = np.random.default_rng(0)
+        fs, f0 = 1000.0, 37.0
+        t = np.arange(512) / fs
+        y = np.cos(2 * np.pi * f0 * t) + rng.normal(0, 0.1, len(t))
+        fit = sine_fit(y, fs, f0)
+        assert fit.amplitude == pytest.approx(1.0, abs=0.02)
+        assert fit.residual_rms == pytest.approx(0.1, rel=0.15)
+
+    def test_frequency_refinement_improves_fit(self):
+        fs = 1000.0
+        true_f = 37.02
+        t = np.arange(1024) / fs
+        y = np.cos(2 * np.pi * true_f * t)
+        coarse = sine_fit(y, fs, 37.0)
+        refined = sine_fit(y, fs, 37.0, refine_frequency=True)
+        assert refined.residual_rms < coarse.residual_rms
+
+    def test_evaluate_roundtrip(self):
+        fs, f0 = 1000.0, 21.0
+        t = np.arange(128) / fs
+        y = 2.0 * np.cos(2 * np.pi * f0 * t)
+        fit = sine_fit(y, fs, f0)
+        assert np.allclose(fit.evaluate(t), y, atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sine_fit([1.0] * 4, 1000.0, 10.0)
+        with pytest.raises(ValueError):
+            sine_fit([1.0] * 16, -1.0, 10.0)
+
+
+class TestCoherence:
+    def test_integer_cycles(self):
+        f = coherent_frequency(1000.0, 512, 27.0)
+        cycles = f * 512 / 1000.0
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_coprime_cycles(self):
+        from math import gcd
+        f = coherent_frequency(1000.0, 512, 27.0)
+        cycles = int(round(f * 512 / 1000.0))
+        assert gcd(cycles, 512) == 1
+
+    def test_short_record_rejected(self):
+        with pytest.raises(ValueError):
+            coherent_frequency(1000.0, 4, 10.0)
+
+
+class TestDynamicCharacterization:
+    def test_ideal_adc_near_theoretical_enob(self):
+        """An N-level quantiser's SNDR ~ 6.02*log2(levels) + 1.76 dB."""
+        cal = ADCCalibration(comparator_offset_v=0.0, cap_voltage_coeff=0.0,
+                             counter_inject_v=0.0)
+        result = dynamic_characterization(DualSlopeADC(cal), n_samples=256)
+        # 101 levels over the full scale, tested at 90% amplitude:
+        # expect ~6.6 bits minus a fraction
+        assert 5.8 < result.enob_bits < 6.8
+
+    def test_nominal_loses_enob_to_linearity(self):
+        cal = ADCCalibration(comparator_offset_v=0.0, cap_voltage_coeff=0.0,
+                             counter_inject_v=0.0)
+        ideal = dynamic_characterization(DualSlopeADC(cal), n_samples=256)
+        nominal = dynamic_characterization(DualSlopeADC(), n_samples=256)
+        assert nominal.enob_bits < ideal.enob_bits
+
+    def test_distortion_shows_in_harmonics(self):
+        bowed_cal = ADCCalibration(cap_voltage_coeff=0.15,
+                                   counter_inject_v=0.0,
+                                   comparator_offset_v=0.0)
+        bowed = dynamic_characterization(DualSlopeADC(bowed_cal),
+                                         n_samples=256)
+        clean_cal = ADCCalibration(cap_voltage_coeff=0.0,
+                                   counter_inject_v=0.0,
+                                   comparator_offset_v=0.0)
+        clean = dynamic_characterization(DualSlopeADC(clean_cal),
+                                         n_samples=256)
+        assert bowed.worst_harmonic_db > clean.worst_harmonic_db
+
+    def test_works_on_sigma_delta(self):
+        result = dynamic_characterization(SigmaDeltaADC(), n_samples=128)
+        assert result.enob_bits > 5.0
+
+    def test_summary_text(self):
+        result = dynamic_characterization(DualSlopeADC(), n_samples=128)
+        assert "ENOB" in result.summary()
+
+
+class TestLogicBISTEngine:
+    @staticmethod
+    def xor_block(x: int) -> int:
+        return (x ^ (x >> 3) ^ 0x5) & 0xFF
+
+    def test_learn_and_pass(self):
+        engine = LogicBISTEngine(width=8)
+        engine.learn(self.xor_block)
+        assert engine.self_test(self.xor_block)
+
+    def test_detects_wrong_block(self):
+        engine = LogicBISTEngine(width=8)
+        engine.learn(self.xor_block)
+        assert not engine.self_test(lambda x: self.xor_block(x) ^ 0x10)
+
+    def test_full_output_stuck_coverage(self):
+        engine = LogicBISTEngine(width=8)
+        variants = stuck_at_output_variants(self.xor_block, 8)
+        coverage = engine.fault_coverage(self.xor_block, variants)
+        assert all(coverage.values())
+        assert len(coverage) == 16
+
+    def test_patterns_deterministic_and_bounded(self):
+        engine = LogicBISTEngine(width=8, n_patterns=100)
+        pats = engine.patterns()
+        assert pats == engine.patterns()
+        assert len(pats) == 100
+        assert all(0 <= p < 256 for p in pats)
+
+    def test_self_test_without_golden_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogicBISTEngine(width=8).self_test(self.xor_block)
+
+    def test_session_passed_without_expected_rejected(self):
+        session = LogicBISTEngine(width=8).run(self.xor_block)
+        with pytest.raises(RuntimeError):
+            _ = session.passed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogicBISTEngine(width=1)
+        with pytest.raises(ValueError):
+            LogicBISTEngine(width=8, n_patterns=0)
+        with pytest.raises(ValueError):
+            stuck_at_output_variants(self.xor_block, 0)
+
+    def test_adc_level_sensor_encoder_under_bist(self):
+        """Wrap a real digital sub-function: the level sensor's 2-bit
+        encoder (00/01/11 from two comparator bits)."""
+        def encoder(x: int) -> int:
+            low, high = x & 1, (x >> 1) & 1
+            return (high << 1) | (low | high)  # force consistency
+        engine = LogicBISTEngine(width=2, n_patterns=16)
+        engine.learn(encoder)
+        assert engine.self_test(encoder)
+        assert not engine.self_test(lambda x: 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 7), st.integers(0, 1))
+def test_bist_engine_detects_any_single_output_stuck(bit, value):
+    def block(x: int) -> int:
+        return (3 * x + 1) & 0xFF
+    engine = LogicBISTEngine(width=8)
+    engine.learn(block)
+    mask = 1 << bit
+    if value:
+        faulty = lambda x: block(x) | mask
+    else:
+        faulty = lambda x: block(x) & ~mask
+    # a stuck output is detected unless the block already always drives
+    # that bit to the stuck value (then it is redundant, not a fault)
+    outputs = [block(p) for p in engine.patterns()]
+    redundant = all((o >> bit) & 1 == value for o in outputs)
+    assert engine.self_test(faulty) == redundant

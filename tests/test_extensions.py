@@ -1,0 +1,255 @@
+"""Tests for the future-work extensions: sigma-delta ADC, fault
+dictionary, AC sweeps, experiment registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import DualSlopeADC
+from repro.adc.sigma_delta import (
+    DecimationFilter,
+    SigmaDeltaADC,
+    SigmaDeltaModulator,
+)
+from repro.circuits.op1 import op1_follower
+from repro.core.test_patterns import (
+    DiagnosticPattern,
+    FaultDictionary,
+    STANDARD_FAULT_LIBRARY,
+)
+from repro.spice import Circuit, ac_sweep
+
+
+class TestSigmaDeltaModulator:
+    def test_bit_density_tracks_input(self):
+        mod = SigmaDeltaModulator(v_ref=2.5)
+        for x, expected in ((-2.5, 0.0), (0.0, 0.5), (2.5, 1.0)):
+            mod.reset()
+            bits = mod.modulate(x, 2000)
+            assert np.mean(bits) == pytest.approx(expected, abs=0.02)
+
+    def test_mean_encodes_midrange_precisely(self):
+        mod = SigmaDeltaModulator(v_ref=2.5)
+        mod.reset()
+        bits = mod.modulate(1.0, 5000)
+        decoded = (2 * np.mean(bits) - 1) * 2.5
+        assert decoded == pytest.approx(1.0, abs=0.01)
+
+    def test_stuck_comparator_freezes_stream(self):
+        mod = SigmaDeltaModulator()
+        mod.comparator.stuck_output = 1
+        bits = mod.modulate(0.0, 100)
+        assert np.all(bits == 1)
+
+    def test_dac_error_biases_density(self):
+        clean = SigmaDeltaModulator()
+        skewed = SigmaDeltaModulator()
+        skewed.dac_high_error_v = -0.5   # weak high reference
+        d_clean = np.mean(clean.modulate(0.0, 4000))
+        d_skewed = np.mean(skewed.modulate(0.0, 4000))
+        # a weak high reference needs MORE ones to balance zero input:
+        # density * 2.0 = (1 - density) * 2.5  ->  density ~ 0.556
+        assert d_skewed == pytest.approx(2.5 / 4.5, abs=0.02)
+        assert d_skewed > d_clean
+
+    def test_copy_independent(self):
+        mod = SigmaDeltaModulator()
+        dup = mod.copy()
+        dup.integrator_gain = 0.5
+        assert mod.integrator_gain == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SigmaDeltaModulator(v_ref=0.0)
+        with pytest.raises(ValueError):
+            SigmaDeltaModulator().modulate(0.0, 0)
+
+    def test_waveform_input(self):
+        from repro.signals.sources import ramp_waveform
+        mod = SigmaDeltaModulator(clock_hz=100e3)
+        ramp = ramp_waveform(-2.0, 2.0, duration=0.02, dt=1e-5)
+        bits = mod.modulate(ramp, 2000)
+        # density rises along the ramp
+        first, last = np.mean(bits[:500]), np.mean(bits[-500:])
+        assert last > first + 0.4
+
+
+class TestDecimation:
+    def test_dc_recovery(self):
+        mod = SigmaDeltaModulator(v_ref=1.0)
+        bits = mod.modulate(0.25, 64 * 10)
+        frames = DecimationFilter(64).decimate(bits)
+        assert frames[-1] == pytest.approx(0.25, abs=0.02)
+
+    def test_needs_enough_bits(self):
+        with pytest.raises(ValueError):
+            DecimationFilter(64).decimate([0, 1] * 10)
+
+    def test_bad_osr(self):
+        with pytest.raises(ValueError):
+            DecimationFilter(1)
+
+
+class TestSigmaDeltaADC:
+    @pytest.fixture(scope="class")
+    def adc(self):
+        return SigmaDeltaADC()
+
+    def test_endpoints(self, adc):
+        assert adc.code_of(0.0) == 0
+        assert adc.code_of(2.5) == 100
+
+    def test_midscale(self, adc):
+        assert adc.code_of(1.25) == 50
+
+    def test_accuracy_across_range(self, adc):
+        for v in np.linspace(0.2, 2.3, 8):
+            c = adc.convert(float(v))
+            assert abs(c.value - v) < 2.0 * adc.lsb_v
+
+    def test_monotonic(self, adc):
+        codes = [adc.code_of(float(v)) for v in np.linspace(0, 2.5, 40)]
+        assert all(b >= a for a, b in zip(codes, codes[1:]))
+
+    def test_dead_integrator_breaks_conversion(self):
+        adc = SigmaDeltaADC()
+        adc.modulator.integrator_gain = 0.0
+        assert adc.code_of(2.0) != SigmaDeltaADC().code_of(2.0)
+
+    def test_conversion_time(self, adc):
+        # 8 frames x 64 OSR at 100 kHz
+        assert adc.conversion_time() == pytest.approx(5.12e-3)
+
+    def test_copy(self, adc):
+        dup = adc.copy()
+        dup.modulator.integrator_gain = 0.7
+        assert adc.modulator.integrator_gain == 1.0
+
+    def test_shares_bist_step_levels(self, adc):
+        """The same step levels the dual-slope BIST uses convert to the
+        same nominal codes on the sigma-delta part."""
+        from repro.core import PAPER_STEP_LEVELS
+        ds = DualSlopeADC()
+        for level in PAPER_STEP_LEVELS:
+            assert abs(adc.code_of(level) - ds.code_of(level)) <= 2
+
+
+class TestFaultDictionary:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return FaultDictionary().build(DualSlopeADC())
+
+    def test_all_library_faults_self_identify(self, dictionary):
+        for name, plant in STANDARD_FAULT_LIBRARY.items():
+            device = DualSlopeADC()
+            plant(device)
+            match = dictionary.match(device)
+            assert match.best == name, f"{name} matched {match.best}"
+            assert not match.is_healthy
+
+    def test_healthy_device_matches_healthy(self, dictionary):
+        assert dictionary.match(DualSlopeADC()).is_healthy
+
+    def test_entries_distinguishable(self, dictionary):
+        assert dictionary.distinguishability() > 0.0
+
+    def test_signature_length(self):
+        pattern = DiagnosticPattern()
+        sig = pattern.measure(DualSlopeADC())
+        assert len(sig) == pattern.signature_length()
+
+    def test_stuck_control_signature_uses_sentinel(self):
+        from repro.adc.control import ControlState
+        pattern = DiagnosticPattern()
+        device = DualSlopeADC()
+        device.control.stuck_state = ControlState.INTEGRATE
+        sig = pattern.measure(device)
+        assert pattern.timeout_code in sig
+
+    def test_match_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            FaultDictionary().match(DualSlopeADC())
+
+    def test_unknown_fault_still_flagged_unhealthy(self, dictionary):
+        """A defect outside the library must at least not look healthy."""
+        device = DualSlopeADC()
+        device.integrator.gain = 0.55     # not a library value
+        match = dictionary.match(device)
+        assert not match.is_healthy
+
+
+class TestACSweep:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.vsource("VIN", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-6)
+        return ckt
+
+    def test_rc_bandwidth(self):
+        res = ac_sweep(self._rc(), "VIN", "out", 1.0, 1e5)
+        assert res.dc_gain() == pytest.approx(1.0, abs=1e-3)
+        assert res.bandwidth_3db() == pytest.approx(159.15, rel=0.05)
+
+    def test_rolloff_slope(self):
+        res = ac_sweep(self._rc(), "VIN", "out", 1e3, 1e5,
+                       points_per_decade=10)
+        # -20 dB/decade well above the pole
+        drop = res.magnitude_db[-1] - res.magnitude_db[-11]
+        assert drop == pytest.approx(-20.0, abs=1.0)
+
+    def test_phase_approaches_minus_ninety(self):
+        res = ac_sweep(self._rc(), "VIN", "out", 1.0, 1e6)
+        assert res.phase_deg[-1] == pytest.approx(-90.0, abs=3.0)
+
+    def test_follower_closed_loop_bandwidth(self):
+        res = ac_sweep(op1_follower(input_value=2.5), "VIN", "3",
+                       1.0, 1e7)
+        assert res.dc_gain() == pytest.approx(1.0, abs=0.02)
+        bw = res.bandwidth_3db()
+        assert bw is not None and 1e4 < bw < 1e6
+
+    def test_no_bandwidth_for_flat_path(self):
+        ckt = Circuit("flat")
+        ckt.vsource("VIN", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.resistor("R2", "out", "0", 1e3)
+        res = ac_sweep(ckt, "VIN", "out", 1.0, 1e6)
+        assert res.bandwidth_3db() is None
+        assert res.dc_gain() == pytest.approx(0.5, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ac_sweep(self._rc(), "VIN", "out", 0.0, 1e3)
+        with pytest.raises(ValueError):
+            ac_sweep(self._rc(), "VIN", "out", 1e3, 1.0)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        from repro.experiments.registry import REGISTRY
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 10)}
+
+    def test_run_single(self):
+        from repro.experiments.registry import run_experiment
+        result = run_experiment("e1")
+        assert result.monotone_decreasing()
+
+    def test_unknown_id(self):
+        from repro.experiments.registry import run_experiment
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register
+        with pytest.raises(ValueError):
+            register("E1", "dup", "dup", lambda: None)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(0.1, 2.4))
+def test_sigma_delta_value_accuracy_property(v_in):
+    adc = SigmaDeltaADC()
+    c = adc.convert(v_in)
+    assert abs(c.value - v_in) < 3.0 * adc.lsb_v

@@ -1,0 +1,264 @@
+"""Tests for fault models, injection and campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.adc import DualSlopeADC
+from repro.faults import (
+    BridgingFault,
+    CampaignResult,
+    Fault,
+    FaultCampaign,
+    FaultKind,
+    MultipleFault,
+    ParameterFault,
+    StuckAtFault,
+    bridging_universe,
+    inject,
+    inject_all,
+    paper_circuit1_faults,
+    paper_integrator_faults,
+    stuck_at_universe,
+)
+from repro.faults.universe import full_node_universe
+from repro.spice import Circuit, dc_operating_point
+
+
+def divider():
+    ckt = Circuit("div")
+    ckt.vsource("VIN", "in", "0", 4.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt
+
+
+class TestFaultModels:
+    def test_sa0_kind(self):
+        f = StuckAtFault.sa0("x")
+        assert f.kind == FaultKind.STUCK_AT_0
+        assert f.level == 0.0
+
+    def test_sa1_kind(self):
+        f = StuckAtFault.sa1("x", vdd=5.0)
+        assert f.kind == FaultKind.STUCK_AT_1
+        assert f.level == 5.0
+
+    def test_stuck_requires_node(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(name="bad")
+
+    def test_stuck_bad_resistance(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(name="b", node="x", resistance=0.0)
+
+    def test_bridge_validation(self):
+        with pytest.raises(ValueError):
+            BridgingFault(name="b", node_a="x", node_b="x")
+        with pytest.raises(ValueError):
+            BridgingFault(name="b", node_a="x", node_b="y", resistance=-1.0)
+
+    def test_parameter_fault_requires_path(self):
+        with pytest.raises(ValueError):
+            ParameterFault(name="p")
+
+    def test_multiple_needs_two(self):
+        with pytest.raises(ValueError):
+            MultipleFault(name="m", faults=(StuckAtFault.sa0("x"),))
+
+    def test_describe(self):
+        assert "sa0" in StuckAtFault.sa0("n").describe()
+        assert "bridge" in BridgingFault.between("a", "b").describe()
+        pair = MultipleFault(name="d", faults=(
+            StuckAtFault.sa0("a"), StuckAtFault.sa0("b")))
+        assert "multiple" in pair.describe()
+
+
+class TestNetlistInjection:
+    def test_sa0_pulls_node_down(self):
+        faulty = inject(divider(), StuckAtFault.sa0("mid"))
+        v, _ = dc_operating_point(faulty)
+        assert v["mid"] == pytest.approx(0.0, abs=0.05)
+
+    def test_sa1_pulls_node_up(self):
+        faulty = inject(divider(), StuckAtFault.sa1("mid", vdd=5.0))
+        v, _ = dc_operating_point(faulty)
+        assert v["mid"] == pytest.approx(5.0, abs=0.05)
+
+    def test_weak_fault_partial_pull(self):
+        faulty = inject(divider(), StuckAtFault(
+            name="w", node="mid", level=0.0, resistance=1e3))
+        v, _ = dc_operating_point(faulty)
+        # healthy mid = 2.0; fault forms extra 1k to ground
+        assert 1.0 < v["mid"] < 2.0
+
+    def test_bridge_shorts_nodes(self):
+        faulty = inject(divider(), BridgingFault.between("in", "mid",
+                                                         resistance=1.0))
+        v, _ = dc_operating_point(faulty)
+        assert v["mid"] == pytest.approx(4.0, abs=0.05)
+
+    def test_original_not_mutated(self):
+        ckt = divider()
+        n_before = len(ckt.elements)
+        inject(ckt, StuckAtFault.sa0("mid"))
+        assert len(ckt.elements) == n_before
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            inject(divider(), StuckAtFault.sa0("ghost"))
+
+    def test_double_fault_applies_both(self):
+        pair = MultipleFault(name="d", faults=(
+            StuckAtFault.sa0("mid"), StuckAtFault.sa1("in", vdd=5.0)))
+        faulty = inject(divider(), pair)
+        v, _ = dc_operating_point(faulty)
+        assert v["mid"] < 0.3
+        # both fault generators are present in the netlist
+        assert faulty.has_element("FLT_mid-sa0_V")
+        assert faulty.has_element("FLT_in-sa1_V")
+
+    def test_parameter_fault_on_netlist_rejected(self):
+        with pytest.raises(TypeError):
+            inject(divider(), ParameterFault(name="p", parameter="x", value=1))
+
+    def test_inject_all_independent(self):
+        faults = [StuckAtFault.sa0("mid"), StuckAtFault.sa1("mid")]
+        copies = inject_all(divider(), faults)
+        assert len(copies) == 2
+        v0, _ = dc_operating_point(copies[0])
+        v1, _ = dc_operating_point(copies[1])
+        assert v0["mid"] < 1.0 < v1["mid"]
+
+
+class TestBehaviouralInjection:
+    def test_parameter_fault_on_adc(self):
+        adc = DualSlopeADC()
+        faulty = inject(adc, ParameterFault(
+            name="leak", parameter="integrator.leak_per_cycle", value=0.2))
+        assert faulty.integrator.leak_per_cycle == 0.2
+        assert adc.integrator.leak_per_cycle == 0.0  # original untouched
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(AttributeError):
+            inject(DualSlopeADC(), ParameterFault(
+                name="x", parameter="integrator.nonexistent", value=1))
+
+    def test_netlist_fault_on_model_rejected(self):
+        with pytest.raises(TypeError):
+            inject(DualSlopeADC(), StuckAtFault.sa0("5"))
+
+
+class TestUniverses:
+    def test_stuck_universe_size(self):
+        assert len(stuck_at_universe(["a", "b", "c"])) == 6
+
+    def test_bridge_universe_size(self):
+        assert len(bridging_universe(["a", "b", "c"])) == 3
+
+    def test_full_node_universe_skips_supplies(self):
+        ckt = divider()
+        faults = full_node_universe(ckt, exclude=["in"])
+        nodes = {f.node for f in faults}
+        assert nodes == {"mid"}
+
+    def test_paper_circuit1_is_16(self):
+        faults = paper_circuit1_faults()
+        assert len(faults) == 16
+        singles = [f for f in faults if isinstance(f, StuckAtFault)]
+        doubles = [f for f in faults if isinstance(f, MultipleFault)]
+        assert len(singles) == 10
+        assert len(doubles) == 6
+
+    def test_paper_integrator_is_12(self):
+        faults = paper_integrator_faults()
+        assert len(faults) == 12
+        bridges = [f for f in faults if isinstance(f, BridgingFault)]
+        assert len(bridges) == 2
+
+    def test_integrator_prefix(self):
+        faults = paper_integrator_faults(node_prefix="int_")
+        assert all("int_" in f.describe() for f in faults)
+
+    def test_integrator_resistances_applied(self):
+        faults = paper_integrator_faults(stuck_resistance=3e3,
+                                         bridge_resistance=500.0)
+        stuck = [f for f in faults if isinstance(f, StuckAtFault)]
+        bridges = [f for f in faults if isinstance(f, BridgingFault)]
+        assert all(f.resistance == 3e3 for f in stuck)
+        assert all(f.resistance == 500.0 for f in bridges)
+
+
+class TestCampaign:
+    @staticmethod
+    def _mid_voltage(ckt):
+        v, _ = dc_operating_point(ckt)
+        return v["mid"]
+
+    def test_campaign_detects_shifts(self):
+        campaign = FaultCampaign(
+            technique=self._mid_voltage,
+            detector=lambda ref, m: 1.0 if abs(m - ref) > 0.5 else 0.0,
+            threshold=0.5,
+        )
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid"),
+                                          StuckAtFault.sa1("mid")])
+        assert result.n_faults == 2
+        assert result.n_detected == 2
+        assert result.coverage == 1.0
+
+    def test_campaign_counts_misses(self):
+        campaign = FaultCampaign(
+            technique=self._mid_voltage,
+            detector=lambda ref, m: 0.0,  # blind detector
+            threshold=0.5,
+        )
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")])
+        assert result.coverage == 0.0
+        assert not result.outcomes[0].detected
+
+    def test_campaign_error_counts_as_detection(self):
+        def broken(ckt):
+            if ckt.has_element("FLT_mid-sa0_V"):
+                raise RuntimeError("simulation diverged")
+            return 0.0
+        campaign = FaultCampaign(broken, lambda r, m: 0.0)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")])
+        assert result.outcomes[0].detected
+        assert result.outcomes[0].error is not None
+
+    def test_campaign_error_propagates_when_asked(self):
+        def broken(ckt):
+            raise RuntimeError("boom")
+        campaign = FaultCampaign(lambda c: 0.0, lambda r, m: 0.0,
+                                 treat_errors_as_detected=False)
+        campaign.technique = broken
+        with pytest.raises(RuntimeError):
+            campaign.run(divider(), [StuckAtFault.sa0("mid")],
+                         reference=0.0)
+
+    def test_detection_clamped(self):
+        campaign = FaultCampaign(self._mid_voltage, lambda r, m: 7.3)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")])
+        assert result.outcomes[0].detection == 1.0
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(lambda c: 0, lambda r, m: 0, threshold=2.0)
+
+    def test_table_formatting(self):
+        campaign = FaultCampaign(self._mid_voltage,
+                                 lambda r, m: 1.0 if abs(m - r) > 0.5 else 0.0)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")])
+        table = result.table()
+        assert "sa0:mid-sa0" in table
+        assert "DETECTED" in table
+
+    def test_precomputed_reference(self):
+        calls = []
+        def tech(ckt):
+            calls.append(ckt.name)
+            return self._mid_voltage(ckt)
+        campaign = FaultCampaign(tech, lambda r, m: abs(m - r))
+        campaign.run(divider(), [StuckAtFault.sa0("mid")], reference=2.0)
+        # only the faulty copy simulated
+        assert len(calls) == 1

@@ -1,0 +1,315 @@
+"""Tests for the LTI toolkit: state space, transfer functions, z domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lti import (
+    StateSpace,
+    TransferFunction,
+    ZTransferFunction,
+    impulse_response,
+    impulse_response_z,
+    response_difference,
+    sc_integrator_ztf,
+    step_response,
+    tf_from_poles_zeros,
+)
+from repro.lti.impulse import normalized_deviation, peak_deviation, rms_deviation
+from repro.lti.transferfunction import dominant_pole
+from repro.signals import Waveform
+
+
+class TestStateSpace:
+    def test_first_order_impulse(self):
+        """h(t) = p*exp(-p*t) for gain*p/(s+p) with gain=1."""
+        p = 100.0
+        ss = StateSpace.first_order(p)
+        h = ss.impulse(dt=1e-4, duration=0.05)
+        expected = p * np.exp(-p * h.times)
+        assert np.allclose(h.values, expected, rtol=1e-6)
+
+    def test_first_order_step_settles_to_dc_gain(self):
+        ss = StateSpace.first_order(50.0, gain=2.0)
+        s = ss.step(dt=1e-4, duration=0.5)
+        assert s.values[-1] == pytest.approx(2.0, rel=1e-3)
+        assert ss.dc_gain()[0, 0] == pytest.approx(2.0)
+
+    def test_integrator_ramp(self):
+        ss = StateSpace.integrator(gain=3.0)
+        s = ss.step(dt=1e-3, duration=1.0)
+        assert s.values[-1] == pytest.approx(3.0, rel=1e-2)
+
+    def test_poles(self):
+        ss = StateSpace.first_order(10.0)
+        assert np.allclose(ss.poles(), [-10.0])
+
+    def test_stability(self):
+        assert StateSpace.first_order(1.0).is_stable()
+        unstable = StateSpace([[1.0]], [[1.0]], [[1.0]], [[0.0]])
+        assert not unstable.is_stable()
+
+    def test_cascade_order_and_dc(self):
+        a = StateSpace.first_order(10.0, gain=2.0)
+        b = StateSpace.first_order(20.0, gain=3.0)
+        c = a.cascade(b)
+        assert c.order == 2
+        assert c.dc_gain()[0, 0] == pytest.approx(6.0)
+
+    def test_parallel_dc(self):
+        a = StateSpace.first_order(10.0, gain=2.0)
+        b = StateSpace.first_order(20.0, gain=3.0)
+        c = a.parallel(b)
+        assert c.dc_gain()[0, 0] == pytest.approx(5.0)
+
+    def test_scaled(self):
+        a = StateSpace.first_order(10.0).scaled(4.0)
+        assert a.dc_gain()[0, 0] == pytest.approx(4.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 3)), np.zeros((2, 1)),
+                       np.zeros((1, 2)), [[0.0]])
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 2)), np.zeros((1, 1)),
+                       np.zeros((1, 2)), [[0.0]])
+
+    def test_simulate_matches_step(self):
+        ss = StateSpace.first_order(30.0)
+        u = Waveform(np.ones(200), 1e-3)
+        y = ss.simulate(u)
+        s = ss.step(dt=1e-3, duration=0.199)
+        assert np.allclose(y.values, s.values, atol=1e-9)
+
+    def test_from_transfer_function_second_order(self):
+        # H(s) = 1 / (s^2 + 2s + 1): poles at -1 (double)
+        ss = StateSpace.from_transfer_function([1.0], [1.0, 2.0, 1.0])
+        assert ss.order == 2
+        assert np.allclose(sorted(np.real(ss.poles())), [-1.0, -1.0])
+        assert ss.dc_gain()[0, 0] == pytest.approx(1.0)
+
+    def test_from_tf_with_feedthrough(self):
+        # H(s) = (s + 2) / (s + 1): D = 1
+        ss = StateSpace.from_transfer_function([1.0, 2.0], [1.0, 1.0])
+        assert ss.d[0, 0] == pytest.approx(1.0)
+        assert ss.dc_gain()[0, 0] == pytest.approx(2.0)
+
+    def test_from_tf_improper_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace.from_transfer_function([1.0, 0.0, 0.0], [1.0, 1.0])
+
+    def test_discretize_matches_exact_exponential(self):
+        p = 200.0
+        ss = StateSpace.first_order(p)
+        ad, bd = ss.discretize(1e-3)
+        assert ad[0, 0] == pytest.approx(np.exp(-p * 1e-3), rel=1e-9)
+
+    def test_discretize_bad_dt(self):
+        with pytest.raises(ValueError):
+            StateSpace.first_order(1.0).discretize(0.0)
+
+
+class TestTransferFunction:
+    def test_poles_zeros(self):
+        tf = TransferFunction([1.0, 2.0], [1.0, 3.0, 2.0])
+        assert np.allclose(sorted(np.real(tf.poles())), [-2.0, -1.0])
+        assert np.allclose(tf.zeros(), [-2.0])
+
+    def test_dc_gain(self):
+        tf = TransferFunction([4.0], [1.0, 2.0])
+        assert tf.dc_gain() == pytest.approx(2.0)
+
+    def test_dc_gain_integrator_inf(self):
+        tf = TransferFunction([1.0], [1.0, 0.0])
+        assert tf.dc_gain() == float("inf")
+
+    def test_evaluate(self):
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        assert abs(tf.evaluate(1j * 1.0)) == pytest.approx(1 / np.sqrt(2))
+
+    def test_magnitude_rolloff(self):
+        tf = TransferFunction([10.0], [1.0, 10.0])
+        mags = tf.magnitude_db(np.array([1.0, 100.0, 10000.0]))
+        assert mags[0] == pytest.approx(0.0, abs=0.1)
+        assert mags[2] < -50.0
+
+    def test_cascade_multiplies(self):
+        a = TransferFunction([2.0], [1.0, 1.0])
+        b = TransferFunction([3.0], [1.0, 2.0])
+        c = a * b
+        assert c.dc_gain() == pytest.approx(3.0)
+        assert c.order == 2
+
+    def test_scalar_multiply(self):
+        tf = 2.0 * TransferFunction([1.0], [1.0, 1.0])
+        assert tf.dc_gain() == pytest.approx(2.0)
+
+    def test_improper_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction([1.0, 0.0, 0.0], [1.0, 1.0])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction([1.0], [0.0])
+
+    def test_from_poles_zeros_roundtrip(self):
+        poles = [-10.0, -20.0]
+        zeros = [-5.0]
+        tf = tf_from_poles_zeros(poles, zeros, constant=3.0)
+        assert np.allclose(sorted(np.real(tf.poles())), sorted(poles))
+        assert np.allclose(np.real(tf.zeros()), zeros)
+        # H(0) = 3 * 5 / 200
+        assert tf.dc_gain() == pytest.approx(3.0 * 5.0 / 200.0)
+
+    def test_from_conjugate_pair(self):
+        tf = tf_from_poles_zeros([-1 + 2j, -1 - 2j], [], constant=1.0)
+        assert tf.is_stable()
+        assert np.all(np.isreal(tf.den))
+
+    def test_unpaired_complex_rejected(self):
+        with pytest.raises(ValueError):
+            tf_from_poles_zeros([-1 + 2j], [])
+
+    def test_dominant_pole(self):
+        tf = tf_from_poles_zeros([-1.0, -100.0], [])
+        assert dominant_pole(tf) == pytest.approx(-1.0)
+
+    def test_dominant_pole_needs_poles(self):
+        with pytest.raises(ValueError):
+            dominant_pole(TransferFunction([1.0], [1.0]))
+
+    def test_to_statespace_consistent(self):
+        tf = tf_from_poles_zeros([-3.0, -30.0], [-10.0], constant=5.0)
+        ss = tf.to_statespace()
+        for w in (0.1, 1.0, 10.0):
+            h_tf = tf.evaluate(1j * w)
+            # evaluate ss via resolvent
+            s = 1j * w
+            h_ss = (ss.c @ np.linalg.solve(
+                s * np.eye(ss.order) - ss.a, ss.b) + ss.d)[0, 0]
+            assert h_ss == pytest.approx(h_tf, rel=1e-9)
+
+
+class TestZDomain:
+    def test_paper_integrator_response(self):
+        """H(z) = z^-1/(6.8(1-z^-1)): step response climbs 1/6.8/cycle."""
+        ztf = sc_integrator_ztf()
+        step = ztf.step(10)
+        diffs = np.diff(step)
+        assert step[0] == pytest.approx(0.0)
+        assert np.allclose(diffs, 1 / 6.8)
+
+    def test_impulse_is_delayed_step(self):
+        ztf = sc_integrator_ztf()
+        h = ztf.impulse(6)
+        assert h[0] == pytest.approx(0.0)
+        assert np.allclose(h[1:], 1 / 6.8)
+
+    def test_pole_on_unit_circle(self):
+        ztf = sc_integrator_ztf()
+        assert np.allclose(np.abs(ztf.poles()), 1.0)
+        assert not ztf.is_stable()
+
+    def test_leaky_integrator_stable(self):
+        ztf = sc_integrator_ztf(leak=0.1)
+        assert ztf.is_stable()
+        # geometric step response converging to 1/(6.8*0.1)
+        step = ztf.step(300)
+        assert step[-1] == pytest.approx(1 / (6.8 * 0.1), rel=1e-3)
+
+    def test_inverting_sign(self):
+        ztf = sc_integrator_ztf(inverting=True)
+        assert ztf.step(3)[2] < 0
+
+    def test_dc_gain_inf_for_ideal(self):
+        assert sc_integrator_ztf().dc_gain() == float("inf")
+
+    def test_evaluate_matches_formula(self):
+        ztf = sc_integrator_ztf()
+        z = 1.3 + 0.4j
+        expected = (1 / z) / (6.8 * (1 - 1 / z))
+        assert ztf.evaluate(z) == pytest.approx(expected)
+
+    def test_filter_linear(self):
+        ztf = sc_integrator_ztf(leak=0.05)
+        u = np.random.default_rng(4).normal(size=50)
+        y1 = ztf.filter(u)
+        y2 = ztf.filter(2.0 * u)
+        assert np.allclose(y2, 2.0 * y1)
+
+    def test_cascade(self):
+        a = sc_integrator_ztf(leak=0.5)
+        c = a.cascade(a)
+        h_a = a.impulse(20)
+        h_c = c.impulse(20)
+        assert np.allclose(h_c, np.convolve(h_a, h_a)[:20])
+
+    def test_bad_cap_ratio(self):
+        with pytest.raises(ValueError):
+            sc_integrator_ztf(cap_ratio=0.0)
+
+    def test_bad_leak(self):
+        with pytest.raises(ValueError):
+            sc_integrator_ztf(leak=1.0)
+
+    def test_bad_den(self):
+        with pytest.raises(ValueError):
+            ZTransferFunction([1.0], [0.0, 1.0])
+
+    def test_simulate_waveform(self):
+        ztf = sc_integrator_ztf(dt=5e-6)
+        u = Waveform(np.ones(10), 5e-6)
+        y = ztf.simulate(u)
+        assert y.dt == 5e-6
+        assert y.values[-1] == pytest.approx(9 / 6.8)
+
+
+class TestImpulseHelpers:
+    def test_impulse_response_dispatch(self):
+        tf = TransferFunction([10.0], [1.0, 10.0])
+        h = impulse_response(tf, dt=1e-3, duration=0.5)
+        assert h.values[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_step_response_dispatch(self):
+        tf = TransferFunction([10.0], [1.0, 10.0])
+        s = step_response(tf, dt=1e-3, duration=1.0)
+        assert s.values[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_impulse_z(self):
+        h = impulse_response_z(sc_integrator_ztf(dt=5e-6), 8)
+        assert h.dt == 5e-6
+        assert len(h) == 8
+
+    def test_response_difference(self):
+        a = Waveform([1.0, 2.0, 3.0], 1.0)
+        b = Waveform([1.0, 2.5, 2.0], 1.0)
+        d = response_difference(a, b)
+        assert np.allclose(d.values, [0.0, 0.5, -1.0])
+
+    def test_rms_peak_deviation(self):
+        a = Waveform(np.zeros(4), 1.0)
+        b = Waveform([0.0, 0.0, 2.0, 0.0], 1.0)
+        assert rms_deviation(a, b) == pytest.approx(1.0)
+        peak, t = peak_deviation(a, b)
+        assert peak == pytest.approx(2.0)
+        assert t == pytest.approx(2.0)
+
+    def test_normalized_deviation(self):
+        a = Waveform([0.0, 4.0], 1.0)
+        b = Waveform([1.0, 4.0], 1.0)
+        nd = normalized_deviation(a, b)
+        assert nd.values[0] == pytest.approx(0.25)
+
+
+@given(st.floats(1.0, 1e4), st.floats(0.1, 10.0))
+def test_first_order_dc_gain_property(pole, gain):
+    ss = StateSpace.first_order(pole, gain=gain)
+    assert ss.dc_gain()[0, 0] == pytest.approx(gain, rel=1e-9)
+
+
+@given(st.floats(0.01, 0.5), st.floats(1.0, 20.0))
+def test_leaky_integrator_final_value(leak, ratio):
+    ztf = sc_integrator_ztf(cap_ratio=ratio, leak=leak)
+    step = ztf.step(3000)
+    assert step[-1] == pytest.approx(1.0 / (ratio * leak), rel=1e-2)

@@ -1,0 +1,164 @@
+"""Tests for MNA internals, element edge cases and result plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, Switch, VCVS, dc_operating_point, transient
+from repro.spice.elements import Capacitor, Resistor, evaluate_source
+from repro.spice.mna import Assembler, MNASystem
+from repro.signals import Waveform
+
+
+class TestMNASystem:
+    def test_conductance_stamp_symmetry(self):
+        sys = MNASystem(3)
+        sys.add_conductance(0, 1, 2.0)
+        assert sys.g[0, 0] == 2.0
+        assert sys.g[1, 1] == 2.0
+        assert sys.g[0, 1] == -2.0
+        assert sys.g[1, 0] == -2.0
+
+    def test_ground_index_skipped(self):
+        sys = MNASystem(2)
+        sys.add_conductance(-1, 0, 5.0)
+        assert sys.g[0, 0] == 5.0
+        assert np.count_nonzero(sys.g) == 1
+
+    def test_current_stamp_signs(self):
+        sys = MNASystem(2)
+        sys.add_current(0, 1, 1e-3)   # flows 0 -> 1
+        assert sys.b[0] == -1e-3
+        assert sys.b[1] == 1e-3
+
+    def test_transconductance_stamp(self):
+        sys = MNASystem(4)
+        sys.add_transconductance(0, 1, 2, 3, 1e-3)
+        assert sys.g[0, 2] == 1e-3
+        assert sys.g[0, 3] == -1e-3
+        assert sys.g[1, 2] == -1e-3
+        assert sys.g[1, 3] == 1e-3
+
+    def test_reset_clears(self):
+        sys = MNASystem(2)
+        sys.add_conductance(0, 1, 1.0)
+        sys.add_b(0, 1.0)
+        sys.reset()
+        assert not sys.g.any()
+        assert not sys.b.any()
+
+
+class TestAssembler:
+    def test_branch_offsets_after_nodes(self):
+        ckt = Circuit("two_sources")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.vsource("V2", "b", "0", 2.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        asm = Assembler(ckt)
+        assert asm.n == 4  # 2 nodes + 2 branches
+        assert ckt.element("V1").branch_index() == 2
+        assert ckt.element("V2").branch_index() == 3
+
+    def test_voltages_dict_includes_ground(self):
+        ckt = Circuit("v")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        asm = Assembler(ckt)
+        volts = asm.voltages(np.array([1.0, -1e-3]))
+        assert volts["0"] == 0.0
+        assert volts["a"] == 1.0
+
+
+class TestElementEdgeCases:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Resistor("R", "a", "b", 0.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Capacitor("C", "a", "b", -1e-12)
+
+    def test_switch_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Switch("S", "a", "b", "c", "d", r_on=0.0)
+        with pytest.raises(ValueError):
+            Switch("S", "a", "b", "c", "d", transition=0.0)
+
+    def test_evaluate_source_kinds(self):
+        assert evaluate_source(2.5, 0.0) == 2.5
+        assert evaluate_source(lambda t: 2 * t, 3.0) == 6.0
+        wave = Waveform([0.0, 1.0], 1.0)
+        assert evaluate_source(wave, 0.5) == pytest.approx(0.5)
+
+    def test_vcvs_in_feedback(self):
+        """Ideal op-amp: VCVS with huge gain in inverting configuration."""
+        ckt = Circuit("inv_amp")
+        ckt.vsource("VIN", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "sum", 1e3)
+        ckt.resistor("R2", "sum", "out", 2e3)
+        ckt.vcvs("E1", "out", "0", "0", "sum", 1e6)  # out = -A*v(sum)
+        v, _ = dc_operating_point(ckt)
+        assert v["out"] == pytest.approx(-2.0, rel=1e-3)
+
+    def test_switch_transition_region_is_monotone(self):
+        sw = Switch("S", "a", "b", "c", "d", v_on=2.5, transition=0.2)
+        ctrl = np.linspace(2.0, 3.0, 50)
+        g = [sw._conductance(v) for v in ctrl]
+        assert all(b >= a for a, b in zip(g, g[1:]))
+
+    def test_describe_methods(self):
+        ckt = Circuit("desc")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.isource("I1", "a", "0", 1e-3)
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.capacitor("C1", "a", "0", 1e-12)
+        text = ckt.summary()
+        for token in ("V V1", "I I1", "R R1", "C C1"):
+            assert token in text
+
+
+class TestCircuitContainer:
+    def test_remove_element(self):
+        ckt = Circuit("rm")
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.remove("R1")
+        assert not ckt.has_element("R1")
+        assert ckt.nodes() == []
+
+    def test_element_lookup_error(self):
+        with pytest.raises(KeyError):
+            Circuit("x").element("nope")
+
+    def test_remove_missing_error(self):
+        with pytest.raises(KeyError):
+            Circuit("x").remove("nope")
+
+    def test_system_size(self):
+        ckt = Circuit("sz")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.vcvs("E1", "b", "0", "a", "0", 2.0)
+        ckt.resistor("R1", "b", "0", 1e3)
+        assert ckt.system_size() == 4  # a, b + 2 branches
+
+    def test_merge_ground_not_prefixed(self):
+        sub = Circuit("cell")
+        sub.resistor("R1", "x", "0", 1e3)
+        top = Circuit("top")
+        top.vsource("V1", "in", "0", 1.0)
+        top.merge(sub, prefix="u1_", node_map={"x": "in"})
+        assert "0" not in [n for n in top.nodes()]
+        v, _ = dc_operating_point(top)
+        assert v["in"] == 1.0
+
+
+class TestTrapezoidalConsistency:
+    def test_trap_conserves_rc_energy_better(self):
+        """Trapezoidal tracks the analytic RC discharge closely."""
+        ckt = Circuit("rc")
+        ckt.vsource("VS", "a", "0", 0.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        ckt.capacitor("C1", "b", "0", 1e-6, ic=5.0)
+        res = transient(ckt, t_stop=3e-3, dt=20e-6, method="trap", uic=True)
+        wave = res["b"]
+        tau = 1e-3
+        expected = 5.0 * np.exp(-wave.times / tau)
+        assert np.allclose(wave.values, expected, atol=0.05)

@@ -1,0 +1,179 @@
+"""Tests for the level-1 MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spice import Circuit, MOSFET, MOSParams, NMOS_5U, PMOS_5U, dc_operating_point
+
+
+def nmos(w=10e-6, l=5e-6, params=NMOS_5U):
+    return MOSFET("M1", "d", "g", "s", params, w=w, l=l)
+
+
+class TestRegions:
+    def test_cutoff(self):
+        m = nmos()
+        assert m.operating_region(5.0, 0.5, 0.0) == "cutoff"
+        ids, *_ = m._small_signal(5.0, 0.5, 0.0)
+        # only the ohmic leakage remains in cutoff
+        assert ids == pytest.approx(m.params.g_leak * 5.0)
+
+    def test_saturation_current(self):
+        m = nmos()
+        vgs, vds = 2.0, 5.0
+        ids, *_ = m._small_signal(vds, vgs, 0.0)
+        beta = m.beta
+        expected = 0.5 * beta * (vgs - 1.0) ** 2 * (1 + 0.02 * vds) \
+            + m.params.g_leak * vds
+        assert ids == pytest.approx(expected, rel=1e-9)
+        assert m.operating_region(vds, vgs, 0.0) == "saturation"
+
+    def test_triode_current(self):
+        m = nmos()
+        vgs, vds = 3.0, 0.5
+        ids, *_ = m._small_signal(vds, vgs, 0.0)
+        beta = m.beta
+        expected = beta * ((vgs - 1.0) * vds - vds ** 2 / 2) \
+            * (1 + 0.02 * vds) + m.params.g_leak * vds
+        assert ids == pytest.approx(expected, rel=1e-9)
+        assert m.operating_region(vds, vgs, 0.0) == "triode"
+
+    def test_current_continuous_at_sat_boundary(self):
+        m = nmos()
+        vgs = 2.5
+        vov = vgs - 1.0
+        below, *_ = m._small_signal(vov - 1e-9, vgs, 0.0)
+        above, *_ = m._small_signal(vov + 1e-9, vgs, 0.0)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_symmetric_swap(self):
+        """Drain/source exchange negates the current."""
+        m = nmos()
+        fwd, *_ = m._small_signal(2.0, 3.0, 0.0)
+        # now bias the 'drain' below the 'source'
+        rev, *_ = m._small_signal(0.0, 3.0, 2.0)
+        assert rev == pytest.approx(-fwd, rel=1e-9)
+
+    def test_pmos_mirror_of_nmos(self):
+        n = nmos(params=NMOS_5U)
+        p = MOSFET("MP", "d", "g", "s",
+                   MOSParams(polarity=-1, vto=1.0, kp=NMOS_5U.kp, lam=0.02))
+        i_n, *_ = n._small_signal(2.0, 3.0, 0.0)
+        i_p, *_ = p._small_signal(-2.0, -3.0, 0.0)
+        assert i_p == pytest.approx(-i_n, rel=1e-9)
+
+    def test_pmos_conducts_with_low_gate(self):
+        p = MOSFET("MP", "d", "g", "s", PMOS_5U)
+        # source at 5 V, gate low, drain at 2.5: |vgs|=5 > vth
+        ids, *_ = p._small_signal(2.5, 0.0, 5.0)
+        assert ids < 0  # current flows source->drain (into drain is negative)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("vd,vg,vs", [
+        (5.0, 2.0, 0.0),    # saturation
+        (0.3, 3.0, 0.0),    # triode
+        (0.0, 3.0, 2.0),    # swapped
+        (5.0, 0.5, 0.0),    # cutoff
+        (2.0, 2.5, 1.0),    # source lifted
+    ])
+    def test_jacobian_matches_finite_difference(self, vd, vg, vs):
+        m = nmos()
+        i0, di_dd, di_dg, di_ds = m._small_signal(vd, vg, vs)
+        h = 1e-7
+        for idx, (analytic) in enumerate((di_dd, di_dg, di_ds)):
+            v = [vd, vg, vs]
+            v[idx] += h
+            i1, *_ = m._small_signal(*v)
+            v[idx] -= 2 * h
+            i2, *_ = m._small_signal(*v)
+            numeric = (i1 - i2) / (2 * h)
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-12)
+
+    def test_kcl_consistency(self):
+        """Sum of terminal-current derivatives must vanish (gate draws
+        no DC current, so di/dvd + di/dvg + di/dvs = 0)."""
+        m = nmos()
+        _, dd, dg, ds = m._small_signal(3.0, 2.5, 0.5)
+        assert dd + dg + ds == pytest.approx(0.0, abs=1e-15)
+
+
+class TestInCircuit:
+    def test_diode_connected_drop(self):
+        """A diode-connected NMOS fed by a current source settles at
+        vgs = vth + sqrt(2 I / beta) (approximately, lambda small)."""
+        ckt = Circuit("diode")
+        ckt.vsource("VDD", "vdd", "0", 5.0)
+        ckt.isource("IB", "vdd", "d", 20e-6)
+        ckt.nmos("M1", "d", "d", "0", w=10e-6, l=5e-6)
+        v, _ = dc_operating_point(ckt)
+        beta = 20e-6 * 2.0
+        expected = 1.0 + np.sqrt(2 * 20e-6 / beta)
+        assert v["d"] == pytest.approx(expected, abs=0.05)
+
+    def test_current_mirror_copies(self):
+        from repro.circuits.library import current_mirror_circuit
+        ckt = current_mirror_circuit(i_ref=20e-6, ratio=1.0)
+        v, _ = dc_operating_point(ckt)
+        i_out = (5.0 - v["load"]) / 50e3
+        assert i_out == pytest.approx(20e-6, rel=0.1)
+
+    def test_mirror_ratio_scales(self):
+        from repro.circuits.library import current_mirror_circuit
+        ckt = current_mirror_circuit(i_ref=10e-6, ratio=2.0)
+        v, _ = dc_operating_point(ckt)
+        i_out = (5.0 - v["load"]) / 50e3
+        assert i_out == pytest.approx(20e-6, rel=0.15)
+
+    def test_nmos_inverter_transfer(self):
+        """CMOS inverter: output high for low input, low for high input."""
+        ckt = Circuit("inv")
+        ckt.vsource("VDD", "vdd", "0", 5.0)
+        ckt.vsource("VIN", "in", "0", 0.0)
+        ckt.nmos("MN", "out", "in", "0")
+        ckt.pmos("MP", "out", "in", "vdd", w=25e-6)
+        v, _ = dc_operating_point(ckt)
+        assert v["out"] > 4.5
+        ckt.element("VIN").value = 5.0
+        v, _ = dc_operating_point(ckt)
+        assert v["out"] < 0.5
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MOSFET("M", "d", "g", "s", NMOS_5U, w=0.0)
+        with pytest.raises(ValueError):
+            MOSFET("M", "d", "g", "s", NMOS_5U, l=-1.0)
+
+    def test_clone_preserves(self):
+        m = nmos(w=33e-6)
+        c = m.clone()
+        assert c.w == 33e-6
+        assert c.params is m.params
+
+    def test_describe_mentions_type(self):
+        assert "NMOS" in nmos().describe()
+        assert "PMOS" in MOSFET("P", "d", "g", "s", PMOS_5U).describe()
+
+    def test_params_scaled(self):
+        p = NMOS_5U.scaled(vto=0.8)
+        assert p.vto == 0.8
+        assert p.kp == NMOS_5U.kp
+
+
+@given(st.floats(0.0, 5.0), st.floats(0.0, 5.0), st.floats(0.0, 5.0))
+def test_current_finite_everywhere(vd, vg, vs):
+    m = nmos()
+    ids, dd, dg, ds = m._small_signal(vd, vg, vs)
+    assert np.isfinite([ids, dd, dg, ds]).all()
+
+
+@given(st.floats(1.1, 5.0), st.floats(0.0, 5.0))
+def test_current_sign_follows_vds(vgs, vds):
+    """For a conducting NMOS, current direction follows the vds sign."""
+    m = nmos()
+    fwd, *_ = m._small_signal(vds, vgs, 0.0)
+    assert fwd >= 0.0

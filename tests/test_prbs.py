@@ -1,0 +1,167 @@
+"""Tests for the LFSR / PRBS generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signals.prbs import (
+    LFSR,
+    MAXIMAL_TAPS,
+    balance,
+    chips_from_waveform,
+    prbs_sequence,
+    prbs_waveform,
+)
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("order", sorted(MAXIMAL_TAPS))
+    def test_maximal_period(self, order):
+        lfsr = LFSR(order, seed=1)
+        initial = lfsr.state
+        steps = 0
+        while True:
+            lfsr.step()
+            steps += 1
+            if lfsr.state == initial:
+                break
+            assert steps <= lfsr.period, "period exceeded without repeat"
+        assert steps == 2 ** order - 1
+
+    def test_state_never_zero(self):
+        lfsr = LFSR(4, seed=1)
+        for _ in range(100):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_reset(self):
+        lfsr = LFSR(5, seed=7)
+        lfsr.bits(13)
+        lfsr.reset()
+        assert lfsr.state == 7
+
+    def test_reproducible(self):
+        a = LFSR(4, seed=3).bits(30)
+        b = LFSR(4, seed=3).bits(30)
+        assert a == b
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+
+    def test_bad_seed(self):
+        with pytest.raises(ValueError):
+            LFSR(4, seed=0)
+        with pytest.raises(ValueError):
+            LFSR(4, seed=16)
+
+    def test_bad_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(0, 4))
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(4, 5))
+
+    def test_unknown_order_requires_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(13)
+        # but explicit taps are accepted
+        LFSR(13, taps=(13, 4, 3, 1))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4).bits(-1)
+
+    def test_states_records_after_each_step(self):
+        lfsr = LFSR(3, seed=1)
+        states = lfsr.states(3)
+        assert len(states) == 3
+        assert all(0 < s < 8 for s in states)
+
+
+class TestPRBSSequence:
+    def test_default_full_period(self):
+        seq = prbs_sequence(4)
+        assert len(seq) == 15
+        assert set(np.unique(seq)) <= {0, 1}
+
+    def test_balance_property(self):
+        # a maximal-length period has exactly one more 1 than 0s
+        for order in (3, 4, 5, 6, 7):
+            assert balance(prbs_sequence(order)) == 1
+
+    def test_balance_empty_rejected(self):
+        with pytest.raises(ValueError):
+            balance([])
+
+    def test_autocorrelation_impulsive(self):
+        """The defining PRBS property: periodic autocorrelation is
+        N at zero lag and -1 at every other lag (in +/-1 chips)."""
+        seq = 2.0 * prbs_sequence(5) - 1.0
+        n = len(seq)
+        for lag in range(n):
+            rolled = np.roll(seq, lag)
+            r = float(np.dot(seq, rolled))
+            expected = n if lag == 0 else -1.0
+            assert r == pytest.approx(expected)
+
+    def test_custom_length(self):
+        assert len(prbs_sequence(4, n_bits=100)) == 100
+
+
+class TestPRBSWaveform:
+    def test_paper_defaults(self):
+        w = prbs_waveform()
+        # 15 chips of 250 us
+        assert w.duration == pytest.approx(15 * 250e-6, rel=0.01)
+        assert set(np.unique(w.values)) <= {0.0, 5.0}
+
+    def test_levels(self):
+        w = prbs_waveform(low=1.0, high=3.0)
+        assert set(np.unique(w.values)) <= {1.0, 3.0}
+
+    def test_repeats(self):
+        w1 = prbs_waveform(repeats=1)
+        w2 = prbs_waveform(repeats=2)
+        assert len(w2) == 2 * len(w1)
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            prbs_waveform(repeats=0)
+
+    def test_bad_chip_time(self):
+        with pytest.raises(ValueError):
+            prbs_waveform(chip_time=0.0)
+
+    def test_dt_divides_chip(self):
+        w = prbs_waveform(chip_time=250e-6, dt=30e-6)
+        samples_per_chip = round(250e-6 / w.dt)
+        assert samples_per_chip * w.dt == pytest.approx(250e-6)
+
+    def test_chip_recovery_roundtrip(self):
+        w = prbs_waveform(order=4, chip_time=100e-6, low=0.0, high=5.0)
+        chips = chips_from_waveform(w, 100e-6)
+        assert np.array_equal(chips, prbs_sequence(4))
+
+    def test_chip_recovery_bad_chip_time(self):
+        w = prbs_waveform()
+        with pytest.raises(ValueError):
+            chips_from_waveform(w, 0.0)
+
+
+@given(st.integers(2, 10), st.integers(1, 200))
+def test_lfsr_output_deterministic(order, n):
+    if order not in MAXIMAL_TAPS:
+        return
+    assert LFSR(order).bits(n) == LFSR(order).bits(n)
+
+
+@given(st.sampled_from(sorted(MAXIMAL_TAPS)), st.integers(1, 1000))
+def test_any_seed_is_on_the_maximal_cycle(order, seed):
+    seed = 1 + seed % (2 ** order - 1)
+    lfsr = LFSR(order, seed=seed)
+    seen = set()
+    for _ in range(lfsr.period):
+        seen.add(lfsr.state)
+        lfsr.step()
+    assert len(seen) == lfsr.period

@@ -1,0 +1,138 @@
+"""Tests for process variation and device batches."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adc import DualSlopeADC
+from repro.process import Batch, FabricatedDevice, VariationModel, VariationSpec
+
+
+class TestVariationSpec:
+    def test_relative_sigma_scales(self):
+        spec = VariationSpec("p", sigma=0.1, relative=True)
+        rng = np.random.default_rng(0)
+        draws = [spec.sample(100.0, rng) for _ in range(500)]
+        assert np.std(draws) == pytest.approx(10.0, rel=0.2)
+
+    def test_absolute_sigma(self):
+        spec = VariationSpec("p", sigma=0.5, relative=False)
+        rng = np.random.default_rng(0)
+        draws = [spec.sample(100.0, rng) for _ in range(500)]
+        assert np.std(draws) == pytest.approx(0.5, rel=0.2)
+
+    def test_lognormal_positive(self):
+        spec = VariationSpec("p", sigma=0.5, distribution="lognormal")
+        rng = np.random.default_rng(1)
+        draws = [spec.sample(1e-12, rng) for _ in range(200)]
+        assert all(d > 0 for d in draws)
+
+    def test_clipping(self):
+        spec = VariationSpec("p", sigma=10.0, relative=False,
+                             clip_lo=0.0, clip_hi=1.0)
+        rng = np.random.default_rng(2)
+        draws = [spec.sample(0.5, rng) for _ in range(100)]
+        assert all(0.0 <= d <= 1.0 for d in draws)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationSpec("p", sigma=-1.0)
+        with pytest.raises(ValueError):
+            VariationSpec("p", sigma=0.1, distribution="cauchy")
+
+
+class TestVariationModel:
+    def test_reproducible_by_seed_and_index(self):
+        model = VariationModel([VariationSpec("a", 0.1)], seed=7)
+        d1 = model.sample_device({"a": 1.0}, device_index=3)
+        d2 = model.sample_device({"a": 1.0}, device_index=3)
+        assert d1 == d2
+
+    def test_devices_differ(self):
+        model = VariationModel([VariationSpec("a", 0.1)], seed=7)
+        d1 = model.sample_device({"a": 1.0}, 0)
+        d2 = model.sample_device({"a": 1.0}, 1)
+        assert d1["a"] != d2["a"]
+
+    def test_batch_size(self):
+        model = VariationModel([VariationSpec("a", 0.1)])
+        batch = model.sample_batch({"a": 1.0}, 10)
+        assert len(batch) == 10
+
+    def test_missing_nominal_rejected(self):
+        model = VariationModel([VariationSpec("a", 0.1)])
+        with pytest.raises(KeyError):
+            model.sample_device({"b": 1.0}, 0)
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel([VariationSpec("a", 0.1), VariationSpec("a", 0.2)])
+
+    def test_bad_batch_size(self):
+        model = VariationModel([VariationSpec("a", 0.1)])
+        with pytest.raises(ValueError):
+            model.sample_batch({"a": 1.0}, 0)
+
+
+class _Widget:
+    """Simple nested model for batch testing."""
+
+    def __init__(self):
+        self.gain = 1.0
+        self.inner = type("Inner", (), {"offset": 0.0})()
+
+
+class TestBatch:
+    def test_fabricate_applies_parameters(self):
+        model = VariationModel([VariationSpec("gain", 0.1),
+                                VariationSpec("inner.offset", 0.01,
+                                              relative=False)], seed=3)
+        batch = Batch(_Widget, model)
+        devices = batch.fabricate(5)
+        assert len(devices) == 5
+        for dev in devices:
+            assert dev.model.gain == dev.parameters["gain"]
+            assert dev.model.inner.offset == dev.parameters["inner.offset"]
+
+    def test_devices_independent_instances(self):
+        model = VariationModel([VariationSpec("gain", 0.1)])
+        devices = Batch(_Widget, model).fabricate(2)
+        devices[0].model.gain = 99.0
+        assert devices[1].model.gain != 99.0
+
+    def test_screen_partitions(self):
+        model = VariationModel([VariationSpec("gain", 0.5)], seed=5)
+        result = Batch(_Widget, model).screen(
+            20, test=lambda w: w.gain > 1.0)
+        assert len(result.passed) + len(result.failed) == 20
+        assert 0.0 <= result.yield_fraction <= 1.0
+
+    def test_screen_describe(self):
+        model = VariationModel([VariationSpec("gain", 0.0)])
+        result = Batch(_Widget, model).screen(3, test=lambda w: True)
+        assert "3 passed" in result.describe()
+
+    def test_adc_batch_round_trip(self):
+        """An ADC batch with zero spread behaves identically."""
+        model = VariationModel(
+            [VariationSpec("cal.comparator_offset_v", 0.0, relative=False)])
+        devices = Batch(DualSlopeADC, model).fabricate(2)
+        c0 = devices[0].model.code_of(1.25)
+        c1 = devices[1].model.code_of(1.25)
+        assert c0 == c1
+
+    def test_fabricated_device_describe(self):
+        dev = FabricatedDevice(index=0, model=_Widget(),
+                               parameters={"gain": 1.23})
+        assert "gain=1.23" in dev.describe()
+
+
+@given(st.integers(0, 1000))
+def test_variation_independent_of_order(idx):
+    model = VariationModel([VariationSpec("a", 0.1)], seed=11)
+    direct = model.sample_device({"a": 2.0}, idx)
+    # sampling other devices first must not disturb device idx's draw
+    model.sample_device({"a": 2.0}, idx + 1)
+    again = model.sample_device({"a": 2.0}, idx)
+    assert direct == again

@@ -1,0 +1,220 @@
+"""Tests for repro.signals.sources, correlation and convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signals import (
+    Waveform,
+    autocorrelation,
+    convolve_waveforms,
+    cross_correlation,
+    impulse_response_estimate,
+    noise_waveform,
+    normalized_cross_correlation,
+    prbs_waveform,
+    pulse_waveform,
+    ramp_waveform,
+    sine_waveform,
+    staircase_waveform,
+    step_waveform,
+)
+from repro.signals.convolution import response_of_cascade, truncate_to
+from repro.signals.correlation import correlation_peak, whiten
+from repro.signals.sources import two_phase_clocks
+
+
+class TestSources:
+    def test_step_levels(self):
+        w = step_waveform(2.5, duration=1e-3, dt=1e-5, t_step=0.5e-3)
+        assert w.value_at(0.0) == 0.0
+        assert w.value_at(0.9e-3) == 2.5
+
+    def test_step_rise_time(self):
+        w = step_waveform(1.0, duration=1e-3, dt=1e-6, rise_time=100e-6)
+        assert 0.4 < w.value_at(50e-6) < 0.6
+
+    def test_step_negative_rise_rejected(self):
+        with pytest.raises(ValueError):
+            step_waveform(1.0, 1e-3, 1e-5, rise_time=-1.0)
+
+    def test_ramp_endpoints_and_hold(self):
+        w = ramp_waveform(0.0, 2.5, duration=1.0, dt=1e-2, hold=0.5)
+        assert w.value_at(0.0) == pytest.approx(0.0)
+        assert w.value_at(1.0) == pytest.approx(2.5)
+        assert w.value_at(1.4) == pytest.approx(2.5)
+
+    def test_ramp_bad_duration(self):
+        with pytest.raises(ValueError):
+            ramp_waveform(0, 1, 0.0, 1e-3)
+
+    def test_sine(self):
+        w = sine_waveform(1.0, 1e3, duration=1e-3, dt=1e-6, offset=2.0)
+        assert w.mean() == pytest.approx(2.0, abs=0.01)
+        assert w.peak() == pytest.approx(3.0, abs=0.01)
+
+    def test_sine_bad_freq(self):
+        with pytest.raises(ValueError):
+            sine_waveform(1.0, 0.0, 1e-3, 1e-6)
+
+    def test_pulse_duty(self):
+        w = pulse_waveform(0.0, 1.0, period=1e-3, duty=0.25,
+                           duration=10e-3, dt=1e-6)
+        assert w.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_pulse_bad_duty(self):
+        with pytest.raises(ValueError):
+            pulse_waveform(0, 1, 1e-3, 1.5, 1e-2, 1e-6)
+
+    def test_noise_statistics(self):
+        w = noise_waveform(0.5, duration=1.0, dt=1e-4, mean=1.0, seed=3)
+        assert w.mean() == pytest.approx(1.0, abs=0.05)
+        assert np.std(w.values) == pytest.approx(0.5, rel=0.1)
+
+    def test_staircase(self):
+        w = staircase_waveform([1.0, 2.0, 3.0], dwell=1e-3, dt=1e-4)
+        assert w.value_at(0.5e-3) == 1.0
+        assert w.value_at(1.5e-3) == 2.0
+        assert w.value_at(2.5e-3) == 3.0
+
+    def test_staircase_empty_rejected(self):
+        with pytest.raises(ValueError):
+            staircase_waveform([], 1e-3, 1e-4)
+
+    def test_two_phase_clocks_never_both_high(self):
+        phi1, phi2 = two_phase_clocks(period=10e-6, duration=100e-6,
+                                      dt=0.1e-6, non_overlap=0.1)
+        both = (phi1.values > 2.5) & (phi2.values > 2.5)
+        assert not both.any()
+        assert phi1.peak() == 5.0
+        assert phi2.peak() == 5.0
+
+    def test_two_phase_bad_overlap(self):
+        with pytest.raises(ValueError):
+            two_phase_clocks(1e-6, 1e-5, 1e-8, non_overlap=0.6)
+
+
+class TestCorrelation:
+    def test_ncc_self_peak_is_one(self):
+        w = prbs_waveform(order=4, chip_time=1e-4, dt=1e-5)
+        r = normalized_cross_correlation(w, w)
+        assert np.max(r.values) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ncc_of_flat_signal_is_zero(self):
+        flat = Waveform(np.full(50, 2.5), 1e-5)
+        p = prbs_waveform(order=4, chip_time=1e-4, dt=1e-5)
+        r = normalized_cross_correlation(flat, p)
+        assert np.allclose(r.values, 0.0)
+
+    def test_cross_correlation_lag_axis(self):
+        a = Waveform([1.0, 0.0, 0.0], 1.0)
+        b = Waveform([1.0, 0.0], 1.0)
+        r = cross_correlation(a, b)
+        # full mode: lags from -(len(b)-1) to len(a)-1
+        assert r.t0 == pytest.approx(-1.0)
+        assert len(r) == 4
+
+    def test_cross_correlation_detects_delay(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        delay = 7
+        y = np.concatenate([np.zeros(delay), x])[:200]
+        r = normalized_cross_correlation(Waveform(y, 1.0), Waveform(x, 1.0))
+        _, lag = correlation_peak(Waveform(y, 1.0), Waveform(x, 1.0))
+        assert lag == pytest.approx(delay, abs=0.5)
+
+    def test_autocorrelation_symmetric(self):
+        w = Waveform(np.random.default_rng(1).normal(size=64), 1.0)
+        r = autocorrelation(w)
+        assert np.allclose(r.values, r.values[::-1], atol=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_correlation(Waveform([], 1.0), Waveform([1.0], 1.0))
+
+    def test_bad_mode(self):
+        a = Waveform([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            cross_correlation(a, a, mode="weird")
+
+    def test_whiten_flattens_spectrum(self):
+        w = prbs_waveform(order=5, chip_time=1e-4, dt=1e-5)
+        flat = whiten(w)
+        spec = np.abs(np.fft.rfft(flat.values))
+        nonzero = spec[spec > 0.01 * spec.max()]
+        assert nonzero.max() / nonzero.min() < 50
+
+    def test_whiten_bad_eps(self):
+        with pytest.raises(ValueError):
+            whiten(prbs_waveform(), eps=0.0)
+
+
+class TestConvolution:
+    def test_convolution_with_impulse_identity(self):
+        x = Waveform([1.0, 2.0, 3.0], 0.5)
+        delta = Waveform([1.0 / 0.5], 0.5)  # discrete unit-area impulse
+        y = convolve_waveforms(x, delta)
+        assert np.allclose(y.values[:3], x.values)
+
+    def test_convolution_commutative(self):
+        a = Waveform([1.0, 2.0], 1.0)
+        b = Waveform([3.0, 4.0, 5.0], 1.0)
+        ab = convolve_waveforms(a, b)
+        ba = convolve_waveforms(b, a)
+        assert np.allclose(ab.values, ba.values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convolve_waveforms(Waveform([], 1.0), Waveform([1.0], 1.0))
+
+    def test_cascade(self):
+        x = Waveform([1.0, 0.0, 0.0, 0.0], 1.0)
+        h = Waveform([0.5, 0.5], 1.0)
+        y = response_of_cascade(x, h, h)
+        direct = convolve_waveforms(convolve_waveforms(x, h), h)
+        assert np.allclose(y.values, direct.values)
+
+    def test_impulse_estimate_recovers_fir(self):
+        rng = np.random.default_rng(2)
+        x = Waveform(rng.normal(size=400), 1.0)
+        h_true = np.array([0.5, 0.3, -0.2, 0.1])
+        y_vals = np.convolve(x.values, h_true)[:400] * x.dt
+        y = Waveform(y_vals, 1.0)
+        h_est = impulse_response_estimate(x, y, n_taps=6)
+        assert np.allclose(h_est.values[:4], h_true, atol=0.02)
+        assert np.allclose(h_est.values[4:], 0.0, atol=0.02)
+
+    def test_impulse_estimate_validates(self):
+        x = Waveform([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            impulse_response_estimate(x, x, n_taps=0)
+        with pytest.raises(ValueError):
+            impulse_response_estimate(x, x, n_taps=10)
+
+    def test_truncate(self):
+        w = Waveform(np.arange(10.0), 1.0)
+        t = truncate_to(w, 3.0)
+        assert len(t) == 4
+
+    def test_truncate_negative(self):
+        with pytest.raises(ValueError):
+            truncate_to(Waveform([1.0], 1.0), -1.0)
+
+
+@given(st.lists(st.floats(-10, 10), min_size=2, max_size=32),
+       st.lists(st.floats(-10, 10), min_size=2, max_size=32))
+def test_ncc_bounded(a_vals, b_vals):
+    a = Waveform(a_vals, 1.0)
+    b = Waveform(b_vals, 1.0)
+    r = normalized_cross_correlation(a, b)
+    assert np.all(np.abs(r.values) <= 1.0 + 1e-9)
+
+
+@given(st.lists(st.floats(-5, 5), min_size=1, max_size=16),
+       st.lists(st.floats(-5, 5), min_size=1, max_size=16))
+def test_convolution_length(a_vals, b_vals):
+    a = Waveform(a_vals, 1.0)
+    b = Waveform(b_vals, 1.0)
+    y = convolve_waveforms(a, b)
+    assert len(y) == len(a) + len(b) - 1

@@ -1,0 +1,113 @@
+"""Tests for the spectral-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Waveform, sine_waveform
+from repro.signals.spectrum import ToneAnalysis, amplitude_spectrum, analyze_tone
+
+
+def coherent_sine(amplitude=1.0, cycles=16, n=512, harmonics=()):
+    """A sine with an exact integer number of cycles in the record."""
+    t = np.arange(n) / n
+    y = amplitude * np.sin(2 * np.pi * cycles * t)
+    for order, amp in harmonics:
+        y += amp * np.sin(2 * np.pi * order * cycles * t)
+    return y, float(n), float(cycles)  # samples, rate (1 rec/s), f0
+
+
+class TestAmplitudeSpectrum:
+    def test_sine_peak_amplitude(self):
+        y, rate, f0 = coherent_sine(amplitude=0.8)
+        freqs, amps = amplitude_spectrum(y, rate)
+        peak_idx = int(np.argmax(amps))
+        assert freqs[peak_idx] == pytest.approx(f0, abs=freqs[1])
+        assert amps[peak_idx] == pytest.approx(0.8, rel=0.05)
+
+    def test_dc_removed(self):
+        y, rate, _ = coherent_sine()
+        freqs, amps = amplitude_spectrum(y + 100.0, rate)
+        assert amps[0] < 0.01
+
+    def test_waveform_input_uses_own_rate(self):
+        wave = sine_waveform(1.0, 50.0, duration=1.0, dt=1e-3)
+        freqs, amps = amplitude_spectrum(wave)
+        assert freqs[int(np.argmax(amps))] == pytest.approx(50.0, abs=1.5)
+
+    def test_rect_window_exact_for_coherent(self):
+        y, rate, f0 = coherent_sine(amplitude=1.0)
+        freqs, amps = amplitude_spectrum(y, rate, window="rect")
+        assert np.max(amps) == pytest.approx(1.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum([1.0] * 4, 1.0)
+        with pytest.raises(ValueError):
+            amplitude_spectrum([1.0] * 16, 1.0, window="kaiser9000")
+        with pytest.raises(ValueError):
+            amplitude_spectrum([1.0] * 16)  # raw array, no rate
+
+
+class TestToneAnalysis:
+    def test_pure_tone_low_thd(self):
+        y, rate, f0 = coherent_sine()
+        analysis = analyze_tone(y, f0, rate)
+        assert analysis.fundamental_amplitude == pytest.approx(1.0, rel=0.05)
+        assert analysis.thd_db < -60.0
+
+    def test_known_harmonic_ratio(self):
+        y, rate, f0 = coherent_sine(amplitude=1.0,
+                                    harmonics=((3, 0.1),))
+        analysis = analyze_tone(y, f0, rate)
+        assert analysis.thd_fraction == pytest.approx(0.1, rel=0.1)
+        orders = [o for o, a in analysis.harmonics if a > 0.05]
+        assert orders == [3]
+
+    def test_sfdr_of_distorted_tone(self):
+        y, rate, f0 = coherent_sine(harmonics=((2, 0.01),))
+        analysis = analyze_tone(y, f0, rate)
+        assert analysis.sfdr_db == pytest.approx(40.0, abs=3.0)
+
+    def test_harmonics_beyond_nyquist_skipped(self):
+        y, rate, f0 = coherent_sine(cycles=200, n=512)
+        analysis = analyze_tone(y, f0, rate)
+        assert all(order * f0 < rate / 2
+                   for order, _ in analysis.harmonics)
+
+    def test_noise_accounting(self):
+        rng = np.random.default_rng(1)
+        y, rate, f0 = coherent_sine()
+        noisy = y + rng.normal(0, 0.05, len(y))
+        analysis = analyze_tone(noisy, f0, rate)
+        assert analysis.noise_rms == pytest.approx(0.05, rel=0.4)
+
+    def test_summary(self):
+        y, rate, f0 = coherent_sine()
+        assert "THD" in analyze_tone(y, f0, rate).summary()
+
+    def test_validation(self):
+        y, rate, f0 = coherent_sine()
+        with pytest.raises(ValueError):
+            analyze_tone(y, -1.0, rate)
+        with pytest.raises(ValueError):
+            analyze_tone(y, f0, rate, n_harmonics=0)
+
+    def test_adc_distortion_visible_in_thd(self):
+        """A bowed ADC transfer distorts a sine measurably."""
+        from repro.adc import DualSlopeADC
+        from repro.adc.calibration import ADCCalibration
+        cal = ADCCalibration(cap_voltage_coeff=0.15, counter_inject_v=0.0,
+                             comparator_offset_v=0.0)
+        adc = DualSlopeADC(cal)
+        n, cycles = 256, 16
+        t = np.arange(n) / n
+        v_in = 1.25 + 1.1 * np.sin(2 * np.pi * cycles * t)
+        codes = [adc.code_of(float(np.clip(v, 0, 2.5))) for v in v_in]
+        analysis = analyze_tone(np.asarray(codes, float), cycles, float(n))
+        clean_cal = ADCCalibration(cap_voltage_coeff=0.0,
+                                   counter_inject_v=0.0,
+                                   comparator_offset_v=0.0)
+        clean_codes = [DualSlopeADC(clean_cal).code_of(
+            float(np.clip(v, 0, 2.5))) for v in v_in]
+        clean = analyze_tone(np.asarray(clean_codes, float), cycles, float(n))
+        assert analysis.thd_fraction > clean.thd_fraction

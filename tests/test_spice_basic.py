@@ -1,0 +1,139 @@
+"""Smoke tests for the MNA engine: linear networks with known answers."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    dc_operating_point,
+    transient,
+)
+
+
+def test_resistive_divider_dc():
+    ckt = Circuit("divider")
+    ckt.vsource("VIN", "in", "0", 10.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 3e3)
+    v, _ = dc_operating_point(ckt)
+    assert v["in"] == pytest.approx(10.0, abs=1e-9)
+    assert v["mid"] == pytest.approx(7.5, rel=1e-6)
+
+
+def test_current_source_into_resistor():
+    ckt = Circuit("ir")
+    ckt.isource("I1", "0", "n1", 1e-3)
+    ckt.resistor("R1", "n1", "0", 2e3)
+    v, _ = dc_operating_point(ckt)
+    assert v["n1"] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_vcvs_gain():
+    ckt = Circuit("amp")
+    ckt.vsource("VIN", "in", "0", 0.5)
+    ckt.vcvs("E1", "out", "0", "in", "0", 10.0)
+    ckt.resistor("RL", "out", "0", 1e3)
+    v, _ = dc_operating_point(ckt)
+    assert v["out"] == pytest.approx(5.0, rel=1e-6)
+
+
+def test_vccs_into_load():
+    ckt = Circuit("gm")
+    ckt.vsource("VIN", "in", "0", 1.0)
+    # i = gm*vin flowing out_p -> out_m; pull current out of node "out"
+    ckt.vccs("G1", "0", "out", "in", "0", 2e-3)
+    ckt.resistor("RL", "out", "0", 1e3)
+    v, _ = dc_operating_point(ckt)
+    assert v["out"] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_rc_charging_transient():
+    """RC step response must follow 1 - exp(-t/RC)."""
+    r, c = 1e3, 1e-6  # tau = 1 ms
+    ckt = Circuit("rc")
+    ckt.vsource("VIN", "in", "0", lambda t: 5.0 if t > 0 else 0.0)
+    ckt.resistor("R1", "in", "out", r)
+    ckt.capacitor("C1", "out", "0", c)
+    res = transient(ckt, t_stop=5e-3, dt=10e-6, uic=True)
+    wave = res["out"]
+    tau = r * c
+    expected = 5.0 * (1.0 - np.exp(-wave.times[1:] / tau))
+    # Backward Euler at dt = tau/100: ~1 % accuracy is expected
+    assert np.allclose(wave.values[1:], expected, atol=0.06)
+    assert wave.values[-1] == pytest.approx(5.0, abs=0.05)
+
+
+def test_rc_trapezoidal_more_accurate_than_be():
+    r, c = 1e3, 1e-6
+    def build():
+        ckt = Circuit("rc")
+        ckt.vsource("VIN", "in", "0", lambda t: 5.0 if t > 0 else 0.0)
+        ckt.resistor("R1", "in", "out", r)
+        ckt.capacitor("C1", "out", "0", c)
+        return ckt
+
+    tau = r * c
+    errs = {}
+    for method in ("be", "trap"):
+        res = transient(build(), t_stop=3e-3, dt=50e-6, method=method, uic=True)
+        wave = res["out"]
+        expected = 5.0 * (1.0 - np.exp(-wave.times / tau))
+        errs[method] = float(np.max(np.abs(wave.values - expected)))
+    assert errs["trap"] < errs["be"]
+
+
+def test_switch_follows_control():
+    ckt = Circuit("sw")
+    ckt.vsource("VC", "ctl", "0", lambda t: 5.0 if t > 0.5e-3 else 0.0)
+    ckt.vsource("VIN", "in", "0", 1.0)
+    ckt.switch("S1", "in", "out", "ctl", "0", v_on=2.5, r_on=10.0)
+    ckt.resistor("RL", "out", "0", 1e4)
+    res = transient(ckt, t_stop=1e-3, dt=10e-6)
+    out = res["out"]
+    assert out.value_at(0.25e-3) < 0.01      # switch off: divider ~ 1e9/1e4
+    assert out.value_at(0.9e-3) == pytest.approx(1.0, abs=0.01)
+
+
+def test_transient_records_requested_nodes_only():
+    ckt = Circuit("rec")
+    ckt.vsource("VIN", "in", "0", 1.0)
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.resistor("R2", "out", "0", 1e3)
+    res = transient(ckt, t_stop=1e-4, dt=1e-5, record=["out"])
+    assert res.nodes() == ["out"]
+    with pytest.raises(KeyError):
+        _ = res["in"]
+
+
+def test_unknown_record_node_rejected():
+    ckt = Circuit("bad")
+    ckt.vsource("VIN", "in", "0", 1.0)
+    ckt.resistor("R1", "in", "0", 1e3)
+    with pytest.raises(KeyError):
+        transient(ckt, t_stop=1e-4, dt=1e-5, record=["nope"])
+
+
+def test_duplicate_element_name_rejected():
+    ckt = Circuit("dup")
+    ckt.resistor("R1", "a", "0", 1e3)
+    with pytest.raises(ValueError):
+        ckt.resistor("R1", "b", "0", 1e3)
+
+
+def test_ground_aliases_normalise():
+    ckt = Circuit("gnd")
+    ckt.vsource("VIN", "in", "GND", 1.0)
+    ckt.resistor("R1", "in", "ground", 1e3)
+    assert ckt.nodes() == ["in"]
+
+
+def test_circuit_merge_with_prefix_and_port_map():
+    sub = Circuit("cell")
+    sub.resistor("R1", "a", "b", 1e3)
+    sub.resistor("R2", "b", "0", 1e3)
+    top = Circuit("top")
+    top.vsource("VIN", "vin", "0", 2.0)
+    top.merge(sub, prefix="X1_", node_map={"a": "vin", "b": "out"})
+    v, _ = dc_operating_point(top)
+    assert v["out"] == pytest.approx(1.0, rel=1e-6)
+    assert top.has_element("X1_R1")

@@ -1,0 +1,194 @@
+"""Tests for the Newton solver, transient engine and linearisation."""
+
+import numpy as np
+import pytest
+
+from repro.lti import tf_from_poles_zeros
+from repro.signals import Waveform
+from repro.spice import (
+    Circuit,
+    NewtonError,
+    circuit_poles,
+    circuit_zeros,
+    dc_operating_point,
+    extract_transfer_function,
+    transfer_function_at,
+    transient,
+)
+
+
+class TestDCSolve:
+    def test_nonlinear_diode_chain(self):
+        """Two stacked diode-connected devices split the supply."""
+        ckt = Circuit("stack")
+        ckt.vsource("VDD", "vdd", "0", 5.0)
+        ckt.isource("IB", "vdd", "a", 10e-6)
+        ckt.nmos("M1", "a", "a", "b")
+        ckt.nmos("M2", "b", "b", "0")
+        v, _ = dc_operating_point(ckt)
+        assert 1.0 < v["b"] < 2.5
+        assert v["a"] > v["b"]
+
+    def test_floating_node_held_by_gmin(self):
+        ckt = Circuit("float")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.capacitor("C1", "a", "b", 1e-12)  # b floats at DC
+        v, _ = dc_operating_point(ckt)
+        assert abs(v["b"]) < 1.0  # gmin ties it near ground
+
+    def test_op_with_time_varying_source_uses_t(self):
+        ckt = Circuit("tv")
+        ckt.vsource("V1", "a", "0", lambda t: 1.0 + t)
+        ckt.resistor("R1", "a", "0", 1e3)
+        v, _ = dc_operating_point(ckt, t=2.0)
+        assert v["a"] == pytest.approx(3.0)
+
+    def test_solution_vector_matches_dict(self):
+        ckt = Circuit("dict")
+        ckt.vsource("V1", "a", "0", 2.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        ckt.resistor("R2", "b", "0", 1e3)
+        v, x = dc_operating_point(ckt)
+        from repro.spice.mna import Assembler
+        idx = Assembler(ckt).index
+        assert x[idx["b"]] == pytest.approx(v["b"])
+
+
+class TestTransientEngine:
+    def test_conservation_capacitive_divider(self):
+        """A step through series caps divides by the capacitance ratio."""
+        ckt = Circuit("capdiv")
+        ckt.vsource("VIN", "in", "0", lambda t: 1.0 if t > 1e-6 else 0.0)
+        ckt.capacitor("C1", "in", "mid", 2e-9)
+        ckt.capacitor("C2", "mid", "0", 1e-9)
+        res = transient(ckt, t_stop=10e-6, dt=0.1e-6, uic=True)
+        assert res.final("mid") == pytest.approx(2.0 / 3.0, abs=0.02)
+
+    def test_sc_charge_pump_behavior(self):
+        """Switch-capacitor transfer moves charge packet by packet."""
+        ckt = Circuit("scp")
+        ckt.vsource("VIN", "in", "0", 1.0)
+        ckt.vsource("PHI", "phi", "0",
+                    lambda t: 5.0 if (t % 2e-3) < 1e-3 else 0.0)
+        ckt.vsource("PHIB", "phib", "0",
+                    lambda t: 0.0 if (t % 2e-3) < 1e-3 else 5.0)
+        ckt.switch("S1", "in", "cs", "phi", "0")
+        ckt.switch("S2", "cs", "out", "phib", "0")
+        ckt.capacitor("C1", "cs", "0", 1e-9)
+        ckt.capacitor("C2", "out", "0", 1e-9)
+        res = transient(ckt, t_stop=20e-3, dt=20e-6, uic=True)
+        # equal caps converge toward the input voltage
+        assert res.final("out") == pytest.approx(1.0, abs=0.05)
+
+    def test_result_api(self):
+        ckt = Circuit("api")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        res = transient(ckt, t_stop=1e-3, dt=1e-4)
+        assert "a" in res
+        assert res.dt == pytest.approx(1e-4)
+        assert len(res.times) == 11
+        assert isinstance(res["a"], Waveform)
+        assert res.array("a").shape == (11,)
+
+    def test_bad_timing_rejected(self):
+        ckt = Circuit("bad")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError):
+            transient(ckt, t_stop=0.0, dt=1e-6)
+        with pytest.raises(ValueError):
+            transient(ckt, t_stop=1e-3, dt=2e-3)
+        with pytest.raises(ValueError):
+            transient(ckt, t_stop=1e-3, dt=1e-4, method="rk4")
+
+    def test_waveform_driven_source(self):
+        wave = Waveform([0.0, 1.0, 2.0, 3.0], 1e-3)
+        ckt = Circuit("wd")
+        ckt.vsource("V1", "a", "0", wave)
+        ckt.resistor("R1", "a", "0", 1e3)
+        res = transient(ckt, t_stop=3e-3, dt=1e-3)
+        assert np.allclose(res.array("a"), [0, 1, 2, 3], atol=1e-9)
+
+    def test_x0_seed(self):
+        ckt = Circuit("seed")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "b", 1e3)
+        ckt.capacitor("C1", "b", "0", 1e-6)
+        _, x = dc_operating_point(ckt)
+        res = transient(ckt, t_stop=1e-3, dt=1e-4, x0=x)
+        # started from the settled OP: stays settled
+        assert np.allclose(res.array("b"), 1.0, atol=1e-6)
+
+
+class TestLinearize:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.vsource("VIN", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-6)
+        return ckt
+
+    def test_rc_pole(self):
+        poles = circuit_poles(self._rc())
+        real = sorted(p.real for p in poles)
+        assert any(abs(p + 1000.0) < 1.0 for p in real)
+
+    def test_rc_transfer_function_value(self):
+        h_dc = transfer_function_at(self._rc(), "VIN", "out", 0.0)
+        assert h_dc.real == pytest.approx(1.0, abs=1e-3)
+        h_hi = transfer_function_at(self._rc(), "VIN", "out", 1j * 1e6)
+        assert abs(h_hi) < 0.01
+
+    def test_rc_extracted_model(self):
+        tf = extract_transfer_function(self._rc(), "VIN", "out", max_order=1)
+        assert tf.dc_gain() == pytest.approx(1.0, abs=1e-3)
+        assert tf.poles()[0].real == pytest.approx(-1000.0, rel=0.01)
+
+    def test_highpass_zero_at_origin(self):
+        ckt = Circuit("hp")
+        ckt.vsource("VIN", "in", "0", 0.0)
+        ckt.capacitor("C1", "in", "out", 1e-6)
+        ckt.resistor("R1", "out", "0", 1e3)
+        zeros = circuit_zeros(ckt, "VIN", "out")
+        assert any(abs(z) < 1.0 for z in zeros)
+
+    def test_two_pole_ladder(self):
+        ckt = Circuit("ladder")
+        ckt.vsource("VIN", "in", "0", 0.0)
+        ckt.resistor("R1", "in", "a", 1e3)
+        ckt.capacitor("C1", "a", "0", 1e-6)
+        ckt.resistor("R2", "a", "b", 1e3)
+        ckt.capacitor("C2", "b", "0", 1e-6)
+        tf = extract_transfer_function(ckt, "VIN", "b", max_order=2)
+        assert tf.order == 2
+        assert tf.dc_gain() == pytest.approx(1.0, abs=1e-2)
+        # extracted model matches direct evaluation across frequency
+        for w in (100.0, 1000.0, 5000.0):
+            exact = transfer_function_at(ckt, "VIN", "b", 1j * w)
+            model = tf.evaluate(1j * w)
+            assert abs(model - exact) < 0.02 * abs(exact) + 1e-6
+
+    def test_linearized_mos_amplifier_gain(self):
+        """Common-source amp: dc small-signal gain ~ -gm*(RL||ro)."""
+        ckt = Circuit("cs")
+        ckt.vsource("VDD", "vdd", "0", 5.0)
+        ckt.vsource("VIN", "g", "0", 2.0)
+        ckt.resistor("RL", "vdd", "d", 100e3)
+        ckt.nmos("M1", "d", "g", "0")
+        h = transfer_function_at(ckt, "VIN", "d", 0.0)
+        v, _ = dc_operating_point(ckt)
+        from repro.spice.mosfet import MOSFET
+        m = ckt.element("M1")
+        _, _dd, gm, _ds = 0, 0, 0, 0
+        _i, di_dd, di_dg, di_ds = m._small_signal(v["d"], 2.0, 0.0)
+        expected = -di_dg / (di_dd + 1e-5)
+        assert h.real == pytest.approx(expected, rel=0.02)
+
+    def test_unknown_output_node_rejected(self):
+        with pytest.raises(KeyError):
+            transfer_function_at(self._rc(), "VIN", "nope", 0.0)
+
+    def test_non_source_input_rejected(self):
+        with pytest.raises(TypeError):
+            transfer_function_at(self._rc(), "R1", "out", 0.0)

@@ -1,0 +1,257 @@
+"""Unit and property tests for repro.signals.waveform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import Waveform
+
+
+def make(values, dt=1e-3, t0=0.0):
+    return Waveform(values, dt, t0=t0)
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = make([1.0, 2.0, 3.0])
+        assert len(w) == 3
+        assert w.dt == 1e-3
+        assert w.duration == pytest.approx(2e-3)
+        assert w.t_end == pytest.approx(2e-3)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            Waveform([1.0], 0.0)
+        with pytest.raises(ValueError):
+            Waveform([1.0], -1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Waveform(np.zeros((2, 2)), 1.0)
+
+    def test_times_vector(self):
+        w = make([0, 1, 2], dt=0.5, t0=1.0)
+        assert np.allclose(w.times, [1.0, 1.5, 2.0])
+
+    def test_from_function(self):
+        w = Waveform.from_function(lambda t: 2 * t, dt=0.1, duration=1.0)
+        assert len(w) == 11
+        assert w.values[-1] == pytest.approx(2.0)
+
+    def test_zeros(self):
+        w = Waveform.zeros(5, 0.1)
+        assert len(w) == 5
+        assert np.all(w.values == 0)
+
+    def test_sample_rate(self):
+        assert make([1, 2], dt=1e-6).sample_rate == pytest.approx(1e6)
+
+
+class TestInterpolation:
+    def test_midpoint(self):
+        w = make([0.0, 1.0], dt=1.0)
+        assert w(0.5) == pytest.approx(0.5)
+
+    def test_clamps_outside(self):
+        w = make([1.0, 2.0], dt=1.0)
+        assert w(-5.0) == pytest.approx(1.0)
+        assert w(100.0) == pytest.approx(2.0)
+
+    def test_vectorized(self):
+        w = make([0.0, 2.0], dt=1.0)
+        out = w(np.array([0.0, 0.25, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 2.0])
+
+    def test_value_at_scalar(self):
+        w = make([0.0, 4.0], dt=2.0)
+        assert isinstance(w.value_at(1.0), float)
+        assert w.value_at(1.0) == pytest.approx(2.0)
+
+
+class TestAlgebra:
+    def test_add_scalar(self):
+        w = make([1.0, 2.0]) + 1.0
+        assert np.allclose(w.values, [2.0, 3.0])
+
+    def test_radd(self):
+        w = 1.0 + make([1.0, 2.0])
+        assert np.allclose(w.values, [2.0, 3.0])
+
+    def test_add_waveforms_truncates_to_shorter(self):
+        a = make([1.0, 2.0, 3.0])
+        b = make([10.0, 20.0])
+        c = a + b
+        assert np.allclose(c.values, [11.0, 22.0])
+
+    def test_mismatched_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make([1.0], dt=1.0) + make([1.0], dt=2.0)
+
+    def test_sub_and_neg(self):
+        w = make([3.0]) - make([1.0])
+        assert w.values[0] == pytest.approx(2.0)
+        assert (-w).values[0] == pytest.approx(-2.0)
+
+    def test_rsub(self):
+        w = 5.0 - make([2.0])
+        assert w.values[0] == pytest.approx(3.0)
+
+    def test_mul(self):
+        w = make([2.0, 3.0]) * 2.0
+        assert np.allclose(w.values, [4.0, 6.0])
+
+
+class TestTransformations:
+    def test_resample_preserves_endpoints(self):
+        w = make(np.linspace(0, 1, 11), dt=0.1)
+        r = w.resample(0.05)
+        assert r.values[0] == pytest.approx(0.0)
+        assert r.values[-1] == pytest.approx(1.0, abs=1e-9)
+        assert r.dt == 0.05
+
+    def test_resample_identity(self):
+        w = make([1.0, 2.0, 3.0], dt=0.1)
+        r = w.resample(0.1)
+        assert np.allclose(r.values, w.values)
+
+    def test_shifted(self):
+        w = make([1.0], t0=0.0).shifted(2.0)
+        assert w.t0 == pytest.approx(2.0)
+
+    def test_clipped(self):
+        w = make([-2.0, 0.5, 3.0]).clipped(0.0, 1.0)
+        assert np.allclose(w.values, [0.0, 0.5, 1.0])
+
+    def test_clipped_bad_range(self):
+        with pytest.raises(ValueError):
+            make([1.0]).clipped(1.0, 0.0)
+
+    def test_quantized_midtread(self):
+        w = make([0.12, 0.26, -0.12]).quantized(0.1)
+        assert np.allclose(w.values, [0.1, 0.3, -0.1])
+
+    def test_quantized_saturates(self):
+        w = make([5.0, -5.0]).quantized(1.0, lo=-2.0, hi=2.0)
+        assert np.allclose(w.values, [2.0, -2.0])
+
+    def test_noise_reproducible_by_seed(self):
+        w = make(np.zeros(100))
+        a = w.with_noise(1.0, seed=42)
+        b = w.with_noise(1.0, seed=42)
+        assert np.allclose(a.values, b.values)
+        assert a.values.std() > 0.5
+
+    def test_zero_noise(self):
+        w = make([1.0, 2.0]).with_noise(0.0, seed=1)
+        assert np.allclose(w.values, [1.0, 2.0])
+
+
+class TestMeasurements:
+    def test_peak_trough_mean(self):
+        w = make([1.0, -3.0, 2.0])
+        assert w.peak() == 2.0
+        assert w.trough() == -3.0
+        assert w.mean() == pytest.approx(0.0)
+
+    def test_rms(self):
+        w = make([3.0, -3.0])
+        assert w.rms() == pytest.approx(3.0)
+
+    def test_energy(self):
+        w = make([1.0, 1.0], dt=0.5)
+        assert w.energy() == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        w = Waveform([], 1.0)
+        with pytest.raises(ValueError):
+            w.peak()
+
+    def test_crossing_time_falling(self):
+        w = make([2.0, 1.0, 0.0], dt=1.0)
+        assert w.crossing_time(0.5, "falling") == pytest.approx(1.5)
+
+    def test_crossing_time_rising(self):
+        w = make([0.0, 1.0, 2.0], dt=1.0)
+        assert w.crossing_time(1.5, "rising") == pytest.approx(1.5)
+
+    def test_crossing_time_none(self):
+        w = make([1.0, 1.0])
+        assert w.crossing_time(0.0, "falling") is None
+
+    def test_crossing_after(self):
+        w = make([1.0, 0.0, 1.0, 0.0], dt=1.0)
+        t = w.crossing_time(0.5, "falling", after=1.5)
+        assert t == pytest.approx(2.5)
+
+    def test_crossing_bad_direction(self):
+        with pytest.raises(ValueError):
+            make([1.0]).crossing_time(0.0, "sideways")
+
+    def test_settle_time(self):
+        values = np.concatenate([np.linspace(0, 1, 50), np.ones(50)])
+        w = make(values, dt=1.0)
+        t = w.settle_time(1.0, tolerance=0.01)
+        assert t is not None
+        assert 45 <= t <= 51
+
+    def test_settle_never(self):
+        w = make([0.0, 1.0, 0.0, 1.0])
+        assert w.settle_time(0.5, tolerance=0.1) is None
+
+    def test_stats_tuple(self):
+        lo, mid, hi = make([0.0, 1.0, 2.0]).stats()
+        assert (lo, mid, hi) == (0.0, 1.0, 2.0)
+
+
+class TestSliceTime:
+    def test_interior(self):
+        w = make(np.arange(10.0), dt=1.0)
+        s = w.slice_time(2.0, 5.0)
+        assert np.allclose(s.values, [2, 3, 4, 5])
+        assert s.t0 == pytest.approx(2.0)
+
+    def test_beyond_bounds_clamps(self):
+        w = make(np.arange(3.0), dt=1.0)
+        s = w.slice_time(-10.0, 10.0)
+        assert len(s) == 3
+
+    def test_empty_window(self):
+        w = make(np.arange(5.0), dt=1.0)
+        s = w.slice_time(2.2, 2.8)
+        assert len(s) == 0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            make([1.0]).slice_time(1.0, 0.0)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=64),
+       st.floats(1e-9, 1.0))
+def test_roundtrip_copy_equal(values, dt):
+    w = Waveform(values, dt)
+    assert w.almost_equal(w.copy())
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=64))
+def test_add_then_subtract_is_identity(values):
+    w = Waveform(values, 1.0)
+    back = (w + 7.5) - 7.5
+    assert np.allclose(back.values, w.values)
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=64),
+       st.floats(0.01, 10))
+def test_resample_finer_preserves_extrema_bounds(values, factor):
+    w = Waveform(values, 1.0)
+    r = w.resample(1.0 / (1 + factor))
+    # linear interpolation can never exceed the original extrema
+    assert r.peak() <= w.peak() + 1e-9
+    assert r.trough() >= w.trough() - 1e-9
+
+
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=32))
+def test_quantize_error_bounded_by_half_lsb(values):
+    w = Waveform(values, 1.0)
+    q = w.quantized(0.5)
+    assert np.all(np.abs(q.values - w.values) <= 0.25 + 1e-12)

@@ -1,0 +1,71 @@
+"""Tests for parametric yield analysis."""
+
+import pytest
+
+from repro.experiments.e5_batch10 import GOOD_VARIATION
+from repro.process import (
+    VariationModel,
+    parametric_yield,
+    yield_vs_spec_limit,
+)
+
+
+@pytest.fixture(scope="module")
+def variation():
+    return VariationModel(GOOD_VARIATION, seed=1996)
+
+
+@pytest.fixture(scope="module")
+def report(variation):
+    return parametric_yield(variation, n_devices=6,
+                            keep_characterizations=True)
+
+
+class TestParametricYield:
+    def test_counts_bounded(self, report):
+        for count in (report.offset_pass, report.gain_pass,
+                      report.inl_pass, report.dnl_pass, report.all_pass):
+            assert 0 <= count <= report.n_devices
+
+    def test_all_pass_is_intersection(self, report):
+        assert report.all_pass <= min(report.offset_pass, report.gain_pass,
+                                      report.inl_pass, report.dnl_pass)
+
+    def test_linearity_limits_this_design(self, report):
+        """The nominal calibration violates INL/DNL spec, so the batch's
+        parametric yield must be linearity-limited."""
+        line = report.line_yield()
+        assert line["offset"] == 1.0
+        assert line["gain"] == 1.0
+        assert report.worst_metric() in ("inl", "dnl")
+
+    def test_characterizations_kept_on_request(self, report):
+        assert len(report.characterizations) == report.n_devices
+
+    def test_summary(self, report):
+        assert "parametric yield" in report.summary()
+
+    def test_validation(self, variation):
+        with pytest.raises(ValueError):
+            parametric_yield(variation, n_devices=0)
+
+    def test_relaxed_spec_passes_everything(self, variation):
+        relaxed = parametric_yield(variation, n_devices=4,
+                                   spec_inl_lsb=5.0, spec_dnl_lsb=5.0)
+        assert relaxed.line_yield()["all"] == 1.0
+
+
+class TestYieldCurve:
+    def test_monotone_nondecreasing(self, variation):
+        curve = yield_vs_spec_limit(variation, [0.8, 1.0, 1.4, 2.0],
+                                    n_devices=5)
+        yields = [y for _, y in curve]
+        assert all(b >= a for a, b in zip(yields, yields[1:]))
+
+    def test_wide_limit_full_yield(self, variation):
+        curve = yield_vs_spec_limit(variation, [3.0], n_devices=4)
+        assert curve[0][1] == 1.0
+
+    def test_empty_limits_rejected(self, variation):
+        with pytest.raises(ValueError):
+            yield_vs_spec_limit(variation, [])
