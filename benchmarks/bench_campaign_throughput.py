@@ -1,0 +1,74 @@
+"""Fault-campaign throughput: serial vs process-pool evaluation.
+
+Times the same 21-fault campaign over the OP1 amplifier with
+``workers=1`` and ``workers=4``.  Faults are independent simulations, so
+on a multi-core host the pool run should approach a ``min(workers,
+cores)``-fold speedup; on a single core it degrades gracefully to
+roughly serial time plus pool overhead.
+
+Everything here is module-level (no lambdas) because the pool pickles
+the technique, detector, target circuit and fault list into the worker
+processes.
+"""
+
+import numpy as np
+
+from repro.circuits.op1 import op1_follower
+from repro.faults.campaign import FaultCampaign
+from repro.faults.universe import bridging_universe, full_node_universe
+from repro.spice import transient
+
+
+def _step_drive(t):
+    return 2.2 if t < 5e-6 else 2.8
+
+
+def _technique(circuit):
+    """Transient step response at the output node."""
+    result = transient(circuit, t_stop=5e-5, dt=2.5e-7, record=["3"])
+    return result.array("3")
+
+
+def _detector(reference, measurement):
+    """Fraction of sample instants deviating by more than 50 mV."""
+    return float(np.mean(np.abs(measurement - reference) > 0.05))
+
+
+def _make_target():
+    return op1_follower(input_value=_step_drive)
+
+
+def _make_faults():
+    circuit = _make_target()
+    faults = full_node_universe(circuit)
+    faults += bridging_universe(["4", "6", "8"])
+    assert len(faults) >= 20
+    return faults
+
+
+def _run_campaign(workers):
+    target = _make_target()
+    campaign = FaultCampaign(_technique, _detector, workers=workers)
+    return campaign.run(target, _make_faults())
+
+
+def test_perf_campaign_serial(benchmark):
+    result = benchmark(_run_campaign, 1)
+    assert result.n_faults >= 20
+
+
+def test_perf_campaign_workers4(benchmark):
+    result = benchmark(_run_campaign, 4)
+    assert result.n_faults >= 20
+
+
+def test_campaign_workers_match_serial():
+    """Not a timing — parallel results must be fault-for-fault identical."""
+    serial = _run_campaign(1)
+    pooled = _run_campaign(4)
+    assert [o.fault.describe() for o in serial.outcomes] == \
+        [o.fault.describe() for o in pooled.outcomes]
+    assert [o.detection for o in serial.outcomes] == \
+        [o.detection for o in pooled.outcomes]
+    assert [o.detected for o in serial.outcomes] == \
+        [o.detected for o in pooled.outcomes]

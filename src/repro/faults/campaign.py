@@ -9,7 +9,11 @@ reference and returns a detection score in [0, 1] (the paper's
 
 from __future__ import annotations
 
+import concurrent.futures
+import functools
+import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -70,6 +74,43 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _evaluate_fault(technique: Callable[[Any], Any],
+                    detector: Callable[[Any, Any], float],
+                    threshold: float,
+                    treat_errors_as_detected: bool,
+                    target: Any, reference: Any,
+                    fault: Fault) -> FaultOutcome:
+    """Evaluate a single fault against the reference measurement.
+
+    Module-level (not a method) so a process pool can pickle it; the
+    serial path calls the very same function, which is what makes
+    ``workers=N`` results fault-for-fault identical to ``workers=1``.
+    """
+    t0 = time.perf_counter()
+    try:
+        faulty = inject(target, fault)
+        measurement = technique(faulty)
+        score = float(detector(reference, measurement))
+        score = min(1.0, max(0.0, score))
+        outcome = FaultOutcome(
+            fault=fault,
+            detection=score,
+            detected=score >= threshold,
+            measurement=measurement,
+        )
+    except Exception as exc:  # noqa: BLE001 - campaign must continue
+        if not treat_errors_as_detected:
+            raise
+        outcome = FaultOutcome(
+            fault=fault,
+            detection=1.0,
+            detected=True,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    outcome.elapsed_s = time.perf_counter() - t0
+    return outcome
+
+
 class FaultCampaign:
     """Run a measurement technique over a fault universe.
 
@@ -90,50 +131,78 @@ class FaultCampaign:
         A faulty circuit that fails to simulate (e.g. Newton cannot bias
         a hard-shorted netlist) is behaving catastrophically wrong; by
         default that counts as a detection with score 1.0.
+    workers:
+        Number of worker processes for :meth:`run`.  ``1`` (default)
+        evaluates faults serially in-process; ``N > 1`` fans the fault
+        universe out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+        Faults are independent, so this is embarrassingly parallel;
+        results come back in fault order regardless of completion order.
+        Requires the technique, detector, target and faults to be
+        picklable — if they are not, the campaign warns and falls back
+        to serial evaluation.
     """
 
     def __init__(self, technique: Callable[[Any], Any],
                  detector: Callable[[Any, Any], float],
                  threshold: float = 0.05,
-                 treat_errors_as_detected: bool = True) -> None:
+                 treat_errors_as_detected: bool = True,
+                 workers: int = 1) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.technique = technique
         self.detector = detector
         self.threshold = threshold
         self.treat_errors_as_detected = treat_errors_as_detected
+        self.workers = workers
 
     def run(self, target: Any, faults: Iterable[Fault],
-            reference: Any = None) -> CampaignResult:
+            reference: Any = None,
+            workers: Optional[int] = None) -> CampaignResult:
         """Evaluate every fault; ``reference`` may carry a precomputed
-        fault-free measurement to avoid re-simulation."""
+        fault-free measurement to avoid re-simulation.  ``workers``
+        overrides the campaign-level worker count for this run."""
         if reference is None:
             reference = self.technique(target)
         name = getattr(target, "name", type(target).__name__)
         result = CampaignResult(target_name=name, reference=reference,
                                 threshold=self.threshold)
-        for fault in faults:
-            t0 = time.perf_counter()
-            try:
-                faulty = inject(target, fault)
-                measurement = self.technique(faulty)
-                score = float(self.detector(reference, measurement))
-                score = min(1.0, max(0.0, score))
-                outcome = FaultOutcome(
-                    fault=fault,
-                    detection=score,
-                    detected=score >= self.threshold,
-                    measurement=measurement,
-                )
-            except Exception as exc:  # noqa: BLE001 - campaign must continue
-                if not self.treat_errors_as_detected:
-                    raise
-                outcome = FaultOutcome(
-                    fault=fault,
-                    detection=1.0,
-                    detected=True,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            outcome.elapsed_s = time.perf_counter() - t0
-            result.outcomes.append(outcome)
+        fault_list = list(faults)
+        n_workers = self.workers if workers is None else workers
+        if n_workers < 1:
+            raise ValueError("workers must be >= 1")
+        n_workers = min(n_workers, len(fault_list)) if fault_list else 1
+
+        evaluate = functools.partial(
+            _evaluate_fault, self.technique, self.detector, self.threshold,
+            self.treat_errors_as_detected, target, reference)
+
+        if n_workers > 1 and not self._picklable(evaluate, fault_list):
+            warnings.warn(
+                "fault campaign: technique/detector/target/faults are not "
+                "picklable; falling back to serial evaluation",
+                RuntimeWarning, stacklevel=2)
+            n_workers = 1
+
+        if n_workers > 1:
+            # pool.map preserves submission order, so the outcome list is
+            # deterministic (fault order) regardless of which worker
+            # finishes first.  Chunking amortises IPC over several faults.
+            chunksize = max(1, len(fault_list) // (n_workers * 4))
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=n_workers) as pool:
+                result.outcomes.extend(
+                    pool.map(evaluate, fault_list, chunksize=chunksize))
+        else:
+            result.outcomes.extend(evaluate(f) for f in fault_list)
         return result
+
+    @staticmethod
+    def _picklable(evaluate, fault_list) -> bool:
+        try:
+            pickle.dumps(evaluate)
+            pickle.dumps(fault_list)
+        except Exception:  # noqa: BLE001 - any pickle failure means serial
+            return False
+        return True

@@ -22,6 +22,7 @@ from repro.signals.correlation import (
     normalized_cross_correlation,
     autocorrelation,
     correlation_lags,
+    fft_correlate,
 )
 from repro.signals.convolution import convolve_waveforms, impulse_response_estimate
 from repro.signals.spectrum import ToneAnalysis, amplitude_spectrum, analyze_tone
@@ -41,6 +42,7 @@ __all__ = [
     "normalized_cross_correlation",
     "autocorrelation",
     "correlation_lags",
+    "fft_correlate",
     "convolve_waveforms",
     "impulse_response_estimate",
     "ToneAnalysis",

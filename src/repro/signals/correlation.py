@@ -34,6 +34,53 @@ def correlation_lags(n_x: int, n_y: int) -> np.ndarray:
     return np.arange(-(n_y - 1), n_x)
 
 
+#: Above this operand-size product the O(M*N) sliding dot product of
+#: ``numpy.correlate`` loses to the O(L log L) FFT route.  The crossover
+#: sits around a few tens of thousands of multiply-accumulates; PRBS
+#: correlation signatures (thousands of samples each side) are far past it.
+FFT_CORR_THRESHOLD = 16384
+
+
+def fft_correlate(a: np.ndarray, v: np.ndarray, mode: str = "full"
+                  ) -> np.ndarray:
+    """``numpy.correlate(a, v, mode)`` computed via the FFT.
+
+    Correlation is convolution with the second operand reversed, so the
+    full result is ``irfft(rfft(a) * rfft(v[::-1]))`` zero-padded to the
+    full length M + N - 1; the ``same``/``valid`` outputs are slices of
+    it.  Matches ``numpy.correlate`` to floating-point round-off for all
+    three modes and either operand-length ordering.
+    """
+    a = np.asarray(a, dtype=float)
+    v = np.asarray(v, dtype=float)
+    m, n = len(a), len(v)
+    if m == 0 or n == 0:
+        raise ValueError("cannot correlate empty signals")
+    l_full = m + n - 1
+    nfft = 1 << (l_full - 1).bit_length()
+    r_full = np.fft.irfft(np.fft.rfft(a, nfft) * np.fft.rfft(v[::-1], nfft),
+                          nfft)[:l_full]
+    if mode == "full":
+        return r_full
+    if mode == "valid":
+        start = min(m, n) - 1
+        return r_full[start:start + abs(m - n) + 1]
+    if mode == "same":
+        # numpy returns max(M, N) samples; the slice origin differs
+        # between the M >= N and M < N cases (numpy swaps internally).
+        length = max(m, n)
+        start = (n - 1) // 2 if m >= n else m // 2
+        return r_full[start:start + length]
+    raise ValueError(f"bad mode {mode!r}")
+
+
+def _correlate(a: np.ndarray, v: np.ndarray, mode: str) -> np.ndarray:
+    """Dispatch to ``numpy.correlate`` or the FFT route on operand size."""
+    if len(a) * len(v) >= FFT_CORR_THRESHOLD:
+        return fft_correlate(a, v, mode)
+    return np.correlate(a, v, mode=mode)
+
+
 def cross_correlation(y, p, mode: str = "full") -> Waveform:
     """Raw cross-correlation ``R_yp[k] = sum_n y[n+k] * p[n]``.
 
@@ -44,7 +91,7 @@ def cross_correlation(y, p, mode: str = "full") -> Waveform:
     yv, pv, dt = _as_arrays(y, p)
     if len(yv) == 0 or len(pv) == 0:
         raise ValueError("cannot correlate empty signals")
-    r = np.correlate(yv, pv, mode=mode) * dt
+    r = _correlate(yv, pv, mode) * dt
     if mode == "full":
         lag0 = -(len(pv) - 1)
     elif mode == "same":
@@ -76,7 +123,7 @@ def normalized_cross_correlation(y, p, mode: str = "full") -> Waveform:
         r = np.zeros(len(yc) + len(pc) - 1 if mode == "full" else len(yc))
         lag0 = -(len(pc) - 1) if mode == "full" else -(len(r) // 2)
         return Waveform(r, dt, t0=lag0 * dt, name="NCC(y,p)")
-    r = np.correlate(yc, pc, mode=mode) / denom
+    r = _correlate(yc, pc, mode) / denom
     if mode == "full":
         lag0 = -(len(pc) - 1)
     elif mode == "same":

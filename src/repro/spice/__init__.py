@@ -28,7 +28,7 @@ from repro.spice.elements import (
 )
 from repro.spice.mosfet import MOSFET, MOSParams, NMOS_5U, PMOS_5U
 from repro.spice.solver import dc_operating_point, NewtonError
-from repro.spice.transient import transient, TransientResult
+from repro.spice.transient import transient, TransientResult, GridMismatchWarning
 from repro.spice.ac import ACSweepResult, ac_sweep
 from repro.spice.parser import NetlistSyntaxError, ParseResult, parse_netlist, parse_value
 from repro.spice.linearize import (
@@ -56,6 +56,7 @@ __all__ = [
     "NewtonError",
     "transient",
     "TransientResult",
+    "GridMismatchWarning",
     "ACSweepResult",
     "ac_sweep",
     "NetlistSyntaxError",

@@ -25,11 +25,30 @@ def evaluate_source(value: SourceValue, t: float) -> float:
     return float(value)
 
 
+#: Stamp-partition classes used by the fast-path assembler.
+#: ``static``  — the whole stamp is constant for a fixed (dt, method)
+#:               configuration and touches only G.
+#: ``split``   — a constant G part (``stamp_static``) plus a per-step /
+#:               per-iteration part (``stamp_dynamic``).
+#: ``dynamic`` — everything is restamped each build (safe default).
+#: ``nonlinear`` — the G stamp depends on the present Newton estimate
+#:               ``state.x``; restamped every Newton iteration.
+PARTITION_STATIC = "static"
+PARTITION_SPLIT = "split"
+PARTITION_DYNAMIC = "dynamic"
+PARTITION_NONLINEAR = "nonlinear"
+
+
 class Element:
     """Base class for netlist elements."""
 
     #: number of extra MNA unknowns (branch currents) the element adds
     n_branches = 0
+
+    #: stamp-partition class; subclasses that override :meth:`stamp` with
+    #: state-dependent behaviour MUST downgrade this to ``dynamic`` or
+    #: ``nonlinear`` — the fast-path assembler trusts it.
+    partition = PARTITION_DYNAMIC
 
     def __init__(self, name: str, *nodes: str) -> None:
         self.name = name
@@ -51,6 +70,14 @@ class Element:
     def stamp(self, sys, state) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def stamp_static(self, sys, state) -> None:
+        """Stamp the contributions that are constant for a fixed
+        ``(dt, method)`` configuration (``split`` elements only)."""
+
+    def stamp_dynamic(self, sys, state) -> None:
+        """Stamp the per-step contributions (``split`` elements only).
+        ``stamp_static`` + ``stamp_dynamic`` must equal :meth:`stamp`."""
+
     def stamp_ac(self, g: np.ndarray, c: np.ndarray, op: np.ndarray) -> None:
         """Stamp small-signal conductance into ``g`` and capacitance into
         ``c`` at the operating point ``op`` (an MNA solution vector).
@@ -71,6 +98,8 @@ class Element:
 
 class Resistor(Element):
     """Two-terminal linear resistor."""
+
+    partition = PARTITION_STATIC
 
     def __init__(self, name: str, a: str, b: str, resistance: float) -> None:
         if resistance <= 0:
@@ -100,6 +129,8 @@ class Resistor(Element):
 class Capacitor(Element):
     """Two-terminal linear capacitor with companion-model integration."""
 
+    partition = PARTITION_SPLIT
+
     def __init__(self, name: str, a: str, b: str, capacitance: float,
                  ic: Optional[float] = None) -> None:
         if capacitance <= 0:
@@ -126,6 +157,28 @@ class Capacitor(Element):
             ieq = -geq * v_prev
         sys.add_conductance(a, b, geq)
         # companion current source: i = geq*v + ieq flowing a -> b
+        sys.add_current(a, b, ieq)
+
+    def stamp_static(self, sys, state) -> None:
+        if state.dt is None:
+            return
+        a, b = self._idx
+        if state.method == "trap":
+            geq = 2.0 * self.capacitance / state.dt
+        else:
+            geq = self.capacitance / state.dt
+        sys.add_conductance(a, b, geq)
+
+    def stamp_dynamic(self, sys, state) -> None:
+        if state.dt is None:
+            return
+        a, b = self._idx
+        v_prev = state.voltage_prev(a) - state.voltage_prev(b)
+        if state.method == "trap":
+            geq = 2.0 * self.capacitance / state.dt
+            ieq = -geq * v_prev - state.aux.get(self.name, 0.0)
+        else:
+            ieq = -(self.capacitance / state.dt) * v_prev
         sys.add_current(a, b, ieq)
 
     def record_state(self, state, x: np.ndarray) -> None:
@@ -162,6 +215,7 @@ class VoltageSource(Element):
     """Independent voltage source (adds one branch-current unknown)."""
 
     n_branches = 1
+    partition = PARTITION_SPLIT
 
     def __init__(self, name: str, plus: str, minus: str,
                  value: SourceValue) -> None:
@@ -179,6 +233,17 @@ class VoltageSource(Element):
         sys.add_g(j, p, 1.0)
         sys.add_g(j, m, -1.0)
         sys.add_b(j, self.level(state.t) * state.source_scale)
+
+    def stamp_static(self, sys, state) -> None:
+        p, m = self._idx
+        j = self._branch
+        sys.add_g(p, j, 1.0)
+        sys.add_g(m, j, -1.0)
+        sys.add_g(j, p, 1.0)
+        sys.add_g(j, m, -1.0)
+
+    def stamp_dynamic(self, sys, state) -> None:
+        sys.add_b(self._branch, self.level(state.t) * state.source_scale)
 
     def stamp_ac(self, g, c, op) -> None:
         p, m = self._idx
@@ -232,6 +297,7 @@ class VCVS(Element):
     """Voltage-controlled voltage source: v(out) = gain * v(in)."""
 
     n_branches = 1
+    partition = PARTITION_STATIC
 
     def __init__(self, name: str, out_p: str, out_m: str, in_p: str,
                  in_m: str, gain: float) -> None:
@@ -263,6 +329,8 @@ class VCVS(Element):
 class VCCS(Element):
     """Voltage-controlled current source: i(out_p→out_m) = gm * v(in)."""
 
+    partition = PARTITION_STATIC
+
     def __init__(self, name: str, out_p: str, out_m: str, in_p: str,
                  in_m: str, transconductance: float) -> None:
         super().__init__(name, out_p, out_m, in_p, in_m)
@@ -290,6 +358,8 @@ class Switch(Element):
     exceeds ``v_on``, otherwise presents ``r_off``.  A narrow linear
     transition region keeps Newton well-behaved.
     """
+
+    partition = PARTITION_NONLINEAR
 
     def __init__(self, name: str, a: str, b: str, ctrl_p: str, ctrl_m: str,
                  v_on: float = 2.5, r_on: float = 100.0,

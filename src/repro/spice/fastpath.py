@@ -1,0 +1,317 @@
+"""Fast-path machinery for the MNA engine.
+
+Three independent accelerations live here, all exactness-preserving to
+within floating-point reassociation (the equivalence suite pins them to
+the reference engine at 1e-9 V):
+
+* :class:`MOSFETGroup` — vectorised square-law evaluation and scatter
+  stamping for every level-1 MOSFET in a circuit.  One set of numpy
+  operations per Newton iteration replaces the per-device Python
+  ``stamp()`` loop; the state-independent gate-capacitance conductances
+  are hoisted into the assembler's cached static matrix.
+* :class:`LinearMarch` — closed-form transient recurrence for fully
+  linear circuits under backward Euler.  The per-step MNA solve
+  ``G x_k = E x_{k-1} + b_src(t_k)`` collapses to
+  ``x_k = A x_{k-1} + sum_s level_s(t_k) * c_s`` with ``A = G^-1 E`` and
+  per-source response columns ``c_s = G^-1 e_s``, i.e. one factorisation
+  for the whole march and a couple of BLAS-2 operations per step.
+* eligibility helpers used by :func:`repro.spice.transient.transient`
+  and :func:`repro.spice.solver.newton_solve` to decide when the fast
+  paths apply and when to fall back to the generic engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.elements import (
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+    evaluate_source,
+)
+
+
+class MOSFETGroup:
+    """Vectorised Newton stamping for a set of level-1 MOSFETs.
+
+    The group pre-computes device-parameter arrays and scatter index
+    arrays at assembly time; each Newton iteration is then a fixed
+    sequence of numpy operations over all devices at once.  The device
+    equations mirror :meth:`repro.spice.mosfet.MOSFET._small_signal`
+    operation for operation so the per-device values are bitwise
+    identical to the scalar path — only the order in which contributions
+    are summed into shared matrix entries differs.
+    """
+
+    def __init__(self, devices: Sequence, n: int) -> None:
+        self.devices = list(devices)
+        self.n = n
+        nd = len(self.devices)
+        self.pol = np.array([d.params.polarity for d in devices], dtype=float)
+        self.vto = np.array([d.params.vto for d in devices])
+        self.beta = np.array([d.beta for d in devices])
+        self.lam = np.array([d.params.lam for d in devices])
+        self.g_leak = np.array([d.params.g_leak for d in devices])
+
+        idx = np.array([d._idx for d in devices], dtype=np.intp)  # (nd, 3): d,g,s
+        # Gather indices: ground (-1) is redirected to a zero slot at
+        # position n of the extended solution vector.  The transposed
+        # flat layout [all d | all g | all s] lets one fancy-index pull
+        # every terminal voltage at once.
+        self._gather = np.where(idx < 0, n, idx)
+        self._gather_t = self._gather.T.copy().ravel()
+        self._xext = np.zeros(n + 1)
+        self._pext = np.zeros(n + 1)
+        self._jbuf = np.empty(3 * nd)
+
+        # --- Jacobian scatter table -----------------------------------
+        # Per device, the scalar stamp adds, for col in (d, g, s):
+        #   G[d, col] += dI/dcol ;  G[s, col] -= dI/dcol
+        # kind 0/1/2 selects dI/dvd, dI/dvg, dI/dvs.
+        rows, cols, kinds, devs, signs = [], [], [], [], []
+        for i, (d, g, s) in enumerate(idx):
+            for kind, col in enumerate((d, g, s)):
+                for row, sign in ((d, 1.0), (s, -1.0)):
+                    if row >= 0 and col >= 0:
+                        rows.append(row)
+                        cols.append(col)
+                        kinds.append(kind)
+                        devs.append(i)
+                        signs.append(sign)
+        self._g_flat = np.array(rows, dtype=np.intp) * n + np.array(cols, dtype=np.intp)
+        # J is laid out as concatenate((dI/dvd, dI/dvg, dI/dvs)).
+        self._j_gather = np.array(kinds, dtype=np.intp) * nd + np.array(devs, dtype=np.intp)
+        self._j_signs = np.array(signs)
+
+        # --- RHS scatter table (companion current d -> s) --------------
+        # add_current(d, s, ieq):  b[d] -= ieq ;  b[s] += ieq
+        b_idx, b_signs, b_devs = [], [], []
+        for i, (d, _g, s) in enumerate(idx):
+            for row, sign in ((d, -1.0), (s, 1.0)):
+                if row >= 0:
+                    b_idx.append(row)
+                    b_signs.append(sign)
+                    b_devs.append(i)
+        self._b_idx = np.array(b_idx, dtype=np.intp)
+        self._b_signs = np.array(b_signs)
+        self._b_devs = np.array(b_devs, dtype=np.intp)
+
+        # --- Gate capacitances ----------------------------------------
+        # Two linear capacitors per device: (g, s, Cgs) and (g, d, Cgd).
+        # Their conductance geq = C/dt is state-independent (static for a
+        # fixed dt); their companion current depends on x_prev (per step).
+        cap_a, cap_b, cap_c = [], [], []
+        for i, dev in enumerate(self.devices):
+            d, g, s = idx[i]
+            for a, b, c in ((g, s, dev.params.cgs_per_area * dev.w * dev.l),
+                            (g, d, dev.params.cgd_overlap * dev.w)):
+                if c > 0.0:
+                    cap_a.append(a)
+                    cap_b.append(b)
+                    cap_c.append(c)
+        self._cap_a = np.array(cap_a, dtype=np.intp)
+        self._cap_b = np.array(cap_b, dtype=np.intp)
+        self._cap_c = np.array(cap_c)
+        self._cap_ga = np.where(self._cap_a < 0, n, self._cap_a)
+        self._cap_gb = np.where(self._cap_b < 0, n, self._cap_b)
+        # Conductance scatter: (a,a)+, (b,b)+, (a,b)-, (b,a)-.
+        cg_flat, cg_signs, cg_caps = [], [], []
+        for k in range(len(cap_c)):
+            a, b = cap_a[k], cap_b[k]
+            for r, c, sign in ((a, a, 1.0), (b, b, 1.0), (a, b, -1.0), (b, a, -1.0)):
+                if r >= 0 and c >= 0:
+                    cg_flat.append(r * n + c)
+                    cg_signs.append(sign)
+                    cg_caps.append(k)
+        self._cg_flat = np.array(cg_flat, dtype=np.intp)
+        self._cg_signs = np.array(cg_signs)
+        self._cg_caps = np.array(cg_caps, dtype=np.intp)
+        # Companion-current scatter: add_current(a, b, -geq*v_prev) puts
+        # +geq*v_prev at a and -geq*v_prev at b.
+        cb_idx, cb_signs, cb_caps = [], [], []
+        for k in range(len(cap_c)):
+            for node, sign in ((cap_a[k], 1.0), (cap_b[k], -1.0)):
+                if node >= 0:
+                    cb_idx.append(node)
+                    cb_signs.append(sign)
+                    cb_caps.append(k)
+        self._cb_idx = np.array(cb_idx, dtype=np.intp)
+        self._cb_signs = np.array(cb_signs)
+        self._cb_caps = np.array(cb_caps, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    def stamp_static(self, g_mat: np.ndarray, state) -> None:
+        """Stamp the gate-capacitance conductances (transient only)."""
+        if state.dt is None or len(self._cap_c) == 0:
+            return
+        geq = self._cap_c / state.dt
+        np.add.at(g_mat.ravel(), self._cg_flat, self._cg_signs * geq[self._cg_caps])
+
+    def stamp_newton(self, sys, state) -> None:
+        """Stamp the square-law Jacobian/companions plus gate-cap RHS."""
+        nd = len(self.devices)
+        xext = self._xext
+        xext[:self.n] = state.x
+        v_all = xext[self._gather_t]
+        vd, vg, vs = v_all[:nd], v_all[nd:2 * nd], v_all[2 * nd:]
+        i0, di_dd, di_dg, di_ds = self._small_signal(vd, vg, vs)
+        jac = np.concatenate((di_dd, di_dg, di_ds), out=self._jbuf)
+        np.add.at(sys.g.ravel(), self._g_flat,
+                  self._j_signs * jac[self._j_gather])
+        ieq = i0 - (di_dd * vd + di_dg * vg + di_ds * vs)
+        np.add.at(sys.b, self._b_idx, self._b_signs * ieq[self._b_devs])
+        if state.dt is not None and len(self._cap_c):
+            pext = self._pext
+            pext[:self.n] = state.x_prev
+            v_prev = pext[self._cap_ga] - pext[self._cap_gb]
+            flow = (self._cap_c / state.dt) * v_prev
+            np.add.at(sys.b, self._cb_idx, self._cb_signs * flow[self._cb_caps])
+
+    def _small_signal(self, vd, vg, vs):
+        """Vectorised mirror of ``MOSFET._small_signal``.
+
+        The triode/saturation branches collapse into one expression via
+        the effective drain swing ``vde = min(vds, vov)``: with
+        ``vde = vds`` the formulas are the triode ones, with
+        ``vde = vov`` they reduce to the saturation ones (the
+        channel-length-modulation factor uses the true ``vds`` in both
+        regions, as the scalar model does).
+        """
+        pol = self.pol
+        vd_n, vg_n, vs_n = pol * vd, pol * vg, pol * vs
+        swapped = vd_n < vs_n
+        d = np.maximum(vd_n, vs_n)
+        s = np.minimum(vd_n, vs_n)
+        vgs = vg_n - s
+        vds = d - s
+        vov = vgs - self.vto
+        beta, lam = self.beta, self.lam
+        vde = np.minimum(vds, vov)
+        one_lam = lam * vds
+        one_lam += 1.0
+        parab = (vov - 0.5 * vde) * vde
+        bparab = beta * parab
+        ids = bparab * one_lam
+        gm = beta * vde * one_lam
+        gds = beta * (vov - vde) * one_lam + bparab * lam
+        active = vov > 0.0
+        ids *= active
+        gm *= active
+        gds *= active
+        ids += self.g_leak * vds
+        gds += self.g_leak
+        # Terminal-frame Jacobian; `swapped` devices see the external
+        # drain as internal source (see MOSFET._small_signal).
+        sgn = 1.0 - 2.0 * swapped
+        gm_gds = gm + gds
+        di_dd = gds + swapped * gm
+        di_dg = sgn * gm
+        di_ds = -(gm_gds - swapped * gm)
+        i0 = (pol * sgn) * ids
+        return i0, di_dd, di_dg, di_ds
+
+
+# ----------------------------------------------------------------------
+# Linear transient march
+# ----------------------------------------------------------------------
+
+#: Element classes whose semantics the linear march reproduces exactly.
+#: Exact-type matching is deliberate: a subclass may override ``stamp``
+#: with behaviour the recurrence does not model.
+_MARCH_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource, VCVS, VCCS)
+
+
+def linear_march_supported(circuit, method: str) -> bool:
+    """True when :class:`LinearMarch` reproduces the generic engine."""
+    if method != "be":
+        return False
+    return all(type(e) in _MARCH_TYPES for e in circuit.elements)
+
+
+class LinearMarch:
+    """One-factorisation transient recurrence for linear circuits.
+
+    Backward-Euler companion models make each step a solve of
+    ``G x_k = E x_{k-1} + b_src(t_k)`` with constant ``G`` (conductances,
+    capacitor ``C/dt`` terms, controlled-source patterns, gmin) and
+    ``E`` collecting the capacitor companion-current coupling to the
+    previous solution.  Pre-multiplying by ``G^-1`` once turns the march
+    into a matrix-vector recurrence.
+
+    Raises :class:`numpy.linalg.LinAlgError` at construction when ``G``
+    is singular — callers fall back to the generic engine, which raises
+    the same :class:`~repro.spice.solver.NewtonError` the reference
+    engine would.
+    """
+
+    def __init__(self, assembler, dt: float, gmin: float) -> None:
+        self.assembler = assembler
+        self.n = assembler.n
+        state = assembler.new_state()
+        state.dt = dt
+        state.method = "be"
+        state.gmin = gmin
+        g_static = assembler.static_matrix(state)
+        g_inv = np.linalg.inv(g_static)
+        if not np.all(np.isfinite(g_inv)):
+            raise np.linalg.LinAlgError("singular MNA matrix")
+
+        # Capacitor coupling matrix E: add_current(a, b, -geq * v_prev)
+        # contributes +geq*(x[a]-x[b]) at row a and -geq*(x[a]-x[b]) at
+        # row b — the usual conductance pattern.
+        e_mat = np.zeros((self.n, self.n))
+        for cap in assembler.circuit.elements_of_type(Capacitor):
+            a, b = cap._idx
+            geq = cap.capacitance / dt
+            for r, c, sign in ((a, a, 1.0), (b, b, 1.0), (a, b, -1.0), (b, a, -1.0)):
+                if r >= 0 and c >= 0:
+                    e_mat[r, c] += sign * geq
+        self._a_mat = g_inv @ e_mat
+
+        # Per-source response columns: x contribution = level(t) * col.
+        self._const = np.zeros(self.n)
+        self._tv: List[Tuple[np.ndarray, object]] = []
+        for elem in assembler.circuit.elements:
+            if isinstance(elem, VoltageSource):
+                col = g_inv[:, elem.branch_index()].copy()
+            elif isinstance(elem, CurrentSource):
+                a, b = elem._idx
+                col = np.zeros(self.n)
+                if a >= 0:
+                    col -= g_inv[:, a]
+                if b >= 0:
+                    col += g_inv[:, b]
+            else:
+                continue
+            if isinstance(elem.value, (int, float)):
+                self._const += float(elem.value) * col
+            else:
+                self._tv.append((col, elem.value))
+
+    def run(self, x0: np.ndarray, times: np.ndarray) -> Optional[np.ndarray]:
+        """March the recurrence; rows of the result are the solutions at
+        ``times``.  Returns ``None`` on numerical breakdown (caller falls
+        back to the generic engine)."""
+        n_pts = len(times)
+        x_all = np.empty((n_pts, self.n))
+        x_all[0] = x0
+        a_mat, const, tv = self._a_mat, self._const, self._tv
+        x = x_all[0]
+        for k in range(1, n_pts):
+            row = x_all[k]
+            np.dot(a_mat, x, out=row)
+            row += const
+            if tv:
+                t = times[k]
+                for col, value in tv:
+                    row += evaluate_source(value, t) * col
+            x = row
+        if not np.all(np.isfinite(x_all)):
+            return None
+        return x_all

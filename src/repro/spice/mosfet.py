@@ -17,7 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.spice.elements import Element, _stamp_cond
+from repro.spice.elements import PARTITION_NONLINEAR, Element, _stamp_cond
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,8 @@ PMOS_5U = MOSParams(polarity=-1, vto=1.0, kp=8e-6, lam=0.02)
 
 class MOSFET(Element):
     """Three-terminal level-1 MOSFET (drain, gate, source)."""
+
+    partition = PARTITION_NONLINEAR
 
     def __init__(self, name: str, d: str, g: str, s: str,
                  params: MOSParams, w: float = 10e-6, l: float = 5e-6) -> None:

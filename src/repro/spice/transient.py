@@ -9,15 +9,22 @@ internal march is refined.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.signals.waveform import Waveform
 from repro.spice.elements import Capacitor
+from repro.spice.fastpath import LinearMarch, linear_march_supported
 from repro.spice.mna import Assembler, SimState
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.solver import NewtonError, newton_solve, _solve_with_homotopy
+
+
+class GridMismatchWarning(UserWarning):
+    """``t_stop`` is not an integer multiple of ``dt``: the final sample
+    lands on ``round(t_stop / dt) * dt``, not on ``t_stop``."""
 
 
 class TransientResult:
@@ -78,7 +85,8 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
               x0: Optional[np.ndarray] = None,
               uic: bool = False,
               max_newton: int = 60,
-              max_subdivisions: int = 8) -> TransientResult:
+              max_subdivisions: int = 8,
+              fast_path: bool = True) -> TransientResult:
     """Run a transient analysis from t = 0 to ``t_stop``.
 
     Parameters
@@ -107,6 +115,11 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         Newton iteration budget per solve.
     max_subdivisions:
         Levels of local step halving tried on Newton failure.
+    fast_path:
+        Enable the partitioned/cached engine and, for fully linear
+        backward-Euler circuits, the one-factorization linear march.
+        ``False`` runs the reference stamp-everything engine (the
+        equivalence tests compare the two).
     """
     if t_stop <= 0:
         raise ValueError("t_stop must be positive")
@@ -115,7 +128,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     if method not in ("be", "trap"):
         raise ValueError(f"unknown method {method!r}")
 
-    assembler = Assembler(circuit)
+    assembler = Assembler(circuit, fast_path=fast_path)
     state = assembler.new_state()
     state.method = method
     capacitors = circuit.elements_of_type(Capacitor)
@@ -137,6 +150,11 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         x = _solve_with_homotopy(assembler, state, max_iter=max_newton * 2)
 
     n_steps = int(round(t_stop / dt))
+    if abs(n_steps * dt - t_stop) > 1e-9 * max(abs(t_stop), dt):
+        warnings.warn(
+            f"t_stop={t_stop:g} is not an integer multiple of dt={dt:g}; "
+            f"the march covers {n_steps} steps ending at t={n_steps * dt:g}, "
+            f"not t_stop", GridMismatchWarning, stacklevel=2)
     record_nodes = list(record) if record is not None else assembler.node_names
     for node in record_nodes:
         if node != GROUND and node not in assembler.index:
@@ -149,21 +167,48 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                             f"(not a voltage source)")
         branch_indices[name] = elem.branch_index()
     times = dt * np.arange(n_steps + 1)
-    traces = {node: np.empty(n_steps + 1) for node in record_nodes}
-    branch_traces = {name: np.empty(n_steps + 1) for name in branch_indices}
+
+    # Vectorised capture: node/branch index arrays are computed once and
+    # every sample is a fancy-indexed gather (ground indices, -1, are
+    # redirected to a zero slot appended to the solution vector).
+    rec_raw = np.array([assembler.index.get(node, -1) for node in record_nodes],
+                       dtype=np.intp)
+    rec_idx = np.where(rec_raw < 0, assembler.n, rec_raw)
+    branch_names = list(branch_indices)
+    branch_idx = np.array([branch_indices[name] for name in branch_names],
+                          dtype=np.intp)
+    trace_mat = np.empty((len(record_nodes), n_steps + 1))
+    branch_mat = np.empty((len(branch_names), n_steps + 1))
+    ext = np.empty(assembler.n + 1)
+    ext[assembler.n] = 0.0
 
     def capture(k: int, vec: np.ndarray) -> None:
-        for node in record_nodes:
-            idx = assembler.index.get(node, -1)
-            traces[node][k] = 0.0 if idx < 0 else vec[idx]
-        for name, idx in branch_indices.items():
-            branch_traces[name][k] = vec[idx]
+        ext[:assembler.n] = vec
+        trace_mat[:, k] = ext[rec_idx]
+        if len(branch_names):
+            branch_mat[:, k] = vec[branch_idx]
 
     capture(0, x)
 
     # --- march ----------------------------------------------------------
     state.gmin = 1e-12
     state.source_scale = 1.0
+
+    # Fully linear circuit + backward Euler: one factorisation, then a
+    # matrix-vector recurrence over the whole grid.
+    if fast_path and linear_march_supported(circuit, method):
+        x_all = _run_linear_march(assembler, x, times)
+        if x_all is not None:
+            x_ext = np.hstack([x_all, np.zeros((n_steps + 1, 1))])
+            trace_mat[:, :] = x_ext[:, rec_idx].T
+            if len(branch_names):
+                branch_mat[:, :] = x_all[:, branch_idx].T
+            traces = {node: trace_mat[i] for i, node in enumerate(record_nodes)}
+            branch_traces = {name: branch_mat[i]
+                             for i, name in enumerate(branch_names)}
+            return TransientResult(times, traces, circuit_name=circuit.name,
+                                   branch_samples=branch_traces)
+
     for k in range(1, n_steps + 1):
         # Trapezoidal integration needs a consistent initial capacitor
         # current; a backward-Euler start-up step provides it even when
@@ -175,8 +220,23 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                      max_newton=max_newton, depth=max_subdivisions)
         capture(k, x)
 
+    traces = {node: trace_mat[i] for i, node in enumerate(record_nodes)}
+    branch_traces = {name: branch_mat[i] for i, name in enumerate(branch_names)}
     return TransientResult(times, traces, circuit_name=circuit.name,
                            branch_samples=branch_traces)
+
+
+def _run_linear_march(assembler: Assembler, x0: np.ndarray,
+                      times: np.ndarray) -> Optional[np.ndarray]:
+    """Try the linear-march fast path; ``None`` means fall back."""
+    if len(times) < 2:
+        return None
+    try:
+        march = LinearMarch(assembler, dt=float(times[1] - times[0]),
+                            gmin=1e-12)
+    except np.linalg.LinAlgError:
+        return None
+    return march.run(x0, times)
 
 
 def _advance(assembler: Assembler, state: SimState,
