@@ -1,0 +1,60 @@
+"""Gate the observability layer's overhead.
+
+Compares two pytest-benchmark JSON files — one produced with
+``REPRO_OBS=0`` (baseline) and one with ``REPRO_OBS=1`` (instrumented) —
+benchmark by benchmark, and exits non-zero if any instrumented mean
+exceeds the baseline mean by more than ``--max-overhead`` (default 10%).
+
+Usage::
+
+    python benchmarks/check_obs_overhead.py bench-off.json bench-on.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_means(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in doc["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="benchmark JSON with obs disabled")
+    parser.add_argument("instrumented", help="benchmark JSON with obs enabled")
+    parser.add_argument("--max-overhead", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    args = parser.parse_args(argv)
+
+    base = load_means(args.baseline)
+    inst = load_means(args.instrumented)
+    common = sorted(set(base) & set(inst))
+    if not common:
+        print("error: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'benchmark':48s} {'off (s)':>12s} {'on (s)':>12s} {'delta':>8s}")
+    for name in common:
+        overhead = inst[name] / base[name] - 1.0
+        flag = ""
+        if overhead > args.max_overhead:
+            failed = True
+            flag = "  FAIL"
+        print(f"{name:48s} {base[name]:12.6f} {inst[name]:12.6f} "
+              f"{overhead:+7.1%}{flag}")
+    if failed:
+        print(f"\nobservability overhead exceeds "
+              f"{args.max_overhead:.0%} gate", file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within the {args.max_overhead:.0%} "
+          f"overhead gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Observability walkthrough: one Session across heterogeneous runs.
+
+Runs a transient, a fault campaign and a logic-BIST session through a
+single :class:`repro.Session`, then prints the unified views every run
+shares — ``summary()``, the flat event log, and the counter registry.
+
+Run with ``PYTHONPATH=src python examples/session_trace.py``.
+"""
+
+from repro import Circuit, Session
+from repro.faults import StuckAtFault
+
+
+def rc_lowpass() -> Circuit:
+    ckt = Circuit("rc_lowpass")
+    ckt.vsource("VIN", "in", "0", lambda t: 5.0 if t > 0 else 0.0)
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.capacitor("C1", "out", "0", 1e-6)
+    return ckt
+
+
+def divider() -> Circuit:
+    ckt = Circuit("divider")
+    ckt.vsource("V1", "top", "0", 5.0)
+    ckt.resistor("R1", "top", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt
+
+
+def measure_mid(ckt):
+    from repro.spice import dc_operating_point
+    v, _ = dc_operating_point(ckt)
+    return v["mid"]
+
+
+def main() -> None:
+    s = Session(name="walkthrough")
+
+    # three very different workloads, one reporting shape
+    step = s.transient(rc_lowpass(), t_stop=5e-3, dt=1e-6, record=["out"])
+    cover = s.run_campaign(
+        measure_mid, lambda ref, m: 1.0 if abs(m - ref) > 0.5 else 0.0,
+        divider(),
+        [StuckAtFault.sa0("mid"), StuckAtFault.sa1("mid"),
+         StuckAtFault.sa0("top"), StuckAtFault.sa1("top")],
+        threshold=0.5)
+    engine = s.bist(width=8, n_patterns=32)
+    engine.learn(lambda x: (x * 3) & 0xFF)
+    bist = s.run_bist(engine, lambda x: (x * 3) & 0xFF)
+
+    for result in (step, cover, bist):
+        print(result.summary())
+        print("-" * 60)
+
+    print("\nflat event log:")
+    for ev in s.events():
+        print(f"  {'  ' * ev['depth']}{ev['name']:24s} "
+              f"{ev['duration_s'] * 1e3:8.2f} ms")
+
+    print("\ncounters:")
+    for name, value in sorted(s.metrics.counter_values().items()):
+        print(f"  {name:36s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,14 @@
 """repro — reproduction of Cobley, "Approaches to On-chip Testing of
 Mixed Signal Macros in ASICs" (ED&TC / DATE 1996).
 
-Top-level convenience re-exports cover the most common entry points; the
-sub-packages hold the full API:
+The blessed entry points are re-exported here; the sub-packages hold the
+full API:
 
+* :mod:`repro.session` — :class:`Session`, the unified run API: engine
+  configuration + observability in one facade, structured RunResult
+  objects out.
+* :mod:`repro.obs`      — instrumentation: tracing spans, metrics,
+  the ``observe()`` scope.
 * :mod:`repro.core`     — the paper's contribution: on-chip BIST macros and
   transient-response testing.
 * :mod:`repro.spice`    — MNA transient circuit simulator (HSPICE substitute).
@@ -15,10 +20,47 @@ sub-packages hold the full API:
 * :mod:`repro.circuits` — the paper's example circuits (OP1, SC integrator...).
 * :mod:`repro.adc`      — behavioural dual-slope ADC macro and metrics.
 * :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import Session
+
+    s = Session(workers=4)
+    run = s.run_experiment("E7")     # Figure 4 reproduction
+    print(run.summary())
+    print(s.metrics.counter_values()["solver.newton_iterations"])
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro import obs
+from repro.dft import LogicBISTEngine
+from repro.faults import CampaignResult, FaultCampaign
+from repro.session import RunResult, Session
 from repro.signals import Waveform
+from repro.spice import (
+    Circuit,
+    TransientResult,
+    dc_operating_point,
+    transient,
+)
 
-__all__ = ["Waveform", "__version__"]
+__all__ = [
+    "__version__",
+    # facade + instrumentation
+    "Session",
+    "RunResult",
+    "obs",
+    # simulator
+    "Circuit",
+    "transient",
+    "TransientResult",
+    "dc_operating_point",
+    # fault campaigns
+    "FaultCampaign",
+    "CampaignResult",
+    # digital BIST
+    "LogicBISTEngine",
+    # signals
+    "Waveform",
+]

@@ -15,10 +15,12 @@ get wrapped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.dft.lfsr import MISR
+from repro.obs.core import OBS
+from repro.obs.core import span as obs_span
 from repro.signals.prbs import LFSR
 
 
@@ -29,12 +31,36 @@ class BISTSession:
     patterns_applied: int
     signature: int
     expected: Optional[int]
+    #: trace span of the session run (RunResult protocol; set when an
+    #: observation scope was active).
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def passed(self) -> bool:
         if self.expected is None:
             raise RuntimeError("no expected signature configured")
         return self.signature == self.expected
+
+    # -- RunResult protocol --------------------------------------------
+    def summary(self) -> str:
+        if self.expected is None:
+            verdict = "signature learned (no golden reference)"
+        else:
+            verdict = "PASS" if self.passed else "FAIL (signature mismatch)"
+        return (f"BIST session: {self.patterns_applied} patterns, "
+                f"signature 0x{self.signature:04x}, {verdict}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "bist_session",
+            "patterns_applied": self.patterns_applied,
+            "signature": self.signature,
+            "expected": self.expected,
+            "passed": self.passed if self.expected is not None else None,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
 
 
 class LogicBISTEngine:
@@ -85,13 +111,29 @@ class LogicBISTEngine:
 
     def run(self, block: Callable[[int], int]) -> BISTSession:
         """Apply the session to a block; compact its outputs."""
-        misr = MISR(width=self.misr_width)
-        n = 0
-        for pattern in self.patterns():
-            misr.clock(block(pattern))
-            n += 1
-        return BISTSession(patterns_applied=n, signature=misr.signature(),
-                           expected=self.golden)
+        with obs_span("bist_session", width=self.width,
+                      n_patterns=self.n_patterns) as sp:
+            misr = MISR(width=self.misr_width)
+            n = 0
+            for pattern in self.patterns():
+                misr.clock(block(pattern))
+                n += 1
+            session = BISTSession(patterns_applied=n,
+                                  signature=misr.signature(),
+                                  expected=self.golden)
+            if OBS.enabled:
+                m = OBS.metrics
+                m.counter("bist.sessions").inc()
+                m.counter("bist.patterns_applied").inc(n)
+                mismatch = (session.expected is not None
+                            and session.signature != session.expected)
+                if mismatch:
+                    m.counter("bist.signature_mismatches").inc()
+                sp.set(patterns_applied=n,
+                       signature=session.signature,
+                       mismatch=mismatch)
+                session.trace = sp
+        return session
 
     def learn(self, golden_block: Callable[[int], int]) -> int:
         """Record the golden signature from a known-good block."""

@@ -1,14 +1,55 @@
 """``python -m repro.experiments [E1 E7 ...]`` — regenerate the paper's
-evaluation tables/figures from the command line."""
+evaluation tables/figures from the command line.
 
+Options
+-------
+``--json``
+    Emit one machine-readable JSON document (id → ExperimentRun
+    ``to_dict()`` shape) instead of the human summaries.
+``--trace FILE``
+    Also write the session's full observability report (trace tree +
+    metrics) to ``FILE`` (``-`` for stdout).
+``--no-obs``
+    Run uninstrumented (no tracing/metrics overhead).
+"""
+
+import argparse
+import json
 import sys
 
-from repro.experiments.registry import run_all
+from repro.session import Session
 
 
 def main(argv=None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    run_all(args or None)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments (default: all).")
+    parser.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (e.g. E1 e7); default all")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON records")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write the session trace/metrics report "
+                             "to FILE ('-' for stdout)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable tracing/metrics for this run")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    session = Session(obs=not args.no_obs, name="repro.experiments")
+    records = session.run_experiments(args.ids or None,
+                                      echo=not args.as_json)
+    if args.as_json:
+        doc = {exp_id: run.to_dict() for exp_id, run in records.items()}
+        print(json.dumps(doc, indent=2, default=str))
+    if args.trace is not None:
+        report = session.trace_json()
+        if args.trace == "-":
+            print(report)
+        else:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            if not args.as_json:
+                print(f"session trace written to {args.trace}")
     return 0
 
 

@@ -84,7 +84,20 @@ class Fig4Result:
             lines.append(f"{name}: n={len(values)} "
                          f"min={min(values):.0f}% max={max(values):.0f}% "
                          f"mean={np.mean(values):.0f}%")
+        if self.circuit1.n_errors:
+            lines.append(f"circuit1 simulation errors: "
+                         f"{self.circuit1.n_errors}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "fig4_detection",
+            "series": self.series(),
+            "fault_names_23": list(self.fault_names_23),
+            "all_detected": self.all_detected,
+            "circuit3_is_weakest": self.circuit3_is_weakest,
+            "circuit1_campaign": self.circuit1.to_dict(),
+        }
 
 
 def run_circuit1(config: TransientTestConfig = CIRCUIT1_CONFIG,

@@ -2,14 +2,18 @@
 
 ``python -m repro.experiments`` runs every registered experiment and
 prints its summary — the quickest way to regenerate the paper's
-evaluation section without pytest.
+evaluation section without pytest.  ``--json`` emits the same
+information machine-readably: every run is wrapped in an
+:class:`ExperimentRun` record with the common ``summary()`` /
+``to_dict()`` / ``trace`` RunResult shape shared by transients,
+campaigns and BIST sessions.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import (
     e1_step_table,
@@ -22,6 +26,8 @@ from repro.experiments import (
     e8_zdomain,
     e9_adc_transfer,
 )
+from repro.obs.core import OBS, record
+from repro.obs.core import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -32,6 +38,47 @@ class Experiment:
     title: str
     paper_artifact: str
     run: Callable[[], object]
+
+
+@dataclass
+class ExperimentRun:
+    """One executed experiment: its result plus run accounting."""
+
+    exp_id: str
+    title: str
+    paper_artifact: str
+    result: Any
+    elapsed_s: float
+    #: trace span of the run (RunResult protocol; set when an
+    #: observation scope was active).
+    trace: Any = field(default=None, repr=False, compare=False)
+
+    # -- RunResult protocol --------------------------------------------
+    def summary(self) -> str:
+        header = (f"{self.exp_id}: {self.title} ({self.paper_artifact}) "
+                  f"[{self.elapsed_s:.1f} s]")
+        body = self.result.summary() if hasattr(self.result, "summary") \
+            else repr(self.result)
+        return f"{header}\n{body}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        if hasattr(self.result, "to_dict"):
+            result: Any = self.result.to_dict()
+        elif hasattr(self.result, "summary"):
+            result = {"summary": self.result.summary()}
+        else:
+            result = {"repr": repr(self.result)}
+        out: Dict[str, Any] = {
+            "kind": "experiment",
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_artifact": self.paper_artifact,
+            "elapsed_s": self.elapsed_s,
+            "result": result,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
 
 
 REGISTRY: Dict[str, Experiment] = {}
@@ -64,28 +111,56 @@ register("E9", "ADC transfer sanity", "Figure 1",
          e9_adc_transfer.run)
 
 
-def run_experiment(exp_id: str):
-    """Run one experiment by id and return its result object."""
+def _lookup(exp_id: str) -> Experiment:
     exp_id = exp_id.upper()
     if exp_id not in REGISTRY:
         raise KeyError(f"unknown experiment {exp_id!r}; "
                        f"known: {sorted(REGISTRY)}")
-    return REGISTRY[exp_id].run()
+    return REGISTRY[exp_id]
 
 
-def run_all(ids: Optional[List[str]] = None, echo: bool = True) -> Dict[str, object]:
-    """Run all (or the selected) experiments; returns id → result."""
-    selected = [i.upper() for i in ids] if ids else sorted(REGISTRY)
-    results = {}
-    for exp_id in selected:
-        exp = REGISTRY[exp_id]
+def run_record(exp_id: str) -> ExperimentRun:
+    """Run one experiment and wrap it in an :class:`ExperimentRun`."""
+    exp = _lookup(exp_id)
+    with obs_span("experiment", exp_id=exp.exp_id, title=exp.title) as sp:
         start = time.perf_counter()
         result = exp.run()
         elapsed = time.perf_counter() - start
-        results[exp_id] = result
+        if OBS.enabled:
+            OBS.metrics.counter("experiments.runs").inc()
+            record("experiments.elapsed_s", elapsed)
+            sp.set(elapsed_s=elapsed)
+    run = ExperimentRun(exp.exp_id, exp.title, exp.paper_artifact,
+                        result, elapsed)
+    if OBS.enabled:
+        run.trace = sp
+    return run
+
+
+def run_experiment(exp_id: str):
+    """Run one experiment by id and return its raw result object."""
+    return run_record(exp_id).result
+
+
+def run_records(ids: Optional[List[str]] = None,
+                echo: bool = True) -> Dict[str, ExperimentRun]:
+    """Run all (or the selected) experiments; id → :class:`ExperimentRun`."""
+    selected = [i.upper() for i in ids] if ids else sorted(REGISTRY)
+    records: Dict[str, ExperimentRun] = {}
+    for exp_id in selected:
+        run = run_record(exp_id)
+        records[exp_id] = run
         if echo:
-            print(f"--- {exp.exp_id}: {exp.title} "
-                  f"({exp.paper_artifact}) [{elapsed:.1f} s]")
-            print(result.summary())
+            print(f"--- {run.summary()}")
             print()
-    return results
+    return records
+
+
+def run_all(ids: Optional[List[str]] = None, echo: bool = True) -> Dict[str, object]:
+    """Run all (or the selected) experiments; returns id → raw result.
+
+    Kept for old call sites; :func:`run_records` returns the richer
+    per-run records (timing, trace, ``to_dict()``).
+    """
+    return {exp_id: run.result
+            for exp_id, run in run_records(ids, echo=echo).items()}

@@ -5,6 +5,14 @@ takes a (fault-free or faulty) target and returns a measurement, plus a
 *detector* that compares a faulty measurement against the fault-free
 reference and returns a detection score in [0, 1] (the paper's
 "percentage of detection instances" divided by 100).
+
+Campaigns are fully observable: when an observation scope is active
+(:func:`repro.obs.observe` or a :class:`repro.session.Session`), every
+fault evaluation — including those in worker processes — captures an
+isolated metrics snapshot which is merged back into the ambient
+registry, so ``workers=N`` runs report exactly the same counters as a
+serial run, plus campaign-level wall-time histograms and a
+worker-utilisation gauge.
 """
 
 from __future__ import annotations
@@ -19,6 +27,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.faults.injector import inject
 from repro.faults.model import Fault
+from repro.obs.core import OBS, observe
+from repro.obs.core import span as obs_span
+
+#: internal error policies (see ``FaultCampaign.errors_as_detected``)
+_ERROR_DETECTED = "detected"
+_ERROR_UNDETECTED = "undetected"
+_ERROR_RAISE = "raise"
 
 
 @dataclass
@@ -29,13 +44,28 @@ class FaultOutcome:
     detection: float            # fraction of detection instances, [0, 1]
     detected: bool              # detection >= the campaign threshold
     measurement: Any = None     # technique output, kept for diagnosis
-    error: Optional[str] = None  # simulation failure, counted as detected
+    error: Optional[str] = None  # simulation failure (see errors_as_detected)
     elapsed_s: float = 0.0
+    #: per-fault metrics snapshot (:meth:`repro.obs.Metrics.to_dict`
+    #: shape) captured when an observation scope was active; worker
+    #: processes ship their counters back through this field.
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
+        if self.error is not None:
+            status += " (error)"
         pct = 100.0 * self.detection
         return f"{self.fault.describe():40s} {pct:6.1f}%  {status}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault.describe(),
+            "detection": self.detection,
+            "detected": self.detected,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
 
 
 @dataclass
@@ -46,6 +76,11 @@ class CampaignResult:
     reference: Any
     outcomes: List[FaultOutcome] = field(default_factory=list)
     threshold: float = 0.0
+    elapsed_s: float = 0.0
+    workers: int = 1
+    #: trace span of the campaign run (RunResult protocol; set when an
+    #: observation scope was active).
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def n_faults(self) -> int:
@@ -54,6 +89,12 @@ class CampaignResult:
     @property
     def n_detected(self) -> int:
         return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def n_errors(self) -> int:
+        """Faults whose evaluation raised instead of simulating — kept
+        visible so solver blowups cannot silently inflate coverage."""
+        return sum(1 for o in self.outcomes if o.error is not None)
 
     @property
     def coverage(self) -> float:
@@ -67,17 +108,44 @@ class CampaignResult:
         return [100.0 * o.detection for o in self.outcomes]
 
     def table(self) -> str:
-        lines = [f"fault campaign on {self.target_name}: "
-                 f"{self.n_detected}/{self.n_faults} detected "
-                 f"(coverage {100 * self.coverage:.1f}%)"]
+        lines = [self.summary()]
         lines.extend(o.describe() for o in self.outcomes)
         return "\n".join(lines)
+
+    # -- RunResult protocol --------------------------------------------
+    def summary(self) -> str:
+        line = (f"fault campaign on {self.target_name}: "
+                f"{self.n_detected}/{self.n_faults} detected "
+                f"(coverage {100 * self.coverage:.1f}%)")
+        if self.n_errors:
+            line += f", {self.n_errors} simulation errors"
+        if self.elapsed_s:
+            line += f" [{self.elapsed_s:.2f} s, workers={self.workers}]"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "fault_campaign",
+            "target": self.target_name,
+            "n_faults": self.n_faults,
+            "n_detected": self.n_detected,
+            "n_errors": self.n_errors,
+            "coverage": self.coverage,
+            "threshold": self.threshold,
+            "elapsed_s": self.elapsed_s,
+            "workers": self.workers,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
 
 
 def _evaluate_fault(technique: Callable[[Any], Any],
                     detector: Callable[[Any, Any], float],
                     threshold: float,
-                    treat_errors_as_detected: bool,
+                    on_error: str,
+                    collect_obs: bool,
                     target: Any, reference: Any,
                     fault: Fault) -> FaultOutcome:
     """Evaluate a single fault against the reference measurement.
@@ -85,7 +153,23 @@ def _evaluate_fault(technique: Callable[[Any], Any],
     Module-level (not a method) so a process pool can pickle it; the
     serial path calls the very same function, which is what makes
     ``workers=N`` results fault-for-fault identical to ``workers=1``.
+    When ``collect_obs`` is set the evaluation runs inside an isolated
+    observation scope and the metrics snapshot rides back on the
+    outcome — identically in-process and in a worker, which is what
+    makes the *metrics* identical too.
     """
+    if collect_obs:
+        with observe() as handle:
+            outcome = _evaluate_fault_plain(technique, detector, threshold,
+                                            on_error, target, reference, fault)
+        outcome.metrics = handle.metrics.to_dict()
+        return outcome
+    return _evaluate_fault_plain(technique, detector, threshold, on_error,
+                                 target, reference, fault)
+
+
+def _evaluate_fault_plain(technique, detector, threshold, on_error,
+                          target, reference, fault) -> FaultOutcome:
     t0 = time.perf_counter()
     try:
         faulty = inject(target, fault)
@@ -99,12 +183,13 @@ def _evaluate_fault(technique: Callable[[Any], Any],
             measurement=measurement,
         )
     except Exception as exc:  # noqa: BLE001 - campaign must continue
-        if not treat_errors_as_detected:
+        if on_error == _ERROR_RAISE:
             raise
+        as_detected = on_error == _ERROR_DETECTED
         outcome = FaultOutcome(
             fault=fault,
-            detection=1.0,
-            detected=True,
+            detection=1.0 if as_detected else 0.0,
+            detected=as_detected,
             error=f"{type(exc).__name__}: {exc}",
         )
     outcome.elapsed_s = time.perf_counter() - t0
@@ -127,10 +212,18 @@ class FaultCampaign:
         Minimum detection fraction for a fault to count as *detected*.
         The paper treats any significant number of detection instances as
         a detection; the default asks for at least 5 % of time points.
+    errors_as_detected:
+        Policy for a faulty circuit that fails to simulate (e.g. Newton
+        cannot bias a hard-shorted netlist).  ``True`` (default): such a
+        circuit is behaving catastrophically wrong and counts as a
+        detection with score 1.0.  ``False``: the fault is recorded as a
+        *miss* with score 0.0 and its error string kept, so simulator
+        blowups reduce rather than inflate coverage.  Either way
+        :attr:`CampaignResult.n_errors` reports how many faults errored.
     treat_errors_as_detected:
-        A faulty circuit that fails to simulate (e.g. Newton cannot bias
-        a hard-shorted netlist) is behaving catastrophically wrong; by
-        default that counts as a detection with score 1.0.
+        Deprecated alias (to be removed; see DESIGN.md).  ``True`` maps
+        to ``errors_as_detected=True``; ``False`` keeps its historical
+        meaning of *re-raising* the first evaluation error.
     workers:
         Number of worker processes for :meth:`run`.  ``1`` (default)
         evaluates faults serially in-process; ``N > 1`` fans the fault
@@ -145,8 +238,9 @@ class FaultCampaign:
     def __init__(self, technique: Callable[[Any], Any],
                  detector: Callable[[Any, Any], float],
                  threshold: float = 0.05,
-                 treat_errors_as_detected: bool = True,
-                 workers: int = 1) -> None:
+                 treat_errors_as_detected: Optional[bool] = None,
+                 workers: int = 1,
+                 errors_as_detected: bool = True) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
         if workers < 1:
@@ -154,8 +248,26 @@ class FaultCampaign:
         self.technique = technique
         self.detector = detector
         self.threshold = threshold
-        self.treat_errors_as_detected = treat_errors_as_detected
         self.workers = workers
+        if treat_errors_as_detected is None:
+            self._on_error = (_ERROR_DETECTED if errors_as_detected
+                              else _ERROR_UNDETECTED)
+        else:
+            warnings.warn(
+                "treat_errors_as_detected is deprecated; use "
+                "errors_as_detected=True/False (False now records errored "
+                "faults as misses instead of raising)",
+                DeprecationWarning, stacklevel=2)
+            self._on_error = (_ERROR_DETECTED if treat_errors_as_detected
+                              else _ERROR_RAISE)
+
+    @property
+    def errors_as_detected(self) -> bool:
+        return self._on_error == _ERROR_DETECTED
+
+    @errors_as_detected.setter
+    def errors_as_detected(self, value: bool) -> None:
+        self._on_error = _ERROR_DETECTED if value else _ERROR_UNDETECTED
 
     def run(self, target: Any, faults: Iterable[Fault],
             reference: Any = None,
@@ -163,40 +275,73 @@ class FaultCampaign:
         """Evaluate every fault; ``reference`` may carry a precomputed
         fault-free measurement to avoid re-simulation.  ``workers``
         overrides the campaign-level worker count for this run."""
-        if reference is None:
-            reference = self.technique(target)
+        t_start = time.perf_counter()
         name = getattr(target, "name", type(target).__name__)
-        result = CampaignResult(target_name=name, reference=reference,
-                                threshold=self.threshold)
-        fault_list = list(faults)
-        n_workers = self.workers if workers is None else workers
-        if n_workers < 1:
-            raise ValueError("workers must be >= 1")
-        n_workers = min(n_workers, len(fault_list)) if fault_list else 1
+        with obs_span("campaign", target=name) as sp:
+            if reference is None:
+                reference = self.technique(target)
+            result = CampaignResult(target_name=name, reference=reference,
+                                    threshold=self.threshold)
+            fault_list = list(faults)
+            n_workers = self.workers if workers is None else workers
+            if n_workers < 1:
+                raise ValueError("workers must be >= 1")
+            n_workers = min(n_workers, len(fault_list)) if fault_list else 1
+            collect_obs = OBS.enabled
 
-        evaluate = functools.partial(
-            _evaluate_fault, self.technique, self.detector, self.threshold,
-            self.treat_errors_as_detected, target, reference)
+            evaluate = functools.partial(
+                _evaluate_fault, self.technique, self.detector,
+                self.threshold, self._on_error, collect_obs,
+                target, reference)
 
-        if n_workers > 1 and not self._picklable(evaluate, fault_list):
-            warnings.warn(
-                "fault campaign: technique/detector/target/faults are not "
-                "picklable; falling back to serial evaluation",
-                RuntimeWarning, stacklevel=2)
-            n_workers = 1
+            if n_workers > 1 and not self._picklable(evaluate, fault_list):
+                warnings.warn(
+                    "fault campaign: technique/detector/target/faults are "
+                    "not picklable; falling back to serial evaluation",
+                    RuntimeWarning, stacklevel=2)
+                if OBS.enabled:
+                    OBS.metrics.counter("campaign.pickle_fallbacks").inc()
+                n_workers = 1
 
-        if n_workers > 1:
-            # pool.map preserves submission order, so the outcome list is
-            # deterministic (fault order) regardless of which worker
-            # finishes first.  Chunking amortises IPC over several faults.
-            chunksize = max(1, len(fault_list) // (n_workers * 4))
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=n_workers) as pool:
-                result.outcomes.extend(
-                    pool.map(evaluate, fault_list, chunksize=chunksize))
-        else:
-            result.outcomes.extend(evaluate(f) for f in fault_list)
+            if n_workers > 1:
+                # pool.map preserves submission order, so the outcome list
+                # is deterministic (fault order) regardless of which worker
+                # finishes first.  Chunking amortises IPC over several
+                # faults.
+                chunksize = max(1, len(fault_list) // (n_workers * 4))
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=n_workers) as pool:
+                    result.outcomes.extend(
+                        pool.map(evaluate, fault_list, chunksize=chunksize))
+            else:
+                result.outcomes.extend(evaluate(f) for f in fault_list)
+
+            result.workers = n_workers
+            result.elapsed_s = time.perf_counter() - t_start
+            self._record_obs(result, sp)
+        if OBS.enabled:
+            result.trace = sp
         return result
+
+    def _record_obs(self, result: CampaignResult, sp) -> None:
+        """Merge per-fault snapshots and record campaign-level metrics."""
+        if not OBS.enabled:
+            return
+        m = OBS.metrics
+        busy = 0.0
+        for o in result.outcomes:
+            m.merge(o.metrics)
+            m.histogram("campaign.fault_wall_s").observe(o.elapsed_s)
+            busy += o.elapsed_s
+        m.counter("campaign.runs").inc()
+        m.counter("campaign.faults_evaluated").inc(result.n_faults)
+        m.counter("campaign.errors").inc(result.n_errors)
+        if result.elapsed_s > 0.0 and result.n_faults:
+            m.gauge("campaign.worker_utilization").set(
+                busy / (result.elapsed_s * result.workers))
+        sp.set(n_faults=result.n_faults, n_detected=result.n_detected,
+               n_errors=result.n_errors, coverage=result.coverage,
+               workers=result.workers)
 
     @staticmethod
     def _picklable(evaluate, fault_list) -> bool:

@@ -1,0 +1,64 @@
+"""repro.obs — zero-dependency instrumentation for the whole stack.
+
+Three pieces:
+
+* :mod:`repro.obs.trace`   — :class:`Tracer` with nestable spans, JSON
+  tree export and a flat event log.
+* :mod:`repro.obs.metrics` — :class:`Metrics` registry of counters,
+  gauges and summary histograms, with picklable snapshots and lossless
+  merging (campaign workers ship per-fault snapshots back this way).
+* :mod:`repro.obs.core`    — the ambient scope: :func:`observe` enables
+  a fresh tracer/metrics pair for a block; disabled by default, and the
+  disabled path is a single attribute check at every recording site.
+
+Typical use, directly or through :class:`repro.session.Session`::
+
+    from repro import obs
+
+    with obs.observe() as o:
+        transient(circuit, t_stop=1e-3, dt=1e-6)
+    print(o.metrics.counter_values()["solver.newton_iterations"])
+    print(o.trace_json())
+
+Set ``REPRO_OBS=1`` in the environment to switch on a process-wide
+ambient scope without touching code (how CI measures enabled-mode
+overhead).
+"""
+
+from repro.obs.core import (
+    NULL_SPAN,
+    OBS,
+    Observation,
+    count,
+    counter_value,
+    enable_from_env,
+    enabled,
+    gauge,
+    observe,
+    record,
+    span,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.trace import Span, Tracer
+
+enable_from_env()
+
+__all__ = [
+    "OBS",
+    "NULL_SPAN",
+    "Observation",
+    "observe",
+    "enabled",
+    "span",
+    "count",
+    "record",
+    "gauge",
+    "counter_value",
+    "enable_from_env",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Span",
+    "Tracer",
+]

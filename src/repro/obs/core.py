@@ -1,0 +1,165 @@
+"""The observability switch: one ambient scope, off by default.
+
+Hot layers (``spice.solver``, ``spice.mna``, ``faults.campaign``...)
+import the module-level :data:`OBS` singleton and guard every recording
+site with ``if OBS.enabled:`` — a single attribute read and branch, so a
+disabled run pays effectively nothing (the benchmark gate in CI holds
+the enabled-mode overhead under 10 % and the disabled mode is
+unmeasurable against solver noise).
+
+Enabling is scoped: ``with observe() as obs: ...`` installs a fresh
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.Metrics` for the duration of the block and
+restores the previous scope afterwards (scopes nest; fault-campaign
+workers use exactly this to capture per-fault metrics in isolation).
+Setting the environment variable ``REPRO_OBS=1`` enables a process-wide
+ambient scope at import time, which is how the CI overhead benchmark
+exercises the enabled path without touching benchmark code.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+
+
+class _NullSpan:
+    """Reentrant, stateless stand-in yielded by :func:`span` when
+    observability is disabled; every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class ObsState:
+    """The ambient observation scope (tracer + metrics + enabled flag)."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = Metrics()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (self.enabled, self.tracer, self.metrics)
+
+    def restore(self, saved: tuple) -> None:
+        self.enabled, self.tracer, self.metrics = saved
+
+
+#: process-wide ambient scope; hot code reads ``OBS.enabled`` directly.
+OBS = ObsState()
+
+
+class Observation:
+    """Handle yielded by :func:`observe`: the scope's tracer and metrics
+    plus convenience exports once the block has finished."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer, metrics: Metrics) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def to_dict(self) -> dict:
+        return {"trace": self.tracer.to_dict(),
+                "metrics": self.metrics.to_dict()}
+
+    def trace_json(self, indent: Optional[int] = 2) -> str:
+        import json
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+@contextmanager
+def observe(tracer: Optional[Tracer] = None,
+            metrics: Optional[Metrics] = None) -> Iterator[Observation]:
+    """Enable observability for the block, scoped and nestable.
+
+    Fresh sinks are created unless existing ones are passed in (a
+    :class:`~repro.session.Session` passes its own so successive runs
+    accumulate into one report).  On exit the previous ambient scope —
+    including disabled-ness — is restored.
+    """
+    handle = Observation(tracer if tracer is not None else Tracer(),
+                         metrics if metrics is not None else Metrics())
+    saved = OBS.snapshot()
+    OBS.enabled = True
+    OBS.tracer = handle.tracer
+    OBS.metrics = handle.metrics
+    try:
+        yield handle
+    finally:
+        OBS.restore(saved)
+
+
+def enabled() -> bool:
+    """Is an observation scope currently active?"""
+    return OBS.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Context manager for a trace span; free no-op when disabled."""
+    if not OBS.enabled:
+        return NULL_SPAN
+    return OBS.tracer.span(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter in the ambient scope (no-op when disabled)."""
+    if OBS.enabled:
+        OBS.metrics.counter(name).inc(n)
+
+
+def record(name: str, value: float) -> None:
+    """Observe a histogram sample in the ambient scope."""
+    if OBS.enabled:
+        OBS.metrics.histogram(name).observe(value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge in the ambient scope."""
+    if OBS.enabled:
+        OBS.metrics.gauge(name).set(value)
+
+
+def counter_value(name: str) -> int:
+    """Current value of a counter (0 when disabled or never written).
+
+    Used by instrumented layers to report counter *deltas* as span
+    attributes: read before, read after, attach the difference.
+    """
+    if not OBS.enabled:
+        return 0
+    c = OBS.metrics.counters.get(name)
+    return c.value if c is not None else 0
+
+
+def enable_from_env(env: Optional[dict] = None) -> bool:
+    """Install a process-wide ambient scope when ``REPRO_OBS`` asks.
+
+    Returns True when observability was switched on.  Called once at
+    package import; safe to call again (idempotent per process).
+    """
+    env = os.environ if env is None else env
+    flag = str(env.get("REPRO_OBS", "")).strip().lower()
+    if flag in ("1", "true", "on", "yes") and not OBS.enabled:
+        OBS.enabled = True
+        return True
+    return False

@@ -1,0 +1,182 @@
+"""Metrics registry: counters, gauges and summary histograms.
+
+All instruments are created on demand by name (``metrics.counter("x")``)
+and live in one :class:`Metrics` registry per observation scope.  A
+registry snapshots to a plain-dict shape (:meth:`Metrics.to_dict`) that
+is picklable — fault-campaign worker processes ship their per-fault
+snapshots back through exactly this shape — and merges snapshots
+losslessly for counters/histograms (:meth:`Metrics.merge`), which is
+what makes ``workers=N`` campaign metrics identical to serial runs.
+
+Stdlib-only by design; the hot layers guard every call behind the
+:data:`repro.obs.core.OBS` enabled flag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value of a quantity (utilisation, cache size...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max plus a fixed set of base-10 half-decade
+    bucket counts (``le`` upper bounds), enough to reconstruct the usual
+    latency questions (how many sub-millisecond faults?) without storing
+    samples.  Merging is exact for every exported statistic.
+    """
+
+    #: shared half-decade bucket upper bounds, 1 µs .. 100 s
+    BOUNDS = tuple(10.0 ** (e / 2.0) for e in range(-12, 5))
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+        }
+
+
+class Metrics:
+    """One namespace of counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories (create on first use) --------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    # -- bulk views ----------------------------------------------------
+    def counter_values(self) -> Dict[str, int]:
+        """Plain ``name -> count`` view (the parity-comparison shape)."""
+        return {name: c.value for name, c in self.counters.items()}
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Picklable snapshot of every instrument."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, c in self.counters.items():
+            out[name] = c.to_dict()
+        for name, g in self.gauges.items():
+            out[name] = g.to_dict()
+        for name, h in self.histograms.items():
+            out[name] = h.to_dict()
+        return out
+
+    def merge(self, snapshot: Optional[Dict[str, Dict[str, Any]]]) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters and histograms add (lossless); gauges take the
+        snapshot's value (last-writer-wins).
+        """
+        if not snapshot:
+            return
+        for name, rec in snapshot.items():
+            kind = rec.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(rec["value"]))
+            elif kind == "gauge":
+                if rec["value"] is not None:
+                    self.gauge(name).set(rec["value"])
+            elif kind == "histogram":
+                h = self.histogram(name)
+                if rec["count"]:
+                    h.count += int(rec["count"])
+                    h.total += float(rec["sum"])
+                    h.min = min(h.min, float(rec["min"]))
+                    h.max = max(h.max, float(rec["max"]))
+                    incoming = rec.get("buckets") or []
+                    for i, n in enumerate(incoming[:len(h.buckets)]):
+                        h.buckets[i] += int(n)
+            else:
+                raise ValueError(f"unknown instrument snapshot {name!r}: {rec!r}")
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)

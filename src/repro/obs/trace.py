@@ -1,0 +1,159 @@
+"""Structured tracing: nestable spans forming a trace tree.
+
+A :class:`Tracer` records a forest of :class:`Span` nodes.  Spans nest
+through an explicit stack — ``with tracer.span("transient"):`` opens a
+child of whatever span is currently active — and close with a wall-clock
+duration from :func:`time.perf_counter`.  The finished tree exports as a
+JSON document (:meth:`Tracer.to_json`) or as a flat, depth-annotated
+event log (:meth:`Tracer.events`), the two shapes downstream tooling
+wants (flame-graph-ish inspection vs. grep/line-oriented analysis).
+
+Nothing here imports outside the standard library; the hot layers pay
+for tracing only when :data:`repro.obs.core.OBS` is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "t_start", "t_end", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None,
+                 t_start: Optional[float] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.t_start = time.perf_counter() if t_start is None else t_start
+        self.t_end: Optional[float] = None
+        self.children: List[Span] = []
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Wall-clock duration; ``None`` while the span is still open."""
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def close(self, t_end: Optional[float] = None) -> None:
+        if self.t_end is None:
+            self.t_end = time.perf_counter() if t_end is None else t_end
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (depth-first, self included) named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = self.duration_s
+        timing = f"{dur * 1e3:.3f} ms" if dur is not None else "open"
+        return f"Span({self.name!r}, {timing}, {len(self.children)} children)"
+
+
+class Tracer:
+    """Collects spans into a forest; one instance per observation scope."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the currently active span (or a root)."""
+        node = self.start(name, **attrs)
+        try:
+            yield node
+        finally:
+            self.finish(node)
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Non-context-manager span entry (paired with :meth:`finish`)."""
+        node = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.spans.append(node)
+        self._stack.append(node)
+        return node
+
+    def finish(self, node: Span) -> None:
+        node.close()
+        # Pop through any children left open by non-local exits so the
+        # stack cannot wedge on exceptions.
+        while self._stack:
+            top = self._stack.pop()
+            if top is node:
+                break
+            top.close()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        self.spans = []
+        self._stack = []
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [s.to_dict() for s in self.spans]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Flat event log: one record per span, depth-first in start
+        order, annotated with its nesting depth."""
+        out: List[Dict[str, Any]] = []
+
+        def visit(span: Span, depth: int) -> None:
+            out.append({
+                "name": span.name,
+                "depth": depth,
+                "t_start": span.t_start,
+                "duration_s": span.duration_s,
+                "attrs": dict(span.attrs),
+            })
+            for child in span.children:
+                visit(child, depth + 1)
+
+        for root in self.spans:
+            visit(root, 0)
+        return out
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span named ``name`` anywhere in the forest."""
+        for root in self.spans:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events())

@@ -1,0 +1,192 @@
+"""The unified run API: one facade over solver, campaigns, BIST and
+experiments.
+
+A :class:`Session` owns the engine configuration (``fast_path``,
+``workers``) and an observability sink (tracer + metrics) configured
+once, then threads them through every entry point::
+
+    from repro import Session
+
+    s = Session(workers=4)
+    result = s.transient(circuit, t_stop=1e-3, dt=1e-6)   # TransientResult
+    cover = s.run_campaign(technique, detector, target, faults)
+    run = s.run_experiment("E7")                           # ExperimentRun
+
+    print(result.summary())          # every result speaks RunResult:
+    print(cover.to_dict()["n_errors"])  # .summary() / .to_dict() / .trace
+    print(s.trace_json())            # one trace tree over all the runs
+    print(s.metrics.counter_values())
+
+Every result a Session returns follows the ``RunResult`` protocol —
+``summary() -> str``, ``to_dict() -> dict`` and a ``trace`` attribute
+holding the run's root span — so heterogeneous workloads (a transient
+here, a fault campaign there) report through one shape.
+
+Sessions accumulate: successive runs append to the same trace forest and
+the same metrics registry, which is what makes a session report a
+coherent account of a whole evaluation (e.g. all nine experiments).
+Direct calls to :func:`repro.spice.transient.transient` and friends keep
+working unchanged — the Session is sugar plus scoping, not a new engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, \
+    runtime_checkable
+
+from repro.obs.core import Observation, observe
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Span, Tracer
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """The structured-result shape every Session entry point returns.
+
+    ``trace`` is the run's root :class:`~repro.obs.trace.Span` when the
+    run executed under an observation scope, else ``None``.
+    """
+
+    trace: Optional[Span]
+
+    def summary(self) -> str: ...
+
+    def to_dict(self) -> Dict[str, Any]: ...
+
+
+class Session:
+    """Facade binding engine configuration and observability together.
+
+    Parameters
+    ----------
+    fast_path:
+        Engine selection for every solve issued through this session
+        (``False`` = the reference stamp-everything engine).
+    workers:
+        Default process count for fault campaigns run through the
+        session.
+    obs:
+        ``True`` (default) gives the session its own tracer/metrics and
+        runs every entry point inside that observation scope.
+        ``False`` runs everything uninstrumented (the session still
+        normalises results, the sinks just stay empty).
+    name:
+        Label for reports.
+    """
+
+    def __init__(self, *, fast_path: bool = True, workers: int = 1,
+                 obs: bool = True, name: str = "session") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.fast_path = fast_path
+        self.workers = workers
+        self.obs = obs
+        self.name = name
+        self.tracer = Tracer()
+        self.metrics = Metrics()
+
+    # -- scope handling ------------------------------------------------
+    def _scope(self):
+        """Observation scope installing this session's sinks (or a
+        do-nothing scope when observability is off)."""
+        if self.obs:
+            return observe(tracer=self.tracer, metrics=self.metrics)
+        import contextlib
+        return contextlib.nullcontext(
+            Observation(self.tracer, self.metrics))
+
+    # -- solver --------------------------------------------------------
+    def transient(self, circuit, t_stop: float, dt: float, **kwargs):
+        """Run a transient analysis (see :func:`repro.spice.transient`).
+
+        Returns the :class:`~repro.spice.transient.TransientResult`,
+        with its ``trace`` attached when observability is on."""
+        from repro.spice.transient import transient
+        kwargs.setdefault("fast_path", self.fast_path)
+        with self._scope():
+            return transient(circuit, t_stop, dt, **kwargs)
+
+    def operating_point(self, circuit, **kwargs):
+        """DC operating point; returns ``(node_voltages, vector)``."""
+        from repro.spice.solver import dc_operating_point
+        kwargs.setdefault("fast_path", self.fast_path)
+        with self._scope():
+            return dc_operating_point(circuit, **kwargs)
+
+    # -- fault campaigns -----------------------------------------------
+    def campaign(self, technique: Callable[[Any], Any],
+                 detector: Callable[[Any, Any], float], **kwargs):
+        """A :class:`~repro.faults.campaign.FaultCampaign` bound to the
+        session's worker count (run it through :meth:`run_campaign` to
+        record into the session's sinks)."""
+        from repro.faults.campaign import FaultCampaign
+        kwargs.setdefault("workers", self.workers)
+        return FaultCampaign(technique, detector, **kwargs)
+
+    def run_campaign(self, technique: Callable[[Any], Any],
+                     detector: Callable[[Any, Any], float],
+                     target: Any, faults: Iterable, *,
+                     reference: Any = None, **kwargs):
+        """Build and run a campaign in one call; returns the
+        :class:`~repro.faults.campaign.CampaignResult`."""
+        campaign = self.campaign(technique, detector, **kwargs)
+        with self._scope():
+            return campaign.run(target, faults, reference=reference)
+
+    # -- digital BIST --------------------------------------------------
+    def bist(self, width: int, **kwargs):
+        """A :class:`~repro.dft.bist_engine.LogicBISTEngine` (run it
+        through :meth:`run_bist` to record into the session)."""
+        from repro.dft.bist_engine import LogicBISTEngine
+        return LogicBISTEngine(width, **kwargs)
+
+    def run_bist(self, engine, block: Callable[[int], int]):
+        """Run one BIST session; returns the
+        :class:`~repro.dft.bist_engine.BISTSession`."""
+        with self._scope():
+            return engine.run(block)
+
+    # -- experiments ---------------------------------------------------
+    def run_experiment(self, exp_id: str):
+        """Run one registered experiment; returns its
+        :class:`~repro.experiments.registry.ExperimentRun` record."""
+        from repro.experiments.registry import run_record
+        with self._scope():
+            return run_record(exp_id)
+
+    def run_experiments(self, ids: Optional[List[str]] = None,
+                        echo: bool = True):
+        """Run several (default: all) experiments; id → record."""
+        from repro.experiments.registry import run_records
+        with self._scope():
+            return run_records(ids, echo=echo)
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """Everything the session observed: trace tree + metrics."""
+        return {
+            "session": self.name,
+            "config": {"fast_path": self.fast_path, "workers": self.workers,
+                       "obs": self.obs},
+            "trace": self.tracer.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def trace_json(self, indent: Optional[int] = 2) -> str:
+        """The session report as a JSON document."""
+        import json
+        return json.dumps(self.report(), indent=indent, default=str)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Flat event-log view of the session trace."""
+        return self.tracer.events()
+
+    def reset(self) -> None:
+        """Drop accumulated trace/metrics (config is kept)."""
+        self.tracer.reset()
+        self.metrics = Metrics()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({self.name!r}, fast_path={self.fast_path}, "
+                f"workers={self.workers}, obs={self.obs}, "
+                f"{len(self.tracer.spans)} root spans)")

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.core import OBS
 from repro.spice.elements import (
     VCCS,
     VCVS,
@@ -261,6 +262,8 @@ class LinearMarch:
         g_inv = np.linalg.inv(g_static)
         if not np.all(np.isfinite(g_inv)):
             raise np.linalg.LinAlgError("singular MNA matrix")
+        if OBS.enabled:
+            OBS.metrics.counter("mna.lu_factorizations").inc()
 
         # Capacitor coupling matrix E: add_current(a, b, -geq * v_prev)
         # contributes +geq*(x[a]-x[b]) at row a and -geq*(x[a]-x[b]) at
@@ -313,5 +316,14 @@ class LinearMarch:
                     row += evaluate_source(value, t) * col
             x = row
         if not np.all(np.isfinite(x_all)):
+            if OBS.enabled:
+                OBS.metrics.counter("fastpath.linear_march_breakdowns").inc()
             return None
+        if OBS.enabled:
+            m = OBS.metrics
+            m.counter("fastpath.linear_march_runs").inc()
+            m.counter("fastpath.linear_march_steps").inc(n_pts - 1)
+            # Each recurrence step is one application of the march's
+            # single factorisation — the fast path's reuse currency.
+            m.counter("mna.lu_reuses").inc(n_pts - 1)
         return x_all

@@ -26,6 +26,7 @@ import numpy as np
 import scipy.linalg
 from scipy.linalg import lapack as _lapack
 
+from repro.obs.core import OBS
 from repro.spice.netlist import Circuit, GROUND
 
 
@@ -38,12 +39,15 @@ class MNASystem:
     allocation, not the arithmetic, dominates small-circuit solves.
     """
 
-    __slots__ = ("n", "g", "b")
+    __slots__ = ("n", "g", "b", "_last_g", "_last_lu", "_last_piv")
 
     def __init__(self, n: int) -> None:
         self.n = n
         self.g = np.zeros((n, n))
         self.b = np.zeros(n)
+        self._last_g: Optional[bytes] = None
+        self._last_lu: Optional[np.ndarray] = None
+        self._last_piv: Optional[np.ndarray] = None
 
     def reset(self) -> None:
         self.g[:] = 0.0
@@ -82,11 +86,29 @@ class MNASystem:
 
     def solve_fast(self) -> np.ndarray:
         """Solve through LAPACK ``dgesv`` directly, skipping the numpy
-        wrapper overhead (a ~2x win on sub-50-unknown systems)."""
-        _lu, _piv, x, info = _lapack.dgesv(self.g, self.b)
+        wrapper overhead (a ~2x win on sub-50-unknown systems).
+
+        The factorization ``dgesv`` computes anyway is kept; when the
+        next call presents a bit-identical matrix — a transient sitting
+        at a numeric steady state rebuilds the same Jacobian every step
+        — the solve reuses it through ``dgetrs`` (identical arithmetic
+        to what ``dgesv`` would run, so results are unchanged)."""
+        if self._last_lu is not None and self.g.tobytes() == self._last_g:
+            x, info = _lapack.dgetrs(self._last_lu, self._last_piv, self.b)
+            if info != 0:
+                raise np.linalg.LinAlgError(
+                    f"dgetrs failed (info={info}) on reused factorization")
+            if OBS.enabled:
+                OBS.metrics.counter("mna.lu_reuses").inc()
+            return x
+        lu, piv, x, info = _lapack.dgesv(self.g, self.b)
         if info != 0:
             raise np.linalg.LinAlgError(
                 f"dgesv failed (info={info}): singular MNA matrix")
+        self._last_g = self.g.tobytes()
+        self._last_lu, self._last_piv = lu, piv
+        if OBS.enabled:
+            OBS.metrics.counter("mna.lu_factorizations").inc()
         return x
 
 
@@ -236,6 +258,8 @@ class Assembler:
         else:
             np.copyto(self._g_static, sys.g)
         self._static_key = (state.dt, state.method, state.gmin)
+        if OBS.enabled:
+            OBS.metrics.counter("mna.static_refreshes").inc()
 
     def static_matrix(self, state: SimState) -> np.ndarray:
         """The cached static-G for the state's configuration (read-only)."""
@@ -264,6 +288,8 @@ class Assembler:
         key = (state.dt, state.method, state.gmin)
         if key != self._static_key:
             self._refresh_static(state)
+        elif OBS.enabled:
+            OBS.metrics.counter("mna.static_reuses").inc()
         bkey = (self._static_key, state.source_scale)
         if bkey != self._b_key:
             self._refresh_b_const(state, bkey)
@@ -305,6 +331,10 @@ class Assembler:
         if self._lu_key != self._static_key or self._lu is None:
             self._lu = scipy.linalg.lu_factor(sys.g, check_finite=False)
             self._lu_key = self._static_key
+            if OBS.enabled:
+                OBS.metrics.counter("mna.lu_factorizations").inc()
+        elif OBS.enabled:
+            OBS.metrics.counter("mna.lu_reuses").inc()
         lu, piv = self._lu
         x, info = _lapack.dgetrs(lu, piv, sys.b)
         if info != 0:

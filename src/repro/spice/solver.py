@@ -14,6 +14,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.core import OBS, counter_value
+from repro.obs.core import span as obs_span
 from repro.spice.mna import Assembler, MNASystem, SimState
 from repro.spice.netlist import Circuit
 
@@ -25,6 +27,16 @@ class NewtonError(RuntimeError):
 #: Largest per-iteration voltage move allowed (limits Newton overshoot
 #: through the square-law kinks).
 MAX_STEP_V = 0.6
+
+
+def _note_newton(iterations: int, failed: bool) -> None:
+    """Record one Newton solve in the ambient metrics (caller checks
+    ``OBS.enabled`` so the disabled path costs one branch)."""
+    m = OBS.metrics
+    m.counter("solver.newton_solves").inc()
+    m.counter("solver.newton_iterations").inc(iterations)
+    if failed:
+        m.counter("solver.convergence_failures").inc()
 
 
 def newton_solve(assembler: Assembler, state: SimState,
@@ -48,27 +60,38 @@ def newton_solve(assembler: Assembler, state: SimState,
         if not np.all(np.isfinite(x_new)):
             raise NewtonError("non-finite solution from linear solve")
         state.x = x_new
+        if OBS.enabled:
+            _note_newton(1, failed=False)
+            OBS.metrics.counter("solver.linear_solves").inc()
         return x_new
     solve = MNASystem.solve_fast if assembler.fast_path else MNASystem.solve
-    for _ in range(max_iter):
-        sys = assembler.build(state)
-        try:
-            x_new = solve(sys)
-        except np.linalg.LinAlgError as exc:
-            raise NewtonError(f"singular MNA matrix: {exc}") from exc
-        if not np.all(np.isfinite(x_new)):
-            raise NewtonError("non-finite solution from linear solve")
-        delta = x_new - x
-        max_move = float(np.max(np.abs(delta))) if n else 0.0
-        if max_move > MAX_STEP_V:
-            x = x + delta * (MAX_STEP_V / max_move)
-        else:
-            x = x_new
-        state.x = x
-        if max_move < vtol:
-            return x
-    raise NewtonError(f"Newton failed to converge in {max_iter} iterations "
-                      f"(last move {max_move:.3g} V)")
+    iteration = 0
+    try:
+        for iteration in range(1, max_iter + 1):
+            sys = assembler.build(state)
+            try:
+                x_new = solve(sys)
+            except np.linalg.LinAlgError as exc:
+                raise NewtonError(f"singular MNA matrix: {exc}") from exc
+            if not np.all(np.isfinite(x_new)):
+                raise NewtonError("non-finite solution from linear solve")
+            delta = x_new - x
+            max_move = float(np.max(np.abs(delta))) if n else 0.0
+            if max_move > MAX_STEP_V:
+                x = x + delta * (MAX_STEP_V / max_move)
+            else:
+                x = x_new
+            state.x = x
+            if max_move < vtol:
+                if OBS.enabled:
+                    _note_newton(iteration, failed=False)
+                return x
+        raise NewtonError(f"Newton failed to converge in {max_iter} "
+                          f"iterations (last move {max_move:.3g} V)")
+    except NewtonError:
+        if OBS.enabled:
+            _note_newton(iteration, failed=True)
+        raise
 
 
 def dc_operating_point(circuit: Circuit, t: float = 0.0,
@@ -87,7 +110,11 @@ def dc_operating_point(circuit: Circuit, t: float = 0.0,
     state.dt = None
     state.t = t
 
-    x = _solve_with_homotopy(assembler, state, x0=x0, max_iter=max_iter)
+    with obs_span("dc_operating_point", circuit=circuit.name,
+                  fast_path=fast_path) as sp:
+        it0 = counter_value("solver.newton_iterations")
+        x = _solve_with_homotopy(assembler, state, x0=x0, max_iter=max_iter)
+        sp.set(newton_iterations=counter_value("solver.newton_iterations") - it0)
     return assembler.voltages(x), x
 
 
@@ -104,6 +131,8 @@ def _solve_with_homotopy(assembler: Assembler, state: SimState,
         pass
 
     # Strategy 2: gmin stepping.
+    if OBS.enabled:
+        OBS.metrics.counter("solver.homotopy_gmin_escalations").inc()
     x = x0
     try:
         for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12):
@@ -114,6 +143,8 @@ def _solve_with_homotopy(assembler: Assembler, state: SimState,
         pass
 
     # Strategy 3: source stepping (with a safety gmin floor).
+    if OBS.enabled:
+        OBS.metrics.counter("solver.homotopy_source_escalations").inc()
     x = None
     state.gmin = 1e-9
     try:

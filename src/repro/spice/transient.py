@@ -10,10 +10,11 @@ internal march is refined.
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.core import OBS, counter_value
 from repro.signals.waveform import Waveform
 from repro.spice.elements import Capacitor
 from repro.spice.fastpath import LinearMarch, linear_march_supported
@@ -38,6 +39,9 @@ class TransientResult:
         self._samples = samples
         self._branches = branch_samples or {}
         self.circuit_name = circuit_name
+        #: trace span of the run that produced this result (set when an
+        #: observation scope was active; part of the RunResult protocol).
+        self.trace: Optional[Any] = None
 
     @property
     def dt(self) -> float:
@@ -76,6 +80,44 @@ class TransientResult:
                 f"(available: {sorted(self._branches)})")
         return Waveform(self._branches[source_name], self.dt,
                         t0=float(self.times[0]), name=f"I({source_name})")
+
+    # -- RunResult protocol --------------------------------------------
+    def summary(self) -> str:
+        span = (float(self.times[-1]) - float(self.times[0])
+                if len(self.times) else 0.0)
+        return (f"transient {self.circuit_name or '<circuit>'}: "
+                f"{max(len(self.times) - 1, 0)} steps of {self.dt:g} s "
+                f"({span:g} s), {len(self._samples)} nodes, "
+                f"{len(self._branches)} branch currents")
+
+    def to_dict(self, include_samples: bool = False) -> Dict[str, Any]:
+        """Machine-readable shape.  Waveform arrays are large, so by
+        default only the final value per node/branch is included; pass
+        ``include_samples=True`` for the full arrays (as lists)."""
+        out: Dict[str, Any] = {
+            "kind": "transient",
+            "circuit": self.circuit_name,
+            "n_steps": max(len(self.times) - 1, 0),
+            "dt_s": self.dt,
+            "nodes": self.nodes(),
+            "branches": self.branches(),
+            "final": {node: self.final(node) for node in self._samples},
+        }
+        if include_samples:
+            out["times"] = [float(t) for t in self.times]
+            out["samples"] = {n: [float(v) for v in a]
+                              for n, a in self._samples.items()}
+            out["branch_samples"] = {n: [float(v) for v in a]
+                                     for n, a in self._branches.items()}
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
+
+
+#: counters whose per-run deltas are attached to the ``transient`` span
+_SPAN_COUNTERS = ("solver.newton_iterations", "mna.lu_factorizations",
+                  "mna.lu_reuses", "mna.static_reuses",
+                  "transient.subdivisions")
 
 
 def transient(circuit: Circuit, t_stop: float, dt: float,
@@ -128,6 +170,41 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     if method not in ("be", "trap"):
         raise ValueError(f"unknown method {method!r}")
 
+    if not OBS.enabled:
+        return _transient_impl(circuit, t_stop, dt, record, record_branches,
+                               method, x0, uic, max_newton, max_subdivisions,
+                               fast_path)
+
+    before = {name: counter_value(name) for name in _SPAN_COUNTERS}
+    march0 = counter_value("fastpath.linear_march_runs")
+    with OBS.tracer.span("transient", circuit=circuit.name, t_stop=t_stop,
+                         dt=dt, method=method, fast_path=fast_path) as sp:
+        result = _transient_impl(circuit, t_stop, dt, record, record_branches,
+                                 method, x0, uic, max_newton,
+                                 max_subdivisions, fast_path)
+        deltas = {name.split(".", 1)[1]: counter_value(name) - before[name]
+                  for name in _SPAN_COUNTERS}
+        engine = ("linear_march"
+                  if counter_value("fastpath.linear_march_runs") > march0
+                  else "newton")
+        sp.set(n_steps=max(len(result.times) - 1, 0), engine=engine, **deltas)
+        result.trace = sp
+    m = OBS.metrics
+    m.counter("transient.runs").inc()
+    m.counter("transient.steps").inc(max(len(result.times) - 1, 0))
+    return result
+
+
+def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
+                    record: Optional[Sequence[str]],
+                    record_branches: Optional[Sequence[str]],
+                    method: str,
+                    x0: Optional[np.ndarray],
+                    uic: bool,
+                    max_newton: int,
+                    max_subdivisions: int,
+                    fast_path: bool) -> TransientResult:
+    """The uninstrumented march (see :func:`transient` for semantics)."""
     assembler = Assembler(circuit, fast_path=fast_path)
     state = assembler.new_state()
     state.method = method
@@ -154,7 +231,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         warnings.warn(
             f"t_stop={t_stop:g} is not an integer multiple of dt={dt:g}; "
             f"the march covers {n_steps} steps ending at t={n_steps * dt:g}, "
-            f"not t_stop", GridMismatchWarning, stacklevel=2)
+            f"not t_stop", GridMismatchWarning, stacklevel=3)
     record_nodes = list(record) if record is not None else assembler.node_names
     for node in record_nodes:
         if node != GROUND and node not in assembler.index:
@@ -254,6 +331,8 @@ def _advance(assembler: Assembler, state: SimState,
     except NewtonError:
         if depth <= 0:
             raise
+        if OBS.enabled:
+            OBS.metrics.counter("transient.subdivisions").inc()
         aux_backup = dict(state.aux)
         t_mid = t_from + step / 2.0
         try:

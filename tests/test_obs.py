@@ -1,0 +1,380 @@
+"""Observability layer: spans, metrics, no-op mode, campaign parity,
+and the Session facade's unified RunResult shape."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultCampaign, StuckAtFault
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+from repro.session import RunResult, Session
+from repro.spice import Circuit, dc_operating_point, transient
+from repro.spice.solver import NewtonError
+
+
+def divider() -> Circuit:
+    ckt = Circuit("div")
+    ckt.vsource("V1", "top", "0", 5.0)
+    ckt.resistor("R1", "top", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt
+
+
+def rc_circuit() -> Circuit:
+    ckt = Circuit("rc")
+    ckt.vsource("VIN", "in", "0", lambda t: 5.0 if t > 0 else 0.0)
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.capacitor("C1", "out", "0", 1e-6)
+    return ckt
+
+
+# module-level so the process-pool campaign can pickle them
+def _mid_voltage(ckt):
+    v, _ = dc_operating_point(ckt)
+    return v["mid"]
+
+
+def _shift_detector(ref, m):
+    return 1.0 if abs(m - ref) > 0.5 else 0.0
+
+
+def _divider_faults():
+    return [StuckAtFault.sa0("mid"), StuckAtFault.sa1("mid"),
+            StuckAtFault.sa0("top"), StuckAtFault.sa1("top")]
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        assert len(tracer.spans) == 1
+        outer = tracer.spans[0]
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert outer.duration_s >= outer.children[0].duration_s >= 0.0
+        assert outer.attrs == {"kind": "test"}
+
+    def test_json_export_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("a", x=1):
+            with tracer.span("b"):
+                pass
+        doc = json.loads(tracer.to_json())
+        assert doc["spans"][0]["name"] == "a"
+        assert doc["spans"][0]["attrs"] == {"x": 1}
+        assert doc["spans"][0]["children"][0]["name"] == "b"
+        assert doc["spans"][0]["duration_s"] is not None
+
+    def test_flat_event_log_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        with tracer.span("d"):
+            pass
+        events = tracer.events()
+        assert [(e["name"], e["depth"]) for e in events] == [
+            ("a", 0), ("b", 1), ("c", 2), ("d", 0)]
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None
+        assert tracer.spans[0].duration_s is not None
+        assert tracer.spans[0].children[0].duration_s is not None
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b", tag=7):
+                pass
+        assert tracer.find("b").attrs["tag"] == 7
+        assert tracer.find("missing") is None
+
+
+class TestMetrics:
+    def test_counter_semantics(self):
+        m = Metrics()
+        m.counter("x").inc()
+        m.counter("x").inc(4)
+        assert m.counter_values() == {"x": 5}
+        with pytest.raises(ValueError):
+            m.counter("x").inc(-1)
+
+    def test_histogram_semantics(self):
+        m = Metrics()
+        for v in (1.0, 2.0, 3.0):
+            m.histogram("h").observe(v)
+        h = m.histogram("h")
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+        assert sum(h.buckets) == 3
+
+    def test_gauge_last_wins(self):
+        m = Metrics()
+        m.gauge("g").set(1.0)
+        m.gauge("g").set(0.25)
+        assert m.gauge("g").value == 0.25
+
+    def test_merge_is_lossless_for_counters_and_histograms(self):
+        a, b = Metrics(), Metrics()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        a.merge(b.to_dict())
+        assert a.counter("c").value == 5
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").min == 1.0
+        assert a.histogram("h").max == 5.0
+        assert a.histogram("h").total == pytest.approx(6.0)
+
+    def test_snapshot_shape(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.gauge("g").set(2.0)
+        m.histogram("h").observe(0.5)
+        snap = m.to_dict()
+        assert snap["c"]["type"] == "counter"
+        assert snap["g"]["type"] == "gauge"
+        assert snap["h"]["type"] == "histogram"
+        # snapshots are picklable (workers ship them across processes)
+        import pickle
+        pickle.loads(pickle.dumps(snap))
+
+
+class TestNoOpMode:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_disabled_run_produces_zero_events(self):
+        assert not obs.enabled()
+        baseline_tracer = obs.OBS.tracer
+        result = transient(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                           record=["out"])
+        v, _ = dc_operating_point(divider())
+        obs.count("never")
+        obs.record("never_h", 1.0)
+        obs.gauge("never_g", 1.0)
+        assert result.trace is None
+        assert len(obs.OBS.tracer) == len(baseline_tracer) == 0
+        assert obs.OBS.metrics.is_empty()
+
+    def test_null_span_is_reentrant_noop(self):
+        with obs.span("a") as sa:
+            with obs.span("b") as sb:
+                assert sa is sb is obs.NULL_SPAN
+                sa.set(anything=1)
+
+    def test_scope_restores_disabled_state(self):
+        with obs.observe():
+            assert obs.enabled()
+            with obs.observe():
+                assert obs.enabled()
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_env_var_enables(self):
+        code = ("import repro.obs as o; print(o.enabled())")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "REPRO_OBS": "1", "PATH": "/usr/bin:/bin"},
+            cwd=".", check=True)
+        assert out.stdout.strip() == "True"
+
+
+class TestInstrumentedLayers:
+    def test_transient_span_counters(self):
+        with obs.observe() as o:
+            result = transient(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                               record=["out"])
+        assert result.trace is not None
+        attrs = result.trace.attrs
+        assert attrs["engine"] == "linear_march"
+        assert attrs["n_steps"] == 100
+        assert attrs["lu_reuses"] == 100
+        counters = o.metrics.counter_values()
+        assert counters["transient.steps"] == 100
+        assert counters["fastpath.linear_march_steps"] == 100
+        assert counters["mna.lu_factorizations"] >= 1
+
+    def test_newton_counters_on_nonlinear_solve(self):
+        from repro.circuits.op1 import op1_follower
+        with obs.observe() as o:
+            dc_operating_point(op1_follower(input_value=2.5))
+        counters = o.metrics.counter_values()
+        assert counters["solver.newton_iterations"] > 0
+        assert counters["mna.lu_factorizations"] > 0
+        span = o.tracer.find("dc_operating_point")
+        assert span.attrs["newton_iterations"] > 0
+
+    def test_convergence_failure_counted(self):
+        # a capacitor loop with no DC path is singular at DC
+        ckt = Circuit("bad")
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.capacitor("C1", "a", "b", 1e-9)
+        ckt.capacitor("C2", "b", "0", 1e-9)
+        with obs.observe() as o:
+            try:
+                dc_operating_point(ckt)
+            except NewtonError:
+                pass
+        # counted if (and only if) the solve actually failed
+        counters = o.metrics.counter_values()
+        if "solver.convergence_failures" in counters:
+            assert counters["solver.convergence_failures"] >= 1
+
+    def test_bist_counters(self):
+        from repro.dft import LogicBISTEngine
+        engine = LogicBISTEngine(width=4, n_patterns=16)
+        with obs.observe() as o:
+            engine.learn(lambda x: x ^ 0b1010)
+            session = engine.run(lambda x: x)  # differs from golden
+        counters = o.metrics.counter_values()
+        assert counters["bist.sessions"] == 2
+        assert counters["bist.patterns_applied"] == 32
+        assert counters["bist.signature_mismatches"] == 1
+        assert not session.passed
+        assert "FAIL" in session.summary()
+        assert session.to_dict()["passed"] is False
+
+
+class TestCampaignObservability:
+    def test_metrics_parity_serial_vs_workers(self):
+        with obs.observe() as serial:
+            FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5) \
+                .run(divider(), _divider_faults())
+        with obs.observe() as pooled:
+            FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5,
+                          workers=2).run(divider(), _divider_faults())
+        assert serial.metrics.counter_values() == \
+            pooled.metrics.counter_values()
+        # per-fault wall-time histogram: same population either way
+        assert serial.metrics.histogram("campaign.fault_wall_s").count == \
+            pooled.metrics.histogram("campaign.fault_wall_s").count == 4
+
+    def test_outcomes_carry_metric_snapshots(self):
+        with obs.observe():
+            result = FaultCampaign(_mid_voltage, _shift_detector,
+                                   threshold=0.5) \
+                .run(divider(), _divider_faults())
+        for outcome in result.outcomes:
+            assert outcome.metrics is not None
+            assert outcome.metrics["solver.newton_solves"]["value"] >= 1
+        assert result.trace is not None
+        assert result.trace.attrs["n_faults"] == 4
+
+    def test_no_snapshots_when_disabled(self):
+        result = FaultCampaign(_mid_voltage, _shift_detector,
+                               threshold=0.5) \
+            .run(divider(), _divider_faults())
+        assert all(o.metrics is None for o in result.outcomes)
+        assert result.trace is None
+
+
+class TestErrorsAsDetected:
+    @staticmethod
+    def _broken(ckt):
+        raise RuntimeError("simulation diverged")
+
+    def test_default_counts_errors_as_detected(self):
+        campaign = FaultCampaign(self._broken, _shift_detector)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")],
+                              reference=0.0)
+        assert result.n_errors == 1
+        assert result.n_detected == 1
+        assert result.coverage == 1.0
+        assert "1 simulation errors" in result.summary()
+
+    def test_errors_as_missed_when_disabled(self):
+        campaign = FaultCampaign(self._broken, _shift_detector,
+                                 errors_as_detected=False)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")],
+                              reference=0.0)
+        assert result.n_errors == 1
+        assert result.n_detected == 0
+        assert result.coverage == 0.0
+        assert result.outcomes[0].error is not None
+        assert result.to_dict()["n_errors"] == 1
+
+    def test_deprecated_alias_warns_and_raises(self):
+        with pytest.warns(DeprecationWarning):
+            campaign = FaultCampaign(self._broken, _shift_detector,
+                                     treat_errors_as_detected=False)
+        with pytest.raises(RuntimeError):
+            campaign.run(divider(), [StuckAtFault.sa0("mid")],
+                         reference=0.0)
+
+
+class TestSession:
+    def test_transient_is_run_result(self):
+        s = Session()
+        result = s.transient(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                             record=["out"])
+        assert isinstance(result, RunResult)
+        assert result.trace is not None
+        assert "transient rc" in result.summary()
+        assert result.to_dict()["n_steps"] == 100
+
+    def test_session_accumulates_across_runs(self):
+        s = Session()
+        s.transient(rc_circuit(), t_stop=1e-4, dt=1e-6, record=["out"])
+        s.run_campaign(_mid_voltage, _shift_detector, divider(),
+                       _divider_faults(), threshold=0.5)
+        roots = [sp.name for sp in s.tracer.spans]
+        assert roots == ["transient", "campaign"]
+        counters = s.metrics.counter_values()
+        assert counters["transient.runs"] == 1
+        assert counters["campaign.faults_evaluated"] == 4
+        assert counters["solver.newton_solves"] >= 5
+
+    def test_campaign_and_bist_results_are_run_results(self):
+        s = Session()
+        cover = s.run_campaign(_mid_voltage, _shift_detector, divider(),
+                               _divider_faults(), threshold=0.5)
+        engine = s.bist(width=4, n_patterns=8)
+        engine.learn(lambda x: x)
+        bist = s.run_bist(engine, lambda x: x)
+        assert isinstance(cover, RunResult)
+        assert isinstance(bist, RunResult)
+        assert bist.trace is not None
+
+    def test_experiment_record_shape(self):
+        s = Session()
+        run = s.run_experiment("E8")
+        assert isinstance(run, RunResult)
+        doc = run.to_dict()
+        assert doc["exp_id"] == "E8"
+        assert doc["elapsed_s"] > 0
+        assert doc["trace"]["name"] == "experiment"
+        report = json.loads(s.trace_json())
+        assert report["metrics"]["experiments.runs"]["value"] == 1
+        assert report["metrics"]["solver.newton_iterations"]["value"] > 0
+
+    def test_obs_off_runs_clean(self):
+        s = Session(obs=False)
+        result = s.transient(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                             record=["out"])
+        assert result.trace is None
+        assert s.metrics.is_empty()
+        assert s.tracer.spans == []
+
+    def test_workers_threaded_through(self):
+        s = Session(workers=2)
+        campaign = s.campaign(_mid_voltage, _shift_detector, threshold=0.5)
+        assert campaign.workers == 2
+        with pytest.raises(ValueError):
+            Session(workers=0)
