@@ -1,0 +1,44 @@
+"""Differential-harness throughput: circuits fuzzed per second.
+
+Times the verify subsystem's three routes (LinearMarch fast path,
+Newton reference engine, discrete state-space oracle) over a fixed seed
+set, per circuit kind.  This is the cost model for choosing the CI
+``verify-fuzz`` seed count: the 200-seed job is ~40x the 5-seed numbers
+printed here.  Also times a single Richardson convergence check (nine
+transient runs across four dt levels).
+"""
+
+from conftest import run_once
+
+from repro.verify import check_convergence, run_differential
+
+N_SEEDS = 5
+
+
+def _fuzz(kind):
+    report = run_differential(range(N_SEEDS), kinds=(kind,), max_steps=128)
+    assert report.ok, report.summary()
+    return report
+
+
+def test_perf_differential_rc(benchmark):
+    report = run_once(benchmark, _fuzz, "rc")
+    print(f"\n  {report.summary()}")
+
+
+def test_perf_differential_rlc(benchmark):
+    report = run_once(benchmark, _fuzz, "rlc")
+    print(f"\n  {report.summary()}")
+
+
+def test_perf_differential_mosfet(benchmark):
+    """The Newton-route kind: no oracle, fast vs reference only."""
+    report = run_once(benchmark, _fuzz, "mosfet")
+    print(f"\n  {report.summary()}")
+
+
+def test_perf_convergence_check(benchmark):
+    result = run_once(benchmark, check_convergence,
+                      seed=0, kind="rlc", method="trap")
+    assert result.ok, result.summary()
+    print(f"\n  {result.summary()}")

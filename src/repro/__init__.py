@@ -20,6 +20,9 @@ full API:
 * :mod:`repro.circuits` — the paper's example circuits (OP1, SC integrator...).
 * :mod:`repro.adc`      — behavioural dual-slope ADC macro and metrics.
 * :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.verify`   — simulator verification: differential fuzzing
+  against analytic oracles, convergence-order checks, golden store
+  (``python -m repro.verify``).
 
 Quickstart::
 

@@ -20,6 +20,7 @@ from repro.spice.netlist import Circuit
 from repro.spice.elements import (
     Resistor,
     Capacitor,
+    Inductor,
     VoltageSource,
     CurrentSource,
     VCVS,
@@ -43,6 +44,7 @@ __all__ = [
     "Circuit",
     "Resistor",
     "Capacitor",
+    "Inductor",
     "VoltageSource",
     "CurrentSource",
     "VCVS",

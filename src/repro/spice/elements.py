@@ -211,6 +211,77 @@ class Capacitor(Element):
         return f"C {self.name} {self.nodes[0]} {self.nodes[1]} {self.capacitance:g}"
 
 
+class Inductor(Element):
+    """Two-terminal linear inductor (adds one branch-current unknown).
+
+    The branch row enforces ``v(a) - v(b) = L dI/dt`` through the usual
+    companion models: a DC analysis sees a short circuit, backward Euler
+    sees ``v_k = (L/dt)(I_k - I_prev)`` and trapezoidal sees
+    ``v_k + v_prev = (2L/dt)(I_k - I_prev)``.  The previous branch
+    current is read straight from ``state.x_prev`` — no aux memory is
+    needed because the current is an MNA unknown.
+    """
+
+    n_branches = 1
+    partition = PARTITION_SPLIT
+
+    def __init__(self, name: str, a: str, b: str, inductance: float,
+                 ic: Optional[float] = None) -> None:
+        if inductance <= 0:
+            raise ValueError(f"{name}: inductance must be positive")
+        super().__init__(name, a, b)
+        self.inductance = float(inductance)
+        self.ic = ic
+
+    def _geq(self, state) -> float:
+        """Companion impedance term on the branch diagonal."""
+        if state.dt is None:
+            return 0.0
+        if state.method == "trap":
+            return 2.0 * self.inductance / state.dt
+        return self.inductance / state.dt
+
+    def stamp(self, sys, state) -> None:
+        self.stamp_static(sys, state)
+        self.stamp_dynamic(sys, state)
+
+    def stamp_static(self, sys, state) -> None:
+        a, b = self._idx
+        j = self._branch
+        sys.add_g(a, j, 1.0)
+        sys.add_g(b, j, -1.0)
+        sys.add_g(j, a, 1.0)
+        sys.add_g(j, b, -1.0)
+        geq = self._geq(state)
+        if geq:
+            sys.add_g(j, j, -geq)
+
+    def stamp_dynamic(self, sys, state) -> None:
+        if state.dt is None:
+            return
+        j = self._branch
+        i_prev = state.voltage_prev(j)
+        rhs = -self._geq(state) * i_prev
+        if state.method == "trap":
+            a, b = self._idx
+            rhs -= state.voltage_prev(a) - state.voltage_prev(b)
+        sys.add_b(j, rhs)
+
+    def stamp_ac(self, g, c, op) -> None:
+        a, b = self._idx
+        j = self._branch
+        for (i, k, val) in ((a, j, 1.0), (b, j, -1.0), (j, a, 1.0), (j, b, -1.0)):
+            if i >= 0 and k >= 0:
+                g[i, k] += val
+        c[j, j] -= self.inductance
+
+    def clone(self) -> "Inductor":
+        return Inductor(self.name, *self.nodes, self.inductance, ic=self.ic)
+
+    def describe(self) -> str:
+        return f"L {self.name} {self.nodes[0]} {self.nodes[1]} {self.inductance:g}"
+
+
 class VoltageSource(Element):
     """Independent voltage source (adds one branch-current unknown)."""
 

@@ -32,6 +32,7 @@ from repro.spice.elements import (
     VCVS,
     Capacitor,
     CurrentSource,
+    Inductor,
     Resistor,
     VoltageSource,
     evaluate_source,
@@ -225,7 +226,8 @@ class MOSFETGroup:
 #: Element classes whose semantics the linear march reproduces exactly.
 #: Exact-type matching is deliberate: a subclass may override ``stamp``
 #: with behaviour the recurrence does not model.
-_MARCH_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource, VCVS, VCCS)
+_MARCH_TYPES = (Resistor, Capacitor, Inductor, VoltageSource, CurrentSource,
+                VCVS, VCCS)
 
 
 def linear_march_supported(circuit, method: str) -> bool:
@@ -275,6 +277,11 @@ class LinearMarch:
             for r, c, sign in ((a, a, 1.0), (b, b, 1.0), (a, b, -1.0), (b, a, -1.0)):
                 if r >= 0 and c >= 0:
                     e_mat[r, c] += sign * geq
+        # Inductor companion: row j's RHS is -(L/dt) * I_prev, with the
+        # branch current I an MNA unknown — a diagonal E entry.
+        for ind in assembler.circuit.elements_of_type(Inductor):
+            j = ind.branch_index()
+            e_mat[j, j] -= ind.inductance / dt
         self._a_mat = g_inv @ e_mat
 
         # Per-source response columns: x contribution = level(t) * col.

@@ -122,7 +122,7 @@ class SimState:
     """
 
     __slots__ = ("index", "x", "x_prev", "t", "dt", "gmin", "source_scale",
-                 "method", "aux")
+                 "method", "aux", "stats")
 
     def __init__(self, index: Dict[str, int], n: int) -> None:
         self.index = index
@@ -136,6 +136,15 @@ class SimState:
         #: scratch storage for element integration state (e.g. trapezoidal
         #: capacitor currents), keyed by element name.
         self.aux: Dict[str, float] = {}
+        #: deterministic per-run solver accounting (always collected,
+        #: independent of the observability switch — the verification
+        #: harness relies on these being available and reproducible).
+        self.stats: Dict[str, int] = {
+            "newton_solves": 0,
+            "newton_iterations": 0,
+            "linear_solves": 0,
+            "subdivisions": 0,
+        }
 
     def voltage(self, i: int) -> float:
         """Present Newton-estimate voltage of unknown ``i`` (ground = 0)."""

@@ -104,6 +104,11 @@ class Circuit:
         from repro.spice.elements import Capacitor
         return self.add(Capacitor(name, a, b, capacitance, ic=ic))
 
+    def inductor(self, name: str, a: str, b: str, inductance: float,
+                 ic: Optional[float] = None):
+        from repro.spice.elements import Inductor
+        return self.add(Inductor(name, a, b, inductance, ic=ic))
+
     def vsource(self, name: str, plus: str, minus: str, value: SourceValue):
         from repro.spice.elements import VoltageSource
         return self.add(VoltageSource(name, plus, minus, value))

@@ -11,7 +11,7 @@ can live as plain text next to the Python models::
     C1  out 0 10p IC=0
     .end
 
-Supported cards: ``R``, ``C``, ``V``, ``I`` (DC value or ``PULSE``/
+Supported cards: ``R``, ``C``, ``L``, ``V``, ``I`` (DC value or ``PULSE``/
 ``PWL``), ``E`` (VCVS), ``G`` (VCCS), ``S`` (switch), ``M`` (MOSFET with
 ``NMOS``/``PMOS`` model and ``W=``/``L=``), comments (``*``, ``;``),
 continuation lines (``+``) and engineering suffixes (``f p n u m k meg
@@ -155,6 +155,12 @@ def parse_netlist(text: str, name: str = "netlist") -> ParseResult:
                 ic = parse_value(params["ic"]) if "ic" in params else None
                 ckt.capacitor(card, tokens[1], tokens[2],
                               parse_value(tokens[3]), ic=ic)
+            elif kind == "L":
+                _need(tokens, 4, "L name n+ n- value [IC=i]")
+                params = _parse_params(tokens[4:])
+                ic = parse_value(params["ic"]) if "ic" in params else None
+                ckt.inductor(card, tokens[1], tokens[2],
+                             parse_value(tokens[3]), ic=ic)
             elif kind == "V":
                 _need(tokens, 4, "V name n+ n- value|PULSE|PWL")
                 ckt.vsource(card, tokens[1], tokens[2],

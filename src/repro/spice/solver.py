@@ -60,6 +60,9 @@ def newton_solve(assembler: Assembler, state: SimState,
         if not np.all(np.isfinite(x_new)):
             raise NewtonError("non-finite solution from linear solve")
         state.x = x_new
+        state.stats["newton_solves"] += 1
+        state.stats["newton_iterations"] += 1
+        state.stats["linear_solves"] += 1
         if OBS.enabled:
             _note_newton(1, failed=False)
             OBS.metrics.counter("solver.linear_solves").inc()
@@ -83,12 +86,16 @@ def newton_solve(assembler: Assembler, state: SimState,
                 x = x_new
             state.x = x
             if max_move < vtol:
+                state.stats["newton_solves"] += 1
+                state.stats["newton_iterations"] += iteration
                 if OBS.enabled:
                     _note_newton(iteration, failed=False)
                 return x
         raise NewtonError(f"Newton failed to converge in {max_iter} "
                           f"iterations (last move {max_move:.3g} V)")
     except NewtonError:
+        state.stats["newton_solves"] += 1
+        state.stats["newton_iterations"] += iteration
         if OBS.enabled:
             _note_newton(iteration, failed=True)
         raise

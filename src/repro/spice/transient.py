@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.obs.core import OBS, counter_value
 from repro.signals.waveform import Waveform
-from repro.spice.elements import Capacitor
+from repro.spice.elements import Capacitor, Inductor
 from repro.spice.fastpath import LinearMarch, linear_march_supported
 from repro.spice.mna import Assembler, SimState
 from repro.spice.netlist import Circuit, GROUND
@@ -42,6 +42,11 @@ class TransientResult:
         #: trace span of the run that produced this result (set when an
         #: observation scope was active; part of the RunResult protocol).
         self.trace: Optional[Any] = None
+        #: deterministic solver accounting for the run — engine route,
+        #: Newton iteration counts, subdivisions.  Always populated
+        #: (independent of the observability switch) so the verification
+        #: harness can report which code path produced each waveform.
+        self.stats: Dict[str, Any] = {}
 
     @property
     def dt(self) -> float:
@@ -109,6 +114,8 @@ class TransientResult:
                               for n, a in self._samples.items()}
             out["branch_samples"] = {n: [float(v) for v in a]
                                      for n, a in self._branches.items()}
+        if self.stats:
+            out["stats"] = dict(self.stats)
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
         return out
@@ -221,6 +228,10 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
                 a, b = cap._idx
                 if a >= 0 and b < 0:
                     x[a] = cap.ic
+        # Inductor initial currents seed the branch unknowns directly.
+        for ind in circuit.elements_of_type(Inductor):
+            if ind.ic is not None:
+                x[ind.branch_index()] = ind.ic
     else:
         state.dt = None
         state.t = 0.0
@@ -283,8 +294,12 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
             traces = {node: trace_mat[i] for i, node in enumerate(record_nodes)}
             branch_traces = {name: branch_mat[i]
                              for i, name in enumerate(branch_names)}
-            return TransientResult(times, traces, circuit_name=circuit.name,
-                                   branch_samples=branch_traces)
+            result = TransientResult(times, traces, circuit_name=circuit.name,
+                                     branch_samples=branch_traces)
+            result.stats = dict(state.stats, engine="linear_march",
+                                n_steps=n_steps, method=method,
+                                fast_path=fast_path)
+            return result
 
     for k in range(1, n_steps + 1):
         # Trapezoidal integration needs a consistent initial capacitor
@@ -299,8 +314,11 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
 
     traces = {node: trace_mat[i] for i, node in enumerate(record_nodes)}
     branch_traces = {name: branch_mat[i] for i, name in enumerate(branch_names)}
-    return TransientResult(times, traces, circuit_name=circuit.name,
-                           branch_samples=branch_traces)
+    result = TransientResult(times, traces, circuit_name=circuit.name,
+                             branch_samples=branch_traces)
+    result.stats = dict(state.stats, engine="newton", n_steps=n_steps,
+                        method=method, fast_path=fast_path)
+    return result
 
 
 def _run_linear_march(assembler: Assembler, x0: np.ndarray,
@@ -331,6 +349,7 @@ def _advance(assembler: Assembler, state: SimState,
     except NewtonError:
         if depth <= 0:
             raise
+        state.stats["subdivisions"] += 1
         if OBS.enabled:
             OBS.metrics.counter("transient.subdivisions").inc()
         aux_backup = dict(state.aux)

@@ -1,0 +1,63 @@
+"""Correctness tooling: differential testing against analytic oracles.
+
+The measurement substrate (tolerance bands, signatures, fault campaigns)
+is only as trustworthy as the simulator underneath it.  This package
+pits every solver route against independent references:
+
+* :mod:`repro.verify.generate` — seeded random netlist generator
+  emitting well-conditioned RC / RLC / MOSFET circuits of parameterised
+  size, each linear circuit paired with its exact state-space model.
+* :mod:`repro.verify.oracle` — analytic oracles: matrix-exponential
+  (exact) and independently-discretised (backward Euler / trapezoidal)
+  solutions built from the generator's state matrices, plus closed-form
+  RC and series-RLC step responses.
+* :mod:`repro.verify.differential` — the harness that runs each circuit
+  through ``fast_path=True``, ``fast_path=False`` and the oracle and
+  reports per-node deviations as structured :class:`MismatchReport`\\ s.
+* :mod:`repro.verify.convergence` — Richardson-extrapolation checks
+  that the integrator's observed order matches its nominal order.
+* :mod:`repro.verify.goldens` — the golden regression store pinning
+  experiment outputs under ``tests/goldens/``.
+
+Command line::
+
+    python -m repro.verify --seeds 200
+"""
+
+from repro.verify.convergence import ConvergenceResult, check_convergence
+from repro.verify.differential import (
+    DifferentialReport,
+    MismatchReport,
+    compare_samples,
+    run_differential,
+)
+from repro.verify.generate import GeneratedCircuit, generate_circuit
+from repro.verify.goldens import (
+    GoldenMismatch,
+    check_golden,
+    diff_text,
+    normalize,
+)
+from repro.verify.oracle import (
+    LinearOracle,
+    rc_step_response,
+    series_rlc_step_response,
+)
+
+__all__ = [
+    "ConvergenceResult",
+    "check_convergence",
+    "DifferentialReport",
+    "MismatchReport",
+    "compare_samples",
+    "run_differential",
+    "GeneratedCircuit",
+    "generate_circuit",
+    "GoldenMismatch",
+    "check_golden",
+    "diff_text",
+    "normalize",
+    "LinearOracle",
+    "rc_step_response",
+    "series_rlc_step_response",
+]

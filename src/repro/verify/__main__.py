@@ -1,0 +1,91 @@
+"""Command-line differential fuzzing: ``python -m repro.verify``.
+
+Runs the differential harness over a seed range (and optionally the
+convergence-order checks), prints a summary and exits non-zero on any
+mismatch — the CI ``verify-fuzz`` job is exactly this command.
+
+Examples::
+
+    python -m repro.verify --seeds 200
+    python -m repro.verify --seeds 50 --kinds rc,rlc --method trap
+    python -m repro.verify --seeds 200 --check-convergence --report out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.verify.convergence import check_convergence
+from repro.verify.differential import ABS_TOL, REL_TOL, run_differential
+from repro.verify.generate import KINDS
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="differential-testing harness: fast path vs reference "
+                    "engine vs analytic oracle over seeded random circuits")
+    parser.add_argument("--seeds", type=int, default=200,
+                        help="number of seeds per circuit kind (default 200)")
+    parser.add_argument("--seed-start", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--kinds", default=",".join(KINDS),
+                        help=f"comma-separated circuit kinds "
+                             f"(default {','.join(KINDS)})")
+    parser.add_argument("--method", default="be", choices=("be", "trap"),
+                        help="integration method (default be)")
+    parser.add_argument("--rel-tol", type=float, default=REL_TOL)
+    parser.add_argument("--abs-tol", type=float, default=ABS_TOL)
+    parser.add_argument("--max-steps", type=int, default=256,
+                        help="cap on march length per circuit (default 256)")
+    parser.add_argument("--check-convergence", action="store_true",
+                        help="also verify BE/trap observed integration "
+                             "order on rc and rlc circuits")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the full JSON report to PATH")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the final verdict")
+    return parser.parse_args(argv)
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+
+    report = run_differential(seeds, kinds=kinds, method=args.method,
+                              rel_tol=args.rel_tol, abs_tol=args.abs_tol,
+                              max_steps=args.max_steps)
+    if not args.quiet:
+        print(report.summary())
+
+    convergence = []
+    if args.check_convergence:
+        for kind in ("rc", "rlc"):
+            if kind not in kinds:
+                continue
+            for method in ("be", "trap"):
+                result = check_convergence(seed=args.seed_start, kind=kind,
+                                           method=method)
+                convergence.append(result)
+                if not args.quiet:
+                    print(result.summary())
+
+    ok = report.ok and all(c.ok for c in convergence)
+    if args.report:
+        payload = report.to_dict()
+        payload["convergence"] = [c.to_dict() for c in convergence]
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"report written to {args.report}")
+
+    print("verify: OK" if ok else "verify: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

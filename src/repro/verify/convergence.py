@@ -1,0 +1,178 @@
+"""Convergence-order verification by Richardson extrapolation.
+
+A correct backward-Euler integrator's global error shrinks linearly with
+the timestep; trapezoidal shrinks quadratically.  An integrator that is
+*stable but subtly wrong* (an off-by-one in the companion model, a wrong
+``geq`` factor) typically still converges — to the wrong solution, or at
+the wrong rate.  Halving the timestep repeatedly and watching the error
+ratio catches both failure classes:
+
+* with the matrix-exponential oracle as reference, the observed order is
+  ``log2(e(h) / e(h/2))`` per halving;
+* without any oracle (nonlinear circuits), Richardson extrapolation on
+  three consecutive grids gives
+  ``log2(|x_h - x_{h/2}| / |x_{h/2} - x_{h/4}|)``.
+
+Both should match the method's nominal order (BE: 1, trap: 2) within a
+configurable margin.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.transient import transient
+from repro.verify.generate import GeneratedCircuit, generate_circuit
+
+#: nominal convergence order per integration method
+NOMINAL_ORDER = {"be": 1.0, "trap": 2.0}
+
+
+@dataclass
+class ConvergenceResult:
+    """Observed vs nominal integration order on one circuit."""
+
+    kind: str
+    seed: int
+    method: str
+    nominal_order: float
+    dts: List[float]
+    #: max-norm error vs the exact oracle at each grid level
+    errors: List[float]
+    #: per-halving observed orders from oracle errors
+    observed_orders: List[float]
+    #: oracle-free Richardson estimates (triples of consecutive grids)
+    richardson_orders: List[float]
+    tolerance: float = 0.1
+    elapsed_s: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def order(self) -> float:
+        """Representative observed order (median over halvings; prefers
+        the oracle-based estimates, falls back to Richardson)."""
+        src = self.observed_orders or self.richardson_orders
+        if not src:
+            return float("nan")
+        return float(np.median(src))
+
+    @property
+    def ok(self) -> bool:
+        """Observed order within ``tolerance`` (relative) of nominal."""
+        order = self.order
+        if math.isnan(order):
+            return False
+        return abs(order - self.nominal_order) <= \
+            self.tolerance * self.nominal_order
+
+    def summary(self) -> str:
+        obs = ", ".join(f"{o:.3f}" for o in self.observed_orders) or "-"
+        rich = ", ".join(f"{o:.3f}" for o in self.richardson_orders) or "-"
+        status = "ok" if self.ok else "FAIL"
+        return (f"convergence {self.kind} seed={self.seed} "
+                f"method={self.method}: nominal {self.nominal_order:g}, "
+                f"observed {self.order:.3f} [{status}] "
+                f"(per-halving: {obs}; richardson: {rich})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "convergence_result",
+            "circuit_kind": self.kind,
+            "seed": self.seed,
+            "method": self.method,
+            "nominal_order": self.nominal_order,
+            "order": self.order,
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "dts": list(self.dts),
+            "errors": list(self.errors),
+            "observed_orders": list(self.observed_orders),
+            "richardson_orders": list(self.richardson_orders),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _march_errors(gen: GeneratedCircuit, method: str, dt0: float,
+                  n_coarse: int, n_levels: int, fast_path: bool):
+    """Run the transient at dt0, dt0/2, ... and collect node samples on
+    the common (coarsest) grid, plus max-norm errors vs the exact
+    oracle when available."""
+    t_stop = dt0 * n_coarse
+    exact: Optional[Dict[str, np.ndarray]] = None
+    if gen.oracle is not None:
+        coarse_times = dt0 * np.arange(n_coarse + 1)
+        exact = gen.oracle.exact(coarse_times)
+    common: List[Dict[str, np.ndarray]] = []
+    errors: List[float] = []
+    for level in range(n_levels):
+        stride = 2 ** level
+        res = transient(gen.circuit, t_stop, dt0 / stride,
+                        record=gen.node_names, method=method,
+                        fast_path=fast_path, uic=True)
+        sub = {n: res.array(n)[::stride] for n in gen.node_names}
+        common.append(sub)
+        if exact is not None:
+            err = max(float(np.max(np.abs(sub[n] - exact[n])))
+                      for n in gen.node_names)
+            errors.append(err)
+    return common, errors
+
+
+def check_convergence(seed: int = 0, kind: str = "rc", method: str = "be",
+                      n_levels: int = 4, n_coarse: int = 48,
+                      dt_scale: float = 1.0, tolerance: float = 0.1,
+                      fast_path: bool = True,
+                      n_nodes: Optional[int] = None) -> ConvergenceResult:
+    """Measure the integrator's observed order on a generated circuit.
+
+    Parameters
+    ----------
+    seed, kind, n_nodes:
+        Circuit selection (see :func:`repro.verify.generate.generate_circuit`).
+    method:
+        ``"be"`` (nominal order 1) or ``"trap"`` (nominal order 2).
+    n_levels:
+        Number of grids; each halves the previous timestep.
+    n_coarse:
+        Steps on the coarsest grid (errors are compared on this grid).
+    dt_scale:
+        Multiplier on the generator's suggested dt — push the march
+        further into (or out of) the asymptotic regime.
+    tolerance:
+        Relative margin on the nominal order for :attr:`ConvergenceResult.ok`.
+    """
+    if method not in NOMINAL_ORDER:
+        raise ValueError(f"unknown method {method!r}")
+    if n_levels < 3:
+        raise ValueError("need at least 3 grid levels for Richardson")
+    t0 = time.perf_counter()
+    gen = generate_circuit(seed, kind=kind, n_nodes=n_nodes)
+    dt0 = gen.dt * dt_scale
+    common, errors = _march_errors(gen, method, dt0, n_coarse, n_levels,
+                                   fast_path)
+
+    observed: List[float] = []
+    for e_coarse, e_fine in zip(errors, errors[1:]):
+        if e_fine > 0.0:
+            observed.append(math.log2(e_coarse / e_fine))
+
+    richardson: List[float] = []
+    for a, b, c in zip(common, common[1:], common[2:]):
+        num = max(float(np.max(np.abs(a[n] - b[n]))) for n in gen.node_names)
+        den = max(float(np.max(np.abs(b[n] - c[n]))) for n in gen.node_names)
+        if den > 0.0:
+            richardson.append(math.log2(num / den))
+
+    return ConvergenceResult(
+        kind=kind, seed=seed, method=method,
+        nominal_order=NOMINAL_ORDER[method],
+        dts=[dt0 / 2 ** level for level in range(n_levels)],
+        errors=errors, observed_orders=observed,
+        richardson_orders=richardson, tolerance=tolerance,
+        elapsed_s=time.perf_counter() - t0,
+        meta={"n_coarse": n_coarse, "fast_path": fast_path})

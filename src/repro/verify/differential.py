@@ -1,0 +1,244 @@
+"""Differential testing: every solver route against every oracle.
+
+Each generated circuit is marched through the fast-path engine
+(``fast_path=True``), the reference engine (``fast_path=False``) and —
+for linear circuits — the analytic oracle's independently-implemented
+discretisation.  Per-node deviations above tolerance become structured
+:class:`MismatchReport` records carrying everything needed to reproduce
+the failure (seed, kind, netlist text, offending node, deviation and
+where it peaked).
+
+Tolerance policy: routes integrate the *same* discrete system, so they
+must agree to near machine precision; a mismatch is declared when
+``max|a - b| > abs_tol + rel_tol * scale`` with ``scale`` the peak
+amplitude of the reference route on that node (numpy ``allclose``
+semantics, applied per node).  Discretisation error never enters —
+that is the convergence checker's job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.transient import transient
+from repro.verify.generate import KINDS, GeneratedCircuit, generate_circuit
+
+#: default tolerances for route-vs-route agreement
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def compare_samples(ref: np.ndarray, other: np.ndarray,
+                    rel_tol: float = REL_TOL,
+                    abs_tol: float = ABS_TOL) -> Tuple[float, float, int]:
+    """Compare two sample arrays.
+
+    Returns ``(max_abs, max_rel, argmax)`` where ``max_rel`` is the peak
+    absolute deviation normalised by the reference's peak amplitude
+    (floored at ``abs_tol / rel_tol`` so an all-zero reference cannot
+    divide by zero)."""
+    ref = np.asarray(ref, dtype=float)
+    other = np.asarray(other, dtype=float)
+    if ref.shape != other.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {other.shape}")
+    diff = np.abs(ref - other)
+    idx = int(np.argmax(diff)) if len(diff) else 0
+    max_abs = float(diff[idx]) if len(diff) else 0.0
+    scale = max(float(np.max(np.abs(ref))) if len(ref) else 0.0,
+                abs_tol / rel_tol if rel_tol > 0 else abs_tol)
+    return max_abs, max_abs / scale, idx
+
+
+@dataclass
+class MismatchReport:
+    """One route pair disagreeing on one node of one circuit."""
+
+    seed: int
+    kind: str
+    circuit_name: str
+    route_a: str
+    route_b: str
+    node: str
+    max_abs: float
+    max_rel: float
+    t_at_max: float
+    rel_tol: float
+    abs_tol: float
+    netlist: str
+
+    def summary(self) -> str:
+        return (f"{self.kind} seed={self.seed} node {self.node}: "
+                f"{self.route_a} vs {self.route_b} deviate by "
+                f"{self.max_abs:.3e} V (rel {self.max_rel:.3e}) "
+                f"at t={self.t_at_max:g} s")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "kind": self.kind,
+            "circuit": self.circuit_name,
+            "route_a": self.route_a,
+            "route_b": self.route_b,
+            "node": self.node,
+            "max_abs": self.max_abs,
+            "max_rel": self.max_rel,
+            "t_at_max": self.t_at_max,
+            "rel_tol": self.rel_tol,
+            "abs_tol": self.abs_tol,
+            "netlist": self.netlist,
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate result of a differential campaign."""
+
+    kinds: List[str]
+    method: str
+    rel_tol: float
+    abs_tol: float
+    n_circuits: int = 0
+    n_comparisons: int = 0
+    mismatches: List[MismatchReport] = field(default_factory=list)
+    #: worst relative deviation seen per route pair (even when passing)
+    worst: Dict[str, float] = field(default_factory=dict)
+    #: engine route taken by the fast path, per circuit kind
+    engines: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    seeds: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def record_pair(self, pair: str, max_rel: float) -> None:
+        if max_rel > self.worst.get(pair, 0.0):
+            self.worst[pair] = max_rel
+
+    def summary(self) -> str:
+        lines = [
+            f"differential harness: {self.n_circuits} circuits "
+            f"({', '.join(self.kinds)}), method={self.method}, "
+            f"{self.n_comparisons} node comparisons, "
+            f"{len(self.mismatches)} mismatches "
+            f"[rel_tol={self.rel_tol:g}, abs_tol={self.abs_tol:g}, "
+            f"{self.elapsed_s:.2f} s]",
+        ]
+        for pair in sorted(self.worst):
+            lines.append(f"  worst {pair}: rel {self.worst[pair]:.3e}")
+        for kind in sorted(self.engines):
+            routes = ", ".join(f"{eng}={cnt}" for eng, cnt in
+                               sorted(self.engines[kind].items()))
+            lines.append(f"  engines[{kind}]: {routes}")
+        for mismatch in self.mismatches[:20]:
+            lines.append("  MISMATCH " + mismatch.summary())
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "differential_report",
+            "ok": self.ok,
+            "kinds": list(self.kinds),
+            "method": self.method,
+            "rel_tol": self.rel_tol,
+            "abs_tol": self.abs_tol,
+            "n_circuits": self.n_circuits,
+            "n_comparisons": self.n_comparisons,
+            "seeds": [int(s) for s in self.seeds],
+            "worst": dict(self.worst),
+            "engines": {k: dict(v) for k, v in self.engines.items()},
+            "elapsed_s": self.elapsed_s,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+
+def _march_routes(gen: GeneratedCircuit, method: str
+                  ) -> Dict[str, Dict[str, Any]]:
+    """Run every applicable route; returns route name -> {samples, stats}."""
+    routes: Dict[str, Dict[str, Any]] = {}
+    for route, fast in (("fast", True), ("reference", False)):
+        res = transient(gen.circuit, gen.t_stop, gen.dt,
+                        record=gen.node_names, method=method,
+                        fast_path=fast, uic=True)
+        routes[route] = {
+            "samples": {n: res.array(n) for n in gen.node_names},
+            "stats": res.stats,
+            "times": res.times,
+        }
+    if gen.oracle is not None:
+        times = routes["fast"]["times"]
+        routes["oracle"] = {
+            "samples": gen.oracle.discrete(times, method=method),
+            "stats": {"engine": "oracle_discrete"},
+            "times": times,
+        }
+    return routes
+
+
+def run_differential(seeds: Iterable[int],
+                     kinds: Sequence[str] = ("rc", "rlc", "mosfet"),
+                     method: str = "be",
+                     rel_tol: float = REL_TOL,
+                     abs_tol: float = ABS_TOL,
+                     n_nodes: Optional[int] = None,
+                     max_steps: int = 256) -> DifferentialReport:
+    """Run the differential harness over a seed set.
+
+    Every circuit is compared pairwise: fast vs reference, and (linear
+    kinds) each engine vs the analytic oracle's discretisation.
+    """
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ValueError(f"unknown circuit kind {kind!r}; known: {KINDS}")
+    t0 = time.perf_counter()
+    seeds = [int(s) for s in seeds]
+    report = DifferentialReport(kinds=list(kinds), method=method,
+                                rel_tol=rel_tol, abs_tol=abs_tol,
+                                seeds=seeds)
+    for kind in kinds:
+        for seed in seeds:
+            gen = generate_circuit(seed, kind=kind, n_nodes=n_nodes,
+                                   max_steps=max_steps)
+            routes = _march_routes(gen, method)
+            engine = routes["fast"]["stats"].get("engine", "?")
+            report.engines.setdefault(kind, {})
+            report.engines[kind][engine] = \
+                report.engines[kind].get(engine, 0) + 1
+            report.n_circuits += 1
+            names = list(routes)
+            for i, ra in enumerate(names):
+                for rb in names[i + 1:]:
+                    _compare_routes(report, gen, ra, rb,
+                                    routes[ra], routes[rb])
+    report.elapsed_s = time.perf_counter() - t0
+    return report
+
+
+def _compare_routes(report: DifferentialReport, gen: GeneratedCircuit,
+                    name_a: str, name_b: str,
+                    route_a: Dict[str, Any], route_b: Dict[str, Any]) -> None:
+    pair = f"{name_a}-vs-{name_b}"
+    for node in gen.node_names:
+        a = route_a["samples"][node]
+        b = route_b["samples"][node]
+        max_abs, max_rel, idx = compare_samples(a, b, report.rel_tol,
+                                                report.abs_tol)
+        report.n_comparisons += 1
+        report.record_pair(pair, max_rel)
+        scale = max(float(np.max(np.abs(a))),
+                    report.abs_tol / report.rel_tol)
+        if max_abs > report.abs_tol + report.rel_tol * scale:
+            report.mismatches.append(MismatchReport(
+                seed=gen.seed, kind=gen.kind,
+                circuit_name=gen.circuit.name,
+                route_a=name_a, route_b=name_b, node=node,
+                max_abs=max_abs, max_rel=max_rel,
+                t_at_max=float(route_a["times"][idx]),
+                rel_tol=report.rel_tol, abs_tol=report.abs_tol,
+                netlist=gen.deck()))

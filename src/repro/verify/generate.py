@@ -1,0 +1,284 @@
+"""Seeded random circuit generation for differential testing.
+
+Every circuit is generated from a :class:`numpy.random.Generator` seeded
+with ``(kind, seed)``, so the same seed always yields a byte-identical
+netlist (``GeneratedCircuit.deck()``) — reproducibility the differential
+harness and the golden store both rely on.
+
+Three families are supported:
+
+``rc``
+    Every internal node carries a capacitor to ground; a random
+    *connected* resistor graph couples the nodes; a DC source drives one
+    node through a series resistor.  The family is chosen because its
+    exact state-space model is constructible by inspection
+    (states = node voltages, ``C dv/dt = -G v + B u``), which is what
+    makes a machine-precision analytic oracle possible.
+``rlc``
+    The RC family plus inductors between random node pairs (or node and
+    ground).  Each inductor adds a branch-current state.
+``mosfet``
+    A chain of resistor-loaded NMOS/PMOS inverter stages with load
+    capacitors, driven by a voltage step.  Nonlinear, so there is no
+    analytic oracle — the harness compares the fast-path and reference
+    engines only.
+
+Component values are drawn from deliberately narrow, well-conditioned
+windows so that every circuit converges and its time constants sit
+within a few decades of each other (the suggested ``dt`` is derived from
+the oracle's fastest eigenvalue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.netlist import Circuit
+from repro.verify.oracle import LinearOracle
+
+#: gmin the transient engine adds on every node diagonal; the oracle
+#: includes it so the comparison is against the *same* mathematical
+#: system the simulator solves (it is part of the system definition,
+#: not an approximation).
+SIM_GMIN = 1e-12
+
+KINDS = ("rc", "rlc", "mosfet")
+
+#: component value windows (log-uniform draws)
+R_RANGE = (1e3, 1e5)        # ohm
+C_RANGE = (1e-9, 1e-7)      # farad
+L_RANGE = (1e-3, 1e-1)      # henry
+V_RANGE = (1.0, 5.0)        # source amplitude, volt
+
+
+@dataclass
+class GeneratedCircuit:
+    """A generated netlist plus everything needed to verify it."""
+
+    seed: int
+    kind: str
+    circuit: Circuit
+    #: internal (state) node names in MNA order
+    node_names: List[str]
+    #: suggested output timestep / stop time for a well-resolved march
+    dt: float
+    t_stop: float
+    #: exact state-space oracle (linear kinds only)
+    oracle: Optional[LinearOracle] = None
+    #: metadata lines embedded in the deck header
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        return int(round(self.t_stop / self.dt))
+
+    def deck(self) -> str:
+        """Canonical text form of the netlist (byte-identical per seed)."""
+        header = [f"* generated kind={self.kind} seed={self.seed}"]
+        for key in sorted(self.meta):
+            header.append(f"* {key}={self.meta[key]}")
+        return "\n".join(header) + "\n" + self.circuit.summary() + "\n"
+
+    def describe(self) -> str:
+        return (f"{self.kind} seed={self.seed}: "
+                f"{len(self.circuit.elements)} elements, "
+                f"{len(self.node_names)} state nodes, "
+                f"dt={self.dt:g}s x {self.n_steps} steps")
+
+
+def _log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def _rng_for(kind: str, seed: int) -> np.random.Generator:
+    # Key the stream on (kind, seed) so the same seed explores different
+    # circuits per family while staying reproducible.
+    return np.random.default_rng([KINDS.index(kind), int(seed)])
+
+
+def generate_circuit(seed: int, kind: str = "rc",
+                     n_nodes: Optional[int] = None,
+                     max_steps: int = 512) -> GeneratedCircuit:
+    """Generate one random circuit of the given family.
+
+    Parameters
+    ----------
+    seed:
+        Stream seed; the same ``(seed, kind, n_nodes)`` always produces a
+        byte-identical netlist.
+    kind:
+        ``"rc"``, ``"rlc"`` or ``"mosfet"``.
+    n_nodes:
+        Internal node count (stage count for ``mosfet``); defaults to a
+        seed-dependent draw.
+    max_steps:
+        Cap on the suggested march length (keeps fuzz campaigns cheap).
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown circuit kind {kind!r}; known: {KINDS}")
+    rng = _rng_for(kind, seed)
+    if kind == "mosfet":
+        return _generate_mosfet(seed, rng, n_nodes, max_steps)
+    return _generate_linear(seed, kind, rng, n_nodes, max_steps)
+
+
+# ----------------------------------------------------------------------
+# Linear families (rc / rlc) — netlist and oracle built side by side
+# ----------------------------------------------------------------------
+
+def _generate_linear(seed: int, kind: str, rng: np.random.Generator,
+                     n_nodes: Optional[int], max_steps: int) -> GeneratedCircuit:
+    n = int(n_nodes) if n_nodes is not None else int(rng.integers(2, 7))
+    if n < 1:
+        raise ValueError("n_nodes must be >= 1")
+    names = [f"n{i + 1}" for i in range(n)]
+    ckt = Circuit(f"{kind}_{seed}")
+
+    # --- input: DC step through a series resistor ---------------------
+    v_in = round(_log_uniform(rng, *V_RANGE), 6)
+    drive_node = int(rng.integers(0, n))
+    r_src = _log_uniform(rng, *R_RANGE)
+    ckt.vsource("VIN", "in", "0", v_in)
+    ckt.resistor("RS", "in", names[drive_node], r_src)
+
+    # --- node capacitors ----------------------------------------------
+    caps = np.array([_log_uniform(rng, *C_RANGE) for _ in range(n)])
+    for i, name in enumerate(names):
+        ckt.capacitor(f"C{i + 1}", name, "0", caps[i])
+
+    # --- connected resistor graph: spanning tree + extra edges --------
+    g_mat = np.zeros((n, n))
+    g_mat[drive_node, drive_node] += 1.0 / r_src
+
+    def add_resistor(tag: str, i: int, j: int, r: float) -> None:
+        """j == -1 means ground."""
+        a = names[i]
+        b = "0" if j < 0 else names[j]
+        ckt.resistor(tag, a, b, r)
+        g = 1.0 / r
+        g_mat[i, i] += g
+        if j >= 0:
+            g_mat[j, j] += g
+            g_mat[i, j] -= g
+            g_mat[j, i] -= g
+
+    r_count = 0
+    for i in range(1, n):
+        j = int(rng.integers(0, i))
+        r_count += 1
+        add_resistor(f"R{r_count}", i, j, _log_uniform(rng, *R_RANGE))
+    # a ground-return resistor keeps the DC gain finite and the matrix
+    # comfortably non-singular
+    r_count += 1
+    add_resistor(f"R{r_count}", int(rng.integers(0, n)), -1,
+                 _log_uniform(rng, *R_RANGE))
+    n_extra = int(rng.integers(0, n))
+    for _ in range(n_extra):
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(-1, n))
+        if j == i:
+            j = -1
+        r_count += 1
+        add_resistor(f"R{r_count}", i, j, _log_uniform(rng, *R_RANGE))
+
+    # --- inductors (rlc only) -----------------------------------------
+    inductors: List[Tuple[int, int, float]] = []
+    if kind == "rlc":
+        n_ind = int(rng.integers(1, max(2, n // 2 + 1)))
+        for k in range(n_ind):
+            i = int(rng.integers(0, n))
+            j = int(rng.integers(-1, n))
+            if j == i:
+                j = -1
+            val = _log_uniform(rng, *L_RANGE)
+            a = names[i]
+            b = "0" if j < 0 else names[j]
+            ckt.inductor(f"L{k + 1}", a, b, val)
+            inductors.append((i, j, val))
+
+    # --- oracle state matrices ----------------------------------------
+    g_mat[np.arange(n), np.arange(n)] += SIM_GMIN
+    n_l = len(inductors)
+    n_states = n + n_l
+    a_mat = np.zeros((n_states, n_states))
+    c_inv = 1.0 / caps
+    a_mat[:n, :n] = -(c_inv[:, None] * g_mat)
+    for k, (i, j, val) in enumerate(inductors):
+        # current flows node i -> node j through the inductor
+        a_mat[i, n + k] -= c_inv[i]
+        if j >= 0:
+            a_mat[j, n + k] += c_inv[j]
+        a_mat[n + k, i] = 1.0 / val
+        if j >= 0:
+            a_mat[n + k, j] -= 1.0 / val
+    b_vec = np.zeros(n_states)
+    b_vec[drive_node] = c_inv[drive_node] / r_src
+
+    oracle = LinearOracle(a_mat, b_vec, names, u_level=v_in)
+    dt, t_stop = _suggest_grid(a_mat, max_steps)
+    meta = {"v_in": f"{v_in:g}", "drive_node": names[drive_node],
+            "n_states": str(n_states)}
+    return GeneratedCircuit(seed=seed, kind=kind, circuit=ckt,
+                            node_names=names, dt=dt, t_stop=t_stop,
+                            oracle=oracle, meta=meta)
+
+
+def _suggest_grid(a_mat: np.ndarray, max_steps: int) -> Tuple[float, float]:
+    """Pick (dt, t_stop) from the oracle's eigenvalue spread: resolve the
+    fastest mode, try to cover the slowest, cap the step count."""
+    eig = np.linalg.eigvals(a_mat)
+    rates = np.abs(eig.real)
+    rates = rates[rates > 0.0]
+    if len(rates) == 0:  # pragma: no cover - defensive, graph is lossy
+        return 1e-6, 1e-6 * max_steps
+    tau_fast = 1.0 / float(rates.max())
+    tau_slow = 1.0 / float(rates.min())
+    dt = tau_fast / 8.0
+    n_steps = min(max_steps, max(64, int(round(3.0 * tau_slow / dt))))
+    # round dt to one significant digit for a tidy, reproducible grid
+    dt = float(f"{dt:.1g}")
+    return dt, dt * n_steps
+
+
+# ----------------------------------------------------------------------
+# MOSFET family — nonlinear, fast-vs-reference only
+# ----------------------------------------------------------------------
+
+def _generate_mosfet(seed: int, rng: np.random.Generator,
+                     n_stages: Optional[int], max_steps: int) -> GeneratedCircuit:
+    n = int(n_stages) if n_stages is not None else int(rng.integers(1, 4))
+    if n < 1:
+        raise ValueError("n_nodes must be >= 1")
+    ckt = Circuit(f"mosfet_{seed}")
+    vdd = 5.0
+    ckt.vsource("VDD", "vdd", "0", vdd)
+    step_t = round(float(rng.uniform(2e-7, 8e-7)), 9)
+    v_lo, v_hi = 1.0, round(float(rng.uniform(2.5, 4.0)), 6)
+
+    def step(t: float, _lo=v_lo, _hi=v_hi, _at=step_t) -> float:
+        return _hi if t >= _at else _lo
+
+    ckt.vsource("VIN", "in", "0", step)
+    gate = "in"
+    names = []
+    for i in range(n):
+        drain = f"d{i + 1}"
+        names.append(drain)
+        w = round(_log_uniform(rng, 5e-6, 4e-5), 9)
+        ckt.nmos(f"M{i + 1}", drain, gate, "0", w=w, l=5e-6)
+        ckt.resistor(f"RL{i + 1}", "vdd", drain,
+                     _log_uniform(rng, 5e3, 5e4))
+        ckt.capacitor(f"CL{i + 1}", drain, "0",
+                      _log_uniform(rng, 1e-12, 1e-11))
+        gate = drain
+
+    # load time constant ~ R*C in [5e-9, 5e-7]; resolve the fastest.
+    dt = 5e-9
+    n_steps = min(max_steps, 400)
+    meta = {"stages": str(n), "step_t": f"{step_t:g}", "v_hi": f"{v_hi:g}"}
+    return GeneratedCircuit(seed=seed, kind="mosfet", circuit=ckt,
+                            node_names=names, dt=dt, t_stop=dt * n_steps,
+                            oracle=None, meta=meta)

@@ -1,0 +1,127 @@
+"""Golden regression store: pinned experiment outputs with readable diffs.
+
+A *golden* is a normalised JSON payload committed under
+``tests/goldens/``.  The check recomputes the payload, normalises it the
+same way and compares; on drift it raises :class:`GoldenMismatch` whose
+message is a unified diff of the two pretty-printed documents — the
+reviewer sees exactly which numbers moved, not just "assert failed".
+
+Normalisation makes the comparison robust without hiding real change:
+
+* floats are rounded to 9 significant digits (absorbs BLAS/platform
+  reassociation noise, far below any physical tolerance in this repo);
+* volatile keys (``elapsed_s``, ``trace``, ``stats``) are dropped at any
+  depth — timings and solver-iteration counts are not part of the
+  scientific contract;
+* dict keys are emitted sorted, so the files diff cleanly in review.
+
+Updating is explicit: ``pytest --update-goldens`` (see
+``tests/conftest.py``) or ``check_golden(..., update=True)``.  A missing
+golden fails unless updating — silently adopting a first result would
+defeat the point of pinning.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable, Tuple, Union
+
+#: keys stripped during normalisation, at any nesting depth
+VOLATILE_KEYS = ("elapsed_s", "trace", "stats")
+
+#: significant digits kept on floats
+FLOAT_SIG_DIGITS = 9
+
+
+class GoldenMismatch(AssertionError):
+    """A recomputed payload no longer matches its committed golden."""
+
+
+def normalize(payload: Any, sig_digits: int = FLOAT_SIG_DIGITS,
+              drop: Iterable[str] = VOLATILE_KEYS) -> Any:
+    """Return a JSON-safe, float-rounded, volatile-key-free copy."""
+    drop = tuple(drop)
+    if isinstance(payload, dict):
+        return {str(k): normalize(v, sig_digits, drop)
+                for k, v in payload.items() if str(k) not in drop}
+    if isinstance(payload, (list, tuple)):
+        return [normalize(v, sig_digits, drop) for v in payload]
+    if isinstance(payload, bool) or payload is None:
+        return payload
+    if isinstance(payload, float):
+        if math.isnan(payload) or math.isinf(payload):
+            return repr(payload)
+        return float(f"{payload:.{sig_digits}g}")
+    if isinstance(payload, int):
+        return payload
+    if isinstance(payload, str):
+        return payload
+    # numpy scalars and anything else that quacks numerically
+    if hasattr(payload, "item"):
+        return normalize(payload.item(), sig_digits, drop)
+    return str(payload)
+
+
+def dumps_canonical(payload: Any) -> str:
+    """Stable pretty-printed JSON (sorted keys, trailing newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(directory: Union[str, Path], name: str) -> Path:
+    return Path(directory) / f"{name}.json"
+
+
+def load_golden(directory: Union[str, Path], name: str) -> Any:
+    path = golden_path(directory, name)
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_golden(directory: Union[str, Path], name: str,
+                payload: Any) -> Path:
+    path = golden_path(directory, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_canonical(normalize(payload)), encoding="utf-8")
+    return path
+
+
+def diff_text(expected: Any, actual: Any, name: str = "golden") -> str:
+    """Unified diff between two payloads' canonical forms."""
+    exp_lines = dumps_canonical(expected).splitlines(keepends=True)
+    act_lines = dumps_canonical(actual).splitlines(keepends=True)
+    return "".join(difflib.unified_diff(
+        exp_lines, act_lines,
+        fromfile=f"{name} (committed)", tofile=f"{name} (recomputed)"))
+
+
+def check_golden(directory: Union[str, Path], name: str, payload: Any,
+                 update: bool = False) -> Tuple[str, Path]:
+    """Compare ``payload`` against the committed golden ``name``.
+
+    Returns ``(status, path)`` with status ``"matched"``, ``"created"``
+    or ``"updated"``.  Raises :class:`GoldenMismatch` (with a unified
+    diff in the message) when the golden exists, differs, and
+    ``update`` is false; raises it too for a *missing* golden so a
+    deleted file cannot silently pass.
+    """
+    path = golden_path(directory, name)
+    actual = normalize(payload)
+    if not path.exists():
+        if update:
+            return "created", save_golden(directory, name, actual)
+        raise GoldenMismatch(
+            f"no golden {path}; run `pytest --update-goldens` (or "
+            f"check_golden(..., update=True)) to create it")
+    expected = load_golden(directory, name)
+    if expected == actual:
+        return "matched", path
+    if update:
+        return "updated", save_golden(directory, name, actual)
+    raise GoldenMismatch(
+        f"golden {name!r} drifted ({path}).\n"
+        f"If the change is intended, re-pin with `pytest "
+        f"--update-goldens` and commit the diff.\n\n"
+        + diff_text(expected, actual, name=name))

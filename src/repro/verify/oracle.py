@@ -1,0 +1,178 @@
+"""Analytic oracles for the differential harness.
+
+Two independent references are provided for linear circuits, both built
+from explicit state matrices (``dx/dt = A x + B u``) rather than from
+the MNA stamping machinery they are meant to check:
+
+* :meth:`LinearOracle.exact` — the matrix-exponential solution via
+  :class:`repro.lti.statespace.StateSpace` zero-order-hold
+  discretisation.  Exact for the piecewise-constant inputs the
+  generator emits; the integrator's *discretisation error* is measured
+  against this (the convergence checker's reference).
+* :meth:`LinearOracle.discrete` — an independent implementation of the
+  same backward-Euler / trapezoidal recurrences the simulator applies,
+  as dense linear algebra on the state matrices.  The simulator must
+  agree with this to near machine precision at *any* timestep — a
+  stamping or factorisation bug shows up here regardless of dt.
+
+Closed-form step responses for the single-pole RC and series RLC cases
+cross-check the matrix oracles themselves (oracle-on-oracle testing).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lti.statespace import StateSpace
+
+
+class LinearOracle:
+    """Exact and independently-discretised solutions of a linear circuit.
+
+    Parameters
+    ----------
+    a_mat, b_vec:
+        State matrices of ``dx/dt = A x + B u`` with scalar input ``u``.
+    node_names:
+        Names for the leading states (the circuit's node voltages);
+        trailing states (inductor currents) are not exported.
+    u_level:
+        The constant input level (the generator's DC step amplitude).
+    """
+
+    def __init__(self, a_mat: np.ndarray, b_vec: np.ndarray,
+                 node_names: Sequence[str], u_level: float) -> None:
+        self.a = np.asarray(a_mat, dtype=float)
+        self.b = np.asarray(b_vec, dtype=float).reshape(-1)
+        if self.a.shape[0] != self.a.shape[1]:
+            raise ValueError("A must be square")
+        if len(self.b) != self.a.shape[0]:
+            raise ValueError("B length must match A order")
+        self.node_names = list(node_names)
+        if len(self.node_names) > self.a.shape[0]:
+            raise ValueError("more node names than states")
+        self.u_level = float(u_level)
+
+    @property
+    def order(self) -> int:
+        return self.a.shape[0]
+
+    def statespace(self) -> StateSpace:
+        """The oracle as a :class:`~repro.lti.statespace.StateSpace`
+        (output = every exported node voltage)."""
+        n = self.order
+        c = np.zeros((len(self.node_names), n))
+        c[:, :len(self.node_names)] = np.eye(len(self.node_names))
+        return StateSpace(self.a, self.b.reshape(n, 1), c,
+                          np.zeros((len(self.node_names), 1)))
+
+    def _export(self, x_all: np.ndarray) -> Dict[str, np.ndarray]:
+        return {name: x_all[:, i].copy()
+                for i, name in enumerate(self.node_names)}
+
+    # ------------------------------------------------------------------
+    def exact(self, times: np.ndarray,
+              x0: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
+        """Matrix-exponential solution sampled at ``times`` (must be a
+        uniform grid).  Exact for the constant input ``u_level``."""
+        times = np.asarray(times, dtype=float)
+        if len(times) < 2:
+            raise ValueError("need at least two sample times")
+        dt = float(times[1] - times[0])
+        ss = self.statespace()
+        ad, bd = ss.discretize(dt)
+        x = (np.zeros(self.order) if x0 is None
+             else np.asarray(x0, dtype=float).reshape(self.order))
+        x_all = np.empty((len(times), self.order))
+        x_all[0] = x
+        bu = bd[:, 0] * self.u_level
+        for k in range(1, len(times)):
+            x = ad @ x + bu
+            x_all[k] = x
+        return self._export(x_all)
+
+    # ------------------------------------------------------------------
+    def discrete(self, times: np.ndarray, method: str = "be",
+                 x0: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
+        """Mirror the simulator's fixed-step integration on the state
+        matrices.
+
+        ``"be"``: ``(I - dt A) x_k = x_{k-1} + dt B u``.
+        ``"trap"``: a backward-Euler start-up step (the simulator's
+        SPICE-convention seeding) followed by
+        ``(I - dt/2 A) x_k = (I + dt/2 A) x_{k-1} + dt B u``.
+
+        Same equations, independently implemented — agreement with the
+        simulator is limited only by floating-point reassociation.
+        """
+        if method not in ("be", "trap"):
+            raise ValueError(f"unknown method {method!r}")
+        times = np.asarray(times, dtype=float)
+        if len(times) < 2:
+            raise ValueError("need at least two sample times")
+        dt = float(times[1] - times[0])
+        n = self.order
+        eye = np.eye(n)
+        bu = self.b * self.u_level
+        x = (np.zeros(n) if x0 is None
+             else np.asarray(x0, dtype=float).reshape(n))
+        x_all = np.empty((len(times), n))
+        x_all[0] = x
+
+        m_be = eye - dt * self.a
+        for k in range(1, len(times)):
+            if method == "trap" and k > 1:
+                rhs = x + 0.5 * dt * (self.a @ x + 2.0 * bu)
+                x = np.linalg.solve(eye - 0.5 * dt * self.a, rhs)
+            else:
+                x = np.linalg.solve(m_be, x + dt * bu)
+            x_all[k] = x
+        return self._export(x_all)
+
+
+# ----------------------------------------------------------------------
+# Closed forms (oracle-on-oracle cross-checks)
+# ----------------------------------------------------------------------
+
+def rc_step_response(r: float, c: float, v: float,
+                     times: np.ndarray) -> np.ndarray:
+    """Capacitor voltage of a series RC driven by a step of ``v`` volts
+    from a zero initial state: ``v (1 - e^{-t/RC})``."""
+    times = np.asarray(times, dtype=float)
+    return v * (1.0 - np.exp(-times / (r * c)))
+
+
+def series_rlc_step_response(r: float, l: float, c: float, v: float,
+                             times: np.ndarray) -> np.ndarray:
+    """Capacitor voltage of a series RLC driven by a step of ``v`` volts
+    from zero initial state, covering the under-, over- and critically
+    damped cases."""
+    times = np.asarray(times, dtype=float)
+    alpha = r / (2.0 * l)
+    w0 = 1.0 / math.sqrt(l * c)
+    if abs(alpha - w0) <= 1e-12 * w0:  # critically damped
+        return v * (1.0 - np.exp(-alpha * times) * (1.0 + alpha * times))
+    if alpha < w0:  # underdamped
+        wd = math.sqrt(w0 * w0 - alpha * alpha)
+        env = np.exp(-alpha * times)
+        return v * (1.0 - env * (np.cos(wd * times)
+                                 + (alpha / wd) * np.sin(wd * times)))
+    # overdamped
+    s1 = -alpha + math.sqrt(alpha * alpha - w0 * w0)
+    s2 = -alpha - math.sqrt(alpha * alpha - w0 * w0)
+    k1 = s2 / (s2 - s1)
+    k2 = -s1 / (s2 - s1)
+    return v * (1.0 - k1 * np.exp(s1 * times) - k2 * np.exp(s2 * times))
+
+
+def oracle_for_series_rlc(r: float, l: float, c: float,
+                          v: float) -> LinearOracle:
+    """State-space oracle for the canonical series RLC (states: capacitor
+    voltage ``n2`` and inductor current)."""
+    a = np.array([[0.0, 1.0 / c],
+                  [-1.0 / l, -r / l]])
+    b = np.array([0.0, 1.0 / l])
+    return LinearOracle(a, b, ["n2"], u_level=v)

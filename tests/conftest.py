@@ -1,0 +1,29 @@
+"""Shared pytest wiring: the golden-store update flag.
+
+``pytest --update-goldens`` re-pins every golden the run touches (see
+:mod:`repro.verify.goldens`); without it, drift fails with a unified
+diff of committed vs recomputed payloads.
+"""
+
+from pathlib import Path
+
+import pytest
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current run instead "
+             "of comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
+@pytest.fixture
+def goldens_dir() -> Path:
+    return GOLDENS_DIR

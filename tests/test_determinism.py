@@ -1,0 +1,130 @@
+"""Reproducibility contracts: every seeded path must replay exactly.
+
+The verify subsystem (and the golden store in particular) only works if
+seeded randomness is bit-stable: noise injection, process variation,
+random circuit generation and fault campaigns must give byte-identical
+results for the same seed, and campaigns must not depend on whether the
+fault universe was evaluated serially or across worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultCampaign, StuckAtFault
+from repro.process.variation import VariationModel, VariationSpec
+from repro.signals import Waveform
+from repro.spice import Circuit, dc_operating_point
+from repro.verify.generate import KINDS, generate_circuit
+
+
+class TestNoiseSeeding:
+    def setup_method(self):
+        self.wave = Waveform(np.linspace(0.0, 5.0, 64), dt=1e-6)
+
+    def test_same_seed_same_noise(self):
+        a = self.wave.with_noise(0.1, seed=42)
+        b = self.wave.with_noise(0.1, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seed_different_noise(self):
+        a = self.wave.with_noise(0.1, seed=42)
+        b = self.wave.with_noise(0.1, seed=43)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_explicit_rng_equivalent_to_seed(self):
+        a = self.wave.with_noise(0.1, seed=7)
+        b = self.wave.with_noise(0.1, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestVariationSeeding:
+    def model(self, seed=1996):
+        return VariationModel(
+            [VariationSpec("r", sigma=0.05),
+             VariationSpec("c", sigma=0.1, distribution="lognormal")],
+            seed=seed)
+
+    def test_device_sampling_replays(self):
+        nominals = {"r": 1e3, "c": 1e-9}
+        first = self.model().sample_device(nominals, 3)
+        second = self.model().sample_device(nominals, 3)
+        assert first == second
+
+    def test_devices_are_independent_of_batch_context(self):
+        """Device i's parameters depend only on (seed, i), never on how
+        many devices were sampled before it."""
+        nominals = {"r": 1e3, "c": 1e-9}
+        batch = self.model().sample_batch(nominals, 8)
+        for i in (0, 4, 7):
+            assert self.model().sample_device(nominals, i) == batch[i]
+
+    def test_seed_changes_samples(self):
+        nominals = {"r": 1e3, "c": 1e-9}
+        assert (self.model(seed=1).sample_device(nominals, 0)
+                != self.model(seed=2).sample_device(nominals, 0))
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_same_seed_byte_identical_deck(self, kind):
+        a = generate_circuit(17, kind)
+        b = generate_circuit(17, kind)
+        assert a.deck() == b.deck()
+        assert a.dt == b.dt and a.n_steps == b.n_steps
+
+    def test_same_seed_identical_oracle(self):
+        a = generate_circuit(5, "rlc")
+        b = generate_circuit(5, "rlc")
+        np.testing.assert_array_equal(a.oracle.a, b.oracle.a)
+        np.testing.assert_array_equal(a.oracle.b, b.oracle.b)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_different_seeds_differ(self, kind):
+        assert (generate_circuit(0, kind).deck()
+                != generate_circuit(1, kind).deck())
+
+
+# Campaign technique/detector must live at module scope so they pickle
+# into ProcessPoolExecutor workers.
+def _divider():
+    ckt = Circuit("div")
+    ckt.vsource("VIN", "in", "0", 4.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt
+
+
+def _mid_voltage(ckt):
+    v, _ = dc_operating_point(ckt)
+    return v["mid"]
+
+
+def _shift_detector(reference, measurement):
+    return min(1.0, abs(measurement - reference))
+
+
+def _campaign_fingerprint(result):
+    return [(o.fault.describe(), round(o.detection, 12), o.detected,
+             o.error) for o in result.outcomes]
+
+
+class TestCampaignDeterminism:
+    FAULTS = [StuckAtFault.sa0("mid"), StuckAtFault.sa1("mid", vdd=5.0),
+              StuckAtFault(name="weak", node="mid", level=0.0,
+                           resistance=1e3)]
+
+    def test_serial_replays(self):
+        campaign = FaultCampaign(_mid_voltage, _shift_detector)
+        first = campaign.run(_divider(), self.FAULTS)
+        second = campaign.run(_divider(), self.FAULTS)
+        assert _campaign_fingerprint(first) == _campaign_fingerprint(second)
+
+    def test_workers_match_serial(self):
+        """Fanning the universe over processes must not change outcomes
+        or their order — the parallel fast path is a pure optimisation."""
+        serial = FaultCampaign(_mid_voltage, _shift_detector,
+                               workers=1).run(_divider(), self.FAULTS)
+        parallel = FaultCampaign(_mid_voltage, _shift_detector,
+                                 workers=2).run(_divider(), self.FAULTS)
+        assert _campaign_fingerprint(serial) == _campaign_fingerprint(parallel)
+        assert serial.coverage == parallel.coverage

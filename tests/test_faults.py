@@ -229,8 +229,10 @@ class TestCampaign:
     def test_campaign_error_propagates_when_asked(self):
         def broken(ckt):
             raise RuntimeError("boom")
-        campaign = FaultCampaign(lambda c: 0.0, lambda r, m: 0.0,
-                                 treat_errors_as_detected=False)
+        with pytest.warns(DeprecationWarning,
+                          match="treat_errors_as_detected is deprecated"):
+            campaign = FaultCampaign(lambda c: 0.0, lambda r, m: 0.0,
+                                     treat_errors_as_detected=False)
         campaign.technique = broken
         with pytest.raises(RuntimeError):
             campaign.run(divider(), [StuckAtFault.sa0("mid")],

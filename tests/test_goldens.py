@@ -1,0 +1,101 @@
+"""Golden regression tests: every experiment's output pinned to disk.
+
+Each of E1–E9 runs once (session-scoped, ~20 s total) and its
+``to_dict()`` payload — normalised per :mod:`repro.verify.goldens` — is
+compared byte-for-byte against ``tests/goldens/<id>.json``.  A change in
+any experiment's numbers fails with a unified diff; intended changes are
+re-pinned with ``pytest --update-goldens`` and reviewed as a JSON diff
+in the PR.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import REGISTRY, run_record
+from repro.verify.goldens import (
+    GoldenMismatch,
+    check_golden,
+    dumps_canonical,
+    golden_path,
+    load_golden,
+    normalize,
+)
+
+EXPERIMENT_IDS = sorted(REGISTRY)
+
+
+@pytest.fixture(scope="session")
+def experiment_payloads():
+    """Run every experiment once; id -> to_dict payload."""
+    return {exp_id: run_record(exp_id).to_dict()
+            for exp_id in EXPERIMENT_IDS}
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENT_IDS)
+def test_experiment_matches_golden(exp_id, experiment_payloads,
+                                   goldens_dir, update_goldens):
+    status, path = check_golden(goldens_dir, exp_id.lower(),
+                                experiment_payloads[exp_id],
+                                update=update_goldens)
+    if update_goldens:
+        assert status in ("created", "updated", "matched")
+    else:
+        assert status == "matched", f"golden {path} out of date"
+
+
+def test_goldens_are_canonical(goldens_dir):
+    """Committed files must be in canonical form (sorted keys, rounded
+    floats) so --update-goldens diffs stay minimal."""
+    paths = sorted(goldens_dir.glob("*.json"))
+    assert paths, "no goldens committed under tests/goldens/"
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        payload = json.loads(text)
+        assert text == dumps_canonical(normalize(payload)), \
+            f"{path} is not canonical; re-run pytest --update-goldens"
+
+
+def test_golden_mismatch_diff_is_readable(tmp_path):
+    check_golden(tmp_path, "sample", {"a": 1.0, "b": "x"}, update=True)
+    with pytest.raises(GoldenMismatch) as exc:
+        check_golden(tmp_path, "sample", {"a": 2.0, "b": "x"})
+    message = str(exc.value)
+    assert '-  "a": 1.0' in message
+    assert '+  "a": 2.0' in message
+    assert "--update-goldens" in message
+
+
+def test_missing_golden_fails_without_update(tmp_path):
+    with pytest.raises(GoldenMismatch, match="no golden"):
+        check_golden(tmp_path, "never-created", {"a": 1})
+
+
+def test_update_creates_then_matches(tmp_path):
+    status, path = check_golden(tmp_path, "fresh", {"x": [1, 2.5]},
+                                update=True)
+    assert status == "created" and path.exists()
+    status, _ = check_golden(tmp_path, "fresh", {"x": [1, 2.5]})
+    assert status == "matched"
+    status, _ = check_golden(tmp_path, "fresh", {"x": [1, 9.5]},
+                             update=True)
+    assert status == "updated"
+    assert load_golden(tmp_path, "fresh") == {"x": [1, 9.5]}
+
+
+def test_normalize_rounds_and_strips():
+    payload = {
+        "value": 0.1234567891234,
+        "elapsed_s": 12.0,
+        "nested": [{"trace": {"big": 1}, "stats": {"n": 3}, "keep": 1}],
+        "nan": float("nan"),
+    }
+    norm = normalize(payload)
+    assert norm["value"] == 0.123456789
+    assert "elapsed_s" not in norm
+    assert norm["nested"] == [{"keep": 1}]
+    assert norm["nan"] == "nan"
+
+
+def test_golden_path_shape(tmp_path):
+    assert golden_path(tmp_path, "e1").name == "e1.json"

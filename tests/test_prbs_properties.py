@@ -1,0 +1,126 @@
+"""Property-based tests for the PRBS generator and MISR compactor.
+
+The m-sequence properties (period, balance, two-level autocorrelation)
+are what make the paper's PRBS stimulus usable for correlation-based
+testing, so they are asserted for *every* supported register length in
+:data:`repro.signals.prbs.MAXIMAL_TAPS`, not just the order-4 generator
+the paper uses.  The MISR check covers the compressed test's core
+guarantee: no single-bit output error can alias to the good signature.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dft.lfsr import MISR
+from repro.signals.prbs import LFSR, MAXIMAL_TAPS, balance, prbs_sequence
+
+ORDERS = sorted(MAXIMAL_TAPS)
+
+orders = st.sampled_from(ORDERS)
+
+
+@st.composite
+def order_and_seed(draw):
+    """A supported LFSR order plus a valid (non-zero) register seed."""
+    order = draw(orders)
+    seed = draw(st.integers(min_value=1, max_value=(1 << order) - 1))
+    return order, seed
+
+
+@settings(deadline=None, max_examples=60)
+@given(order_and_seed())
+def test_period_is_exactly_2n_minus_1(params):
+    """The register cycles through all 2**n - 1 non-zero states: it
+    returns to the seed after exactly one period and never earlier."""
+    order, seed = params
+    lfsr = LFSR(order, seed=seed)
+    period = (1 << order) - 1
+    states = lfsr.states(period)
+    assert states[-1] == seed
+    assert seed not in states[:-1]
+
+
+@settings(deadline=None, max_examples=60)
+@given(order_and_seed())
+def test_period_balance_is_plus_one(params):
+    """2**(n-1) ones vs 2**(n-1) - 1 zeros per period, from any seed."""
+    order, seed = params
+    bits = prbs_sequence(order, seed=seed)
+    assert len(bits) == (1 << order) - 1
+    assert balance(bits) == 1
+
+
+@settings(deadline=None, max_examples=60)
+@given(order_and_seed(), st.data())
+def test_autocorrelation_is_two_level(params, data):
+    """Circular autocorrelation of the +/-1-mapped sequence is N at lag 0
+    and exactly -1 at every other lag — the m-sequence property that
+    makes PRBS cross-correlation approximate an impulse response."""
+    order, seed = params
+    period = (1 << order) - 1
+    lag = data.draw(st.integers(min_value=1, max_value=period - 1),
+                    label="lag")
+    mapped = 1 - 2 * prbs_sequence(order, seed=seed)
+    assert int(np.dot(mapped, mapped)) == period
+    assert int(np.dot(mapped, np.roll(mapped, lag))) == -1
+
+
+@settings(deadline=None, max_examples=40)
+@given(order_and_seed())
+def test_seed_only_rotates_the_sequence(params):
+    """Changing the seed shifts the phase of the one period; the chip
+    pattern itself is a property of the polynomial alone."""
+    order, seed = params
+    period = (1 << order) - 1
+    ref = prbs_sequence(order, seed=1)
+    other = prbs_sequence(order, seed=seed)
+    doubled = np.concatenate([ref, ref])
+    assert any(np.array_equal(other, doubled[k:k + period])
+               for k in range(period))
+
+
+@st.composite
+def misr_stream_and_flip(draw):
+    """A MISR width, an input word stream, and one bit position to flip."""
+    width = draw(orders)
+    n_words = draw(st.integers(min_value=1, max_value=64))
+    words = draw(st.lists(
+        st.integers(min_value=0, max_value=(1 << width) - 1),
+        min_size=n_words, max_size=n_words))
+    word_index = draw(st.integers(min_value=0, max_value=n_words - 1))
+    bit_index = draw(st.integers(min_value=0, max_value=width - 1))
+    return width, words, word_index, bit_index
+
+
+@settings(deadline=None, max_examples=120)
+@given(misr_stream_and_flip())
+def test_single_bit_error_always_changes_signature(params):
+    """Flipping any single bit anywhere in the response stream changes
+    the final signature — single-bit output errors can never alias."""
+    width, words, word_index, bit_index = params
+    good = MISR(width=width).compact(words)
+    perturbed = list(words)
+    perturbed[word_index] ^= 1 << bit_index
+    bad = MISR(width=width).compact(perturbed)
+    assert bad != good
+
+
+@settings(deadline=None, max_examples=60)
+@given(misr_stream_and_flip())
+def test_misr_is_deterministic_after_reset(params):
+    width, words, _, _ = params
+    misr = MISR(width=width)
+    first = misr.compact(words)
+    misr.reset()
+    assert misr.compact(words) == first
+    assert misr.n_clocked == len(words)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_default_taps_are_maximal(order):
+    """Sanity anchor for the table itself: the default polynomial for
+    each supported order really is maximal-length."""
+    lfsr = LFSR(order, seed=1)
+    period = (1 << order) - 1
+    assert sorted(lfsr.states(period)) == list(range(1, period + 1))

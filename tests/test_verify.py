@@ -1,0 +1,281 @@
+"""Unit tests for the repro.verify subsystem and the Inductor element.
+
+Covers the random circuit generator, the analytic oracles (checked
+against closed forms, then against each other), the differential
+harness, the Richardson convergence checker, and the new inductor
+stamps that the rlc circuit class exercises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lti import StateSpace
+from repro.spice import (
+    Circuit,
+    Inductor,
+    ac_sweep,
+    dc_operating_point,
+    parse_netlist,
+    transient,
+)
+from repro.verify import (
+    check_convergence,
+    compare_samples,
+    generate_circuit,
+    run_differential,
+)
+from repro.verify.generate import KINDS
+from repro.verify.oracle import (
+    LinearOracle,
+    oracle_for_series_rlc,
+    rc_step_response,
+    series_rlc_step_response,
+)
+
+
+# ----------------------------------------------------------------------
+# Inductor element
+# ----------------------------------------------------------------------
+def series_rlc_circuit(r=10.0, l=1e-3, c=1e-6, v=1.0):
+    ckt = Circuit("rlc")
+    ckt.vsource("VIN", "in", "0", v)
+    ckt.resistor("R1", "in", "n1", r)
+    ckt.inductor("L1", "n1", "n2", l)
+    ckt.capacitor("C1", "n2", "0", c)
+    return ckt
+
+
+class TestInductor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Inductor("L1", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            Inductor("L1", "a", "b", -1e-3)
+
+    def test_dc_short(self):
+        """At DC an inductor is a short: the full source voltage appears
+        across the capacitor and none across the inductor."""
+        v, _ = dc_operating_point(series_rlc_circuit(v=2.5))
+        assert v["n1"] == pytest.approx(v["n2"], abs=1e-9)
+        assert v["n2"] == pytest.approx(2.5, abs=1e-6)
+
+    def test_describe_and_clone(self):
+        ind = Inductor("L1", "a", "b", 2e-3)
+        assert ind.describe().split() == ["L", "L1", "a", "b", "0.002"]
+        twin = ind.clone()
+        assert twin is not ind
+        assert twin.describe() == ind.describe()
+
+    @pytest.mark.parametrize("method,tol", [("be", 6e-2), ("trap", 1e-3)])
+    def test_transient_matches_closed_form(self, method, tol):
+        """Underdamped (Q~3) series RLC step response against the
+        textbook solution over several ring periods; trap's phase error
+        accumulates ~60x slower than BE's at the same dt."""
+        r, l, c, v = 10.0, 1e-3, 1e-6, 1.0
+        dt, t_stop = 1e-6, 1.2e-3
+        res = transient(series_rlc_circuit(r, l, c, v), t_stop, dt,
+                        record=["n2"], method=method, uic=True)
+        exact = series_rlc_step_response(r, l, c, v, res.times)
+        assert np.max(np.abs(res["n2"].values - exact)) < tol * v
+
+    def test_fast_path_matches_reference(self):
+        ckt = series_rlc_circuit()
+        fast = transient(ckt, 1e-3, 2e-6, record=["n1", "n2"], uic=True,
+                         fast_path=True)
+        ref = transient(ckt, 1e-3, 2e-6, record=["n1", "n2"], uic=True,
+                        fast_path=False)
+        assert fast.stats["engine"] == "linear_march"
+        assert ref.stats["engine"] == "newton"
+        for node in ("n1", "n2"):
+            assert np.max(np.abs(fast[node].values - ref[node].values)) < 1e-9
+
+    def test_uic_seeds_initial_current(self):
+        """With uic, ic= presets the branch current: an L-R loop with no
+        source decays from that current, dropping i*R across R at t=0+."""
+        ckt = Circuit("lr")
+        ckt.inductor("L1", "n1", "0", 1e-3, ic=1e-3)
+        ckt.resistor("R1", "n1", "0", 1e3)
+        res = transient(ckt, 5e-9, 1e-9, record=["n1"], uic=True)
+        # v = -i R at the first step (current flows n1 -> ground inside L)
+        assert res["n1"].values[1] == pytest.approx(-1.0, rel=0.05)
+
+    def test_parser_accepts_l_cards(self):
+        parsed = parse_netlist("""
+        * rl divider
+        VIN in 0 1.0
+        R1 in out 50
+        L1 out 0 1m IC=2m
+        """).circuit
+        ind = [e for e in parsed.elements if isinstance(e, Inductor)]
+        assert len(ind) == 1
+        assert ind[0].inductance == pytest.approx(1e-3)
+        assert ind[0].ic == pytest.approx(2e-3)
+
+    def test_ac_stamp_is_jwl(self):
+        """Series RL high-pass: |V_L / V_in| = wL / sqrt(R^2 + (wL)^2)."""
+        ckt = Circuit("rl")
+        ckt.vsource("VIN", "in", "0", 0.0)
+        ckt.resistor("R1", "in", "out", 100.0)
+        ckt.inductor("L1", "out", "0", 1e-3)
+        sweep = ac_sweep(ckt, "VIN", "out", f_start=1e2, f_stop=1e6,
+                         points_per_decade=5)
+        w = 2.0 * np.pi * sweep.frequencies_hz
+        expected = w * 1e-3 / np.hypot(100.0, w * 1e-3)
+        np.testing.assert_allclose(sweep.magnitude, expected, rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+class TestGenerator:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_circuit(0, "opamp")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_deck_carries_header_and_elements(self, kind):
+        gen = generate_circuit(3, kind)
+        deck = gen.deck()
+        assert deck.startswith(f"* generated kind={kind} seed=3")
+        # one summary line per element survives into the deck
+        for element in gen.circuit.elements:
+            assert element.name in deck
+
+    @pytest.mark.parametrize("kind", ("rc", "rlc"))
+    def test_linear_kinds_carry_an_oracle(self, kind):
+        gen = generate_circuit(11, kind)
+        assert gen.oracle is not None
+        n_states = gen.oracle.a.shape[0]
+        assert n_states >= len(gen.node_names)
+        # generated systems must be strictly stable (well-conditioned)
+        assert np.max(np.linalg.eigvals(gen.oracle.a).real) < 0
+
+    def test_mosfet_kind_has_no_oracle(self):
+        gen = generate_circuit(11, "mosfet")
+        assert gen.oracle is None
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_grid_is_sane(self, kind):
+        gen = generate_circuit(7, kind, max_steps=256)
+        assert gen.dt > 0
+        assert 2 <= gen.n_steps <= 256
+
+    def test_simulable_at_suggested_grid(self):
+        gen = generate_circuit(23, "rlc")
+        res = transient(gen.circuit, gen.t_stop, gen.dt,
+                        record=gen.node_names, uic=True)
+        for node in gen.node_names:
+            assert np.all(np.isfinite(res[node].values))
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+class TestOracles:
+    def test_matrix_oracle_matches_rc_closed_form(self):
+        r, c, v = 1e3, 1e-6, 2.0
+        oracle = LinearOracle([[-1.0 / (r * c)]], [1.0 / (r * c)],
+                              ["n1"], u_level=v)
+        times = np.linspace(0.0, 5e-3, 101)
+        np.testing.assert_allclose(oracle.exact(times)["n1"],
+                                   rc_step_response(r, c, v, times),
+                                   atol=1e-12)
+
+    @pytest.mark.parametrize("r", [10.0, 63.2456, 500.0])
+    def test_matrix_oracle_matches_rlc_closed_form(self, r):
+        """Under-, near-critically- and over-damped series RLC: expm
+        propagation equals the piecewise closed form."""
+        l, c, v = 1e-3, 1e-6, 1.5
+        oracle = oracle_for_series_rlc(r, l, c, v)
+        times = np.linspace(0.0, 2e-3, 161)
+        np.testing.assert_allclose(oracle.exact(times)["n2"],
+                                   series_rlc_step_response(r, l, c, v, times),
+                                   atol=1e-9 * v)
+
+    def test_discrete_converges_to_exact(self):
+        oracle = oracle_for_series_rlc(10.0, 1e-3, 1e-6, 1.0)
+        t_stop = 1e-3
+        errors = []
+        for n in (100, 200, 400):
+            times = np.linspace(0.0, t_stop, n + 1)
+            err = np.abs(oracle.discrete(times, method="be")["n2"]
+                         - oracle.exact(times)["n2"])
+            errors.append(float(np.max(err)))
+        assert errors[0] > errors[1] > errors[2]
+        # first order: halving dt roughly halves the error
+        assert errors[0] / errors[1] == pytest.approx(2.0, rel=0.3)
+
+    def test_statespace_export(self):
+        oracle = oracle_for_series_rlc(10.0, 1e-3, 1e-6, 1.0)
+        assert isinstance(oracle.statespace(), StateSpace)
+
+
+# ----------------------------------------------------------------------
+# Differential harness
+# ----------------------------------------------------------------------
+class TestDifferential:
+    def test_compare_samples_identical(self):
+        x = np.array([0.0, 1.0, 2.0])
+        max_abs, max_rel, _ = compare_samples(x, x)
+        assert max_abs == 0.0 and max_rel == 0.0
+
+    def test_compare_samples_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_samples(np.zeros(3), np.zeros(4))
+
+    def test_compare_samples_zero_reference(self):
+        max_abs, max_rel, idx = compare_samples(np.zeros(4),
+                                                np.array([0, 0, 1e-12, 0]))
+        assert np.isfinite(max_rel)
+        assert idx == 2
+
+    def test_small_campaign_is_clean(self):
+        report = run_differential(range(6), kinds=("rc", "rlc"),
+                                  max_steps=96)
+        assert report.ok
+        assert report.n_circuits == 12
+        assert report.n_comparisons > 0
+        # routes sharing a discretisation agree to machine precision
+        assert all(w < 1e-9 for w in report.worst.values())
+        assert "fast-vs-oracle" in report.worst
+
+    def test_mosfet_kind_compares_engines_only(self):
+        report = run_differential(range(3), kinds=("mosfet",),
+                                  max_steps=64)
+        assert report.ok
+        assert not any("oracle" in pair for pair in report.worst)
+
+    def test_report_serialises(self):
+        report = run_differential(range(2), kinds=("rc",), max_steps=64)
+        payload = report.to_dict()
+        assert payload["n_circuits"] == 2
+        assert payload["mismatches"] == []
+        assert "fast-vs-reference" in payload["worst"]
+        assert "0 mismatches" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# Convergence order
+# ----------------------------------------------------------------------
+class TestConvergence:
+    @pytest.mark.parametrize("method,order", [("be", 1.0), ("trap", 2.0)])
+    def test_observed_order_on_rc(self, method, order):
+        result = check_convergence(seed=0, kind="rc", method=method)
+        assert result.ok, result.summary()
+        assert result.order == pytest.approx(order, rel=0.1)
+
+    def test_rlc_backward_euler_first_order(self):
+        result = check_convergence(seed=0, kind="rlc", method="be")
+        assert result.ok, result.summary()
+
+    def test_tolerance_gate(self):
+        result = check_convergence(seed=0, kind="rc", method="be",
+                                   tolerance=1e-6)
+        assert not result.ok
+
+    def test_summary_and_to_dict(self):
+        result = check_convergence(seed=2, kind="rc", method="trap")
+        assert "trap" in result.summary()
+        payload = result.to_dict()
+        assert payload["method"] == "trap"
+        assert payload["nominal_order"] == 2.0
