@@ -53,13 +53,18 @@ def main() -> None:
         print("-" * 60)
 
     print("\nflat event log:")
-    for ev in s.events():
+    for ev in s.span_events():
         print(f"  {'  ' * ev['depth']}{ev['name']:24s} "
               f"{ev['duration_s'] * 1e3:8.2f} ms")
 
     print("\ncounters:")
     for name, value in sorted(s.metrics.counter_values().items()):
         print(f"  {name:36s} {value}")
+
+    # the whole session as one terminal report (spans, hotspots,
+    # metrics, notable events)
+    print()
+    print(s.report())
 
 
 if __name__ == "__main__":

@@ -62,6 +62,11 @@ class BISTSession:
             out["trace"] = self.trace.to_dict()
         return out
 
+    def report(self) -> str:
+        """Terminal report: summary plus the run's span profile."""
+        from repro.obs.report import result_report
+        return result_report(self)
+
 
 class LogicBISTEngine:
     """LFSR-TPG → block under test → MISR, with a golden signature.

@@ -9,6 +9,12 @@ Options
 ``--trace FILE``
     Also write the session's full observability report (trace tree +
     metrics) to ``FILE`` (``-`` for stdout).
+``--report``
+    Print the session's terminal summary report (root spans, hotspot
+    profile, metrics, notable events) after the runs.
+``--html FILE``
+    Write the same report as a standalone HTML document (with the
+    Chrome trace embedded for Perfetto).
 ``--no-obs``
     Run uninstrumented (no tracing/metrics overhead).
 """
@@ -31,6 +37,12 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write the session trace/metrics report "
                              "to FILE ('-' for stdout)")
+    parser.add_argument("--report", action="store_true",
+                        help="print the session's terminal summary "
+                             "report after the runs")
+    parser.add_argument("--html", metavar="FILE", default=None,
+                        help="write the session report as a standalone "
+                             "HTML document")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable tracing/metrics for this run")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
@@ -50,6 +62,13 @@ def main(argv=None) -> int:
                 fh.write(report + "\n")
             if not args.as_json:
                 print(f"session trace written to {args.trace}")
+    if args.report:
+        print(session.report())
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(session.report(html=True))
+        if not args.as_json:
+            print(f"HTML report written to {args.html}")
     return 0
 
 

@@ -55,6 +55,9 @@ class Fig4Result:
     circuit2_detections: List[float]       # percent per fault
     circuit3_detections: List[float]
     fault_names_23: List[str]
+    #: circuit-1 campaign root span when the run was observed
+    #: (RunResult protocol).
+    trace: object = None
 
     def circuit1_detections(self) -> List[float]:
         return self.circuit1.detection_percentages()
@@ -98,6 +101,11 @@ class Fig4Result:
             "circuit3_is_weakest": self.circuit3_is_weakest,
             "circuit1_campaign": self.circuit1.to_dict(),
         }
+
+    def report(self) -> str:
+        """Terminal report: summary plus the circuit-1 campaign profile."""
+        from repro.obs.report import result_report
+        return result_report(self)
 
 
 def run_circuit1(config: TransientTestConfig = CIRCUIT1_CONFIG,
@@ -153,4 +161,5 @@ def run(config1: TransientTestConfig = CIRCUIT1_CONFIG,
     circuit1 = run_circuit1(config1)
     c2, c3, names = run_circuits23(config23)
     return Fig4Result(circuit1=circuit1, circuit2_detections=c2,
-                      circuit3_detections=c3, fault_names_23=names)
+                      circuit3_detections=c3, fault_names_23=names,
+                      trace=circuit1.trace)

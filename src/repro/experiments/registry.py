@@ -80,6 +80,11 @@ class ExperimentRun:
             out["trace"] = self.trace.to_dict()
         return out
 
+    def report(self) -> str:
+        """Terminal report: summary plus the run's span profile."""
+        from repro.obs.report import result_report
+        return result_report(self)
+
 
 REGISTRY: Dict[str, Experiment] = {}
 

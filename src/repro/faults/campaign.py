@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import functools
+import os
 import pickle
 import time
 import warnings
@@ -29,6 +30,7 @@ from repro.faults.injector import inject
 from repro.faults.model import Fault
 from repro.obs.core import OBS, observe
 from repro.obs.core import span as obs_span
+from repro.obs.health import ProgressCallback, ProgressTracker
 
 #: internal error policies (see ``FaultCampaign.errors_as_detected``)
 _ERROR_DETECTED = "detected"
@@ -50,6 +52,13 @@ class FaultOutcome:
     #: shape) captured when an observation scope was active; worker
     #: processes ship their counters back through this field.
     metrics: Optional[Dict[str, Dict[str, Any]]] = None
+    #: pid of the process that evaluated this fault (straggler
+    #: attribution; equals the parent pid in serial campaigns).
+    worker_pid: Optional[int] = None
+    #: structured events emitted during the evaluation (same isolation
+    #: and ship-back story as ``metrics``; merged into the ambient
+    #: event log by the parent so serial == workers).
+    events: Optional[List[Dict[str, Any]]] = None
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
@@ -140,6 +149,18 @@ class CampaignResult:
             out["trace"] = self.trace.to_dict()
         return out
 
+    def report(self) -> str:
+        """Terminal report: summary, per-span profile (when traced) and
+        the straggler/health verdict."""
+        from repro.obs.report import result_report
+        return result_report(self) + self.health().summary() + "\n"
+
+    def health(self, factor: float = 4.0):
+        """Post-hoc health analysis (see
+        :func:`repro.obs.health.straggler_report`)."""
+        from repro.obs.health import straggler_report
+        return straggler_report(self, factor=factor)
+
 
 def _evaluate_fault(technique: Callable[[Any], Any],
                     detector: Callable[[Any, Any], float],
@@ -163,6 +184,7 @@ def _evaluate_fault(technique: Callable[[Any], Any],
             outcome = _evaluate_fault_plain(technique, detector, threshold,
                                             on_error, target, reference, fault)
         outcome.metrics = handle.metrics.to_dict()
+        outcome.events = handle.events.records()
         return outcome
     return _evaluate_fault_plain(technique, detector, threshold, on_error,
                                  target, reference, fault)
@@ -193,6 +215,7 @@ def _evaluate_fault_plain(technique, detector, threshold, on_error,
             error=f"{type(exc).__name__}: {exc}",
         )
     outcome.elapsed_s = time.perf_counter() - t0
+    outcome.worker_pid = os.getpid()
     return outcome
 
 
@@ -271,10 +294,21 @@ class FaultCampaign:
 
     def run(self, target: Any, faults: Iterable[Fault],
             reference: Any = None,
-            workers: Optional[int] = None) -> CampaignResult:
+            workers: Optional[int] = None,
+            progress: Optional[ProgressCallback] = None,
+            heartbeat_every: int = 1) -> CampaignResult:
         """Evaluate every fault; ``reference`` may carry a precomputed
         fault-free measurement to avoid re-simulation.  ``workers``
-        overrides the campaign-level worker count for this run."""
+        overrides the campaign-level worker count for this run.
+
+        ``progress`` is called after every completed fault with a
+        :class:`~repro.obs.health.CampaignProgress` (done/total, ETA,
+        rate, evaluating pid); completion is reported in fault order in
+        both the serial and the pooled path, so the callback sees the
+        same sequence either way.  Under an observation scope the run
+        additionally emits ``campaign.heartbeat`` events (and a
+        ``campaign.heartbeats`` counter) every ``heartbeat_every``
+        completions."""
         t_start = time.perf_counter()
         name = getattr(target, "name", type(target).__name__)
         with obs_span("campaign", target=name) as sp:
@@ -303,6 +337,8 @@ class FaultCampaign:
                     OBS.metrics.counter("campaign.pickle_fallbacks").inc()
                 n_workers = 1
 
+            tracker = ProgressTracker(len(fault_list), callback=progress,
+                                      heartbeat_every=heartbeat_every)
             if n_workers > 1:
                 # pool.map preserves submission order, so the outcome list
                 # is deterministic (fault order) regardless of which worker
@@ -311,10 +347,15 @@ class FaultCampaign:
                 chunksize = max(1, len(fault_list) // (n_workers * 4))
                 with concurrent.futures.ProcessPoolExecutor(
                         max_workers=n_workers) as pool:
-                    result.outcomes.extend(
-                        pool.map(evaluate, fault_list, chunksize=chunksize))
+                    for outcome in pool.map(evaluate, fault_list,
+                                            chunksize=chunksize):
+                        result.outcomes.append(outcome)
+                        tracker.update(outcome)
             else:
-                result.outcomes.extend(evaluate(f) for f in fault_list)
+                for f in fault_list:
+                    outcome = evaluate(f)
+                    result.outcomes.append(outcome)
+                    tracker.update(outcome)
 
             result.workers = n_workers
             result.elapsed_s = time.perf_counter() - t_start
@@ -331,6 +372,8 @@ class FaultCampaign:
         busy = 0.0
         for o in result.outcomes:
             m.merge(o.metrics)
+            if o.events:
+                OBS.events.extend(o.events)
             m.histogram("campaign.fault_wall_s").observe(o.elapsed_s)
             busy += o.elapsed_s
         m.counter("campaign.runs").inc()

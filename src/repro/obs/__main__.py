@@ -1,0 +1,74 @@
+"""``python -m repro.obs`` — the observability command line.
+
+Subcommands
+-----------
+``bench``
+    Run a benchmark suite (default ``sim``; ``experiments`` re-runs the
+    paper's evaluation workloads) with every round inside an enabled
+    observation scope, and write ``BENCH_<suite>.json`` — median/IQR
+    wall-clock plus key solver counters per workload.
+``compare``
+    Compare two ``BENCH_*.json`` files; exits non-zero when any common
+    workload's median slowed beyond ``--threshold`` (a ratio;
+    ``--warn-only`` downgrades failures for bootstrap runs).
+``suites``
+    List the available suites and their workloads.
+"""
+
+import argparse
+import sys
+
+from repro.obs import bench as _bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Benchmark-telemetry pipeline (see repro.obs.bench).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser(
+        "bench", help="run a suite and write BENCH_<suite>.json")
+    p_bench.add_argument("--suite", default="sim",
+                         choices=sorted(_bench.SUITES),
+                         help="workload suite (default: sim)")
+    p_bench.add_argument("--ids", nargs="*", metavar="ID", default=None,
+                         help="subset of workloads to run (default: all)")
+    p_bench.add_argument("--rounds", type=int, default=3,
+                         help="timing rounds per workload (default: 3)")
+    p_bench.add_argument("--out", default=".", metavar="DIR",
+                         help="output directory (default: .)")
+    p_bench.add_argument("--quiet", action="store_true",
+                         help="suppress per-workload progress lines")
+
+    p_cmp = sub.add_parser(
+        "compare", help="gate a candidate BENCH file against a baseline")
+    p_cmp.add_argument("baseline", help="baseline BENCH_*.json")
+    p_cmp.add_argument("candidate", help="candidate BENCH_*.json")
+    p_cmp.add_argument("--threshold", type=float, default=1.15,
+                       help="allowed median slowdown ratio (default: 1.15)")
+    p_cmp.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (bootstrap)")
+
+    sub.add_parser("suites", help="list suites and workloads")
+
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.command == "bench":
+        _bench.run_suite(suite=args.suite, ids=args.ids,
+                         rounds=args.rounds, out_dir=args.out,
+                         echo=not args.quiet)
+        return 0
+    if args.command == "compare":
+        return _bench.compare_benches(args.baseline, args.candidate,
+                                      threshold=args.threshold,
+                                      warn_only=args.warn_only)
+    if args.command == "suites":
+        for suite in sorted(_bench.SUITES):
+            print(f"{suite}: {' '.join(sorted(_bench.SUITES[suite]))}")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,21 +8,28 @@ the enabled-mode overhead under 10 % and the disabled mode is
 unmeasurable against solver noise).
 
 Enabling is scoped: ``with observe() as obs: ...`` installs a fresh
-:class:`~repro.obs.trace.Tracer` and
-:class:`~repro.obs.metrics.Metrics` for the duration of the block and
+:class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.metrics.Metrics` and
+:class:`~repro.obs.log.EventLog` for the duration of the block and
 restores the previous scope afterwards (scopes nest; fault-campaign
 workers use exactly this to capture per-fault metrics in isolation).
 Setting the environment variable ``REPRO_OBS=1`` enables a process-wide
 ambient scope at import time, which is how the CI overhead benchmark
-exercises the enabled path without touching benchmark code.
+exercises the enabled path without touching benchmark code;
+``REPRO_OBS=chrome:/path.json`` (or ``jsonl:/path``, ``prom:/path``)
+additionally registers an :mod:`atexit` hook that exports the ambient
+scope when the process ends, so process-wide observability is
+retrievable, not merely switched on.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro.obs.log import EventLog
 from repro.obs.metrics import Metrics
 from repro.obs.trace import Tracer
 
@@ -47,21 +54,22 @@ NULL_SPAN = _NullSpan()
 
 
 class ObsState:
-    """The ambient observation scope (tracer + metrics + enabled flag)."""
+    """The ambient observation scope (tracer + metrics + events + flag)."""
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "events")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = Metrics()
+        self.events = EventLog()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> tuple:
-        return (self.enabled, self.tracer, self.metrics)
+        return (self.enabled, self.tracer, self.metrics, self.events)
 
     def restore(self, saved: tuple) -> None:
-        self.enabled, self.tracer, self.metrics = saved
+        self.enabled, self.tracer, self.metrics, self.events = saved
 
 
 #: process-wide ambient scope; hot code reads ``OBS.enabled`` directly.
@@ -69,18 +77,22 @@ OBS = ObsState()
 
 
 class Observation:
-    """Handle yielded by :func:`observe`: the scope's tracer and metrics
-    plus convenience exports once the block has finished."""
+    """Handle yielded by :func:`observe`: the scope's tracer, metrics
+    and event log plus convenience exports once the block has
+    finished."""
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "events")
 
-    def __init__(self, tracer: Tracer, metrics: Metrics) -> None:
+    def __init__(self, tracer: Tracer, metrics: Metrics,
+                 events: Optional[EventLog] = None) -> None:
         self.tracer = tracer
         self.metrics = metrics
+        self.events = events if events is not None else EventLog()
 
     def to_dict(self) -> dict:
         return {"trace": self.tracer.to_dict(),
-                "metrics": self.metrics.to_dict()}
+                "metrics": self.metrics.to_dict(),
+                "events": self.events.to_dict()}
 
     def trace_json(self, indent: Optional[int] = 2) -> str:
         import json
@@ -89,20 +101,27 @@ class Observation:
 
 @contextmanager
 def observe(tracer: Optional[Tracer] = None,
-            metrics: Optional[Metrics] = None) -> Iterator[Observation]:
+            metrics: Optional[Metrics] = None,
+            events: Optional[EventLog] = None,
+            profile_memory: bool = False) -> Iterator[Observation]:
     """Enable observability for the block, scoped and nestable.
 
     Fresh sinks are created unless existing ones are passed in (a
     :class:`~repro.session.Session` passes its own so successive runs
-    accumulate into one report).  On exit the previous ambient scope —
-    including disabled-ness — is restored.
+    accumulate into one report).  ``profile_memory=True`` builds the
+    fresh tracer with per-span tracemalloc peaks (no effect on a tracer
+    passed in).  On exit the previous ambient scope — including
+    disabled-ness — is restored.
     """
-    handle = Observation(tracer if tracer is not None else Tracer(),
-                         metrics if metrics is not None else Metrics())
+    handle = Observation(
+        tracer if tracer is not None else Tracer(profile_memory=profile_memory),
+        metrics if metrics is not None else Metrics(),
+        events if events is not None else EventLog())
     saved = OBS.snapshot()
     OBS.enabled = True
     OBS.tracer = handle.tracer
     OBS.metrics = handle.metrics
+    OBS.events = handle.events
     try:
         yield handle
     finally:
@@ -139,6 +158,14 @@ def gauge(name: str, value: float) -> None:
         OBS.metrics.gauge(name).set(value)
 
 
+def event(name: str, level: str = "info", **fields: Any) -> None:
+    """Emit a structured event into the ambient log, correlated with
+    the currently open span path (no-op when disabled)."""
+    if OBS.enabled:
+        OBS.events.emit(name, level=level,
+                        span=OBS.tracer.current_path() or None, **fields)
+
+
 def counter_value(name: str) -> int:
     """Current value of a counter (0 when disabled or never written).
 
@@ -151,15 +178,58 @@ def counter_value(name: str) -> int:
     return c.value if c is not None else 0
 
 
+# ---------------------------------------------------------------------------
+# environment activation (+ optional atexit export of the ambient scope)
+
+#: export formats accepted in ``REPRO_OBS=<fmt>:<path>``.
+_EXPORT_FORMATS = ("chrome", "jsonl", "prom")
+
+#: (fmt, path) pairs already registered with atexit (idempotence guard).
+_ATEXIT_EXPORTS: set = set()
+
+
+def _export_ambient(fmt: str, path: str) -> None:
+    """Write the ambient scope to ``path`` in ``fmt`` (the atexit hook)."""
+    from repro.obs import export as _export
+    if fmt == "chrome":
+        _export.write_chrome_trace(OBS.tracer, path)
+    elif fmt == "jsonl":
+        _export.write_jsonl(OBS.tracer, path, log=OBS.events)
+    elif fmt == "prom":
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_export.prometheus_text(OBS.metrics))
+
+
 def enable_from_env(env: Optional[dict] = None) -> bool:
     """Install a process-wide ambient scope when ``REPRO_OBS`` asks.
+
+    ``REPRO_OBS=1`` (or ``true``/``on``/``yes``) switches the ambient
+    scope on.  ``REPRO_OBS=chrome:/path.json``, ``jsonl:/path`` or
+    ``prom:/path`` also registers an :mod:`atexit` export of whatever
+    the ambient scope has accumulated when the process exits — the
+    trace as Chrome Trace Event JSON, the span/event stream as JSONL,
+    or the metrics as Prometheus text exposition respectively.
 
     Returns True when observability was switched on.  Called once at
     package import; safe to call again (idempotent per process).
     """
     env = os.environ if env is None else env
-    flag = str(env.get("REPRO_OBS", "")).strip().lower()
-    if flag in ("1", "true", "on", "yes") and not OBS.enabled:
-        OBS.enabled = True
-        return True
+    raw = str(env.get("REPRO_OBS", "")).strip()
+    flag = raw.lower()
+    if flag in ("1", "true", "on", "yes"):
+        if not OBS.enabled:
+            OBS.enabled = True
+            return True
+        return False
+    if ":" in raw:
+        fmt, path = raw.split(":", 1)
+        fmt = fmt.strip().lower()
+        path = path.strip()
+        if fmt in _EXPORT_FORMATS and path:
+            switched = not OBS.enabled
+            OBS.enabled = True
+            if (fmt, path) not in _ATEXIT_EXPORTS:
+                _ATEXIT_EXPORTS.add((fmt, path))
+                atexit.register(_export_ambient, fmt, path)
+            return switched
     return False

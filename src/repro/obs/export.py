@@ -1,0 +1,234 @@
+"""Exporters: get trace/metrics/event data *out* of the process.
+
+Three wire formats, all stdlib-only:
+
+* **Chrome Trace Event Format** (:func:`chrome_trace`) — the
+  ``{"traceEvents": [...]}`` JSON shape that ``chrome://tracing`` and
+  `Perfetto <https://ui.perfetto.dev>`_ load directly.  Every finished
+  span becomes one complete (``ph == "X"``) event; timestamps are
+  microseconds relative to a per-trace epoch (the earliest span start),
+  so the absolute :func:`time.perf_counter` origin never leaks into the
+  file and two traces diff cleanly.
+* **Prometheus text exposition** (:func:`prometheus_text`) — counters
+  as ``_total``, gauges verbatim, histograms as cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``, name-sanitised
+  and namespaced (default ``repro_``).  :func:`parse_prometheus_text`
+  is the matching reader (round-trip tests, scraping a written file).
+* **JSONL flat-event stream** (:func:`jsonl_events`) — one JSON object
+  per line, spans (``kind: "span"``) merged with structured log events
+  (``kind: "event"``) in timestamp order: the grep-able form.
+
+Open (unfinished) spans are skipped by the Chrome exporter — a complete
+event needs a duration — and exported with ``duration_s: null`` by the
+JSONL exporter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.log import EventLog
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Span, Tracer
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event Format
+
+
+def trace_epoch(tracer: Tracer) -> float:
+    """The per-trace epoch: earliest span start in the forest (0.0 for
+    an empty trace).  All exported timestamps are relative to this."""
+    starts = [s.t_start for s in tracer.spans]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace_events(tracer: Tracer, pid: Optional[int] = None,
+                        tid: int = 1) -> List[Dict[str, Any]]:
+    """Flatten the span forest into Chrome trace ``ph == "X"`` events."""
+    pid = os.getpid() if pid is None else pid
+    epoch = trace_epoch(tracer)
+    out: List[Dict[str, Any]] = []
+
+    def visit(span: Span) -> None:
+        if span.duration_s is not None:
+            args: Dict[str, Any] = dict(span.attrs)
+            if span.cpu_s is not None:
+                args["cpu_ms"] = round(span.cpu_s * 1e3, 6)
+            if span.mem_peak is not None:
+                args["mem_peak_bytes"] = span.mem_peak
+            out.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.t_start - epoch) * 1e6,   # microseconds
+                "dur": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "cat": "repro",
+                "args": args,
+            })
+        for child in span.children:
+            visit(child)
+
+    for root in tracer.spans:
+        visit(root)
+    return out
+
+
+def chrome_trace(tracer: Tracer, pid: Optional[int] = None) -> Dict[str, Any]:
+    """The full Chrome Trace Event JSON document (object form)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       pid: Optional[int] = None) -> None:
+    """Write a ``.json`` loadable in Perfetto / ``chrome://tracing``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer, pid=pid), fh, default=str)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    base = _NAME_RE.sub("_", name)
+    return f"{namespace}_{base}" if namespace else base
+
+
+def _prom_num(value: float) -> str:
+    if value != value:                       # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4.
+
+    Counters gain the conventional ``_total`` suffix; histogram buckets
+    are emitted cumulatively (Prometheus semantics) even though
+    :class:`~repro.obs.metrics.Histogram` stores them per-interval.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics.counters):
+        pname = _prom_name(name, namespace)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname}_total {metrics.counters[name].value}")
+    for name in sorted(metrics.gauges):
+        value = metrics.gauges[name].value
+        if value is None:
+            continue
+        pname = _prom_name(name, namespace)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_num(value)}")
+    for name in sorted(metrics.histograms):
+        h = metrics.histograms[name]
+        pname = _prom_name(name, namespace)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, n in zip(h.BOUNDS, h.buckets):
+            cumulative += n
+            lines.append(f'{pname}_bucket{{le="{_prom_num(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {h.count}')
+        lines.append(f"{pname}_sum {_prom_num(h.total)}")
+        lines.append(f"{pname}_count {h.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse :func:`prometheus_text` output back into plain data.
+
+    Returns ``name -> {"type": ..., "value"/...}`` with histogram
+    buckets as a ``{le-label: cumulative-count}`` dict.  Only the
+    subset of the exposition format this module emits is understood.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            mname, mtype = rest.rsplit(" ", 1)
+            types[mname.strip()] = mtype.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        value = float(raw)
+        label = None
+        if "{" in key:
+            key, _, labelpart = key.partition("{")
+            m = re.search(r'le="([^"]+)"', labelpart)
+            label = m.group(1) if m else None
+        for base, mtype in types.items():
+            if key == base or key.startswith(base + "_"):
+                suffix = key[len(base):]
+                rec = out.setdefault(base, {"type": mtype})
+                if mtype == "counter" and suffix == "_total":
+                    rec["value"] = value
+                elif mtype == "gauge" and suffix == "":
+                    rec["value"] = value
+                elif mtype == "histogram":
+                    if suffix == "_bucket":
+                        rec.setdefault("buckets", {})[label] = value
+                    elif suffix == "_sum":
+                        rec["sum"] = value
+                    elif suffix == "_count":
+                        rec["count"] = value
+                break
+    return out
+
+
+# ---------------------------------------------------------------------------
+# JSONL flat-event stream
+
+
+def jsonl_records(tracer: Tracer,
+                  log: Optional[EventLog] = None) -> List[Dict[str, Any]]:
+    """Span records (+ optional structured log events) as a single
+    timestamp-ordered list of flat dicts."""
+    epoch = trace_epoch(tracer)
+    records: List[Dict[str, Any]] = []
+    for ev in tracer.events():
+        rec = dict(ev, kind="span")
+        rec["t_start"] = ev["t_start"] - epoch
+        records.append(rec)
+    if log is not None:
+        for ev in log.records():
+            records.append({
+                "kind": "event",
+                "name": ev["name"],
+                "level": ev["level"],
+                "span": ev["span"],
+                "t_start": ev["t"] - epoch,
+                "wall": ev["wall"],
+                "fields": dict(ev["fields"]),
+            })
+    records.sort(key=lambda r: r["t_start"])
+    return records
+
+
+def jsonl_events(tracer: Tracer, log: Optional[EventLog] = None) -> str:
+    """The JSONL stream: one JSON object per line, timestamp order."""
+    return "\n".join(json.dumps(r, default=str)
+                     for r in jsonl_records(tracer, log))
+
+
+def write_jsonl(tracer: Tracer, path: str,
+                log: Optional[EventLog] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        text = jsonl_events(tracer, log)
+        fh.write(text + ("\n" if text else ""))

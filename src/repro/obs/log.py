@@ -1,0 +1,120 @@
+"""Structured, span-correlated event logging with a bounded buffer.
+
+Where :class:`~repro.obs.trace.Tracer` answers "where did the time go"
+and :class:`~repro.obs.metrics.Metrics` answers "how many", the
+:class:`EventLog` answers "what *happened*": discrete, schematised
+records of solver anomalies (Newton non-convergence, timestep
+subdivision storms, grid mismatches), campaign heartbeats and the like.
+Each record carries a monotonic timestamp, a wall-clock timestamp, a
+severity level, the name/path of the span that was open when it was
+emitted (correlation with the trace tree) and arbitrary structured
+fields.
+
+The buffer is a fixed-capacity ring: a pathological run that subdivides
+a million times cannot exhaust memory through its own diagnostics — old
+records are dropped (counted in :attr:`EventLog.dropped`) and the
+newest ``maxlen`` survive, which is what you want from a flight
+recorder.
+
+Stdlib-only; hot layers emit through :func:`repro.obs.core.event`,
+which is guarded by the ambient ``OBS.enabled`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+#: accepted severity levels, in increasing order of concern.
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class EventLog:
+    """Bounded ring buffer of structured event records."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._buf: deque = deque(maxlen=maxlen)
+        #: records evicted by the ring bound (total over the log's life).
+        self.dropped = 0
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, name: str, level: str = "info",
+             span: Optional[str] = None, **fields: Any) -> Dict[str, Any]:
+        """Append one event record; returns it (useful in tests)."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; use one of {LEVELS}")
+        rec = {
+            "t": time.perf_counter(),
+            "wall": time.time(),
+            "name": name,
+            "level": level,
+            "span": span,
+            "fields": fields,
+        }
+        if len(self._buf) == self.maxlen:
+            self.dropped += 1
+        self._buf.append(rec)
+        self._emitted += 1
+        return rec
+
+    def extend(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Fold foreign records in (campaign workers ship their event
+        lists back on the fault outcome; the parent extends)."""
+        for rec in records:
+            if len(self._buf) == self.maxlen:
+                self.dropped += 1
+            self._buf.append(dict(rec))
+            self._emitted += 1
+
+    # ------------------------------------------------------------------
+    def records(self, level: Optional[str] = None,
+                name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Buffered records, optionally filtered by exact level/name."""
+        out = list(self._buf)
+        if level is not None:
+            out = [r for r in out if r["level"] == level]
+        if name is not None:
+            out = [r for r in out if r["name"] == name]
+        return out
+
+    def counts_by_name(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self._buf:
+            out[r["name"]] = out.get(r["name"], 0) + 1
+        return out
+
+    @property
+    def emitted(self) -> int:
+        """Total records ever emitted (buffered + dropped)."""
+        return self._emitted
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def is_empty(self) -> bool:
+        return not self._buf
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.dropped = 0
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON document per line, oldest first."""
+        return "\n".join(json.dumps(r, default=str) for r in self._buf)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            text = self.to_jsonl()
+            fh.write(text + ("\n" if text else ""))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"maxlen": self.maxlen, "dropped": self.dropped,
+                "emitted": self._emitted, "records": list(self._buf)}

@@ -1,0 +1,145 @@
+"""Span profiling: fold a trace forest into per-path cost attribution.
+
+Every :class:`~repro.obs.trace.Span` already carries a wall-clock and a
+CPU-time duration; :func:`aggregate` folds the forest into one row per
+*path* (slash-joined span names from the root, the flame-graph
+identity), each with call counts, **total** time (span open to close,
+children included) and **self** time (total minus the children —
+the time actually spent at that level).  Self times partition the
+trace: summed over all paths they equal the summed root totals, which
+is what makes the hotspot table trustworthy — nothing is counted
+twice and nothing instrumented is lost.
+
+Open spans are skipped (no duration yet); their closed children still
+contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Span, Tracer
+
+
+@dataclass
+class PathStats:
+    """Accumulated cost of one span path."""
+
+    path: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    total_cpu_s: float = 0.0
+    self_cpu_s: float = 0.0
+    mem_peak_bytes: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "path": self.path,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "total_cpu_s": self.total_cpu_s,
+            "self_cpu_s": self.self_cpu_s,
+        }
+        if self.mem_peak_bytes is not None:
+            out["mem_peak_bytes"] = self.mem_peak_bytes
+        return out
+
+
+@dataclass
+class ProfileReport:
+    """The folded profile: per-path stats plus whole-trace accounting."""
+
+    rows: List[PathStats] = field(default_factory=list)
+    #: wall-clock attributed to root spans (the trace's covered time).
+    attributed_s: float = 0.0
+    #: CPU time attributed to root spans.
+    attributed_cpu_s: float = 0.0
+    #: wall-clock window spanned by the forest (first start → last end).
+    window_s: float = 0.0
+
+    def by_self(self) -> List[PathStats]:
+        return sorted(self.rows, key=lambda r: r.self_s, reverse=True)
+
+    def by_total(self) -> List[PathStats]:
+        return sorted(self.rows, key=lambda r: r.total_s, reverse=True)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the trace window attributed to spans (1.0 when
+        roots tile the window; < 1 when there are gaps between roots)."""
+        if self.window_s <= 0.0:
+            return 1.0 if not self.rows else 0.0
+        return min(1.0, self.attributed_s / self.window_s)
+
+    def table(self, top: int = 10, by: str = "self") -> str:
+        """Top-N hotspot table, plain text."""
+        rows = self.by_self() if by == "self" else self.by_total()
+        rows = rows[:top]
+        width = max([len("path")] + [len(r.path) for r in rows])
+        lines = [f"{'path':<{width}} {'calls':>6} {'self ms':>10} "
+                 f"{'total ms':>10} {'self cpu ms':>12}"]
+        for r in rows:
+            lines.append(
+                f"{r.path:<{width}} {r.calls:>6d} {r.self_s * 1e3:>10.3f} "
+                f"{r.total_s * 1e3:>10.3f} {r.self_cpu_s * 1e3:>12.3f}")
+        lines.append(
+            f"attributed {self.attributed_s * 1e3:.3f} ms wall "
+            f"({self.attributed_cpu_s * 1e3:.3f} ms cpu) over a "
+            f"{self.window_s * 1e3:.3f} ms window "
+            f"[coverage {100.0 * self.coverage:.1f}%]")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attributed_s": self.attributed_s,
+            "attributed_cpu_s": self.attributed_cpu_s,
+            "window_s": self.window_s,
+            "coverage": self.coverage,
+            "paths": [r.to_dict() for r in self.by_self()],
+        }
+
+
+def aggregate(tracer: Tracer) -> ProfileReport:
+    """Fold the tracer's span forest into a :class:`ProfileReport`."""
+    stats: Dict[str, PathStats] = {}
+    report = ProfileReport()
+
+    def visit(span: Span, prefix: str) -> None:
+        path = f"{prefix}/{span.name}" if prefix else span.name
+        for child in span.children:
+            visit(child, path)
+        dur = span.duration_s
+        if dur is None:
+            return
+        cpu = span.cpu_s or 0.0
+        child_wall = sum(c.duration_s for c in span.children
+                         if c.duration_s is not None)
+        child_cpu = sum(c.cpu_s for c in span.children
+                        if c.cpu_s is not None)
+        row = stats.get(path)
+        if row is None:
+            row = stats[path] = PathStats(path)
+        row.calls += 1
+        row.total_s += dur
+        row.self_s += max(0.0, dur - child_wall)
+        row.total_cpu_s += cpu
+        row.self_cpu_s += max(0.0, cpu - child_cpu)
+        if span.mem_peak is not None:
+            row.mem_peak_bytes = max(row.mem_peak_bytes or 0, span.mem_peak)
+
+    starts: List[float] = []
+    ends: List[float] = []
+    for root in tracer.spans:
+        visit(root, "")
+        if root.duration_s is not None:
+            starts.append(root.t_start)
+            ends.append(root.t_end)            # type: ignore[arg-type]
+            report.attributed_s += root.duration_s
+            report.attributed_cpu_s += root.cpu_s or 0.0
+    report.rows = list(stats.values())
+    if starts:
+        report.window_s = max(ends) - min(starts)
+    return report

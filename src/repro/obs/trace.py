@@ -3,10 +3,22 @@
 A :class:`Tracer` records a forest of :class:`Span` nodes.  Spans nest
 through an explicit stack — ``with tracer.span("transient"):`` opens a
 child of whatever span is currently active — and close with a wall-clock
-duration from :func:`time.perf_counter`.  The finished tree exports as a
-JSON document (:meth:`Tracer.to_json`) or as a flat, depth-annotated
-event log (:meth:`Tracer.events`), the two shapes downstream tooling
-wants (flame-graph-ish inspection vs. grep/line-oriented analysis).
+duration from :func:`time.perf_counter` plus a CPU-time duration from
+:func:`time.process_time` (the pair is what lets the profiler separate
+"slow because busy" from "slow because waiting").  The finished tree
+exports as a JSON document (:meth:`Tracer.to_json`) or as a flat,
+depth-annotated event log (:meth:`Tracer.events`), the two shapes
+downstream tooling wants (flame-graph-ish inspection vs. grep/
+line-oriented analysis); :mod:`repro.obs.export` adds Chrome Trace
+Event Format, Prometheus exposition and JSONL on top.
+
+A tracer built with ``profile_memory=True`` additionally records each
+span's peak ``tracemalloc`` traced-memory high-water mark (requires
+:func:`tracemalloc.start` to have been called; spans record ``None``
+otherwise).  The peak is per-span-approximate: the allocator's peak
+counter is reset at every span boundary, and a parent folds in its
+children's peaks, so short-lived allocations between a child closing
+and the parent closing are attributed to the parent.
 
 Nothing here imports outside the standard library; the hot layers pay
 for tracing only when :data:`repro.obs.core.OBS` is enabled.
@@ -16,6 +28,7 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -23,7 +36,8 @@ from typing import Any, Dict, Iterator, List, Optional
 class Span:
     """One timed, attributed node of the trace tree."""
 
-    __slots__ = ("name", "attrs", "t_start", "t_end", "children")
+    __slots__ = ("name", "attrs", "t_start", "t_end",
+                 "cpu_start", "cpu_end", "mem_peak", "children")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None,
                  t_start: Optional[float] = None) -> None:
@@ -31,6 +45,11 @@ class Span:
         self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
         self.t_start = time.perf_counter() if t_start is None else t_start
         self.t_end: Optional[float] = None
+        self.cpu_start = time.process_time()
+        self.cpu_end: Optional[float] = None
+        #: peak tracemalloc traced memory (bytes) over the span's
+        #: lifetime; ``None`` unless the owning tracer profiles memory.
+        self.mem_peak: Optional[int] = None
         self.children: List[Span] = []
 
     @property
@@ -40,6 +59,15 @@ class Span:
             return None
         return self.t_end - self.t_start
 
+    @property
+    def cpu_s(self) -> Optional[float]:
+        """CPU (process) time consumed while the span was open; ``None``
+        while still open.  Includes time spent in child spans but not in
+        other processes (campaign workers account for themselves)."""
+        if self.cpu_end is None:
+            return None
+        return self.cpu_end - self.cpu_start
+
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes; chainable."""
         self.attrs.update(attrs)
@@ -48,6 +76,7 @@ class Span:
     def close(self, t_end: Optional[float] = None) -> None:
         if self.t_end is None:
             self.t_end = time.perf_counter() if t_end is None else t_end
+            self.cpu_end = time.process_time()
 
     def find(self, name: str) -> Optional["Span"]:
         """First descendant (depth-first, self included) named ``name``."""
@@ -60,13 +89,17 @@ class Span:
         return None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "t_start": self.t_start,
             "duration_s": self.duration_s,
+            "cpu_s": self.cpu_s,
             "attrs": dict(self.attrs),
             "children": [c.to_dict() for c in self.children],
         }
+        if self.mem_peak is not None:
+            out["mem_peak_bytes"] = self.mem_peak
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dur = self.duration_s
@@ -75,11 +108,18 @@ class Span:
 
 
 class Tracer:
-    """Collects spans into a forest; one instance per observation scope."""
+    """Collects spans into a forest; one instance per observation scope.
 
-    def __init__(self) -> None:
+    ``profile_memory=True`` records per-span tracemalloc peaks (see the
+    module docstring for the attribution caveat); it is off by default
+    because tracemalloc itself slows allocation-heavy code noticeably.
+    """
+
+    def __init__(self, profile_memory: bool = False) -> None:
         self.spans: List[Span] = []
         self._stack: List[Span] = []
+        self._count = 0
+        self.profile_memory = profile_memory
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -99,26 +139,42 @@ class Tracer:
         else:
             self.spans.append(node)
         self._stack.append(node)
+        self._count += 1
+        if self.profile_memory and tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
         return node
 
     def finish(self, node: Span) -> None:
         node.close()
+        if self.profile_memory and tracemalloc.is_tracing():
+            peak = tracemalloc.get_traced_memory()[1]
+            child_peaks = [c.mem_peak for c in node.children
+                           if c.mem_peak is not None]
+            node.mem_peak = max([peak, *child_peaks])
+            tracemalloc.reset_peak()
         # Pop through any children left open by non-local exits so the
-        # stack cannot wedge on exceptions.
+        # stack cannot wedge on exceptions; tag them so an
+        # exception-truncated trace is distinguishable from a clean one.
         while self._stack:
             top = self._stack.pop()
             if top is node:
                 break
             top.close()
+            top.attrs["truncated"] = True
 
     @property
     def current(self) -> Optional[Span]:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def current_path(self) -> str:
+        """Slash-joined names of the open span stack (event correlation)."""
+        return "/".join(s.name for s in self._stack)
+
     def reset(self) -> None:
         self.spans = []
         self._stack = []
+        self._count = 0
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -138,6 +194,7 @@ class Tracer:
                 "depth": depth,
                 "t_start": span.t_start,
                 "duration_s": span.duration_s,
+                "cpu_s": span.cpu_s,
                 "attrs": dict(span.attrs),
             })
             for child in span.children:
@@ -156,4 +213,6 @@ class Tracer:
         return None
 
     def __len__(self) -> int:
-        return len(self.events())
+        """Number of spans recorded (running count; does not build the
+        flat event list)."""
+        return self._count

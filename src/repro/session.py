@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, \
     runtime_checkable
 
 from repro.obs.core import Observation, observe
+from repro.obs.log import EventLog
 from repro.obs.metrics import Metrics
 from repro.obs.trace import Span, Tracer
 
@@ -45,6 +46,8 @@ class RunResult(Protocol):
 
     ``trace`` is the run's root :class:`~repro.obs.trace.Span` when the
     run executed under an observation scope, else ``None``.
+    ``report()`` renders the run as a terminal summary (its summary line
+    plus a per-span cost profile when traced).
     """
 
     trace: Optional[Span]
@@ -52,6 +55,8 @@ class RunResult(Protocol):
     def summary(self) -> str: ...
 
     def to_dict(self) -> Dict[str, Any]: ...
+
+    def report(self) -> str: ...
 
 
 class Session:
@@ -84,16 +89,18 @@ class Session:
         self.name = name
         self.tracer = Tracer()
         self.metrics = Metrics()
+        self.events = EventLog()
 
     # -- scope handling ------------------------------------------------
     def _scope(self):
         """Observation scope installing this session's sinks (or a
         do-nothing scope when observability is off)."""
         if self.obs:
-            return observe(tracer=self.tracer, metrics=self.metrics)
+            return observe(tracer=self.tracer, metrics=self.metrics,
+                           events=self.events)
         import contextlib
         return contextlib.nullcontext(
-            Observation(self.tracer, self.metrics))
+            Observation(self.tracer, self.metrics, self.events))
 
     # -- solver --------------------------------------------------------
     def transient(self, circuit, t_stop: float, dt: float, **kwargs):
@@ -162,29 +169,50 @@ class Session:
             return run_records(ids, echo=echo)
 
     # -- reporting -----------------------------------------------------
-    def report(self) -> Dict[str, Any]:
-        """Everything the session observed: trace tree + metrics."""
+    def report(self, html: bool = False, top: int = 10) -> str:
+        """Render everything the session observed — root-span table,
+        top-N hotspot profile, metric tables, notable events — as a
+        terminal summary (default) or a standalone HTML document
+        (``html=True``, with the Chrome trace JSON embedded)."""
+        from repro.obs.report import render_html_report, render_text_report
+        render = render_html_report if html else render_text_report
+        return render(self.name, self.tracer, self.metrics,
+                      events=self.events, top=top,
+                      config={"fast_path": self.fast_path,
+                              "workers": self.workers, "obs": self.obs})
+
+    def report_data(self) -> Dict[str, Any]:
+        """Everything the session observed, machine-readably: trace
+        tree + metrics + structured events."""
         return {
             "session": self.name,
             "config": {"fast_path": self.fast_path, "workers": self.workers,
                        "obs": self.obs},
             "trace": self.tracer.to_dict(),
             "metrics": self.metrics.to_dict(),
+            "events": self.events.to_dict(),
         }
 
     def trace_json(self, indent: Optional[int] = 2) -> str:
         """The session report as a JSON document."""
         import json
-        return json.dumps(self.report(), indent=indent, default=str)
+        return json.dumps(self.report_data(), indent=indent, default=str)
 
-    def events(self) -> List[Dict[str, Any]]:
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The session trace as a Chrome Trace Event document (load the
+        JSON in Perfetto / ``chrome://tracing``)."""
+        from repro.obs.export import chrome_trace
+        return chrome_trace(self.tracer)
+
+    def span_events(self) -> List[Dict[str, Any]]:
         """Flat event-log view of the session trace."""
         return self.tracer.events()
 
     def reset(self) -> None:
-        """Drop accumulated trace/metrics (config is kept)."""
+        """Drop accumulated trace/metrics/events (config is kept)."""
         self.tracer.reset()
         self.metrics = Metrics()
+        self.events = EventLog()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Session({self.name!r}, fast_path={self.fast_path}, "

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.obs.core import OBS, counter_value
+from repro.obs.core import OBS, counter_value, event
 from repro.obs.core import span as obs_span
 from repro.spice.mna import Assembler, MNASystem, SimState
 from repro.spice.netlist import Circuit
@@ -93,11 +93,15 @@ def newton_solve(assembler: Assembler, state: SimState,
                 return x
         raise NewtonError(f"Newton failed to converge in {max_iter} "
                           f"iterations (last move {max_move:.3g} V)")
-    except NewtonError:
+    except NewtonError as exc:
         state.stats["newton_solves"] += 1
         state.stats["newton_iterations"] += iteration
         if OBS.enabled:
             _note_newton(iteration, failed=True)
+            event("solver.newton_nonconvergence", level="warning",
+                  circuit=assembler.circuit.name, iterations=iteration,
+                  t=state.t, dt=state.dt, gmin=state.gmin,
+                  reason=str(exc))
         raise
 
 
@@ -140,6 +144,8 @@ def _solve_with_homotopy(assembler: Assembler, state: SimState,
     # Strategy 2: gmin stepping.
     if OBS.enabled:
         OBS.metrics.counter("solver.homotopy_gmin_escalations").inc()
+        event("solver.homotopy_escalation", strategy="gmin_stepping",
+              circuit=assembler.circuit.name)
     x = x0
     try:
         for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12):
@@ -152,6 +158,8 @@ def _solve_with_homotopy(assembler: Assembler, state: SimState,
     # Strategy 3: source stepping (with a safety gmin floor).
     if OBS.enabled:
         OBS.metrics.counter("solver.homotopy_source_escalations").inc()
+        event("solver.homotopy_escalation", strategy="source_stepping",
+              circuit=assembler.circuit.name)
     x = None
     state.gmin = 1e-9
     try:

@@ -14,7 +14,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.obs.core import OBS, counter_value
+from repro.obs.core import OBS, counter_value, event
 from repro.signals.waveform import Waveform
 from repro.spice.elements import Capacitor, Inductor
 from repro.spice.fastpath import LinearMarch, linear_march_supported
@@ -120,11 +120,21 @@ class TransientResult:
             out["trace"] = self.trace.to_dict()
         return out
 
+    def report(self) -> str:
+        """Terminal report: summary plus the run's span profile (when
+        the run executed under an observation scope)."""
+        from repro.obs.report import result_report
+        return result_report(self)
+
 
 #: counters whose per-run deltas are attached to the ``transient`` span
 _SPAN_COUNTERS = ("solver.newton_iterations", "mna.lu_factorizations",
                   "mna.lu_reuses", "mna.static_reuses",
                   "transient.subdivisions")
+
+#: subdivision count within one march at which a single
+#: ``transient.subdivision_storm`` warning event is emitted.
+_SUBDIVISION_STORM = 16
 
 
 def transient(circuit: Circuit, t_stop: float, dt: float,
@@ -243,6 +253,10 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
             f"t_stop={t_stop:g} is not an integer multiple of dt={dt:g}; "
             f"the march covers {n_steps} steps ending at t={n_steps * dt:g}, "
             f"not t_stop", GridMismatchWarning, stacklevel=3)
+        if OBS.enabled:
+            event("transient.grid_mismatch", level="warning",
+                  circuit=circuit.name, t_stop=t_stop, dt=dt,
+                  t_end=n_steps * dt)
     record_nodes = list(record) if record is not None else assembler.node_names
     for node in record_nodes:
         if node != GROUND and node not in assembler.index:
@@ -352,6 +366,15 @@ def _advance(assembler: Assembler, state: SimState,
         state.stats["subdivisions"] += 1
         if OBS.enabled:
             OBS.metrics.counter("transient.subdivisions").inc()
+            event("transient.subdivision",
+                  level="info" if depth > 2 else "warning",
+                  t_from=t_from, t_to=t_to, depth_remaining=depth)
+            # A storm — many halvings inside one march — usually means
+            # dt is far too coarse for the circuit's fastest edge; flag
+            # it once, at the threshold crossing.
+            if state.stats["subdivisions"] == _SUBDIVISION_STORM:
+                event("transient.subdivision_storm", level="warning",
+                      subdivisions=_SUBDIVISION_STORM, t=t_to)
         aux_backup = dict(state.aux)
         t_mid = t_from + step / 2.0
         try:
