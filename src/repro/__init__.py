@@ -23,6 +23,10 @@ full API:
 * :mod:`repro.verify`   — simulator verification: differential fuzzing
   against analytic oracles, convergence-order checks, golden store
   (``python -m repro.verify``).
+* :mod:`repro.errors`   — the shared exception hierarchy (everything
+  the package raises derives from :class:`ReproError`).
+* :mod:`repro.resilience` — deadlines, solver retry ladders,
+  checkpoint/resume and crash-recovery accounting for long campaigns.
 
 Quickstart::
 
@@ -38,7 +42,17 @@ __version__ = "1.1.0"
 
 from repro import obs
 from repro.dft import LogicBISTEngine
+from repro.errors import (
+    CampaignError,
+    CheckpointError,
+    CounterTimeout,
+    DeadlineExceeded,
+    DeckError,
+    NewtonError,
+    ReproError,
+)
 from repro.faults import CampaignResult, FaultCampaign
+from repro.resilience import FailureReport, RetryPolicy
 from repro.session import RunResult, Session
 from repro.signals import Waveform
 from repro.spice import (
@@ -62,6 +76,16 @@ __all__ = [
     # fault campaigns
     "FaultCampaign",
     "CampaignResult",
+    # resilience + errors
+    "FailureReport",
+    "RetryPolicy",
+    "ReproError",
+    "NewtonError",
+    "DeckError",
+    "CampaignError",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "CounterTimeout",
     # digital BIST
     "LogicBISTEngine",
     # signals

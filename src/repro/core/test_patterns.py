@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.adc.control import ControlState
 from repro.adc.dual_slope import DualSlopeADC
+from repro.errors import CounterTimeout
 
 
 @dataclass(frozen=True)
@@ -49,25 +50,45 @@ class DiagnosticPattern:
         Components (in order): output codes at the conversion points,
         fall times in ms, conversion time in ms, completed flag, and the
         ramp's code sequence.
+
+        A device whose counter macro never settles surfaces as
+        :class:`~repro.errors.CounterTimeout` — a *functional* verdict,
+        not an infrastructure failure — and is folded into the
+        signature as the ``timeout_code`` sentinel so the dictionary
+        can still match it against known control/counter faults.
         """
         signature: List[float] = []
         completed = True
         for v in self.conversion_points_v:
-            trace = adc.convert(v)
-            completed = completed and trace.completed
-            signature.append(float(trace.code) if trace.completed
-                             else self.timeout_code)
+            try:
+                trace = adc.convert(v)
+                ok = trace.completed
+                code = float(trace.code)
+            except CounterTimeout:
+                ok, code = False, self.timeout_code
+            completed = completed and ok
+            signature.append(code if ok else self.timeout_code)
         for v in self.fall_steps_v:
-            t = adc.test_fall_time(v)
+            try:
+                t = adc.test_fall_time(v)
+            except CounterTimeout:
+                t = float("inf")
             signature.append(1e3 * t if t != float("inf") else 99.0)
-        trace = adc.convert(1.25)
-        signature.append(1e3 * trace.conversion_time_s)
-        signature.append(1.0 if trace.completed else 0.0)
+        try:
+            trace = adc.convert(1.25)
+            signature.append(1e3 * trace.conversion_time_s)
+            signature.append(1.0 if trace.completed else 0.0)
+        except CounterTimeout:
+            signature.append(self.timeout_code)
+            signature.append(0.0)
         lsb = adc.cal.lsb_v
         top = adc.cal.full_scale_v
         for k in range(self.ramp_points):
             v = top * k / (self.ramp_points - 1)
-            signature.append(float(adc.code_of(v)))
+            try:
+                signature.append(float(adc.code_of(v)))
+            except CounterTimeout:
+                signature.append(self.timeout_code)
         return np.asarray(signature)
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import CounterTimeout
+
 
 class CounterMacro:
     """A binary up-counter with enable, clear and stuck-bit fault hooks."""
@@ -73,16 +75,20 @@ class CounterMacro:
         """Clock until ``predicate(count)`` is true; returns cycles used.
 
         This is the ADC control loop's "count while the comparator is
-        high" primitive.  Raises ``TimeoutError`` past ``max_cycles``
-        (default: one full wrap) — a stopped conversion is precisely the
-        control-fault signature the paper describes.
+        high" primitive.  Raises :class:`~repro.errors.CounterTimeout`
+        past ``max_cycles`` (default: one full wrap) — a stopped
+        conversion is precisely the control-fault signature the paper
+        describes.  (``CounterTimeout`` keeps :class:`TimeoutError` as a
+        base for compatibility, but is a *functional* verdict about the
+        device under test — deliberately distinct from the resilience
+        layer's wall-clock :class:`~repro.errors.DeadlineExceeded`.)
         """
         limit = max_cycles if max_cycles is not None else self.max_count + 1
         for cycles in range(limit):
             if predicate(self.count):
                 return cycles
             self.clock()
-        raise TimeoutError(
+        raise CounterTimeout(
             f"counter reached {limit} cycles without the predicate holding")
 
     def time_to_count(self, count: int) -> float:

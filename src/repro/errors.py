@@ -1,0 +1,98 @@
+"""Shared exception hierarchy for the whole package.
+
+Every error the library raises on purpose derives from
+:class:`ReproError`, so callers can catch one type at a campaign or
+session boundary without fishing for module-specific classes.  Where an
+older exception type was already public (``NewtonError`` used to derive
+from :class:`RuntimeError`, the counter raised the builtin
+:class:`TimeoutError`, the parser error derived from
+:class:`ValueError`) the legacy base is *kept* as a secondary base, so
+existing ``except`` clauses keep working.
+
+The hierarchy::
+
+    ReproError
+    ├── NewtonError          (also RuntimeError)   solver non-convergence
+    ├── DeckError            (also ValueError)     bad netlist, pre-flight
+    │   └── NetlistSyntaxError                     (in repro.spice.parser)
+    ├── CampaignError        (also RuntimeError)   fault-campaign failures
+    │   └── CheckpointError                        bad/mismatched checkpoint
+    ├── DeadlineExceeded                           resilience-layer deadline
+    └── CounterTimeout       (also TimeoutError)   counter never settles
+
+:class:`DeadlineExceeded` is deliberately *not* a
+:class:`TimeoutError`: the counter's functional "never settles"
+condition (:class:`CounterTimeout`) and the resilience layer's
+wall-clock deadlines must never be confused by a broad
+``except TimeoutError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by :mod:`repro`."""
+
+
+class NewtonError(ReproError, RuntimeError):
+    """Every convergence strategy failed for a nonlinear solve.
+
+    (Historically defined in :mod:`repro.spice.solver` as a plain
+    :class:`RuntimeError` subclass; the :class:`RuntimeError` base is
+    kept for compatibility.)
+    """
+
+
+class DeckError(ReproError, ValueError):
+    """A netlist cannot be simulated as written.
+
+    Raised by pre-flight validation (floating nodes, shorted
+    voltage-source loops) *before* the solver runs, naming the offending
+    node or element — instead of a ``singular MNA matrix`` surfacing
+    from deep inside a Newton iteration.
+    """
+
+
+class CampaignError(ReproError, RuntimeError):
+    """A fault campaign could not run or finish as configured."""
+
+
+class CheckpointError(CampaignError):
+    """A campaign checkpoint file is unreadable, corrupt, or belongs to
+    a different (technique, fault universe, config) key."""
+
+
+class DeadlineExceeded(ReproError):
+    """A resilience-layer wall-clock deadline expired.
+
+    Carries the :class:`~repro.resilience.deadline.Deadline` that fired
+    (``.deadline``) so nested scopes — a per-fault timeout inside a
+    campaign-wide deadline — can tell *which* budget ran out.
+    """
+
+    def __init__(self, message: str, deadline: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class CounterTimeout(ReproError, TimeoutError):
+    """The counter macro clocked past its cycle budget without the
+    predicate holding — the paper's stopped-conversion control-fault
+    signature.  Derives from :class:`TimeoutError` for compatibility
+    with older ``except TimeoutError`` call sites; distinct from
+    :class:`DeadlineExceeded` (the resilience layer's wall-clock
+    timeout) by design.
+    """
+
+
+__all__ = [
+    "ReproError",
+    "NewtonError",
+    "DeckError",
+    "CampaignError",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "CounterTimeout",
+]

@@ -17,6 +17,16 @@ Options
     Chrome trace embedded for Perfetto).
 ``--no-obs``
     Run uninstrumented (no tracing/metrics overhead).
+
+Exit codes
+----------
+``0``
+    Every run completed fully.
+``3``
+    At least one run was *partial* — a fault campaign inside it timed
+    out, quarantined or skipped faults (see the run's ``failures``
+    payload).  Results are still emitted; the code keeps CI and batch
+    drivers from mistaking a degraded sweep for a complete one.
 """
 
 import argparse
@@ -69,7 +79,24 @@ def main(argv=None) -> int:
             fh.write(session.report(html=True))
         if not args.as_json:
             print(f"HTML report written to {args.html}")
+    partial = [exp_id for exp_id, run in records.items()
+               if _is_partial(run.to_dict())]
+    if partial:
+        print(f"PARTIAL: incomplete results in {', '.join(partial)}",
+              file=sys.stderr)
+        return 3
     return 0
+
+
+def _is_partial(doc) -> bool:
+    """True when any nested result payload carries ``partial: True``."""
+    if isinstance(doc, dict):
+        if doc.get("partial") is True:
+            return True
+        return any(_is_partial(v) for v in doc.values())
+    if isinstance(doc, (list, tuple)):
+        return any(_is_partial(v) for v in doc)
+    return False
 
 
 if __name__ == "__main__":

@@ -13,6 +13,15 @@ isolated metrics snapshot which is merged back into the ambient
 registry, so ``workers=N`` runs report exactly the same counters as a
 serial run, plus campaign-level wall-time histograms and a
 worker-utilisation gauge.
+
+Campaigns are also *resilient* (see DESIGN.md, "Resilience
+architecture"): :meth:`FaultCampaign.run` accepts per-fault and
+campaign-wide deadlines, periodic atomic checkpointing with
+``resume=True``, and — in pooled mode — survives hung and crashed
+worker processes by killing/rebuilding the pool, re-running in-flight
+faults and quarantining faults that kill a worker twice.  Everything
+that degraded the run is accounted for in the result's
+:class:`~repro.resilience.failure.FailureReport`.
 """
 
 from __future__ import annotations
@@ -24,18 +33,29 @@ import pickle
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
+from repro.errors import DeadlineExceeded
 from repro.faults.injector import inject
 from repro.faults.model import Fault
-from repro.obs.core import OBS, observe
+from repro.obs.core import OBS, event, observe
 from repro.obs.core import span as obs_span
 from repro.obs.health import ProgressCallback, ProgressTracker
+from repro.resilience.checkpoint import CampaignCheckpoint, campaign_key
+from repro.resilience.deadline import Deadline, deadline_scope, installed
+from repro.resilience.failure import FailureReport
 
 #: internal error policies (see ``FaultCampaign.errors_as_detected``)
 _ERROR_DETECTED = "detected"
 _ERROR_UNDETECTED = "undetected"
 _ERROR_RAISE = "raise"
+
+#: extra seconds granted on top of ``fault_timeout_s`` before the parent
+#: hard-kills a pooled worker that missed every cooperative check.
+_DEFAULT_TIMEOUT_GRACE_S = 1.0
+
+#: fatal worker crashes before a fault is quarantined as a poison pill.
+_QUARANTINE_AFTER = 2
 
 
 @dataclass
@@ -59,22 +79,40 @@ class FaultOutcome:
     #: and ship-back story as ``metrics``; merged into the ambient
     #: event log by the parent so serial == workers).
     events: Optional[List[Dict[str, Any]]] = None
+    #: the evaluation exceeded its per-fault deadline (``detected`` is
+    #: always False for a timeout, regardless of ``errors_as_detected`` —
+    #: a timeout says nothing about the device under test).
+    timed_out: bool = False
+    #: the fault killed a worker process twice and was quarantined as a
+    #: poison pill (never counted as detected).
+    quarantined: bool = False
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
-        if self.error is not None:
+        if self.timed_out:
+            status += " (timeout)"
+        elif self.quarantined:
+            status += " (quarantined)"
+        elif self.error is not None:
             status += " (error)"
         pct = 100.0 * self.detection
         return f"{self.fault.describe():40s} {pct:6.1f}%  {status}"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "fault": self.fault.describe(),
             "detection": self.detection,
             "detected": self.detected,
             "error": self.error,
             "elapsed_s": self.elapsed_s,
         }
+        # only present when set, so healthy payloads (and their pinned
+        # goldens) are unchanged
+        if self.timed_out:
+            out["timed_out"] = True
+        if self.quarantined:
+            out["quarantined"] = True
+        return out
 
 
 @dataclass
@@ -90,6 +128,13 @@ class CampaignResult:
     #: trace span of the campaign run (RunResult protocol; set when an
     #: observation scope was active).
     trace: Any = field(default=None, repr=False, compare=False)
+    #: True when not every fault received a genuine evaluation — some
+    #: timed out, were quarantined, or were skipped by the campaign
+    #: deadline.  CLI entry points exit non-zero for partial runs.
+    partial: bool = False
+    #: structured degradation accounting (always present; empty —
+    #: ``degraded == False`` — for a clean run).
+    failures: FailureReport = field(default_factory=FailureReport)
 
     @property
     def n_faults(self) -> int:
@@ -104,6 +149,19 @@ class CampaignResult:
         """Faults whose evaluation raised instead of simulating — kept
         visible so solver blowups cannot silently inflate coverage."""
         return sum(1 for o in self.outcomes if o.error is not None)
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(1 for o in self.outcomes if o.timed_out)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for o in self.outcomes if o.quarantined)
+
+    @property
+    def n_skipped(self) -> int:
+        """Faults never evaluated (campaign deadline expired first)."""
+        return len(self.failures.skipped)
 
     @property
     def coverage(self) -> float:
@@ -121,6 +179,10 @@ class CampaignResult:
         lines.extend(o.describe() for o in self.outcomes)
         return "\n".join(lines)
 
+    def failure_report(self) -> FailureReport:
+        """What degraded this run (empty report for a clean run)."""
+        return self.failures
+
     # -- RunResult protocol --------------------------------------------
     def summary(self) -> str:
         line = (f"fault campaign on {self.target_name}: "
@@ -130,6 +192,10 @@ class CampaignResult:
             line += f", {self.n_errors} simulation errors"
         if self.elapsed_s:
             line += f" [{self.elapsed_s:.2f} s, workers={self.workers}]"
+        if self.partial:
+            line += " [PARTIAL]"
+        if self.failures.degraded:
+            line += f" — {self.failures.summary()}"
         return line
 
     def to_dict(self) -> Dict[str, Any]:
@@ -145,15 +211,25 @@ class CampaignResult:
             "workers": self.workers,
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
+        # degraded-run keys are conditional so clean payloads (and the
+        # goldens pinning them) keep their historical shape
+        if self.partial:
+            out["partial"] = True
+        if self.failures.degraded:
+            out["failures"] = self.failures.to_dict()
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
         return out
 
     def report(self) -> str:
-        """Terminal report: summary, per-span profile (when traced) and
-        the straggler/health verdict."""
+        """Terminal report: summary, per-span profile (when traced),
+        the straggler/health verdict and — for a degraded run — the
+        failure accounting."""
         from repro.obs.report import result_report
-        return result_report(self) + self.health().summary() + "\n"
+        text = result_report(self) + self.health().summary() + "\n"
+        if self.failures.degraded:
+            text += f"failures: {self.failures.summary()}\n"
+        return text
 
     def health(self, factor: float = 4.0):
         """Post-hoc health analysis (see
@@ -162,11 +238,29 @@ class CampaignResult:
         return straggler_report(self, factor=factor)
 
 
+def _timeout_outcome(fault: Fault, budget_s: float,
+                     elapsed_s: float, killed: bool = False) -> FaultOutcome:
+    suffix = " (worker killed)" if killed else ""
+    return FaultOutcome(
+        fault=fault, detection=0.0, detected=False,
+        error=f"timeout: fault budget of {budget_s:g} s exceeded{suffix}",
+        timed_out=True, elapsed_s=elapsed_s,
+        worker_pid=None if killed else os.getpid())
+
+
+def _quarantine_outcome(fault: Fault, crashes: int) -> FaultOutcome:
+    return FaultOutcome(
+        fault=fault, detection=0.0, detected=False,
+        error=f"worker crash: quarantined after {crashes} fatal crashes",
+        quarantined=True)
+
+
 def _evaluate_fault(technique: Callable[[Any], Any],
                     detector: Callable[[Any, Any], float],
                     threshold: float,
                     on_error: str,
                     collect_obs: bool,
+                    fault_timeout_s: Optional[float],
                     target: Any, reference: Any,
                     fault: Fault) -> FaultOutcome:
     """Evaluate a single fault against the reference measurement.
@@ -177,43 +271,58 @@ def _evaluate_fault(technique: Callable[[Any], Any],
     When ``collect_obs`` is set the evaluation runs inside an isolated
     observation scope and the metrics snapshot rides back on the
     outcome — identically in-process and in a worker, which is what
-    makes the *metrics* identical too.
+    makes the *metrics* identical too.  The per-fault deadline is
+    likewise installed here, so cooperative cancellation works the same
+    serially and inside a worker.
     """
     if collect_obs:
         with observe() as handle:
             outcome = _evaluate_fault_plain(technique, detector, threshold,
-                                            on_error, target, reference, fault)
+                                            on_error, fault_timeout_s,
+                                            target, reference, fault)
         outcome.metrics = handle.metrics.to_dict()
         outcome.events = handle.events.records()
         return outcome
     return _evaluate_fault_plain(technique, detector, threshold, on_error,
-                                 target, reference, fault)
+                                 fault_timeout_s, target, reference, fault)
 
 
 def _evaluate_fault_plain(technique, detector, threshold, on_error,
-                          target, reference, fault) -> FaultOutcome:
+                          fault_timeout_s, target, reference,
+                          fault) -> FaultOutcome:
     t0 = time.perf_counter()
-    try:
-        faulty = inject(target, fault)
-        measurement = technique(faulty)
-        score = float(detector(reference, measurement))
-        score = min(1.0, max(0.0, score))
-        outcome = FaultOutcome(
-            fault=fault,
-            detection=score,
-            detected=score >= threshold,
-            measurement=measurement,
-        )
-    except Exception as exc:  # noqa: BLE001 - campaign must continue
-        if on_error == _ERROR_RAISE:
-            raise
-        as_detected = on_error == _ERROR_DETECTED
-        outcome = FaultOutcome(
-            fault=fault,
-            detection=1.0 if as_detected else 0.0,
-            detected=as_detected,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+    with deadline_scope(fault_timeout_s, label="fault") as dl:
+        try:
+            faulty = inject(target, fault)
+            measurement = technique(faulty)
+            score = float(detector(reference, measurement))
+            score = min(1.0, max(0.0, score))
+            outcome = FaultOutcome(
+                fault=fault,
+                detection=score,
+                detected=score >= threshold,
+                measurement=measurement,
+            )
+        except DeadlineExceeded as exc:
+            if dl is not None and exc.deadline is dl and dl.label == "fault":
+                # this fault's own budget ran out: a structured verdict,
+                # never a detection
+                outcome = _timeout_outcome(fault, dl.seconds,
+                                           time.perf_counter() - t0)
+            else:
+                # an enclosing (campaign) deadline fired — not ours to
+                # absorb
+                raise
+        except Exception as exc:  # noqa: BLE001 - campaign must continue
+            if on_error == _ERROR_RAISE:
+                raise
+            as_detected = on_error == _ERROR_DETECTED
+            outcome = FaultOutcome(
+                fault=fault,
+                detection=1.0 if as_detected else 0.0,
+                detected=as_detected,
+                error=f"{type(exc).__name__}: {exc}",
+            )
     outcome.elapsed_s = time.perf_counter() - t0
     outcome.worker_pid = os.getpid()
     return outcome
@@ -243,6 +352,8 @@ class FaultCampaign:
         *miss* with score 0.0 and its error string kept, so simulator
         blowups reduce rather than inflate coverage.  Either way
         :attr:`CampaignResult.n_errors` reports how many faults errored.
+        Timeouts and quarantines are *infrastructure* verdicts and are
+        never counted as detected under either policy.
     treat_errors_as_detected:
         Deprecated alias (to be removed; see DESIGN.md).  ``True`` maps
         to ``errors_as_detected=True``; ``False`` keeps its historical
@@ -296,7 +407,15 @@ class FaultCampaign:
             reference: Any = None,
             workers: Optional[int] = None,
             progress: Optional[ProgressCallback] = None,
-            heartbeat_every: int = 1) -> CampaignResult:
+            heartbeat_every: int = 1,
+            *,
+            fault_timeout_s: Optional[float] = None,
+            campaign_deadline_s: Optional[float] = None,
+            checkpoint: Optional[str] = None,
+            resume: bool = False,
+            checkpoint_every: int = 1,
+            timeout_grace_s: float = _DEFAULT_TIMEOUT_GRACE_S
+            ) -> CampaignResult:
         """Evaluate every fault; ``reference`` may carry a precomputed
         fault-free measurement to avoid re-simulation.  ``workers``
         overrides the campaign-level worker count for this run.
@@ -308,14 +427,49 @@ class FaultCampaign:
         same sequence either way.  Under an observation scope the run
         additionally emits ``campaign.heartbeat`` events (and a
         ``campaign.heartbeats`` counter) every ``heartbeat_every``
-        completions."""
+        completions.
+
+        Resilience knobs
+        ----------------
+        fault_timeout_s:
+            Wall-clock budget per fault.  Serially (and cooperatively in
+            workers) the engine's Newton/transient/march loops check the
+            deadline; in pooled mode the parent additionally hard-kills
+            and rebuilds the pool ``timeout_grace_s`` after the budget,
+            which also catches techniques that never reach a cooperative
+            check.  A timed-out fault is recorded as a structured
+            outcome (``timed_out=True``, ``error="timeout: ..."``) and
+            is never counted as detected.
+        campaign_deadline_s:
+            Budget for the whole run.  On expiry, evaluation stops;
+            faults never evaluated are listed in
+            ``result.failures.skipped`` and the result is ``partial``.
+        checkpoint / resume / checkpoint_every:
+            ``checkpoint=path`` persists completed outcomes atomically
+            every ``checkpoint_every`` completions, keyed by a content
+            hash of (technique, fault universe, config).
+            ``resume=True`` reloads the file, skips finished faults and
+            produces a result whose ``to_dict()`` matches an
+            uninterrupted run's.  Resuming a file written for a
+            different campaign raises
+            :class:`~repro.errors.CheckpointError`.
+        """
+        if fault_timeout_s is not None and fault_timeout_s <= 0:
+            raise ValueError("fault_timeout_s must be positive")
+        if campaign_deadline_s is not None and campaign_deadline_s <= 0:
+            raise ValueError("campaign_deadline_s must be positive")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires checkpoint=<path>")
+
         t_start = time.perf_counter()
         name = getattr(target, "name", type(target).__name__)
         with obs_span("campaign", target=name) as sp:
             if reference is None:
                 reference = self.technique(target)
+            failures = FailureReport()
             result = CampaignResult(target_name=name, reference=reference,
-                                    threshold=self.threshold)
+                                    threshold=self.threshold,
+                                    failures=failures)
             fault_list = list(faults)
             n_workers = self.workers if workers is None else workers
             if n_workers < 1:
@@ -326,7 +480,7 @@ class FaultCampaign:
             evaluate = functools.partial(
                 _evaluate_fault, self.technique, self.detector,
                 self.threshold, self._on_error, collect_obs,
-                target, reference)
+                fault_timeout_s, target, reference)
 
             if n_workers > 1 and not self._picklable(evaluate, fault_list):
                 warnings.warn(
@@ -337,25 +491,80 @@ class FaultCampaign:
                     OBS.metrics.counter("campaign.pickle_fallbacks").inc()
                 n_workers = 1
 
+            ckpt: Optional[CampaignCheckpoint] = None
+            restored: Dict[int, FaultOutcome] = {}
+            if checkpoint is not None:
+                key = campaign_key(self.technique, self.detector, target,
+                                   fault_list, self.threshold,
+                                   self._on_error, fault_timeout_s)
+                ckpt = CampaignCheckpoint(checkpoint, key,
+                                          every=checkpoint_every)
+                if resume:
+                    restored = {i: o for i, o in ckpt.load().items()
+                                if 0 <= i < len(fault_list)}
+
+            campaign_dl = (Deadline(campaign_deadline_s, label="campaign")
+                           if campaign_deadline_s is not None else None)
+
             tracker = ProgressTracker(len(fault_list), callback=progress,
                                       heartbeat_every=heartbeat_every)
+            outcomes: Dict[int, FaultOutcome] = {}
+
+            def record(idx: int, outcome: FaultOutcome,
+                       save: bool = True) -> None:
+                outcomes[idx] = outcome
+                if outcome.timed_out:
+                    failures.timeouts.append(outcome.fault.describe())
+                    if OBS.enabled:
+                        OBS.metrics.counter("campaign.fault_timeouts").inc()
+                        event("campaign.fault_timeout", level="warning",
+                              fault=outcome.fault.describe(),
+                              budget_s=fault_timeout_s)
+                if outcome.quarantined:
+                    failures.quarantined.append(outcome.fault.describe())
+                    if OBS.enabled:
+                        OBS.metrics.counter("campaign.quarantined").inc()
+                        event("campaign.quarantine", level="error",
+                              fault=outcome.fault.describe())
+                tracker.update(outcome)
+                if ckpt is not None and save:
+                    ckpt.maybe_save(outcomes, len(fault_list))
+
+            # replay checkpointed outcomes (in fault order) so progress
+            # and failure accounting match the uninterrupted run
+            for idx in sorted(restored):
+                record(idx, restored[idx], save=False)
+
+            pending = [i for i in range(len(fault_list))
+                       if i not in outcomes]
+
             if n_workers > 1:
-                # pool.map preserves submission order, so the outcome list
-                # is deterministic (fault order) regardless of which worker
-                # finishes first.  Chunking amortises IPC over several
-                # faults.
-                chunksize = max(1, len(fault_list) // (n_workers * 4))
-                with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=n_workers) as pool:
-                    for outcome in pool.map(evaluate, fault_list,
-                                            chunksize=chunksize):
-                        result.outcomes.append(outcome)
-                        tracker.update(outcome)
+                self._run_pooled(evaluate, fault_list, pending, n_workers,
+                                 record, failures, campaign_dl,
+                                 fault_timeout_s, timeout_grace_s)
             else:
-                for f in fault_list:
-                    outcome = evaluate(f)
-                    result.outcomes.append(outcome)
-                    tracker.update(outcome)
+                self._run_serial(evaluate, fault_list, pending, record,
+                                 failures, campaign_dl)
+
+            # anything with no outcome was cut off by the campaign
+            # deadline: account for it in index order
+            unevaluated = [i for i in pending if i not in outcomes]
+            if unevaluated:
+                failures.skipped.extend(
+                    fault_list[i].describe() for i in unevaluated)
+                if OBS.enabled:
+                    OBS.metrics.counter("campaign.skipped").inc(
+                        len(unevaluated))
+                    event("campaign.deadline", level="warning",
+                          skipped=len(unevaluated),
+                          budget_s=campaign_deadline_s)
+
+            result.outcomes = [outcomes[i] for i in sorted(outcomes)]
+            result.partial = bool(failures.skipped or failures.deadline_hit
+                                  or failures.timeouts
+                                  or failures.quarantined)
+            if ckpt is not None:
+                ckpt.save(outcomes, len(fault_list))
 
             result.workers = n_workers
             result.elapsed_s = time.perf_counter() - t_start
@@ -364,6 +573,197 @@ class FaultCampaign:
             result.trace = sp
         return result
 
+    # ------------------------------------------------------------------
+    def _run_serial(self, evaluate, fault_list, pending, record,
+                    failures: FailureReport,
+                    campaign_dl: Optional[Deadline]) -> None:
+        """In-process evaluation with cooperative deadlines."""
+        with installed(campaign_dl):
+            for idx in pending:
+                if campaign_dl is not None and campaign_dl.expired():
+                    failures.deadline_hit = True
+                    return
+                try:
+                    outcome = evaluate(fault_list[idx])
+                except DeadlineExceeded as exc:
+                    if (campaign_dl is not None
+                            and exc.deadline is campaign_dl):
+                        failures.deadline_hit = True
+                        return
+                    raise
+                record(idx, outcome)
+
+    # ------------------------------------------------------------------
+    def _run_pooled(self, evaluate, fault_list, pending, n_workers, record,
+                    failures: FailureReport,
+                    campaign_dl: Optional[Deadline],
+                    fault_timeout_s: Optional[float],
+                    timeout_grace_s: float) -> None:
+        """Submit-window scheduler over a worker pool.
+
+        Unlike ``pool.map``, every fault is its own future, which is
+        what enables per-fault wall-clock enforcement and exact blame
+        when a worker dies.  Completion is *emitted* strictly in fault
+        order (buffered until the next expected index arrives), so
+        progress callbacks, heartbeats and checkpoints see the same
+        sequence as a serial run.
+
+        Crash protocol: a dead pool fails every in-flight future, so the
+        first crash can only blame the whole in-flight set (one strike
+        each).  The scheduler then drops to a one-at-a-time window and
+        re-runs the suspects; only the true poison pill crashes alone,
+        collects its second strike and is quarantined — innocents
+        complete and are exonerated.
+        """
+        BrokenExecutor = concurrent.futures.BrokenExecutor
+        queue: List[int] = list(pending)
+        emit_order: List[int] = list(pending)
+        buffered: Dict[int, FaultOutcome] = {}
+        ptr = 0
+        suspects: Set[int] = set()
+        crash_counts: Dict[int, int] = {}
+        in_flight: Dict[concurrent.futures.Future, int] = {}
+        started: Dict[concurrent.futures.Future, float] = {}
+        budget = (None if fault_timeout_s is None
+                  else fault_timeout_s + timeout_grace_s)
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+
+        def kill_pool() -> None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except Exception:  # noqa: BLE001 - already dead is fine
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def emit_ready() -> None:
+            nonlocal ptr
+            while ptr < len(emit_order) and emit_order[ptr] in buffered:
+                idx = emit_order[ptr]
+                record(idx, buffered.pop(idx))
+                ptr += 1
+
+        def handle_crash(crash_idxs: Set[int]) -> None:
+            nonlocal pool
+            failures.worker_crashes += 1
+            failures.pools_killed += 1
+            kill_pool()
+            requeue: List[int] = []
+            for i in sorted(crash_idxs):
+                crash_counts[i] = crash_counts.get(i, 0) + 1
+                if crash_counts[i] >= _QUARANTINE_AFTER:
+                    buffered[i] = _quarantine_outcome(fault_list[i],
+                                                      crash_counts[i])
+                    suspects.discard(i)
+                else:
+                    suspects.add(i)
+                    requeue.append(i)
+            in_flight.clear()
+            started.clear()
+            queue[:0] = requeue
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.worker_crashes").inc()
+                OBS.metrics.counter("campaign.pools_killed").inc()
+                event("campaign.worker_crash", level="error",
+                      in_flight=len(crash_idxs),
+                      suspects=sorted(fault_list[i].describe()
+                                      for i in suspects))
+
+        try:
+            while queue or in_flight:
+                if campaign_dl is not None and campaign_dl.expired():
+                    failures.deadline_hit = True
+                    kill_pool()
+                    break
+
+                # fill the window (one at a time while blame is being
+                # attributed after a crash)
+                cap = 1 if suspects else n_workers
+                while queue and len(in_flight) < cap:
+                    idx = queue.pop(0)
+                    try:
+                        fut = pool.submit(evaluate, fault_list[idx])
+                    except BrokenExecutor:
+                        handle_crash({idx} | set(in_flight.values()))
+                        break
+                    in_flight[fut] = idx
+                    started[fut] = time.monotonic()
+                if not in_flight:
+                    continue
+
+                waits = []
+                if budget is not None:
+                    waits.append(min(started.values()) + budget
+                                 - time.monotonic())
+                if campaign_dl is not None:
+                    waits.append(campaign_dl.remaining())
+                wait_s = max(0.0, min(waits)) + 0.02 if waits else None
+                done_futs, _ = concurrent.futures.wait(
+                    list(in_flight), timeout=wait_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+
+                crashed_idxs: Set[int] = set()
+                for fut in done_futs:
+                    idx = in_flight.pop(fut)
+                    started.pop(fut, None)
+                    try:
+                        outcome = fut.result()
+                    except BrokenExecutor:
+                        crashed_idxs.add(idx)
+                        continue
+                    except Exception:
+                        # genuine technique error under on_error="raise":
+                        # propagate, as the serial path would
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    suspects.discard(idx)
+                    buffered[idx] = outcome
+                if crashed_idxs:
+                    handle_crash(crashed_idxs | set(in_flight.values()))
+                    emit_ready()
+                    continue
+
+                if budget is not None and in_flight:
+                    now = time.monotonic()
+                    hung = {fut: idx for fut, idx in in_flight.items()
+                            if now - started[fut] > budget}
+                    if hung:
+                        # a worker missed every cooperative check — kill
+                        # the pool, time out the overdue faults, re-run
+                        # the innocent in-flight ones
+                        failures.pools_killed += 1
+                        kill_pool()
+                        requeue = []
+                        for fut, idx in list(in_flight.items()):
+                            t0 = started.pop(fut)
+                            if fut in hung:
+                                buffered[idx] = _timeout_outcome(
+                                    fault_list[idx], fault_timeout_s,
+                                    now - t0, killed=True)
+                                suspects.discard(idx)
+                            else:
+                                requeue.append(idx)
+                        in_flight.clear()
+                        queue[:0] = sorted(requeue)
+                        pool = concurrent.futures.ProcessPoolExecutor(
+                            max_workers=n_workers)
+                        if OBS.enabled:
+                            OBS.metrics.counter(
+                                "campaign.pools_killed").inc()
+
+                emit_ready()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        # flush anything completed but unemitted (e.g. results that
+        # arrived out of order before a deadline abort)
+        for idx in sorted(buffered):
+            record(idx, buffered[idx])
+        buffered.clear()
+
+    # ------------------------------------------------------------------
     def _record_obs(self, result: CampaignResult, sp) -> None:
         """Merge per-fault snapshots and record campaign-level metrics."""
         if not OBS.enabled:
@@ -385,6 +785,9 @@ class FaultCampaign:
         sp.set(n_faults=result.n_faults, n_detected=result.n_detected,
                n_errors=result.n_errors, coverage=result.coverage,
                workers=result.workers)
+        if result.partial or result.failures.degraded:
+            sp.set(partial=result.partial,
+                   failures=result.failures.summary())
 
     @staticmethod
     def _picklable(evaluate, fault_list) -> bool:

@@ -1,0 +1,68 @@
+"""Resilience layer: deadlines, retry ladders, checkpoints, crash
+recovery.
+
+The paper's detection figures come from sweeping large fault universes
+through transient simulation; at production scale those campaigns must
+survive hangs, solver non-convergence and worker crashes without losing
+completed work.  This package supplies the building blocks and the
+campaign/solver layers wire them through:
+
+* :mod:`repro.resilience.deadline` — cooperative wall-clock deadlines
+  (ambient, tightest-wins, checked inside the Newton/transient loops);
+* :mod:`repro.resilience.retry` — the configurable solver escalation
+  ladder (gmin stepping → source stepping → timestep halving) with
+  ``solver.retry`` observability;
+* :mod:`repro.resilience.checkpoint` — atomic, content-keyed
+  checkpoint/resume for fault campaigns;
+* :mod:`repro.resilience.failure` — structured degradation accounting
+  (:class:`FailureReport`) for partial runs.
+"""
+
+from repro.errors import (
+    CampaignError,
+    CheckpointError,
+    DeadlineExceeded,
+    ReproError,
+)
+from repro.resilience.checkpoint import CampaignCheckpoint, campaign_key
+from repro.resilience.deadline import (
+    DEADLINE,
+    Deadline,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+    installed,
+)
+from repro.resilience.failure import FailureReport
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    active_policy,
+    note_retry,
+    retry_scope,
+)
+
+__all__ = [
+    # deadlines
+    "Deadline",
+    "DEADLINE",
+    "active_deadline",
+    "check_deadline",
+    "deadline_scope",
+    "installed",
+    "DeadlineExceeded",
+    # retry ladder
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "active_policy",
+    "retry_scope",
+    "note_retry",
+    # checkpoint/resume
+    "CampaignCheckpoint",
+    "campaign_key",
+    "CheckpointError",
+    # degradation accounting
+    "FailureReport",
+    "CampaignError",
+    "ReproError",
+]

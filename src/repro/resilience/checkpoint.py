@@ -1,0 +1,186 @@
+"""Campaign checkpoint/resume: atomic, content-keyed partial results.
+
+A long fault campaign must survive being killed — by a deploy, an OOM
+kill, a deadline — without losing completed work.  The checkpoint file
+holds every finished :class:`~repro.faults.campaign.FaultOutcome` keyed
+by its index in the fault universe, under a **content key**: a SHA-256
+over the technique, detector, target, fault universe and the campaign
+configuration that affects per-fault results.  Resuming against a file
+written for a *different* campaign raises
+:class:`~repro.errors.CheckpointError` instead of quietly mixing
+incompatible outcomes.
+
+Writes are atomic (write to a temp file in the same directory, fsync,
+``os.replace``), so a kill mid-write leaves the previous complete
+checkpoint in place — there is no torn-file state.
+
+Outcome payloads are stored with the ``measurement`` field stripped
+(measurements can be entire waveform sets and are not part of the
+result's ``to_dict()`` contract); everything that *is* part of the
+contract — detection, detected, error, elapsed, timeout/quarantine
+flags — round-trips exactly, which is what makes an
+interrupted-then-resumed campaign's ``to_dict()`` identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.errors import CheckpointError
+
+#: on-disk schema tag; bump on incompatible layout changes.
+SCHEMA = "repro.checkpoint/1"
+
+
+def _describe_callable(fn: Callable) -> str:
+    """A stable textual identity for a technique/detector callable."""
+    mod = getattr(fn, "__module__", "") or ""
+    qual = getattr(fn, "__qualname__", "") or repr(type(fn).__name__)
+    # functools.partial: include the wrapped function and bound args.
+    func = getattr(fn, "func", None)
+    if func is not None:
+        return (f"partial({_describe_callable(func)}, "
+                f"args={getattr(fn, 'args', ())!r}, "
+                f"kwargs={sorted(getattr(fn, 'keywords', {}).items())!r})")
+    return f"{mod}.{qual}"
+
+
+def _describe_target(target: Any) -> str:
+    """A stable textual identity for the campaign target."""
+    summary = getattr(target, "summary", None)
+    if callable(summary):
+        try:
+            return str(summary())
+        except Exception:  # noqa: BLE001 - identity only, fall through
+            pass
+    return f"{type(target).__module__}.{type(target).__name__}:" \
+           f"{getattr(target, 'name', '')}"
+
+
+def campaign_key(technique: Callable, detector: Callable, target: Any,
+                 faults: Iterable[Any], threshold: float, on_error: str,
+                 fault_timeout_s: Optional[float] = None) -> str:
+    """Content hash of (technique, fault universe, config).
+
+    Everything that can change a per-fault outcome participates; the
+    campaign-wide deadline deliberately does not (it changes how *far*
+    a run gets, never what an evaluated fault produced).
+    """
+    h = hashlib.sha256()
+    for part in (SCHEMA,
+                 _describe_callable(technique),
+                 _describe_callable(detector),
+                 _describe_target(target),
+                 repr(float(threshold)),
+                 str(on_error),
+                 repr(None if fault_timeout_s is None
+                      else float(fault_timeout_s))):
+        h.update(part.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    for fault in faults:
+        h.update(fault.describe().encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class CampaignCheckpoint:
+    """Periodic atomic persistence of a campaign's completed outcomes.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location (created on first save).
+    key:
+        The campaign's content key (see :func:`campaign_key`).
+    every:
+        Save frequency in completed faults (1 = after every fault).
+    """
+
+    def __init__(self, path: str, key: str, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.path = os.fspath(path)
+        self.key = key
+        self.every = every
+        self._since_save = 0
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[int, Any]:
+        """Completed outcomes from disk: fault index → outcome.
+
+        Missing file → empty dict (a fresh run).  A file written under
+        a different content key, an unknown schema, or an unreadable
+        payload raise :class:`~repro.errors.CheckpointError`.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path, "rb") as fh:
+                doc = pickle.load(fh)
+        except Exception as exc:  # noqa: BLE001 - any unpickling failure
+            raise CheckpointError(
+                f"checkpoint {self.path!r} is unreadable: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has unknown schema "
+                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}")
+        if doc.get("key") != self.key:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} belongs to a different campaign "
+                f"(key {doc.get('key')!r} != {self.key!r}); refusing to "
+                f"resume — delete the file or pass resume=False")
+        outcomes = doc.get("outcomes", {})
+        return {int(i): o for i, o in outcomes.items()}
+
+    # ------------------------------------------------------------------
+    def save(self, outcomes: Dict[int, Any], n_faults: int,
+             force: bool = True) -> None:
+        """Atomically persist the completed-outcome map."""
+        doc = {
+            "schema": SCHEMA,
+            "key": self.key,
+            "n_faults": n_faults,
+            "outcomes": {int(i): _strip(o) for i, o in outcomes.items()},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(doc, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._since_save = 0
+
+    def maybe_save(self, outcomes: Dict[int, Any], n_faults: int) -> bool:
+        """Save when ``every`` completions have accumulated since the
+        last write; returns True when a write happened."""
+        self._since_save += 1
+        if self._since_save >= self.every:
+            self.save(outcomes, n_faults)
+            return True
+        return False
+
+
+def _strip(outcome: Any) -> Any:
+    """A checkpoint-safe copy of an outcome: the ``measurement`` payload
+    (arbitrarily large, not part of ``to_dict()``) and the per-fault
+    obs snapshots (already merged into the parent scope by the run that
+    produced them) are dropped."""
+    import dataclasses
+    return dataclasses.replace(outcome, measurement=None, metrics=None,
+                               events=None)
+
+
+__all__ = ["CampaignCheckpoint", "campaign_key", "SCHEMA"]

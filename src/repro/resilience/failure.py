@@ -1,0 +1,72 @@
+"""Structured degradation accounting for fault campaigns.
+
+A resilient campaign never hangs and never dies with half its work
+lost — but it may come back *degraded*: faults that timed out, faults
+quarantined for killing workers, faults skipped because the campaign
+deadline expired, worker pools rebuilt after crashes.  The
+:class:`FailureReport` records all of it in one structured object that
+rides on :class:`~repro.faults.campaign.CampaignResult` (``partial``
+runs carry a non-empty report; ``failure_report()`` returns it, and
+``summary()`` / ``report()`` fold it in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class FailureReport:
+    """What went wrong — and what the campaign did about it."""
+
+    #: fault descriptions that exceeded the per-fault deadline (their
+    #: outcomes are recorded with ``timed_out=True``).
+    timeouts: List[str] = field(default_factory=list)
+    #: fault descriptions quarantined as poison pills after killing a
+    #: worker process twice.
+    quarantined: List[str] = field(default_factory=list)
+    #: fault descriptions never evaluated (campaign deadline expired).
+    skipped: List[str] = field(default_factory=list)
+    #: number of worker-pool crashes survived (pool rebuilds).
+    worker_crashes: int = 0
+    #: number of worker pools hard-killed to enforce a fault timeout.
+    pools_killed: int = 0
+    #: True when the campaign-wide deadline cut the run short.
+    deadline_hit: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """Did anything at all go wrong?"""
+        return bool(self.timeouts or self.quarantined or self.skipped
+                    or self.worker_crashes or self.deadline_hit)
+
+    def summary(self) -> str:
+        if not self.degraded:
+            return "no failures"
+        parts = []
+        if self.timeouts:
+            parts.append(f"{len(self.timeouts)} timeout(s)")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.skipped:
+            parts.append(f"{len(self.skipped)} skipped")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crash(es)")
+        if self.deadline_hit:
+            parts.append("campaign deadline hit")
+        return ", ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "degraded": self.degraded,
+            "timeouts": list(self.timeouts),
+            "quarantined": list(self.quarantined),
+            "skipped": list(self.skipped),
+            "worker_crashes": self.worker_crashes,
+            "pools_killed": self.pools_killed,
+            "deadline_hit": self.deadline_hit,
+        }
+
+
+__all__ = ["FailureReport"]

@@ -1,0 +1,132 @@
+"""The solver retry ladder, as configuration.
+
+Production simulators do not give up on the first Newton failure: they
+escalate through homotopy strategies.  The engine has always done this
+(gmin stepping → source stepping in the DC solve, timestep halving in
+the transient march); a :class:`RetryPolicy` makes the ladder
+*configurable and bounded* and every escalation *visible* — each rung
+emits a ``solver.retry`` event plus ``solver.retries`` /
+``solver.retries.<strategy>`` counters into the ambient observability
+scope, so recoveries show up in traces and metric snapshots instead of
+silently inflating solve time.
+
+The default policy reproduces the engine's historical behaviour exactly
+(same gmin decades, 21 source steps, 8 halvings), so results are
+bit-identical unless a policy is installed.  Policies travel two ways:
+
+* explicitly — ``dc_operating_point(..., retry_policy=p)`` /
+  ``transient(..., retry_policy=p)``;
+* ambiently — ``with retry_scope(p): ...`` installs the policy for every
+  solve in the block, which is how
+  :meth:`repro.faults.campaign.FaultCampaign.run` threads a policy
+  through user-supplied technique callables (and ships it to worker
+  processes — the dataclass is picklable and frozen).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.core import OBS, event
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded escalation ladder for non-convergence recovery.
+
+    Parameters
+    ----------
+    gmin_ladder:
+        The gmin-stepping schedule for the DC solve (relaxed in order;
+        the last entry should be the operating gmin).  Empty tuple
+        disables the strategy.
+    source_steps:
+        Number of source-stepping ramp points (0 → 100 %).  Values < 2
+        disable the strategy.
+    source_gmin:
+        Safety gmin floor held during source stepping.
+    max_timestep_halvings:
+        Levels of local timestep halving the transient march may try on
+        a failed step (the default matches the engine's historical
+        ``max_subdivisions=8``).  0 disables subdivision.
+    """
+
+    gmin_ladder: Tuple[float, ...] = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
+                                      1e-8, 1e-10, 1e-12)
+    source_steps: int = 21
+    source_gmin: float = 1e-9
+    max_timestep_halvings: int = 8
+
+    def __post_init__(self) -> None:
+        if self.source_steps < 0:
+            raise ValueError("source_steps must be >= 0")
+        if self.max_timestep_halvings < 0:
+            raise ValueError("max_timestep_halvings must be >= 0")
+        if any(g <= 0 for g in self.gmin_ladder):
+            raise ValueError("gmin_ladder entries must be positive")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail fast: no homotopy, no subdivision — the bare Newton
+        verdict (useful to surface hard circuits in tests)."""
+        return cls(gmin_ladder=(), source_steps=0, max_timestep_halvings=0)
+
+
+#: the engine's historical escalation behaviour.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class _PolicySlot:
+    __slots__ = ("active",)
+
+    def __init__(self) -> None:
+        self.active: Optional[RetryPolicy] = None
+
+
+#: ambient policy slot; ``None`` means :data:`DEFAULT_RETRY_POLICY`.
+RETRY = _PolicySlot()
+
+
+def active_policy() -> RetryPolicy:
+    """The retry policy in effect (ambient, else the default)."""
+    p = RETRY.active
+    return p if p is not None else DEFAULT_RETRY_POLICY
+
+
+@contextmanager
+def retry_scope(policy: Optional[RetryPolicy]) -> Iterator[RetryPolicy]:
+    """Install ``policy`` as the ambient retry policy for the block
+    (``None`` is a no-op scope yielding the currently effective
+    policy)."""
+    if policy is None:
+        yield active_policy()
+        return
+    prev = RETRY.active
+    RETRY.active = policy
+    try:
+        yield policy
+    finally:
+        RETRY.active = prev
+
+
+def note_retry(strategy: str, **fields) -> None:
+    """Record one escalation rung: a ``solver.retry`` event plus
+    aggregate and per-strategy counters (no-op when observability is
+    off)."""
+    if not OBS.enabled:
+        return
+    OBS.metrics.counter("solver.retries").inc()
+    OBS.metrics.counter(f"solver.retries.{strategy}").inc()
+    event("solver.retry", level="warning", strategy=strategy, **fields)
+
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "RETRY",
+    "active_policy",
+    "retry_scope",
+    "note_retry",
+]

@@ -130,15 +130,31 @@ class Session:
         kwargs.setdefault("workers", self.workers)
         return FaultCampaign(technique, detector, **kwargs)
 
+    #: keyword arguments of :meth:`run_campaign` that belong to
+    #: :meth:`FaultCampaign.run` (resilience/progress knobs) rather than
+    #: the campaign constructor.
+    _RUN_KWARGS = ("progress", "heartbeat_every", "fault_timeout_s",
+                   "campaign_deadline_s", "checkpoint", "resume",
+                   "checkpoint_every", "timeout_grace_s")
+
     def run_campaign(self, technique: Callable[[Any], Any],
                      detector: Callable[[Any, Any], float],
                      target: Any, faults: Iterable, *,
                      reference: Any = None, **kwargs):
         """Build and run a campaign in one call; returns the
-        :class:`~repro.faults.campaign.CampaignResult`."""
+        :class:`~repro.faults.campaign.CampaignResult`.
+
+        Constructor knobs (``threshold``, ``workers``,
+        ``errors_as_detected``...) and run-level resilience knobs
+        (``fault_timeout_s``, ``campaign_deadline_s``, ``checkpoint``,
+        ``resume``...) can be mixed freely; each is routed where it
+        belongs."""
+        run_kwargs = {k: kwargs.pop(k) for k in self._RUN_KWARGS
+                      if k in kwargs}
         campaign = self.campaign(technique, detector, **kwargs)
         with self._scope():
-            return campaign.run(target, faults, reference=reference)
+            return campaign.run(target, faults, reference=reference,
+                                **run_kwargs)
 
     # -- digital BIST --------------------------------------------------
     def bist(self, width: int, **kwargs):

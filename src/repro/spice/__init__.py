@@ -30,6 +30,7 @@ from repro.spice.elements import (
 from repro.spice.mosfet import MOSFET, MOSParams, NMOS_5U, PMOS_5U
 from repro.spice.solver import dc_operating_point, NewtonError
 from repro.spice.transient import transient, TransientResult, GridMismatchWarning
+from repro.spice.validate import DeckError, validate_deck
 from repro.spice.ac import ACSweepResult, ac_sweep
 from repro.spice.parser import NetlistSyntaxError, ParseResult, parse_netlist, parse_value
 from repro.spice.linearize import (
@@ -56,6 +57,8 @@ __all__ = [
     "PMOS_5U",
     "dc_operating_point",
     "NewtonError",
+    "DeckError",
+    "validate_deck",
     "transient",
     "TransientResult",
     "GridMismatchWarning",

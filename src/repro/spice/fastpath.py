@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs.core import OBS
+from repro.resilience.deadline import DEADLINE
 from repro.spice.elements import (
     VCCS,
     VCVS,
@@ -314,6 +315,10 @@ class LinearMarch:
         a_mat, const, tv = self._a_mat, self._const, self._tv
         x = x_all[0]
         for k in range(1, n_pts):
+            # Cooperative cancellation: amortised to one clock read per
+            # 256 recurrence steps so the march's hot loop stays hot.
+            if DEADLINE.active is not None and not (k & 0xFF):
+                DEADLINE.active.check("linear march")
             row = x_all[k]
             np.dot(a_mat, x, out=row)
             row += const

@@ -25,6 +25,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import DeckError
 from repro.spice.netlist import Circuit
 
 _SUFFIXES = {
@@ -37,7 +38,7 @@ _NUMBER_RE = re.compile(
     re.IGNORECASE)
 
 
-class NetlistSyntaxError(ValueError):
+class NetlistSyntaxError(DeckError):
     """Raised for a malformed card, with the line number."""
 
     def __init__(self, line_no: int, line: str, message: str) -> None:

@@ -14,14 +14,16 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import NewtonError
 from repro.obs.core import OBS, counter_value, event
 from repro.obs.core import span as obs_span
+from repro.resilience.deadline import DEADLINE
+from repro.resilience.retry import RetryPolicy, active_policy, note_retry
 from repro.spice.mna import Assembler, MNASystem, SimState
 from repro.spice.netlist import Circuit
+from repro.spice.validate import validate_deck
 
-
-class NewtonError(RuntimeError):
-    """Raised when every convergence strategy fails."""
+__all__ = ["NewtonError", "newton_solve", "dc_operating_point"]
 
 
 #: Largest per-iteration voltage move allowed (limits Newton overshoot
@@ -71,6 +73,8 @@ def newton_solve(assembler: Assembler, state: SimState,
     iteration = 0
     try:
         for iteration in range(1, max_iter + 1):
+            if DEADLINE.active is not None:
+                DEADLINE.active.check("newton_solve")
             sys = assembler.build(state)
             try:
                 x_new = solve(sys)
@@ -108,14 +112,22 @@ def newton_solve(assembler: Assembler, state: SimState,
 def dc_operating_point(circuit: Circuit, t: float = 0.0,
                        x0: Optional[np.ndarray] = None,
                        max_iter: int = 120,
-                       fast_path: bool = True) -> Tuple[Dict[str, float], np.ndarray]:
+                       fast_path: bool = True,
+                       retry_policy: Optional[RetryPolicy] = None,
+                       validate: bool = True) -> Tuple[Dict[str, float], np.ndarray]:
     """Solve the DC operating point at time ``t``.
 
     Capacitors are open (except those carrying explicit initial
     conditions, which are weakly enforced).  Returns
     ``(node_voltages, solution_vector)``.  ``fast_path=False`` runs the
     reference stamp-everything engine (used by the equivalence tests).
+    ``retry_policy`` bounds/configures the non-convergence escalation
+    ladder (default: the ambient policy, see
+    :mod:`repro.resilience.retry`).  ``validate=False`` skips the
+    pre-flight deck checks (floating nodes, voltage-source loops).
     """
+    if validate:
+        validate_deck(circuit)
     assembler = Assembler(circuit, fast_path=fast_path)
     state = assembler.new_state()
     state.dt = None
@@ -124,52 +136,69 @@ def dc_operating_point(circuit: Circuit, t: float = 0.0,
     with obs_span("dc_operating_point", circuit=circuit.name,
                   fast_path=fast_path) as sp:
         it0 = counter_value("solver.newton_iterations")
-        x = _solve_with_homotopy(assembler, state, x0=x0, max_iter=max_iter)
+        x = _solve_with_homotopy(assembler, state, x0=x0, max_iter=max_iter,
+                                 policy=retry_policy)
         sp.set(newton_iterations=counter_value("solver.newton_iterations") - it0)
     return assembler.voltages(x), x
 
 
 def _solve_with_homotopy(assembler: Assembler, state: SimState,
                          x0: Optional[np.ndarray] = None,
-                         max_iter: int = 120) -> np.ndarray:
-    """Plain Newton, then gmin stepping, then source stepping."""
+                         max_iter: int = 120,
+                         policy: Optional[RetryPolicy] = None) -> np.ndarray:
+    """Plain Newton, then the policy's retry ladder: gmin stepping, then
+    source stepping.  Each escalation emits a ``solver.retry`` event."""
+    if policy is None:
+        policy = active_policy()
+
     # Strategy 1: plain Newton.
     state.gmin = 1e-12
     state.source_scale = 1.0
     try:
         return newton_solve(assembler, state, max_iter=max_iter, x0=x0)
-    except NewtonError:
-        pass
+    except NewtonError as exc:
+        first_error = exc
 
     # Strategy 2: gmin stepping.
-    if OBS.enabled:
-        OBS.metrics.counter("solver.homotopy_gmin_escalations").inc()
-        event("solver.homotopy_escalation", strategy="gmin_stepping",
-              circuit=assembler.circuit.name)
-    x = x0
-    try:
-        for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12):
-            state.gmin = gmin
-            x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
-        return x
-    except NewtonError:
-        pass
+    if policy.gmin_ladder:
+        if OBS.enabled:
+            OBS.metrics.counter("solver.homotopy_gmin_escalations").inc()
+            event("solver.homotopy_escalation", strategy="gmin_stepping",
+                  circuit=assembler.circuit.name)
+        note_retry("gmin_stepping", circuit=assembler.circuit.name,
+                   steps=len(policy.gmin_ladder))
+        x = x0
+        try:
+            for gmin in policy.gmin_ladder:
+                state.gmin = gmin
+                x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
+            return x
+        except NewtonError:
+            pass
 
     # Strategy 3: source stepping (with a safety gmin floor).
-    if OBS.enabled:
-        OBS.metrics.counter("solver.homotopy_source_escalations").inc()
-        event("solver.homotopy_escalation", strategy="source_stepping",
-              circuit=assembler.circuit.name)
-    x = None
-    state.gmin = 1e-9
-    try:
-        for scale in np.linspace(0.0, 1.0, 21):
-            state.source_scale = float(scale)
-            x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
-        state.source_scale = 1.0
-        state.gmin = 1e-12
-        return newton_solve(assembler, state, max_iter=max_iter, x0=x)
-    except NewtonError as exc:
-        raise NewtonError(
-            f"operating point failed for circuit {assembler.circuit.name!r}: "
-            f"{exc}") from exc
+    if policy.source_steps >= 2:
+        if OBS.enabled:
+            OBS.metrics.counter("solver.homotopy_source_escalations").inc()
+            event("solver.homotopy_escalation", strategy="source_stepping",
+                  circuit=assembler.circuit.name)
+        note_retry("source_stepping", circuit=assembler.circuit.name,
+                   steps=policy.source_steps)
+        x = None
+        state.gmin = policy.source_gmin
+        try:
+            for scale in np.linspace(0.0, 1.0, policy.source_steps):
+                state.source_scale = float(scale)
+                x = newton_solve(assembler, state, max_iter=max_iter, x0=x)
+            state.source_scale = 1.0
+            state.gmin = 1e-12
+            return newton_solve(assembler, state, max_iter=max_iter, x0=x)
+        except NewtonError as exc:
+            raise NewtonError(
+                f"operating point failed for circuit "
+                f"{assembler.circuit.name!r}: {exc}") from exc
+
+    # The ladder is disabled (or exhausted): surface the Newton verdict.
+    raise NewtonError(
+        f"operating point failed for circuit {assembler.circuit.name!r}: "
+        f"{first_error}") from first_error

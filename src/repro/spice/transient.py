@@ -15,12 +15,15 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.obs.core import OBS, counter_value, event
+from repro.resilience.deadline import DEADLINE
+from repro.resilience.retry import RetryPolicy, active_policy, note_retry
 from repro.signals.waveform import Waveform
 from repro.spice.elements import Capacitor, Inductor
 from repro.spice.fastpath import LinearMarch, linear_march_supported
 from repro.spice.mna import Assembler, SimState
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.solver import NewtonError, newton_solve, _solve_with_homotopy
+from repro.spice.validate import validate_deck
 
 
 class GridMismatchWarning(UserWarning):
@@ -144,8 +147,10 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
               x0: Optional[np.ndarray] = None,
               uic: bool = False,
               max_newton: int = 60,
-              max_subdivisions: int = 8,
-              fast_path: bool = True) -> TransientResult:
+              max_subdivisions: Optional[int] = None,
+              fast_path: bool = True,
+              retry_policy: Optional[RetryPolicy] = None,
+              validate: bool = True) -> TransientResult:
     """Run a transient analysis from t = 0 to ``t_stop``.
 
     Parameters
@@ -173,12 +178,20 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     max_newton:
         Newton iteration budget per solve.
     max_subdivisions:
-        Levels of local step halving tried on Newton failure.
+        Levels of local step halving tried on Newton failure.  Default:
+        the retry policy's ``max_timestep_halvings`` (historically 8).
     fast_path:
         Enable the partitioned/cached engine and, for fully linear
         backward-Euler circuits, the one-factorization linear march.
         ``False`` runs the reference stamp-everything engine (the
         equivalence tests compare the two).
+    retry_policy:
+        Escalation ladder for non-convergence recovery (default: the
+        ambient policy; see :mod:`repro.resilience.retry`).
+    validate:
+        Run pre-flight deck validation (floating nodes, voltage-source
+        loops) before simulating; raises
+        :class:`~repro.errors.DeckError` naming the offender.
     """
     if t_stop <= 0:
         raise ValueError("t_stop must be positive")
@@ -186,6 +199,11 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         raise ValueError("dt must lie in (0, t_stop]")
     if method not in ("be", "trap"):
         raise ValueError(f"unknown method {method!r}")
+    if validate:
+        validate_deck(circuit)
+    policy = retry_policy if retry_policy is not None else active_policy()
+    if max_subdivisions is None:
+        max_subdivisions = policy.max_timestep_halvings
 
     if not OBS.enabled:
         return _transient_impl(circuit, t_stop, dt, record, record_branches,
@@ -316,6 +334,8 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
             return result
 
     for k in range(1, n_steps + 1):
+        if DEADLINE.active is not None:
+            DEADLINE.active.check("transient march")
         # Trapezoidal integration needs a consistent initial capacitor
         # current; a backward-Euler start-up step provides it even when
         # sources are discontinuous at t = 0 (the SPICE convention).
@@ -364,6 +384,8 @@ def _advance(assembler: Assembler, state: SimState,
         if depth <= 0:
             raise
         state.stats["subdivisions"] += 1
+        note_retry("timestep_halving", t_from=t_from, t_to=t_to,
+                   depth_remaining=depth)
         if OBS.enabled:
             OBS.metrics.counter("transient.subdivisions").inc()
             event("transient.subdivision",

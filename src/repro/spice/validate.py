@@ -1,0 +1,119 @@
+"""Pre-flight deck validation.
+
+A malformed netlist used to surface as ``NewtonError: singular MNA
+matrix`` (or a nonsense gmin-scaled solution) from deep inside a Newton
+iteration — correct, but useless for finding the bad element.
+:func:`validate_deck` runs in O(elements) before simulation and raises a
+:class:`~repro.errors.DeckError` naming the offending node or element
+for the two classic deck degeneracies:
+
+* **floating nodes** — a non-ground node none of whose incident element
+  terminals *define* it.  Defining terminals stamp a conductance
+  (resistor, switch, MOSFET channel), a capacitance, or a branch
+  equation (independent V source, VCVS output, inductor).  A node
+  touched only by current injections (I source, VCCS output) or sense
+  terminals (VCVS/VCCS inputs, switch control, MOSFET gate) is held
+  solely by the solver's gmin and solves to garbage — almost always a
+  netlist typo.
+* **shorted voltage-source loops** — a cycle of ideal voltage-defining
+  edges (independent sources and VCVS outputs), including two sources
+  in parallel and a source shorted onto itself.  No gmin saves these:
+  the branch rows are linearly dependent.
+
+Validation is deliberately conservative: it only flags decks that
+cannot produce a meaningful solve, so it is safe to run by default on
+every ``dc_operating_point``/``transient`` entry (``validate=False``
+opts out, e.g. for intentionally degenerate test fixtures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import DeckError
+from repro.spice.netlist import GROUND, Circuit
+
+__all__ = ["validate_deck", "DeckError"]
+
+
+def _defining_positions(elem) -> List[str]:
+    """Nodes of ``elem`` that the element *defines* — by stamping a
+    conductance, a capacitance, or a branch equation there.  Terminals
+    not listed (current-source pins, controlled-source sense inputs,
+    switch control pins, the MOSFET gate) read or inject but cannot
+    hold a node's voltage on their own."""
+    kind = type(elem).__name__
+    if kind in ("Resistor", "Capacitor", "Switch"):
+        return list(elem.nodes[:2])
+    if kind in ("VoltageSource", "Inductor"):
+        return list(elem.nodes[:2])
+    if kind == "VCVS":
+        # The output pair is voltage-defined; the sense pair only reads.
+        return list(elem.nodes[:2])
+    if kind == "MOSFET":
+        # Channel conductance ties drain and source; the gate draws no
+        # current in the level-1 model.
+        return [elem.nodes[0], elem.nodes[2]]
+    return []
+
+
+def _ideal_voltage_edges(circuit: Circuit):
+    """(element, node_a, node_b) for every ideal voltage-defining edge."""
+    for elem in circuit.elements:
+        if type(elem).__name__ in ("VoltageSource", "VCVS"):
+            yield elem, elem.nodes[0], elem.nodes[1]
+
+
+def validate_deck(circuit: Circuit) -> None:
+    """Raise :class:`~repro.errors.DeckError` for unsimulatable decks.
+
+    Checks are structural only — no matrix is assembled — so the cost is
+    negligible next to a single Newton iteration.
+    """
+    _check_floating_nodes(circuit)
+    _check_voltage_loops(circuit)
+
+
+def _check_floating_nodes(circuit: Circuit) -> None:
+    touched_by: Dict[str, str] = {}
+    defined: set = set()
+    for elem in circuit.elements:
+        for node in elem.nodes:
+            if node != GROUND:
+                touched_by.setdefault(node, elem.name)
+        for node in _defining_positions(elem):
+            if node != GROUND:
+                defined.add(node)
+    for node, first_elem in touched_by.items():
+        if node not in defined:
+            raise DeckError(
+                f"floating node {node!r} in circuit {circuit.name!r}: "
+                f"touched by element {first_elem!r} but no element "
+                f"defines its voltage (only current injections or sense "
+                f"terminals reach it) — add a DC path or remove it")
+
+
+def _check_voltage_loops(circuit: Circuit) -> None:
+    # Union-find over ideal-voltage edges; closing a cycle (or stamping
+    # a source across an already voltage-connected pair) means linearly
+    # dependent branch rows — a guaranteed singular MNA matrix.
+    parent: Dict[str, str] = {}
+
+    def find(node: str) -> str:
+        root = node
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:          # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    for elem, a, b in _ideal_voltage_edges(circuit):
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            kind = ("source shorted across its own terminals"
+                    if a == b else "zero-resistance voltage-source loop")
+            raise DeckError(
+                f"{kind} closed by element {elem.name!r} between nodes "
+                f"{a!r} and {b!r} in circuit {circuit.name!r} — the MNA "
+                f"matrix is singular by construction")
+        parent[ra] = rb

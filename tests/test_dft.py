@@ -231,9 +231,13 @@ class TestCounter:
         assert cycles == 10
 
     def test_count_until_timeout(self):
+        from repro.errors import CounterTimeout
         c = CounterMacro(width=4)
-        with pytest.raises(TimeoutError):
+        with pytest.raises(CounterTimeout):
             c.count_until(lambda n: False, max_cycles=20)
+        # compat: CounterTimeout still is-a TimeoutError
+        with pytest.raises(TimeoutError):
+            CounterMacro(width=4).count_until(lambda n: False, max_cycles=20)
 
     def test_time_to_count(self):
         c = CounterMacro(clock_hz=100e3)
