@@ -157,9 +157,78 @@ class TransientResponseTester:
         return r.slice_time(lo_chips * chip, hi_chips * chip)
 
     # ------------------------------------------------------------------
-    def technique(self) -> Callable[[Circuit], Waveform]:
+    def evaluate_batch(self, target: Circuit, faults) -> list:
+        """Campaign batch protocol: march the faulty variants in
+        lockstep and return one windowed correlation per fault.
+
+        The variants share a single stimulus ``Waveform`` object so the
+        batched engine can group their marches into one lockstep tensor;
+        the sample values are identical to the per-fault path, so the
+        correlations are bitwise equal to serial ``measure()`` calls.
+        Slots the batch cannot serve (injection failure, evicted march)
+        hold :data:`repro.faults.campaign.BATCH_FALLBACK` and are
+        re-evaluated serially by the campaign.
+        """
+        from repro.faults.campaign import BATCH_FALLBACK
+        from repro.faults.injector import inject
+        from repro.spice.batched import batched_transient
+
+        cfg = self.config
+        stimulus = cfg.stimulus()
+        out = [BATCH_FALLBACK] * len(faults)
+        variants = []
+        slots = []
+        for i, fault in enumerate(faults):
+            try:
+                prepared = inject(target, fault).copy()
+                elem = prepared.element(self.source_name)
+                if not isinstance(elem, VoltageSource):
+                    raise TypeError(
+                        f"{self.source_name!r} is not a voltage source")
+                elem.value = stimulus
+            except Exception:  # noqa: BLE001 - serial re-run owns the error
+                continue
+            variants.append(prepared)
+            slots.append(i)
+        if not variants:
+            return out
+        results = batched_transient(variants, t_stop=stimulus.duration,
+                                    dt=cfg.sim_dt_s,
+                                    record=[self.output_node])
+        p = cfg.correlation_signal()
+        for slot, result in zip(slots, results):
+            if result is None:
+                continue
+            y = result[self.output_node]
+            if cfg.noise_sigma_v > 0.0:
+                y = y.with_noise(cfg.noise_sigma_v, seed=cfg.noise_seed)
+            try:
+                out[slot] = self.windowed(self._impulse_estimate(y, p))
+            except Exception:  # noqa: BLE001 - serial re-run owns the error
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    def technique(self) -> "TransientTechnique":
         """The measurement callable a fault campaign consumes: the
-        windowed impulse-response-scaled correlation."""
-        def run(circuit: Circuit) -> Waveform:
-            return self.measure(circuit).correlation
-        return run
+        windowed impulse-response-scaled correlation.  The returned
+        object is picklable (so it crosses process-pool boundaries) and
+        implements the campaign's ``evaluate_batch`` protocol for
+        ``batch_size > 1`` runs."""
+        return TransientTechnique(self)
+
+
+class TransientTechnique:
+    """Picklable campaign technique wrapping a
+    :class:`TransientResponseTester`: calling it measures one circuit;
+    ``evaluate_batch`` marches a fault chunk through the lockstep
+    batched engine."""
+
+    def __init__(self, tester: TransientResponseTester) -> None:
+        self.tester = tester
+
+    def __call__(self, circuit: Circuit) -> Waveform:
+        return self.tester.measure(circuit).correlation
+
+    def evaluate_batch(self, target: Circuit, faults) -> list:
+        return self.tester.evaluate_batch(target, faults)

@@ -57,6 +57,15 @@ _DEFAULT_TIMEOUT_GRACE_S = 1.0
 #: fatal worker crashes before a fault is quarantined as a poison pill.
 _QUARANTINE_AFTER = 2
 
+#: Sentinel a technique's ``evaluate_batch`` returns in a measurement
+#: slot for a fault it could not carry through the batched engine (e.g.
+#: injection failed, or the variant was evicted mid-march).  The
+#: campaign re-evaluates that fault through the serial per-fault path,
+#: so the final :class:`FaultOutcome` is identical to a ``batch_size=1``
+#: run.  Never crosses a process boundary: workers resolve fallbacks
+#: in-process before returning.
+BATCH_FALLBACK = object()
+
 
 @dataclass
 class FaultOutcome:
@@ -328,6 +337,105 @@ def _evaluate_fault_plain(technique, detector, threshold, on_error,
     return outcome
 
 
+def _evaluate_fault_batch(technique, detector, threshold, on_error,
+                          collect_obs, fault_timeout_s, target, reference,
+                          faults: List[Fault]) -> List[FaultOutcome]:
+    """Evaluate a chunk of faults through the technique's batched path.
+
+    ``technique.evaluate_batch(target, faults)`` returns one measurement
+    per fault, with :data:`BATCH_FALLBACK` (or ``None``) in any slot the
+    batch could not serve.  Fallback slots — and the entire chunk when
+    the batch attempt raises, returns the wrong shape, or exhausts one
+    per-fault deadline budget — are re-evaluated through
+    :func:`_evaluate_fault`, each under its own fresh budget, so the
+    outcome set is fault-for-fault identical to the serial path
+    (including timeout verdicts: a chunk that hangs costs one budget,
+    then every member gets its own serial-identical evaluation).
+
+    Module-level for the same pickling reason as :func:`_evaluate_fault`.
+    When ``collect_obs`` is set the chunk's metrics snapshot rides back
+    on the first batch-produced outcome (fallback outcomes carry their
+    own isolated snapshots, exactly as in a serial run).
+    """
+    if collect_obs:
+        with observe() as handle:
+            outcomes, batch_slots = _evaluate_batch_plain(
+                technique, detector, threshold, on_error, collect_obs,
+                fault_timeout_s, target, reference, faults)
+        if batch_slots:
+            first = outcomes[batch_slots[0]]
+            first.metrics = handle.metrics.to_dict()
+            first.events = handle.events.records()
+        return outcomes
+    outcomes, _ = _evaluate_batch_plain(
+        technique, detector, threshold, on_error, collect_obs,
+        fault_timeout_s, target, reference, faults)
+    return outcomes
+
+
+def _evaluate_batch_plain(technique, detector, threshold, on_error,
+                          collect_obs, fault_timeout_s, target, reference,
+                          faults):
+    t0 = time.perf_counter()
+    measurements = None
+    with deadline_scope(fault_timeout_s, label="fault") as dl:
+        try:
+            got = technique.evaluate_batch(target, faults)
+            if got is not None and len(got) == len(faults):
+                measurements = list(got)
+        except DeadlineExceeded as exc:
+            if dl is not None and exc.deadline is dl and dl.label == "fault":
+                # the chunk burned one per-fault budget: let the serial
+                # re-runs below hand down the individual verdicts
+                measurements = None
+            else:
+                raise
+        except Exception:  # noqa: BLE001 - serial re-run owns the verdict
+            measurements = None
+    batch_elapsed = time.perf_counter() - t0
+    if OBS.enabled:
+        OBS.metrics.counter("campaign.batches").inc()
+    n_batched = (0 if measurements is None
+                 else sum(1 for m in measurements
+                          if m is not BATCH_FALLBACK and m is not None))
+    share = batch_elapsed / max(n_batched, 1)
+    outcomes: List[FaultOutcome] = []
+    batch_slots: List[int] = []
+    for i, fault in enumerate(faults):
+        meas = BATCH_FALLBACK if measurements is None else measurements[i]
+        if meas is BATCH_FALLBACK or meas is None:
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.batch_fallbacks").inc()
+            outcomes.append(_evaluate_fault(
+                technique, detector, threshold, on_error, collect_obs,
+                fault_timeout_s, target, reference, fault))
+            continue
+        try:
+            score = float(detector(reference, meas))
+            score = min(1.0, max(0.0, score))
+            outcome = FaultOutcome(
+                fault=fault,
+                detection=score,
+                detected=score >= threshold,
+                measurement=meas,
+            )
+        except Exception as exc:  # noqa: BLE001 - mirror the serial policy
+            if on_error == _ERROR_RAISE:
+                raise
+            as_detected = on_error == _ERROR_DETECTED
+            outcome = FaultOutcome(
+                fault=fault,
+                detection=1.0 if as_detected else 0.0,
+                detected=as_detected,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        outcome.elapsed_s = share
+        outcome.worker_pid = os.getpid()
+        batch_slots.append(len(outcomes))
+        outcomes.append(outcome)
+    return outcomes, batch_slots
+
+
 class FaultCampaign:
     """Run a measurement technique over a fault universe.
 
@@ -367,6 +475,19 @@ class FaultCampaign:
         Requires the technique, detector, target and faults to be
         picklable — if they are not, the campaign warns and falls back
         to serial evaluation.
+    batch_size:
+        Faults marched per batched-engine call.  ``1`` (default) uses
+        the per-fault path.  ``K > 1`` chunks the universe and hands
+        each chunk to the technique's ``evaluate_batch(target, faults)``
+        (techniques without that method keep the per-fault path), which
+        typically routes through
+        :func:`repro.spice.batched.batched_transient` to march all K
+        faulty variants in lockstep.  Composes with ``workers=N``: each
+        pool worker marches one chunk.  Outcomes, obs counters,
+        deadlines and checkpoint keys are unchanged — a fault the batch
+        cannot serve (or a chunk that times out) is transparently
+        re-evaluated per fault, so results are identical to
+        ``batch_size=1``.
     """
 
     def __init__(self, technique: Callable[[Any], Any],
@@ -374,15 +495,19 @@ class FaultCampaign:
                  threshold: float = 0.05,
                  treat_errors_as_detected: Optional[bool] = None,
                  workers: int = 1,
-                 errors_as_detected: bool = True) -> None:
+                 errors_as_detected: bool = True,
+                 batch_size: int = 1) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.technique = technique
         self.detector = detector
         self.threshold = threshold
         self.workers = workers
+        self.batch_size = batch_size
         if treat_errors_as_detected is None:
             self._on_error = (_ERROR_DETECTED if errors_as_detected
                               else _ERROR_UNDETECTED)
@@ -409,6 +534,7 @@ class FaultCampaign:
             progress: Optional[ProgressCallback] = None,
             heartbeat_every: int = 1,
             *,
+            batch_size: Optional[int] = None,
             fault_timeout_s: Optional[float] = None,
             campaign_deadline_s: Optional[float] = None,
             checkpoint: Optional[str] = None,
@@ -417,8 +543,8 @@ class FaultCampaign:
             timeout_grace_s: float = _DEFAULT_TIMEOUT_GRACE_S
             ) -> CampaignResult:
         """Evaluate every fault; ``reference`` may carry a precomputed
-        fault-free measurement to avoid re-simulation.  ``workers``
-        overrides the campaign-level worker count for this run.
+        fault-free measurement to avoid re-simulation.  ``workers`` and
+        ``batch_size`` override the campaign-level values for this run.
 
         ``progress`` is called after every completed fault with a
         :class:`~repro.obs.health.CampaignProgress` (done/total, ETA,
@@ -454,6 +580,9 @@ class FaultCampaign:
             different campaign raises
             :class:`~repro.errors.CheckpointError`.
         """
+        n_batch = self.batch_size if batch_size is None else batch_size
+        if n_batch < 1:
+            raise ValueError("batch_size must be >= 1")
         if fault_timeout_s is not None and fault_timeout_s <= 0:
             raise ValueError("fault_timeout_s must be positive")
         if campaign_deadline_s is not None and campaign_deadline_s <= 0:
@@ -481,6 +610,14 @@ class FaultCampaign:
                 _evaluate_fault, self.technique, self.detector,
                 self.threshold, self._on_error, collect_obs,
                 fault_timeout_s, target, reference)
+            # Batched dispatch needs the technique to implement the
+            # batch protocol; otherwise the knob degrades to per-fault.
+            use_batch = (n_batch > 1
+                         and hasattr(self.technique, "evaluate_batch"))
+            evaluate_batch = (functools.partial(
+                _evaluate_fault_batch, self.technique, self.detector,
+                self.threshold, self._on_error, collect_obs,
+                fault_timeout_s, target, reference) if use_batch else None)
 
             if n_workers > 1 and not self._picklable(evaluate, fault_list):
                 warnings.warn(
@@ -538,10 +675,20 @@ class FaultCampaign:
             pending = [i for i in range(len(fault_list))
                        if i not in outcomes]
 
-            if n_workers > 1:
+            if n_workers > 1 and use_batch:
+                self._run_pooled_batched(evaluate_batch, evaluate,
+                                         fault_list, pending, n_workers,
+                                         n_batch, record, failures,
+                                         campaign_dl, fault_timeout_s,
+                                         timeout_grace_s)
+            elif n_workers > 1:
                 self._run_pooled(evaluate, fault_list, pending, n_workers,
                                  record, failures, campaign_dl,
                                  fault_timeout_s, timeout_grace_s)
+            elif use_batch:
+                self._run_serial_batched(evaluate_batch, fault_list,
+                                         pending, n_batch, record, failures,
+                                         campaign_dl)
             else:
                 self._run_serial(evaluate, fault_list, pending, record,
                                  failures, campaign_dl)
@@ -592,6 +739,208 @@ class FaultCampaign:
                         return
                     raise
                 record(idx, outcome)
+
+    # ------------------------------------------------------------------
+    def _run_serial_batched(self, evaluate_batch, fault_list, pending,
+                            n_batch, record, failures: FailureReport,
+                            campaign_dl: Optional[Deadline]) -> None:
+        """Chunked in-process evaluation: same deadline contract as
+        :meth:`_run_serial`, with ``n_batch`` faults handed to the
+        batched engine per call and outcomes recorded in fault order."""
+        with installed(campaign_dl):
+            for start in range(0, len(pending), n_batch):
+                chunk = pending[start:start + n_batch]
+                if campaign_dl is not None and campaign_dl.expired():
+                    failures.deadline_hit = True
+                    return
+                try:
+                    outcomes = evaluate_batch(
+                        [fault_list[i] for i in chunk])
+                except DeadlineExceeded as exc:
+                    if (campaign_dl is not None
+                            and exc.deadline is campaign_dl):
+                        failures.deadline_hit = True
+                        return
+                    raise
+                for idx, outcome in zip(chunk, outcomes):
+                    record(idx, outcome)
+
+    # ------------------------------------------------------------------
+    def _run_pooled_batched(self, evaluate_batch, evaluate, fault_list,
+                            pending, n_workers, n_batch, record,
+                            failures: FailureReport,
+                            campaign_dl: Optional[Deadline],
+                            fault_timeout_s: Optional[float],
+                            timeout_grace_s: float) -> None:
+        """Chunk-per-future scheduler: each pool worker marches one
+        batch.  Chunks are emitted strictly in fault order (buffered
+        until the next expected chunk lands), so progress callbacks,
+        heartbeats and checkpoints see the serial sequence.
+
+        A chunk worst-cases at ``(len(chunk) + 1)`` per-fault budgets —
+        one batch attempt plus a serial re-run per member — so that is
+        the parent's hard-kill horizon.  A chunk whose worker crashes
+        or goes silent past it is *rescued*: its faults are re-run
+        through the per-fault pooled scheduler (full crash/quarantine/
+        hang protocol), so every fault still ends with a
+        serial-identical outcome.
+        """
+        BrokenExecutor = concurrent.futures.BrokenExecutor
+        chunks = [pending[i:i + n_batch]
+                  for i in range(0, len(pending), n_batch)]
+        buffered: Dict[int, Dict[int, FaultOutcome]] = {}
+        emitted = 0
+        in_flight: Dict[concurrent.futures.Future, int] = {}
+        started: Dict[concurrent.futures.Future, float] = {}
+        next_submit = 0
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+
+        def chunk_budget(ci: int) -> Optional[float]:
+            if fault_timeout_s is None:
+                return None
+            return ((len(chunks[ci]) + 1) * fault_timeout_s
+                    + timeout_grace_s)
+
+        def kill_pool() -> None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except Exception:  # noqa: BLE001 - already dead is fine
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def emit_ready() -> None:
+            nonlocal emitted
+            while emitted < len(chunks) and emitted in buffered:
+                outs = buffered.pop(emitted)
+                for idx in chunks[emitted]:
+                    if idx in outs:
+                        record(idx, outs[idx])
+                emitted += 1
+
+        def rescue(chunk_indices: List[int]) -> None:
+            """Re-run a failed chunk through the per-fault pooled
+            scheduler (its own pool, timeouts, quarantine)."""
+            outs: Dict[int, FaultOutcome] = {}
+
+            def collect(idx: int, outcome: FaultOutcome,
+                        save: bool = True) -> None:
+                outs[idx] = outcome
+
+            self._run_pooled(evaluate, fault_list, list(chunk_indices),
+                             min(n_workers, len(chunk_indices)), collect,
+                             failures, campaign_dl, fault_timeout_s,
+                             timeout_grace_s)
+            for ci, chunk in enumerate(chunks):
+                if any(i in outs for i in chunk):
+                    buffered.setdefault(ci, {}).update(
+                        {i: outs[i] for i in chunk if i in outs})
+
+        def handle_crash(crashed: List[int]) -> None:
+            nonlocal pool
+            failures.worker_crashes += 1
+            failures.pools_killed += 1
+            kill_pool()
+            to_rescue = sorted(set(crashed) | set(in_flight.values()))
+            in_flight.clear()
+            started.clear()
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.worker_crashes").inc()
+                OBS.metrics.counter("campaign.pools_killed").inc()
+                event("campaign.worker_crash", level="error",
+                      batched=True, chunks=len(to_rescue))
+            for ci in to_rescue:
+                rescue(chunks[ci])
+
+        try:
+            while next_submit < len(chunks) or in_flight:
+                if campaign_dl is not None and campaign_dl.expired():
+                    failures.deadline_hit = True
+                    kill_pool()
+                    break
+
+                while next_submit < len(chunks) and len(in_flight) < n_workers:
+                    ci = next_submit
+                    try:
+                        fut = pool.submit(
+                            evaluate_batch,
+                            [fault_list[i] for i in chunks[ci]])
+                    except BrokenExecutor:
+                        handle_crash([ci])
+                        next_submit = ci + 1
+                        break
+                    in_flight[fut] = ci
+                    started[fut] = time.monotonic()
+                    next_submit = ci + 1
+                if not in_flight:
+                    emit_ready()
+                    continue
+
+                waits = []
+                now = time.monotonic()
+                for fut, ci in in_flight.items():
+                    b = chunk_budget(ci)
+                    if b is not None:
+                        waits.append(started[fut] + b - now)
+                if campaign_dl is not None:
+                    waits.append(campaign_dl.remaining())
+                wait_s = max(0.0, min(waits)) + 0.02 if waits else None
+                done_futs, _ = concurrent.futures.wait(
+                    list(in_flight), timeout=wait_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+
+                crashed: List[int] = []
+                for fut in done_futs:
+                    ci = in_flight.pop(fut)
+                    started.pop(fut, None)
+                    try:
+                        outcomes = fut.result()
+                    except BrokenExecutor:
+                        crashed.append(ci)
+                        continue
+                    except Exception:
+                        # genuine error under on_error="raise": propagate
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    buffered[ci] = dict(zip(chunks[ci], outcomes))
+                if crashed:
+                    handle_crash(crashed)
+                    emit_ready()
+                    continue
+
+                if fault_timeout_s is not None and in_flight:
+                    now = time.monotonic()
+                    hung = [ci for fut, ci in in_flight.items()
+                            if now - started[fut] > chunk_budget(ci)]
+                    if hung:
+                        # the whole pool goes (a kill is pool-wide);
+                        # hung and innocent chunks alike are rescued
+                        # through the per-fault protocol
+                        failures.pools_killed += 1
+                        to_rescue = sorted(set(in_flight.values()))
+                        kill_pool()
+                        in_flight.clear()
+                        started.clear()
+                        pool = concurrent.futures.ProcessPoolExecutor(
+                            max_workers=n_workers)
+                        if OBS.enabled:
+                            OBS.metrics.counter(
+                                "campaign.pools_killed").inc()
+                        for ci in to_rescue:
+                            rescue(chunks[ci])
+
+                emit_ready()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        for ci in sorted(buffered):
+            outs = buffered[ci]
+            for idx in chunks[ci]:
+                if idx in outs:
+                    record(idx, outs[idx])
+        buffered.clear()
 
     # ------------------------------------------------------------------
     def _run_pooled(self, evaluate, fault_list, pending, n_workers, record,

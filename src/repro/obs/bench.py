@@ -34,7 +34,7 @@ from repro.obs.core import observe
 
 #: counter prefixes persisted into BENCH_*.json (the telemetry half).
 KEY_COUNTER_PREFIXES = ("solver.", "transient.", "mna.", "fastpath.",
-                        "campaign.", "experiments.", "bist.")
+                        "campaign.", "experiments.", "bist.", "batched.")
 
 #: file schema tag (bump on incompatible layout changes).
 SCHEMA = "repro.bench/1"
@@ -88,6 +88,40 @@ def _divider_campaign():
     return campaign.run(build(), faults)
 
 
+def _dictionary_campaign(batch_size: int) -> Callable[[], Any]:
+    """A 64-fault dictionary campaign over a 10-section RC ladder,
+    scored sample-by-sample — the BENCH_batched speedup scenario.
+    ``batch_size=1`` is the serial reference the Kx variants are
+    measured against (mirrors benchmarks/bench_batched_dictionary.py)."""
+    def run():
+        from repro.faults import FaultCampaign
+        from repro.faults.dictionary import (
+            SignatureDetector,
+            TransientSignatureTechnique,
+            dictionary_faults,
+            dictionary_ladder,
+        )
+        target = dictionary_ladder(n_sections=10)
+        faults = dictionary_faults(n_sections=10, n_faults=64)
+        technique = TransientSignatureTechnique(
+            t_stop=3.1e-3, dt=1e-6, node="n9")
+        campaign = FaultCampaign(technique, SignatureDetector(abs_v=0.05),
+                                 threshold=0.0, batch_size=batch_size)
+        return campaign.run(target, faults)
+    run.__name__ = f"dictionary_64f_k{batch_size}"
+    return run
+
+
+def _sparse_ladder_transient():
+    """A 1000-node RC ladder transient: above the sparse threshold, so
+    the march runs through the CSC/splu route (the dense path on this
+    workload is the deadline demo in bench_batched_dictionary.py)."""
+    from repro.faults.dictionary import dictionary_ladder
+    from repro.spice import transient
+    circuit = dictionary_ladder(n_sections=1000, r_ohm=10.0)
+    return transient(circuit, t_stop=1e-3, dt=2e-6, record=["n999"])
+
+
 def _experiment(exp_id: str) -> Callable[[], Any]:
     def run():
         from repro.experiments.registry import run_record
@@ -110,6 +144,16 @@ SUITES: Dict[str, Dict[str, Callable[[], Any]]] = {
     "experiments": {
         eid: _experiment(eid)
         for eid in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9")
+    },
+    # lockstep batched campaign + sparse solver route (mirrors
+    # benchmarks/bench_batched_dictionary.py); the Kx workloads share
+    # one scenario so their medians are directly comparable speedups.
+    "batched": {
+        "dictionary_64f_serial": _dictionary_campaign(1),
+        "dictionary_64f_k8": _dictionary_campaign(8),
+        "dictionary_64f_k32": _dictionary_campaign(32),
+        "dictionary_64f_k64": _dictionary_campaign(64),
+        "sparse_ladder_1000": _sparse_ladder_transient,
     },
 }
 

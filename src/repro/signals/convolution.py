@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import scipy.linalg
 
 from repro.signals.waveform import Waveform
 
@@ -65,7 +66,12 @@ def impulse_response_estimate(x: Waveform, y: Waveform, n_taps: int,
     a = np.stack(cols, axis=1) * x.dt
     ata = a.T @ a
     reg = ridge * np.trace(ata) / n_taps if np.trace(ata) > 0 else ridge
-    h = np.linalg.solve(ata + reg * np.eye(n_taps), a.T @ yv)
+    # The regularised Gram matrix is symmetric positive definite, so the
+    # Cholesky route (assume_a="pos") halves the factorisation cost of
+    # the general LU solve.
+    gram = ata + reg * np.eye(n_taps)
+    h = scipy.linalg.solve(gram, a.T @ yv,
+                           assume_a="pos" if reg > 0 else "gen")
     return Waveform(h, x.dt, t0=0.0, name="h_est")
 
 

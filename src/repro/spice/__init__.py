@@ -10,7 +10,11 @@ A compact modified-nodal-analysis (MNA) engine with:
   automatic local step subdivision on Newton failure,
 * small-signal linearisation at an operating point, giving (G, C) matrix
   pencils from which poles, zeros and transfer functions are extracted —
-  the "HSPICE poles/zeros/constants" step of the paper's second method.
+  the "HSPICE poles/zeros/constants" step of the paper's second method,
+* a batched transient engine (:func:`batched_transient`) marching K
+  faulty variants of one circuit in lockstep, and a sparse (CSC + splu)
+  solver route that engages automatically above
+  :func:`sparse_threshold` unknowns.
 
 The engine targets the paper's scale (tens of transistors) and favours
 robustness and clarity over raw speed.
@@ -34,12 +38,15 @@ from repro.spice.validate import DeckError, validate_deck
 from repro.spice.ac import ACSweepResult, ac_sweep
 from repro.spice.parser import NetlistSyntaxError, ParseResult, parse_netlist, parse_value
 from repro.spice.linearize import (
+    FrequencyPencil,
     small_signal_matrices,
     circuit_poles,
     circuit_zeros,
     transfer_function_at,
     extract_transfer_function,
 )
+from repro.spice.mna import sparse_threshold
+from repro.spice.batched import BatchedMarch, batched_transient
 
 __all__ = [
     "Circuit",
@@ -68,9 +75,13 @@ __all__ = [
     "ParseResult",
     "parse_netlist",
     "parse_value",
+    "FrequencyPencil",
     "small_signal_matrices",
     "circuit_poles",
     "circuit_zeros",
     "transfer_function_at",
     "extract_transfer_function",
+    "sparse_threshold",
+    "BatchedMarch",
+    "batched_transient",
 ]

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.spice.linearize import (
+    FrequencyPencil,
     _input_vector,
     _output_vector,
     small_signal_matrices,
@@ -82,8 +83,10 @@ def ac_sweep(circuit: Circuit, input_source: str, output_node: str,
              op_vector: Optional[np.ndarray] = None) -> ACSweepResult:
     """Logarithmic AC sweep of ``input_source`` → ``output_node``.
 
-    The circuit is linearised once at its DC operating point; each
-    frequency point is a complex linear solve.
+    The circuit is linearised once at its DC operating point and the
+    ``(G, C)`` pencil factorised once (generalised Schur); each
+    frequency point is then a triangular back-substitution instead of
+    a fresh O(n^3) dense solve.
     """
     if f_start <= 0 or f_stop <= f_start:
         raise ValueError("need 0 < f_start < f_stop")
@@ -95,9 +98,6 @@ def ac_sweep(circuit: Circuit, input_source: str, output_node: str,
     n_decades = np.log10(f_stop / f_start)
     n_points = max(2, int(round(n_decades * points_per_decade)) + 1)
     freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
-    response = np.empty(n_points, dtype=complex)
-    for i, f in enumerate(freqs):
-        s = 2j * np.pi * f
-        x = np.linalg.solve(g + s * c, b.astype(complex))
-        response[i] = c_vec @ x
+    pencil = FrequencyPencil(g, c)
+    response = pencil.transfer(b, c_vec, 2j * np.pi * freqs)
     return ACSweepResult(frequencies_hz=freqs, response=response)

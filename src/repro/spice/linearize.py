@@ -111,15 +111,73 @@ def circuit_zeros(circuit: Circuit, input_source: str, output_node: str,
     return _finite_eigs(-a0, a1, cutoff=cutoff)
 
 
+class FrequencyPencil:
+    """Pre-factorised ``(G + sC)`` solver for frequency sweeps.
+
+    A sweep evaluates the same pencil at many ``s`` points; a fresh
+    dense solve costs O(n^3) *per point*.  This class computes the
+    generalised Schur (QZ) decomposition ``G = Q S Z^H``,
+    ``C = Q T Z^H`` once — the factorisation covers *every* ``s``
+    simultaneously, because ``G + sC = Q (S + sT) Z^H`` with
+    ``S + sT`` triangular — so each point costs one O(n^2)
+    back-substitution:
+
+        ``(S + sT) y = Q^H b``,  ``x = Z y``.
+
+    Results match a per-point ``np.linalg.solve(g + s*c, b)`` to
+    solver round-off (pinned by the regression tests), not bitwise.
+    """
+
+    def __init__(self, g: np.ndarray, c: np.ndarray) -> None:
+        self._s_mat, self._t_mat, q, self._z = scipy.linalg.qz(
+            np.asarray(g, dtype=complex), np.asarray(c, dtype=complex),
+            output="complex")
+        self._qh = q.conj().T
+        self.n = self._s_mat.shape[0]
+
+    def solve(self, b: np.ndarray, s: complex) -> np.ndarray:
+        """``x`` with ``(G + sC) x = b`` at one ``s`` point."""
+        qb = self._qh @ np.asarray(b, dtype=complex)
+        y = scipy.linalg.solve_triangular(self._s_mat + s * self._t_mat, qb,
+                                          check_finite=False)
+        return self._z @ y
+
+    def sweep(self, b: np.ndarray,
+              s_values: np.ndarray) -> np.ndarray:
+        """Solutions at every ``s`` in ``s_values`` (rows of the
+        result), all through the single factorisation."""
+        qb = self._qh @ np.asarray(b, dtype=complex)
+        out = np.empty((len(s_values), self.n), dtype=complex)
+        for i, s in enumerate(s_values):
+            y = scipy.linalg.solve_triangular(
+                self._s_mat + s * self._t_mat, qb, check_finite=False)
+            out[i] = self._z @ y
+        return out
+
+    def transfer(self, b: np.ndarray, c_vec: np.ndarray,
+                 s_values: np.ndarray) -> np.ndarray:
+        """``c^T (G + sC)^{-1} b`` at every ``s`` in ``s_values``."""
+        return self.sweep(b, s_values) @ np.asarray(c_vec, dtype=complex)
+
+
 def transfer_function_at(circuit: Circuit, input_source: str,
-                         output_node: str, s: complex,
-                         op_vector: Optional[np.ndarray] = None) -> complex:
-    """Evaluate the small-signal transfer function H(s) at one point."""
+                         output_node: str, s,
+                         op_vector: Optional[np.ndarray] = None):
+    """Evaluate the small-signal transfer function H(s).
+
+    ``s`` may be a scalar (returns ``complex``, one direct solve) or an
+    array of s-points (returns an ``ndarray``; all points share one
+    :class:`FrequencyPencil` factorisation instead of a dense solve
+    per point).
+    """
     assembler, g, c, _op = small_signal_matrices(circuit, op_vector)
     b = _input_vector(assembler, input_source)
     c_vec = _output_vector(assembler, output_node)
-    x = np.linalg.solve(g + s * c, b.astype(complex))
-    return complex(c_vec @ x)
+    if np.ndim(s) == 0:
+        x = np.linalg.solve(g + s * c, b.astype(complex))
+        return complex(c_vec @ x)
+    pencil = FrequencyPencil(g, c)
+    return pencil.transfer(b, c_vec, np.asarray(s, dtype=complex))
 
 
 def extract_transfer_function(circuit: Circuit, input_source: str,

@@ -58,7 +58,11 @@ def newton_solve(assembler: Assembler, state: SimState,
         # factorization (factor once per (dt, method, gmin), then
         # back-substitute on every call).
         sys = assembler.build(state)
-        x_new = assembler.solve_cached_lu(sys)
+        try:
+            x_new = (assembler.solve_cached_splu(sys) if assembler.use_sparse
+                     else assembler.solve_cached_lu(sys))
+        except np.linalg.LinAlgError as exc:
+            raise NewtonError(f"singular MNA matrix: {exc}") from exc
         if not np.all(np.isfinite(x_new)):
             raise NewtonError("non-finite solution from linear solve")
         state.x = x_new
@@ -69,7 +73,10 @@ def newton_solve(assembler: Assembler, state: SimState,
             _note_newton(1, failed=False)
             OBS.metrics.counter("solver.linear_solves").inc()
         return x_new
-    solve = MNASystem.solve_fast if assembler.fast_path else MNASystem.solve
+    if assembler.fast_path and assembler.use_sparse:
+        solve = assembler.solve_sparse  # bound: called as solve(sys) too
+    else:
+        solve = MNASystem.solve_fast if assembler.fast_path else MNASystem.solve
     iteration = 0
     try:
         for iteration in range(1, max_iter + 1):

@@ -19,7 +19,8 @@ from repro.resilience.deadline import DEADLINE
 from repro.resilience.retry import RetryPolicy, active_policy, note_retry
 from repro.signals.waveform import Waveform
 from repro.spice.elements import Capacitor, Inductor
-from repro.spice.fastpath import LinearMarch, linear_march_supported
+from repro.spice.fastpath import (LinearMarch, SparseLinearMarch,
+                                  linear_march_supported)
 from repro.spice.mna import Assembler, SimState
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.solver import NewtonError, newton_solve, _solve_with_homotopy
@@ -212,6 +213,7 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
 
     before = {name: counter_value(name) for name in _SPAN_COUNTERS}
     march0 = counter_value("fastpath.linear_march_runs")
+    sparse0 = counter_value("fastpath.sparse_march_runs")
     with OBS.tracer.span("transient", circuit=circuit.name, t_stop=t_stop,
                          dt=dt, method=method, fast_path=fast_path) as sp:
         result = _transient_impl(circuit, t_stop, dt, record, record_branches,
@@ -219,9 +221,12 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
                                  max_subdivisions, fast_path)
         deltas = {name.split(".", 1)[1]: counter_value(name) - before[name]
                   for name in _SPAN_COUNTERS}
-        engine = ("linear_march"
-                  if counter_value("fastpath.linear_march_runs") > march0
-                  else "newton")
+        if counter_value("fastpath.linear_march_runs") > march0:
+            engine = "linear_march"
+        elif counter_value("fastpath.sparse_march_runs") > sparse0:
+            engine = "sparse_linear_march"
+        else:
+            engine = "newton"
         sp.set(n_steps=max(len(result.times) - 1, 0), engine=engine, **deltas)
         result.trace = sp
     m = OBS.metrics
@@ -328,7 +333,9 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
                              for i, name in enumerate(branch_names)}
             result = TransientResult(times, traces, circuit_name=circuit.name,
                                      branch_samples=branch_traces)
-            result.stats = dict(state.stats, engine="linear_march",
+            engine = ("sparse_linear_march" if assembler.use_sparse
+                      else "linear_march")
+            result.stats = dict(state.stats, engine=engine,
                                 n_steps=n_steps, method=method,
                                 fast_path=fast_path)
             return result
@@ -357,12 +364,18 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
 
 def _run_linear_march(assembler: Assembler, x0: np.ndarray,
                       times: np.ndarray) -> Optional[np.ndarray]:
-    """Try the linear-march fast path; ``None`` means fall back."""
+    """Try the linear-march fast path; ``None`` means fall back.
+
+    Large systems (``assembler.use_sparse``) march through the
+    SuperLU-factorised :class:`~repro.spice.fastpath.SparseLinearMarch`
+    instead of the dense ``G^-1`` recurrence.
+    """
     if len(times) < 2:
         return None
+    march_cls = SparseLinearMarch if assembler.use_sparse else LinearMarch
     try:
-        march = LinearMarch(assembler, dt=float(times[1] - times[0]),
-                            gmin=1e-12)
+        march = march_cls(assembler, dt=float(times[1] - times[0]),
+                          gmin=1e-12)
     except np.linalg.LinAlgError:
         return None
     return march.run(x0, times)

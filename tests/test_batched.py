@@ -1,0 +1,367 @@
+"""Batched (lockstep K-variant) engine equivalence and campaign batching.
+
+The batched engine's contract is *bitwise* agreement with the serial
+engine — stronger than the fast-path 1e-9 gate, because batching only
+re-orders work, never re-associates arithmetic.  These tests pin that
+contract on both marching routes (lockstep linear tensor, step-
+synchronised Newton), then pin the campaign layer: ``batch_size=K``
+runs must produce ``to_dict()``-identical results to serial runs —
+including under per-fault timeouts, retry-ladder recoveries, fallback
+slots and process pools — with wall-clock fields as the only permitted
+difference.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.op1 import op1_follower
+from repro.core.detection import detection_instances
+from repro.core.transient_test import TransientResponseTester, TransientTestConfig
+from repro.faults.campaign import BATCH_FALLBACK, FaultCampaign
+from repro.faults.dictionary import (
+    SignatureDetector,
+    TransientSignatureTechnique,
+    dictionary_faults,
+    dictionary_ladder,
+)
+from repro.faults.injector import inject
+from repro.faults.model import BridgingFault, StuckAtFault
+from repro.faults.universe import paper_circuit1_faults, stuck_at_universe
+from repro.obs.core import observe
+from repro.resilience.deadline import check_deadline
+from repro.spice import Circuit, batched_transient, transient
+from repro.spice.batched import BatchedMarch
+
+
+# --- fixtures -------------------------------------------------------------
+
+def _step(t):
+    return 1.0 if t > 1e-6 else 0.0
+
+
+def _ladder():
+    c = Circuit("ladder")
+    c.vsource("V1", "in", "0", _step)
+    c.resistor("R1", "in", "a", 1e3)
+    c.capacitor("C1", "a", "0", 1e-9)
+    c.resistor("R2", "a", "b", 2e3)
+    c.capacitor("C2", "b", "0", 2e-9)
+    c.resistor("R3", "b", "0", 10e3)
+    return c
+
+
+def _bridge_variants(n=5):
+    faults = [BridgingFault(f"br{i}", "a", "b", resistance=100.0 * (i + 1))
+              for i in range(n)]
+    return [inject(_ladder(), f) for f in faults]
+
+
+def _hard_stack(n=10):
+    """NMOS diode stack whose OP needs the gmin-stepping retry ladder
+    (same fixture family as the resilience tests)."""
+    c = Circuit(f"stack{n}")
+    c.vsource("VDD", "vdd", "0", float(2 * n))
+    c.isource("IB", "vdd", "n0", 1e-3)
+    prev = "n0"
+    for i in range(n):
+        nxt = "0" if i == n - 1 else f"n{i + 1}"
+        c.nmos(f"M{i}", prev, prev, nxt)
+        prev = nxt
+    return c
+
+
+def _assert_bitwise(batched_result, serial_result, nodes):
+    assert np.array_equal(batched_result.times, serial_result.times)
+    for node in nodes:
+        assert np.array_equal(batched_result.array(node),
+                              serial_result.array(node))
+
+
+def _stats_sans_engine(stats):
+    return {k: v for k, v in stats.items() if k not in ("engine", "batch_k")}
+
+
+# --- batched_transient: lockstep linear route -----------------------------
+
+def test_batched_linear_march_bitwise_identical():
+    variants = _bridge_variants(5)
+    batched = batched_transient(variants, 2e-5, 1e-8, record=["a", "b"])
+    for circuit, got in zip(variants, batched):
+        ref = transient(circuit, 2e-5, 1e-8, record=["a", "b"])
+        assert got is not None
+        assert got.stats["engine"] == "batched_linear_march"
+        assert got.stats["batch_k"] == 5
+        _assert_bitwise(got, ref, ["a", "b"])
+
+
+def test_batched_linear_march_groups_shared_sources():
+    # The faulty copies share the base circuit's stimulus object, so all
+    # five variants land in one lockstep group.
+    with observe() as h:
+        batched_transient(_bridge_variants(5), 1e-5, 1e-8, record=["b"])
+    counters = h.metrics.to_dict()
+    assert counters["batched.lockstep_groups"]["value"] == 1
+    assert counters["batched.march_variants"]["value"] == 5
+
+
+def test_batched_records_branch_currents_identically():
+    variants = _bridge_variants(3)
+    batched = batched_transient(variants, 1e-5, 1e-8, record=["b"],
+                                record_branches=["V1"])
+    for circuit, got in zip(variants, batched):
+        ref = transient(circuit, 1e-5, 1e-8, record=["b"],
+                        record_branches=["V1"])
+        assert np.array_equal(got.branch_current("V1").values,
+                              ref.branch_current("V1").values)
+
+
+# --- batched_transient: step-synchronised Newton route --------------------
+
+def test_batched_newton_route_bitwise_identical():
+    def drive(t):
+        return 2.2 if t < 5e-6 else 2.8
+    faults = stuck_at_universe(["4", "5", "7"])
+    variants = [inject(op1_follower(input_value=drive), f) for f in faults]
+    batched = batched_transient(variants, 2e-5, 2.5e-7, record=["3"])
+    for circuit, got in zip(variants, batched):
+        ref = transient(circuit, 2e-5, 2.5e-7, record=["3"])
+        assert got is not None
+        assert got.stats["engine"] == "batched_newton"
+        _assert_bitwise(got, ref, ["3"])
+        # Newton iteration counts, LU reuse, subdivisions... must agree
+        # exactly — lockstep is step-synchronised, not re-associated.
+        assert _stats_sans_engine(got.stats) == _stats_sans_engine(ref.stats)
+
+
+def test_batched_trap_method_bitwise_identical():
+    variants = _bridge_variants(3)
+    batched = batched_transient(variants, 1e-5, 1e-8, record=["b"],
+                                method="trap")
+    for circuit, got in zip(variants, batched):
+        ref = transient(circuit, 1e-5, 1e-8, record=["b"], method="trap")
+        _assert_bitwise(got, ref, ["b"])
+
+
+# --- eviction -------------------------------------------------------------
+
+def test_batched_evicts_bad_variant_and_keeps_the_rest():
+    variants = _bridge_variants(3)
+    broken = Circuit("broken")
+    broken.vsource("V1", "in", "0", _step)
+    broken.resistor("R1", "in", "0", 1e3)   # has no node "b" to record
+    circuits = [variants[0], broken, variants[1], variants[2]]
+    march = BatchedMarch(circuits, 1e-5, 1e-8, record=["b"])
+    results = march.run()
+    assert results[1] is None
+    assert "b" in march.failures[1]
+    for i in (0, 2, 3):
+        assert results[i] is not None
+        ref = transient(circuits[i], 1e-5, 1e-8, record=["b"])
+        _assert_bitwise(results[i], ref, ["b"])
+
+
+def test_batched_validates_arguments_like_serial():
+    with pytest.raises(ValueError):
+        batched_transient(_bridge_variants(1), t_stop=-1.0, dt=1e-8)
+    with pytest.raises(ValueError):
+        batched_transient(_bridge_variants(1), t_stop=1e-5, dt=0.0)
+    with pytest.raises(ValueError):
+        batched_transient(_bridge_variants(1), t_stop=1e-5, dt=1e-8,
+                          method="rk4")
+
+
+# --- campaign batch_size: equality with serial ----------------------------
+
+def _normalized(result):
+    """CampaignResult.to_dict with wall-clock zeroed: timing is the only
+    permitted batched-vs-serial difference."""
+    doc = result.to_dict()
+    doc["elapsed_s"] = 0.0
+    doc["outcomes"] = [dict(o, elapsed_s=0.0) for o in doc["outcomes"]]
+    return doc
+
+
+def _dictionary_campaign(**kwargs):
+    technique = TransientSignatureTechnique(t_stop=3.1e-3, dt=1e-6,
+                                            node="n9")
+    return FaultCampaign(technique, SignatureDetector(abs_v=0.05),
+                         threshold=0.0, **kwargs)
+
+
+def _dictionary_scenario():
+    return (dictionary_ladder(n_sections=10),
+            dictionary_faults(n_sections=10, n_faults=16))
+
+
+def test_campaign_batched_matches_serial():
+    target, faults = _dictionary_scenario()
+    serial = _dictionary_campaign().run(target, faults)
+    batched = _dictionary_campaign(batch_size=8).run(target, faults)
+    assert _normalized(batched) == _normalized(serial)
+    for s, b in zip(serial.outcomes, batched.outcomes):
+        assert np.array_equal(s.measurement, b.measurement)
+
+
+def test_campaign_run_batch_size_overrides_campaign_default():
+    target, faults = _dictionary_scenario()
+    serial = _dictionary_campaign().run(target, faults)
+    batched = _dictionary_campaign().run(target, faults, batch_size=16)
+    assert _normalized(batched) == _normalized(serial)
+
+
+def test_campaign_pooled_batched_matches_serial():
+    # workers=2 x batch_size=8: chunks cross the process boundary; the
+    # technique/detector classes pickle, outcomes stay in fault order.
+    target, faults = _dictionary_scenario()
+    serial = _dictionary_campaign().run(target, faults)
+    pooled = _dictionary_campaign(batch_size=8, workers=2).run(target, faults)
+    got, want = _normalized(pooled), _normalized(serial)
+    assert got.pop("workers") == 2 and want.pop("workers") == 1
+    assert got == want
+
+
+def test_campaign_e7_universe_batched_matches_serial():
+    # The paper's circuit-1 fault universe through the PRBS correlation
+    # technique — the tentpole's acceptance scenario: batch_size=32
+    # to_dict()-identical to serial.
+    tester = TransientResponseTester(TransientTestConfig(low_v=2.0,
+                                                         high_v=3.5))
+    target = op1_follower(input_value=2.5)
+    faults = paper_circuit1_faults()
+
+    def detector(ref, m):
+        return detection_instances(ref, m, rel_threshold=0.02)
+
+    serial = FaultCampaign(tester.technique(), detector,
+                           threshold=0.05).run(target, faults)
+    batched = FaultCampaign(tester.technique(), detector, threshold=0.05,
+                            batch_size=32).run(target, faults)
+    assert _normalized(batched) == _normalized(serial)
+    for s, b in zip(serial.outcomes, batched.outcomes):
+        if s.measurement is not None:
+            assert np.array_equal(s.measurement.values, b.measurement.values)
+
+
+def test_campaign_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        _dictionary_campaign(batch_size=0)
+
+
+# --- campaign batch_size: fallback, timeouts, retry recoveries ------------
+
+class _FallbackTechnique:
+    """Batch protocol implementation that serves nothing: every slot
+    comes back BATCH_FALLBACK, so the campaign must reproduce the serial
+    path exactly through per-fault re-runs."""
+
+    def __call__(self, circuit):
+        return transient(circuit, 1e-5, 1e-7, record=["b"]).array("b")
+
+    def evaluate_batch(self, target, faults):
+        return [BATCH_FALLBACK] * len(faults)
+
+
+def test_campaign_batch_fallback_reproduces_serial():
+    target = _ladder()
+    faults = [BridgingFault(f"br{i}", "a", "b", resistance=100.0 * (i + 1))
+              for i in range(4)]
+    faults.append(BridgingFault("ghost", "a", "nope", resistance=100.0))
+    technique = _FallbackTechnique()
+    detector = SignatureDetector(abs_v=0.01)
+    serial = FaultCampaign(technique, detector).run(target, faults)
+    batched = FaultCampaign(technique, detector, batch_size=4).run(
+        target, faults)
+    assert _normalized(batched) == _normalized(serial)
+    # the unknown-node fault errors identically through both paths
+    assert serial.outcomes[-1].error is not None
+    assert batched.outcomes[-1].error == serial.outcomes[-1].error
+
+
+class _SlowTechnique:
+    """Cooperative-spin technique: faults bridging the marked node busy-
+    wait (checking the ambient deadline) until their budget fires; every
+    other fault measures instantly.  ``evaluate_batch`` spins the same
+    way, so the chunk attempt times out and the campaign must fall back
+    to per-fault serial evaluation — whose outcomes (including the
+    structured timeout) must equal a plain serial run's."""
+
+    MARKER = "slowpoke"
+
+    def _measure(self, name):
+        if self.MARKER in name:
+            t_end = time.monotonic() + 20.0   # backstop; deadline fires first
+            while time.monotonic() < t_end:
+                check_deadline("slow fault spin")
+            raise RuntimeError("deadline never fired")   # pragma: no cover
+        return np.ones(8)
+
+    def __call__(self, circuit):
+        return self._measure(circuit.name)
+
+    def evaluate_batch(self, target, faults):
+        for fault in faults:
+            self._measure(fault.name)
+        return [np.ones(8)] * len(faults)
+
+
+def test_campaign_batched_matches_serial_under_fault_timeouts():
+    target = _ladder()
+    faults = [BridgingFault("br0", "a", "b", resistance=100.0),
+              BridgingFault(_SlowTechnique.MARKER, "a", "b",
+                            resistance=200.0),
+              BridgingFault("br2", "a", "b", resistance=300.0)]
+    detector = SignatureDetector(abs_v=0.5)
+    serial = FaultCampaign(_SlowTechnique(), detector).run(
+        target, faults, fault_timeout_s=0.2)
+    batched = FaultCampaign(_SlowTechnique(), detector, batch_size=3).run(
+        target, faults, fault_timeout_s=0.2)
+    assert serial.n_timeouts == batched.n_timeouts == 1
+    assert serial.outcomes[1].timed_out and batched.outcomes[1].timed_out
+    assert not batched.outcomes[1].detected
+    assert _normalized(batched) == _normalized(serial)
+
+
+def test_campaign_batched_matches_serial_under_retry_recoveries():
+    # Biasing this deck needs the gmin-stepping retry ladder; the
+    # batched bind path runs the same homotopy as the serial engine, so
+    # outcomes and retry behaviour match the serial campaign exactly.
+    target = _hard_stack()
+    faults = [StuckAtFault.sa0("n2"), StuckAtFault.sa1("n3", vdd=5.0),
+              StuckAtFault.sa0("n4")]
+    technique = TransientSignatureTechnique(t_stop=2e-5, dt=1e-6, node="n0")
+    detector = SignatureDetector(abs_v=0.05)
+    # prove the fixture actually exercises the retry ladder (the
+    # campaign's reference measurement biases this same deck)
+    from repro.spice import dc_operating_point
+    with observe() as h:
+        dc_operating_point(target)
+    assert h.metrics.to_dict()["solver.retries"]["value"] >= 1
+    serial = FaultCampaign(technique, detector).run(target, faults)
+    batched = FaultCampaign(technique, detector, batch_size=3).run(
+        target, faults)
+    assert _normalized(batched) == _normalized(serial)
+    for s, b in zip(serial.outcomes, batched.outcomes):
+        if s.measurement is not None:
+            assert np.array_equal(s.measurement, b.measurement)
+
+
+# --- dictionary scenario builders ----------------------------------------
+
+def test_dictionary_detector_validates():
+    with pytest.raises(ValueError):
+        SignatureDetector(abs_v=-0.1)
+
+
+def test_dictionary_faults_validates_universe_size():
+    with pytest.raises(ValueError):
+        dictionary_faults(n_sections=3, n_faults=64)
+
+
+def test_dictionary_campaign_detects_hard_bridges():
+    target, faults = _dictionary_scenario()
+    result = _dictionary_campaign(batch_size=16).run(target, faults)
+    assert result.n_faults == 16
+    assert result.n_errors == 0
+    assert result.coverage == 1.0

@@ -177,6 +177,89 @@ def test_campaign_rejects_bad_workers():
         FaultCampaign(_campaign_technique, _campaign_detector, workers=0)
 
 
+# --- sparse (CSC + splu) solver route ------------------------------------
+
+def test_sparse_linear_march_matches_reference(monkeypatch):
+    # Force the sparse route on a small linear deck and pin it to the
+    # reference engine: same 1e-9 gate as the dense fast path.
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    fast = transient(_rc_ladder(), 2e-5, 1e-8, method="be")
+    assert fast.stats["engine"] == "sparse_linear_march"
+    monkeypatch.delenv("REPRO_SPARSE_THRESHOLD")
+    ref = transient(_rc_ladder(), 2e-5, 1e-8, method="be", fast_path=False)
+    assert _max_trace_diff(fast, ref) < TOL
+
+
+def test_sparse_newton_route_matches_reference(monkeypatch):
+    # Nonlinear circuits refactorise the sparse Jacobian every Newton
+    # iteration (the pattern must follow the devices); results still
+    # pin to the scalar reference engine.
+    def drive(t):
+        return 2.2 if t < 5e-6 else 3.0
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    fast = transient(op1_follower(input_value=drive), 2e-5, 1e-7,
+                     record=["3", "4", "5"])
+    monkeypatch.delenv("REPRO_SPARSE_THRESHOLD")
+    ref = transient(op1_follower(input_value=drive), 2e-5, 1e-7,
+                    record=["3", "4", "5"], fast_path=False)
+    assert _max_trace_diff(fast, ref) < TOL
+
+
+def test_sparse_route_engages_automatically_above_threshold(monkeypatch):
+    # A ladder larger than the default threshold must pick the sparse
+    # march without any explicit opt-in, and match the dense fast path.
+    from repro.faults.dictionary import dictionary_ladder
+    from repro.spice.mna import SPARSE_THRESHOLD_DEFAULT, sparse_threshold
+
+    assert sparse_threshold() == SPARSE_THRESHOLD_DEFAULT
+    n = SPARSE_THRESHOLD_DEFAULT + 100
+    circuit = dictionary_ladder(n_sections=n, r_ohm=10.0)
+    out = f"n{n - 1}"
+    auto = transient(circuit, 2e-4, 2e-6, record=[out])
+    assert auto.stats["engine"] == "sparse_linear_march"
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", str(100 * n))
+    dense = transient(circuit, 2e-4, 2e-6, record=[out])
+    assert dense.stats["engine"] == "linear_march"
+    assert np.max(np.abs(auto.array(out) - dense.array(out))) < TOL
+
+
+def test_sparse_threshold_env_parse_failure_falls_back(monkeypatch):
+    from repro.spice.mna import SPARSE_THRESHOLD_DEFAULT, sparse_threshold
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "not-a-number")
+    assert sparse_threshold() == SPARSE_THRESHOLD_DEFAULT
+
+
+# --- single-factorisation frequency sweeps --------------------------------
+
+def test_frequency_pencil_matches_per_point_dense_solves():
+    from repro.spice import FrequencyPencil
+    rng = np.random.default_rng(7)
+    n = 10
+    g = rng.standard_normal((n, n)) + 5.0 * np.eye(n)
+    c = rng.standard_normal((n, n)) * 1e-9
+    b = rng.standard_normal(n)
+    c_vec = rng.standard_normal(n)
+    s_values = 2j * np.pi * np.logspace(0, 9, 31)
+    pencil = FrequencyPencil(g, c)
+    got = pencil.transfer(b, c_vec, s_values)
+    ref = np.array([c_vec @ np.linalg.solve(g + s * c, b.astype(complex))
+                    for s in s_values])
+    scale = np.maximum(np.abs(ref), 1e-300)
+    assert np.max(np.abs(got - ref) / scale) < TOL
+
+
+def test_ac_sweep_matches_scalar_transfer_function():
+    # ac_sweep routes through the QZ pencil; each point must agree with
+    # the scalar (direct dense solve) transfer_function_at evaluation.
+    from repro.spice import ac_sweep, transfer_function_at
+    circuit = _rc_ladder()
+    sweep = ac_sweep(circuit, "V1", "b", f_start=10.0, f_stop=1e7,
+                     points_per_decade=4)
+    for f, h in zip(sweep.frequencies_hz[::5], sweep.response[::5]):
+        direct = transfer_function_at(circuit, "V1", "b", 2j * np.pi * f)
+        assert abs(h - direct) < TOL * max(1.0, abs(direct))
+
+
 # --- FFT correlation route ----------------------------------------------
 
 @pytest.mark.parametrize("mode", ["full", "same", "valid"])

@@ -185,6 +185,25 @@ class TestConvolution:
         assert np.allclose(h_est.values[:4], h_true, atol=0.02)
         assert np.allclose(h_est.values[4:], 0.0, atol=0.02)
 
+    def test_impulse_estimate_cholesky_matches_general_solve(self):
+        # The Cholesky (assume_a="pos") route on the regularised Gram
+        # matrix must reproduce the general LU deconvolution result.
+        rng = np.random.default_rng(5)
+        x = Waveform(rng.normal(size=300), 1.0)
+        h_true = np.array([0.4, -0.3, 0.2])
+        y = Waveform(np.convolve(x.values, h_true)[:300] * x.dt, 1.0)
+        h_est = impulse_response_estimate(x, y, n_taps=8, ridge=1e-9)
+        n = 300
+        xv = x.values - np.mean(x.values)
+        yv = y.values - np.mean(y.values)
+        cols = [np.concatenate([np.zeros(k), xv[:n - k]]) for k in range(8)]
+        a = np.stack(cols, axis=1) * x.dt
+        ata = a.T @ a
+        reg = 1e-9 * np.trace(ata) / 8
+        ref = np.linalg.solve(ata + reg * np.eye(8), a.T @ yv)
+        assert np.allclose(h_est.values, ref, rtol=0.0, atol=1e-10)
+        assert np.allclose(h_est.values[:3], h_true, atol=0.02)
+
     def test_impulse_estimate_validates(self):
         x = Waveform([1.0, 2.0], 1.0)
         with pytest.raises(ValueError):
