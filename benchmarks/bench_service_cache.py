@@ -1,0 +1,90 @@
+"""Campaign service: cold vs warm result-cache runs.
+
+Times the same 21-fault OP1 campaign three ways — uncached, cold run
+populating a :class:`~repro.service.ResultCache`, and the warm re-run
+replaying every outcome from the cache.  The warm run performs zero
+simulations (not even the fault-free reference), so its time is pure
+lookup + bookkeeping; the timing comparison is informational (warn-only
+in CI), while the equality assertions are hard.
+
+Everything here is module-level (no lambdas) so the campaign stays
+eligible for the process-pool path.
+"""
+
+import numpy as np
+
+from repro import CampaignSpec, ResultCache
+from repro.circuits.op1 import op1_follower
+from repro.faults.campaign import FaultCampaign
+from repro.faults.universe import bridging_universe, full_node_universe
+from repro.spice import transient
+
+
+def _step_drive(t):
+    return 2.2 if t < 5e-6 else 2.8
+
+
+def _technique(circuit):
+    result = transient(circuit, t_stop=5e-5, dt=2.5e-7, record=["3"])
+    return result.array("3")
+
+
+def _detector(reference, measurement):
+    return float(np.mean(np.abs(measurement - reference) > 0.05))
+
+
+def _make_target():
+    return op1_follower(input_value=_step_drive)
+
+
+def _make_faults():
+    circuit = _make_target()
+    faults = full_node_universe(circuit)
+    faults += bridging_universe(["4", "6", "8"])
+    assert len(faults) >= 20
+    return faults
+
+
+def _run(cache):
+    campaign = FaultCampaign(_technique, _detector, cache=cache)
+    return campaign.run(_make_target(), _make_faults())
+
+
+def test_perf_campaign_uncached(benchmark):
+    result = benchmark(_run, None)
+    assert result.n_faults >= 20
+
+
+def _run_cold():
+    return _run(ResultCache())                # fresh cache every round
+
+
+def test_perf_campaign_cold_cache(benchmark):
+    result = benchmark(_run_cold)
+    assert result.n_faults >= 20
+
+
+def test_perf_campaign_warm_cache(benchmark):
+    cache = ResultCache()
+    _run(cache)                               # populate outside the timer
+    result = benchmark(_run, cache)
+    assert result.n_faults >= 20
+    assert all(o.from_cache for o in result.outcomes)
+    assert cache.stats.misses == result.n_faults   # cold run's misses only
+
+
+def test_warm_run_equals_cold_run():
+    """Not a timing — the service-equivalence pin: a warm re-run's
+    payload matches the cold run byte for byte, total wall clock aside,
+    and performs zero simulations."""
+    cache = ResultCache()
+    spec = CampaignSpec(batch_size=1, cache=cache)
+    campaign = FaultCampaign(_technique, _detector)
+    target, faults = _make_target(), _make_faults()
+    cold = campaign.run(target, faults, spec=spec)
+    warm = campaign.run(target, faults, spec=spec)
+    assert warm.reference is None             # reference never recomputed
+    assert all(o.from_cache for o in warm.outcomes)
+    got, want = warm.to_dict(), cold.to_dict()
+    got.pop("elapsed_s"), want.pop("elapsed_s")
+    assert got == want

@@ -27,6 +27,11 @@ full API:
   the package raises derives from :class:`ReproError`).
 * :mod:`repro.resilience` — deadlines, solver retry ladders,
   checkpoint/resume and crash-recovery accounting for long campaigns.
+* :mod:`repro.service` — campaign-as-a-service: the frozen
+  :class:`CampaignSpec` job description, the content-addressed
+  :class:`ResultCache` (never simulate the same fault twice) and the
+  async :class:`CampaignScheduler` fanning concurrent campaigns over a
+  shared worker pool.
 
 Quickstart::
 
@@ -53,6 +58,7 @@ from repro.errors import (
 )
 from repro.faults import CampaignResult, FaultCampaign
 from repro.resilience import FailureReport, RetryPolicy
+from repro.service import CampaignScheduler, CampaignSpec, ResultCache
 from repro.session import RunResult, Session
 from repro.signals import Waveform
 from repro.spice import (
@@ -76,6 +82,10 @@ __all__ = [
     # fault campaigns
     "FaultCampaign",
     "CampaignResult",
+    # campaign service
+    "CampaignSpec",
+    "ResultCache",
+    "CampaignScheduler",
     # resilience + errors
     "FailureReport",
     "RetryPolicy",

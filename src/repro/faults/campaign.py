@@ -40,15 +40,15 @@ from repro.faults.injector import inject
 from repro.faults.model import Fault
 from repro.obs.core import OBS, event, observe
 from repro.obs.core import span as obs_span
-from repro.obs.health import ProgressCallback, ProgressTracker
-from repro.resilience.checkpoint import CampaignCheckpoint, campaign_key
+from repro.obs.health import ProgressTracker
+from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.deadline import Deadline, deadline_scope, installed
 from repro.resilience.failure import FailureReport
+from repro.service.spec import CampaignSpec
 
 #: internal error policies (see ``FaultCampaign.errors_as_detected``)
 _ERROR_DETECTED = "detected"
 _ERROR_UNDETECTED = "undetected"
-_ERROR_RAISE = "raise"
 
 #: extra seconds granted on top of ``fault_timeout_s`` before the parent
 #: hard-kills a pooled worker that missed every cooperative check.
@@ -65,6 +65,25 @@ _QUARANTINE_AFTER = 2
 #: run.  Never crosses a process boundary: workers resolve fallbacks
 #: in-process before returning.
 BATCH_FALLBACK = object()
+
+#: sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: in the deprecated ``FaultCampaign.run()`` option kwargs.
+_UNSET = object()
+
+#: process-wide once-flag for the legacy run-kwarg warning.
+_LEGACY_KWARGS_WARNED = False
+
+
+def _warn_legacy_kwargs(names: List[str]) -> None:
+    global _LEGACY_KWARGS_WARNED
+    if _LEGACY_KWARGS_WARNED:
+        return
+    _LEGACY_KWARGS_WARNED = True
+    warnings.warn(
+        f"FaultCampaign.run() option kwargs ({', '.join(names)}) are "
+        "deprecated; pass one CampaignSpec instead: "
+        "run(target, faults, spec=CampaignSpec(...))",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -95,6 +114,12 @@ class FaultOutcome:
     #: the fault killed a worker process twice and was quarantined as a
     #: poison pill (never counted as detected).
     quarantined: bool = False
+    #: the outcome was replayed from a :class:`~repro.service.cache.
+    #: ResultCache` hit instead of being simulated.  Diagnostic only —
+    #: deliberately absent from :meth:`to_dict`, so a warm re-run's
+    #: payload is byte-identical to the cold run that populated the
+    #: cache.
+    from_cache: bool = False
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
@@ -323,8 +348,6 @@ def _evaluate_fault_plain(technique, detector, threshold, on_error,
                 # absorb
                 raise
         except Exception as exc:  # noqa: BLE001 - campaign must continue
-            if on_error == _ERROR_RAISE:
-                raise
             as_detected = on_error == _ERROR_DETECTED
             outcome = FaultOutcome(
                 fault=fault,
@@ -420,8 +443,6 @@ def _evaluate_batch_plain(technique, detector, threshold, on_error,
                 measurement=meas,
             )
         except Exception as exc:  # noqa: BLE001 - mirror the serial policy
-            if on_error == _ERROR_RAISE:
-                raise
             as_detected = on_error == _ERROR_DETECTED
             outcome = FaultOutcome(
                 fault=fault,
@@ -462,10 +483,6 @@ class FaultCampaign:
         :attr:`CampaignResult.n_errors` reports how many faults errored.
         Timeouts and quarantines are *infrastructure* verdicts and are
         never counted as detected under either policy.
-    treat_errors_as_detected:
-        Deprecated alias (to be removed; see DESIGN.md).  ``True`` maps
-        to ``errors_as_detected=True``; ``False`` keeps its historical
-        meaning of *re-raising* the first evaluation error.
     workers:
         Number of worker processes for :meth:`run`.  ``1`` (default)
         evaluates faults serially in-process; ``N > 1`` fans the fault
@@ -488,15 +505,21 @@ class FaultCampaign:
         cannot serve (or a chunk that times out) is transparently
         re-evaluated per fault, so results are identical to
         ``batch_size=1``.
+    cache:
+        Optional :class:`~repro.service.cache.ResultCache` consulted
+        before — and populated after — every fault evaluation, keyed by
+        the per-fault content hash.  A spec-level cache
+        (``CampaignSpec.cache``) overrides it per run.  A fully warm
+        cache replays the whole campaign without a single simulation.
     """
 
     def __init__(self, technique: Callable[[Any], Any],
                  detector: Callable[[Any, Any], float],
                  threshold: float = 0.05,
-                 treat_errors_as_detected: Optional[bool] = None,
                  workers: int = 1,
                  errors_as_detected: bool = True,
-                 batch_size: int = 1) -> None:
+                 batch_size: int = 1,
+                 cache: Optional[Any] = None) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
         if workers < 1:
@@ -508,17 +531,9 @@ class FaultCampaign:
         self.threshold = threshold
         self.workers = workers
         self.batch_size = batch_size
-        if treat_errors_as_detected is None:
-            self._on_error = (_ERROR_DETECTED if errors_as_detected
-                              else _ERROR_UNDETECTED)
-        else:
-            warnings.warn(
-                "treat_errors_as_detected is deprecated; use "
-                "errors_as_detected=True/False (False now records errored "
-                "faults as misses instead of raising)",
-                DeprecationWarning, stacklevel=2)
-            self._on_error = (_ERROR_DETECTED if treat_errors_as_detected
-                              else _ERROR_RAISE)
+        self.cache = cache
+        self._on_error = (_ERROR_DETECTED if errors_as_detected
+                          else _ERROR_UNDETECTED)
 
     @property
     def errors_as_detected(self) -> bool:
@@ -528,25 +543,39 @@ class FaultCampaign:
     def errors_as_detected(self, value: bool) -> None:
         self._on_error = _ERROR_DETECTED if value else _ERROR_UNDETECTED
 
-    def run(self, target: Any, faults: Iterable[Fault],
+    def run(self, target: Any = None,
+            faults: Optional[Iterable[Fault]] = None,
             reference: Any = None,
-            workers: Optional[int] = None,
-            progress: Optional[ProgressCallback] = None,
-            heartbeat_every: int = 1,
+            workers: Any = _UNSET,
+            progress: Any = _UNSET,
+            heartbeat_every: Any = _UNSET,
             *,
-            batch_size: Optional[int] = None,
-            fault_timeout_s: Optional[float] = None,
-            campaign_deadline_s: Optional[float] = None,
-            checkpoint: Optional[str] = None,
-            resume: bool = False,
-            checkpoint_every: int = 1,
-            timeout_grace_s: float = _DEFAULT_TIMEOUT_GRACE_S
+            spec: Optional[CampaignSpec] = None,
+            batch_size: Any = _UNSET,
+            fault_timeout_s: Any = _UNSET,
+            campaign_deadline_s: Any = _UNSET,
+            checkpoint: Any = _UNSET,
+            resume: Any = _UNSET,
+            checkpoint_every: Any = _UNSET,
+            timeout_grace_s: Any = _UNSET
             ) -> CampaignResult:
         """Evaluate every fault; ``reference`` may carry a precomputed
-        fault-free measurement to avoid re-simulation.  ``workers`` and
-        ``batch_size`` override the campaign-level values for this run.
+        fault-free measurement to avoid re-simulation.
 
-        ``progress`` is called after every completed fault with a
+        How to run the campaign — workers, batching, per-fault/campaign
+        deadlines, checkpointing, progress reporting, result caching —
+        is described by one frozen
+        :class:`~repro.service.spec.CampaignSpec` passed as ``spec=``.
+        Spec options left ``None`` inherit the campaign's constructor
+        configuration (then package defaults); the same spec object can
+        be handed unchanged to
+        :meth:`repro.service.scheduler.CampaignScheduler.submit`.  The
+        loose option kwargs of the pre-service API (``workers=``,
+        ``batch_size=``, ``checkpoint=`` …) still work but are
+        deprecated: they warn once per process and cannot be mixed with
+        ``spec=``.
+
+        ``spec.progress`` is called after every completed fault with a
         :class:`~repro.obs.health.CampaignProgress` (done/total, ETA,
         rate, evaluating pid); completion is reported in fault order in
         both the serial and the pooled path, so the callback sees the
@@ -555,8 +584,8 @@ class FaultCampaign:
         ``campaign.heartbeats`` counter) every ``heartbeat_every``
         completions.
 
-        Resilience knobs
-        ----------------
+        Resilience knobs (all on the spec)
+        ----------------------------------
         fault_timeout_s:
             Wall-clock budget per fault.  Serially (and cooperatively in
             workers) the engine's Newton/transient/march loops check the
@@ -579,73 +608,90 @@ class FaultCampaign:
             uninterrupted run's.  Resuming a file written for a
             different campaign raises
             :class:`~repro.errors.CheckpointError`.
+        cache:
+            A :class:`~repro.service.cache.ResultCache` (spec- or
+            campaign-level) replays any fault already computed under an
+            identical evaluation context; fresh outcomes are stored
+            back.  A fully warm cache re-runs the campaign without a
+            single simulation — including the fault-free reference,
+            which is only computed when at least one fault misses.
         """
-        n_batch = self.batch_size if batch_size is None else batch_size
-        if n_batch < 1:
-            raise ValueError("batch_size must be >= 1")
-        if fault_timeout_s is not None and fault_timeout_s <= 0:
-            raise ValueError("fault_timeout_s must be positive")
-        if campaign_deadline_s is not None and campaign_deadline_s <= 0:
-            raise ValueError("campaign_deadline_s must be positive")
-        if resume and checkpoint is None:
-            raise ValueError("resume=True requires checkpoint=<path>")
+        legacy = {k: v for k, v in (
+            ("workers", workers), ("progress", progress),
+            ("heartbeat_every", heartbeat_every),
+            ("batch_size", batch_size),
+            ("fault_timeout_s", fault_timeout_s),
+            ("campaign_deadline_s", campaign_deadline_s),
+            ("checkpoint", checkpoint), ("resume", resume),
+            ("checkpoint_every", checkpoint_every),
+            ("timeout_grace_s", timeout_grace_s)) if v is not _UNSET}
+        if legacy:
+            if spec is not None:
+                raise ValueError(
+                    "FaultCampaign.run() got both spec= and legacy option "
+                    f"kwargs ({', '.join(sorted(legacy))}); put the "
+                    "options on the CampaignSpec")
+            _warn_legacy_kwargs(sorted(legacy))
+            spec = CampaignSpec(**legacy)
+        elif spec is None:
+            spec = CampaignSpec()
+
+        if target is not None:
+            spec = spec.replace(target=target)
+        if faults is not None:
+            spec = spec.replace(faults=tuple(faults))
+        if reference is not None:
+            spec = spec.replace(reference=reference)
+        spec = spec.replace(technique=self.technique,
+                            detector=self.detector)
+        spec.require_workload()
+        rspec = spec.resolved(threshold=self.threshold,
+                              errors_as_detected=self.errors_as_detected,
+                              workers=self.workers,
+                              batch_size=self.batch_size)
+
+        target = rspec.target
+        reference = rspec.reference
+        threshold = rspec.threshold
+        on_error = rspec.on_error
+        n_batch = rspec.batch_size
+        fault_timeout_s = rspec.fault_timeout_s
+        campaign_deadline_s = rspec.campaign_deadline_s
+        timeout_grace_s = rspec.timeout_grace_s
+        cache = rspec.cache if rspec.cache is not None else self.cache
 
         t_start = time.perf_counter()
-        name = getattr(target, "name", type(target).__name__)
+        name = rspec.name or getattr(target, "name",
+                                     type(target).__name__)
         with obs_span("campaign", target=name) as sp:
-            if reference is None:
-                reference = self.technique(target)
             failures = FailureReport()
             result = CampaignResult(target_name=name, reference=reference,
-                                    threshold=self.threshold,
+                                    threshold=threshold,
                                     failures=failures)
-            fault_list = list(faults)
-            n_workers = self.workers if workers is None else workers
-            if n_workers < 1:
-                raise ValueError("workers must be >= 1")
+            fault_list = list(rspec.faults)
+            n_workers = rspec.workers
             n_workers = min(n_workers, len(fault_list)) if fault_list else 1
             collect_obs = OBS.enabled
 
-            evaluate = functools.partial(
-                _evaluate_fault, self.technique, self.detector,
-                self.threshold, self._on_error, collect_obs,
-                fault_timeout_s, target, reference)
-            # Batched dispatch needs the technique to implement the
-            # batch protocol; otherwise the knob degrades to per-fault.
-            use_batch = (n_batch > 1
-                         and hasattr(self.technique, "evaluate_batch"))
-            evaluate_batch = (functools.partial(
-                _evaluate_fault_batch, self.technique, self.detector,
-                self.threshold, self._on_error, collect_obs,
-                fault_timeout_s, target, reference) if use_batch else None)
-
-            if n_workers > 1 and not self._picklable(evaluate, fault_list):
-                warnings.warn(
-                    "fault campaign: technique/detector/target/faults are "
-                    "not picklable; falling back to serial evaluation",
-                    RuntimeWarning, stacklevel=2)
-                if OBS.enabled:
-                    OBS.metrics.counter("campaign.pickle_fallbacks").inc()
-                n_workers = 1
-
             ckpt: Optional[CampaignCheckpoint] = None
             restored: Dict[int, FaultOutcome] = {}
-            if checkpoint is not None:
-                key = campaign_key(self.technique, self.detector, target,
-                                   fault_list, self.threshold,
-                                   self._on_error, fault_timeout_s)
-                ckpt = CampaignCheckpoint(checkpoint, key,
-                                          every=checkpoint_every)
-                if resume:
+            if rspec.checkpoint is not None:
+                ckpt = CampaignCheckpoint(rspec.checkpoint,
+                                          rspec.content_key(),
+                                          every=rspec.checkpoint_every)
+                if rspec.resume:
                     restored = {i: o for i, o in ckpt.load().items()
                                 if 0 <= i < len(fault_list)}
 
             campaign_dl = (Deadline(campaign_deadline_s, label="campaign")
                            if campaign_deadline_s is not None else None)
 
-            tracker = ProgressTracker(len(fault_list), callback=progress,
-                                      heartbeat_every=heartbeat_every)
+            tracker = ProgressTracker(len(fault_list),
+                                      callback=rspec.progress,
+                                      heartbeat_every=rspec.heartbeat_every)
             outcomes: Dict[int, FaultOutcome] = {}
+            cache_context = (rspec.context_key() if cache is not None
+                             else None)
 
             def record(idx: int, outcome: FaultOutcome,
                        save: bool = True) -> None:
@@ -663,6 +709,8 @@ class FaultCampaign:
                         OBS.metrics.counter("campaign.quarantined").inc()
                         event("campaign.quarantine", level="error",
                               fault=outcome.fault.describe())
+                if cache is not None and not outcome.from_cache:
+                    cache.put(cache_context, outcome)
                 tracker.update(outcome)
                 if ckpt is not None and save:
                     ckpt.maybe_save(outcomes, len(fault_list))
@@ -672,26 +720,73 @@ class FaultCampaign:
             for idx in sorted(restored):
                 record(idx, restored[idx], save=False)
 
+            # then replay cache hits, still in fault order; only what
+            # is left after both replays is ever dispatched
+            if cache is not None:
+                for idx in range(len(fault_list)):
+                    if idx in outcomes:
+                        continue
+                    hit = cache.get(cache_context, fault_list[idx],
+                                    threshold)
+                    if hit is not None:
+                        record(idx, hit)
+
             pending = [i for i in range(len(fault_list))
                        if i not in outcomes]
 
-            if n_workers > 1 and use_batch:
-                self._run_pooled_batched(evaluate_batch, evaluate,
-                                         fault_list, pending, n_workers,
-                                         n_batch, record, failures,
-                                         campaign_dl, fault_timeout_s,
-                                         timeout_grace_s)
-            elif n_workers > 1:
-                self._run_pooled(evaluate, fault_list, pending, n_workers,
-                                 record, failures, campaign_dl,
-                                 fault_timeout_s, timeout_grace_s)
-            elif use_batch:
-                self._run_serial_batched(evaluate_batch, fault_list,
-                                         pending, n_batch, record, failures,
-                                         campaign_dl)
-            else:
-                self._run_serial(evaluate, fault_list, pending, record,
-                                 failures, campaign_dl)
+            if pending:
+                if reference is None:
+                    # lazy on purpose: a fully restored/cached campaign
+                    # re-runs without a single simulation, reference
+                    # included
+                    reference = self.technique(target)
+                    result.reference = reference
+
+                evaluate = functools.partial(
+                    _evaluate_fault, self.technique, self.detector,
+                    threshold, on_error, collect_obs,
+                    fault_timeout_s, target, reference)
+                # Batched dispatch needs the technique to implement the
+                # batch protocol; otherwise the knob degrades to
+                # per-fault.
+                use_batch = (n_batch > 1
+                             and hasattr(self.technique, "evaluate_batch"))
+                evaluate_batch = (functools.partial(
+                    _evaluate_fault_batch, self.technique, self.detector,
+                    threshold, on_error, collect_obs,
+                    fault_timeout_s, target, reference)
+                    if use_batch else None)
+
+                if n_workers > 1 and not self._picklable(evaluate,
+                                                         fault_list):
+                    warnings.warn(
+                        "fault campaign: technique/detector/target/faults "
+                        "are not picklable; falling back to serial "
+                        "evaluation",
+                        RuntimeWarning, stacklevel=2)
+                    if OBS.enabled:
+                        OBS.metrics.counter(
+                            "campaign.pickle_fallbacks").inc()
+                    n_workers = 1
+
+                if n_workers > 1 and use_batch:
+                    self._run_pooled_batched(evaluate_batch, evaluate,
+                                             fault_list, pending, n_workers,
+                                             n_batch, record, failures,
+                                             campaign_dl, fault_timeout_s,
+                                             timeout_grace_s)
+                elif n_workers > 1:
+                    self._run_pooled(evaluate, fault_list, pending,
+                                     n_workers, record, failures,
+                                     campaign_dl, fault_timeout_s,
+                                     timeout_grace_s)
+                elif use_batch:
+                    self._run_serial_batched(evaluate_batch, fault_list,
+                                             pending, n_batch, record,
+                                             failures, campaign_dl)
+                else:
+                    self._run_serial(evaluate, fault_list, pending, record,
+                                     failures, campaign_dl)
 
             # anything with no outcome was cut off by the campaign
             # deadline: account for it in index order

@@ -46,6 +46,9 @@ class CampaignProgress:
     fault: str = ""
     fault_elapsed_s: float = 0.0
     worker_pid: Optional[int] = None
+    #: scheduler job id when the campaign runs as a service job; empty
+    #: for standalone campaign runs.
+    job: str = ""
 
     @property
     def fraction(self) -> float:
@@ -53,7 +56,8 @@ class CampaignProgress:
 
     def describe(self) -> str:
         pct = 100.0 * self.fraction
-        return (f"campaign {self.done}/{self.total} ({pct:.0f}%) "
+        label = f"campaign[{self.job}]" if self.job else "campaign"
+        return (f"{label} {self.done}/{self.total} ({pct:.0f}%) "
                 f"elapsed {self.elapsed_s:.1f}s eta {self.eta_s:.1f}s "
                 f"[{self.rate_per_s:.1f} faults/s]")
 
@@ -67,12 +71,13 @@ class ProgressTracker:
 
     def __init__(self, total: int,
                  callback: Optional[ProgressCallback] = None,
-                 heartbeat_every: int = 1) -> None:
+                 heartbeat_every: int = 1, label: str = "") -> None:
         if heartbeat_every < 1:
             raise ValueError("heartbeat_every must be >= 1")
         self.total = total
         self.callback = callback
         self.heartbeat_every = heartbeat_every
+        self.label = label
         self.done = 0
         self._t0 = time.perf_counter()
 
@@ -88,16 +93,55 @@ class ProgressTracker:
             eta_s=eta, rate_per_s=rate,
             fault=outcome.fault.describe() if outcome.fault else "",
             fault_elapsed_s=outcome.elapsed_s,
-            worker_pid=getattr(outcome, "worker_pid", None))
+            worker_pid=getattr(outcome, "worker_pid", None),
+            job=self.label)
         if OBS.enabled and self.done % self.heartbeat_every == 0:
             OBS.metrics.counter("campaign.heartbeats").inc()
             OBS.metrics.gauge("campaign.eta_s").set(eta)
             OBS.metrics.gauge("campaign.progress").set(progress.fraction)
+            # the job field rides on heartbeats only for service jobs,
+            # so standalone campaigns keep their pinned event shape
+            extra = {"job": self.label} if self.label else {}
             event("campaign.heartbeat", done=self.done, total=self.total,
-                  eta_s=round(eta, 3), rate_per_s=round(rate, 3))
+                  eta_s=round(eta, 3), rate_per_s=round(rate, 3), **extra)
         if self.callback is not None:
             self.callback(progress)
         return progress
+
+
+class ServiceProgress:
+    """Aggregated progress across a scheduler's concurrent jobs.
+
+    Holds the latest :class:`CampaignProgress` per job id and exposes
+    the service-wide totals; :meth:`repro.service.scheduler.
+    CampaignScheduler.progress` returns one of these."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, CampaignProgress] = {}
+
+    def update(self, progress: CampaignProgress) -> None:
+        self.jobs[progress.job or "campaign"] = progress
+
+    @property
+    def done(self) -> int:
+        return sum(p.done for p in self.jobs.values())
+
+    @property
+    def total(self) -> int:
+        return sum(p.total for p in self.jobs.values())
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    def describe(self) -> str:
+        if not self.jobs:
+            return "service idle"
+        lines = [f"service {self.done}/{self.total} "
+                 f"({100.0 * self.fraction:.0f}%) across "
+                 f"{len(self.jobs)} job(s)"]
+        lines.extend(p.describe() for _, p in sorted(self.jobs.items()))
+        return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

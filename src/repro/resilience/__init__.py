@@ -24,7 +24,11 @@ from repro.errors import (
     DeadlineExceeded,
     ReproError,
 )
-from repro.resilience.checkpoint import CampaignCheckpoint, campaign_key
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    campaign_key,
+    fault_context_key,
+)
 from repro.resilience.deadline import (
     DEADLINE,
     Deadline,
@@ -60,6 +64,7 @@ __all__ = [
     # checkpoint/resume
     "CampaignCheckpoint",
     "campaign_key",
+    "fault_context_key",
     "CheckpointError",
     # degradation accounting
     "FailureReport",

@@ -62,26 +62,52 @@ def _describe_target(target: Any) -> str:
            f"{getattr(target, 'name', '')}"
 
 
+def _hash_parts(parts: Iterable[str]) -> "hashlib._Hash":
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h
+
+
+def fault_context_key(technique: Callable, detector: Callable, target: Any,
+                      on_error: str,
+                      fault_timeout_s: Optional[float] = None) -> str:
+    """Content hash of the *per-fault evaluation context*.
+
+    Everything that can change one fault's outcome participates —
+    technique, detector, target identity, the error policy and the
+    per-fault budget — while anything that only affects which faults run
+    or how they are labelled (the fault universe, the detection
+    threshold, campaign deadlines) deliberately does not.  Combining
+    this key with a fault's own description addresses a single
+    :class:`~repro.faults.campaign.FaultOutcome`, which is what lets the
+    :class:`~repro.service.cache.ResultCache` share outcomes across
+    campaigns with overlapping universes and differing thresholds.
+    """
+    return _hash_parts((SCHEMA,
+                        _describe_callable(technique),
+                        _describe_callable(detector),
+                        _describe_target(target),
+                        str(on_error),
+                        repr(None if fault_timeout_s is None
+                             else float(fault_timeout_s)))).hexdigest()
+
+
 def campaign_key(technique: Callable, detector: Callable, target: Any,
                  faults: Iterable[Any], threshold: float, on_error: str,
                  fault_timeout_s: Optional[float] = None) -> str:
     """Content hash of (technique, fault universe, config).
 
-    Everything that can change a per-fault outcome participates; the
+    The per-fault evaluation context (see :func:`fault_context_key`)
+    plus the threshold and the full fault universe: everything that can
+    change a campaign's recorded results participates; the
     campaign-wide deadline deliberately does not (it changes how *far*
     a run gets, never what an evaluated fault produced).
     """
-    h = hashlib.sha256()
-    for part in (SCHEMA,
-                 _describe_callable(technique),
-                 _describe_callable(detector),
-                 _describe_target(target),
-                 repr(float(threshold)),
-                 str(on_error),
-                 repr(None if fault_timeout_s is None
-                      else float(fault_timeout_s))):
-        h.update(part.encode("utf-8", "replace"))
-        h.update(b"\x00")
+    context = fault_context_key(technique, detector, target, on_error,
+                                fault_timeout_s)
+    h = _hash_parts((context, repr(float(threshold))))
     for fault in faults:
         h.update(fault.describe().encode("utf-8", "replace"))
         h.update(b"\x00")
@@ -183,4 +209,5 @@ def _strip(outcome: Any) -> Any:
                                events=None)
 
 
-__all__ = ["CampaignCheckpoint", "campaign_key", "SCHEMA"]
+__all__ = ["CampaignCheckpoint", "campaign_key", "fault_context_key",
+           "SCHEMA"]

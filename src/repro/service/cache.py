@@ -1,0 +1,275 @@
+"""Content-addressed fault-outcome cache: never simulate twice.
+
+Every :class:`~repro.faults.campaign.FaultOutcome` is addressed by a
+SHA-256 over (technique, detector, target, error policy, per-fault
+budget, fault) — the checkpoint layer's content-key machinery
+(:func:`repro.resilience.checkpoint.fault_context_key`) applied at
+per-fault granularity.  The detection *threshold* is deliberately not
+part of the key: a cached entry stores the raw detection score and the
+``detected`` verdict is re-derived against the requesting campaign's
+threshold on every hit, so campaigns that differ only in threshold
+share one set of simulations.
+
+Two tiers:
+
+* an in-memory LRU (``max_memory_entries``, default 4096) for the hot
+  path — repeated experiment/bench runs inside one process;
+* an optional disk tier (``path=``): one JSON document per entry,
+  sharded into 256 prefix directories, written atomically (temp file in
+  the same directory + fsync + ``os.replace``) exactly like campaign
+  checkpoints, so a kill mid-write can never tear an entry.
+
+A disk entry that fails to parse, carries an unknown schema or does not
+match its own key is *quarantined* — renamed to ``<entry>.corrupt`` —
+counted in :attr:`CacheStats.corrupt` and treated as a miss, so cache
+corruption degrades to recomputation, never to a crash or a wrong
+result.
+
+Infrastructure verdicts are never cached: a timeout says something
+about the machine that ran the fault and a quarantined poison pill says
+something about a worker process, so both always re-evaluate.
+Deterministic verdicts — detections, misses and simulation errors under
+a fixed error policy — are cached, including the outcome's recorded
+wall time, which is what makes a warm re-run's ``to_dict()`` payload
+identical to the cold run that populated it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.core import OBS
+
+#: on-disk entry schema tag; bump on incompatible layout changes.
+CACHE_SCHEMA = "repro.result-cache/1"
+
+
+def fault_key(context_key: str, fault: Any) -> str:
+    """Address of one fault's outcome under an evaluation context."""
+    h = hashlib.sha256()
+    for part in (CACHE_SCHEMA, context_key, fault.describe()):
+        h.update(part.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions,
+                "corrupt": self.corrupt, "disk_hits": self.disk_hits,
+                "hit_rate": self.hit_rate}
+
+    def describe(self) -> str:
+        return (f"cache: {self.hits}/{self.lookups} hits "
+                f"({100.0 * self.hit_rate:.0f}%), {self.stores} stores, "
+                f"{self.corrupt} corrupt, {self.evictions} evicted")
+
+
+class ResultCache:
+    """Two-tier content-addressed store of fault outcomes.
+
+    Parameters
+    ----------
+    path:
+        Directory for the disk tier (created on first store).  ``None``
+        keeps the cache purely in memory.
+    max_memory_entries:
+        LRU capacity of the memory tier; disk entries are unbounded.
+
+    The cache is safe to share between a session's foreground runs and
+    a :class:`~repro.service.scheduler.CampaignScheduler`'s dispatcher
+    thread — all tier state is guarded by one lock.  Only the campaign
+    *parent* process touches the cache (lookups happen before dispatch,
+    stores when outcomes are recorded), so worker processes never need
+    a handle.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 max_memory_entries: int = 4096) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.path = None if path is None else os.fspath(path)
+        self.max_memory_entries = max_memory_entries
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def key(self, context_key: str, fault: Any) -> str:
+        return fault_key(context_key, fault)
+
+    def get(self, context_key: str, fault: Any, threshold: float,
+            count_miss: bool = True) -> Optional[Any]:
+        """The cached :class:`FaultOutcome` for ``fault`` under
+        ``context_key``, re-thresholded, or ``None`` on a miss.
+
+        ``count_miss=False`` makes a miss free in the accounting — used
+        by the scheduler's dispatch-time recheck, which probes faults
+        already counted as misses at admission in case a concurrent job
+        computed them meanwhile."""
+        key = fault_key(context_key, fault)
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+            else:
+                entry = self._load_disk(key)
+                if entry is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(key, entry)
+            if entry is None:
+                if count_miss:
+                    self.stats.misses += 1
+                    if OBS.enabled:
+                        OBS.metrics.counter("cache.misses").inc()
+                return None
+            self.stats.hits += 1
+        if OBS.enabled:
+            OBS.metrics.counter("cache.hits").inc()
+        return self._rebuild(entry, fault, threshold)
+
+    def put(self, context_key: str, outcome: Any) -> bool:
+        """Store a freshly computed outcome; returns False for
+        infrastructure verdicts (timeouts, quarantines), which are
+        never cached."""
+        if outcome.timed_out or outcome.quarantined:
+            return False
+        key = fault_key(context_key, outcome.fault)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "fault": outcome.fault.describe(),
+            "detection": float(outcome.detection),
+            "detected": bool(outcome.detected),
+            "error": outcome.error,
+            "elapsed_s": float(outcome.elapsed_s),
+        }
+        with self._lock:
+            self._remember(key, entry)
+            if self.path is not None:
+                self._store_disk(key, entry)
+            self.stats.stores += 1
+        if OBS.enabled:
+            OBS.metrics.counter("cache.stores").inc()
+        return True
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left in place)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tier = self.path if self.path is not None else "memory-only"
+        return (f"ResultCache({tier!r}, {len(self._memory)} in memory, "
+                f"{self.stats.describe()})")
+
+    # -- memory tier ---------------------------------------------------
+    def _remember(self, key: str, entry: Dict[str, Any]) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            if OBS.enabled:
+                OBS.metrics.counter("cache.evictions").inc()
+
+    # -- disk tier -----------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".json")
+
+    def _store_disk(self, key: str, entry: Dict[str, Any]) -> None:
+        target = self._entry_path(key)
+        directory = os.path.dirname(target)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".cache-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.path is None:
+            return None
+        target = self._entry_path(key)
+        if not os.path.exists(target):
+            return None
+        try:
+            with open(target, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if (not isinstance(entry, dict)
+                    or entry.get("schema") != CACHE_SCHEMA
+                    or entry.get("key") != key
+                    or not isinstance(entry.get("detection"), float)
+                    or not isinstance(entry.get("elapsed_s"), float)):
+                raise ValueError("malformed cache entry")
+        except Exception:  # noqa: BLE001 - any corruption -> quarantine
+            self._quarantine(target)
+            return None
+        return entry
+
+    def _quarantine(self, target: str) -> None:
+        """Move a corrupt entry aside so it is inspectable but never
+        consulted again; recomputation repopulates the slot."""
+        self.stats.corrupt += 1
+        if OBS.enabled:
+            OBS.metrics.counter("cache.corrupt").inc()
+        try:
+            os.replace(target, target + ".corrupt")
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+
+    # -- outcome reconstruction ----------------------------------------
+    @staticmethod
+    def _rebuild(entry: Dict[str, Any], fault: Any, threshold: float) -> Any:
+        from repro.faults.campaign import FaultOutcome
+        detection = float(entry["detection"])
+        error = entry.get("error")
+        # non-error verdicts re-threshold against the requesting
+        # campaign; errored outcomes keep the verdict their (key-bound)
+        # error policy assigned
+        detected = (bool(entry["detected"]) if error is not None
+                    else detection >= threshold)
+        return FaultOutcome(fault=fault, detection=detection,
+                            detected=detected, error=error,
+                            elapsed_s=float(entry["elapsed_s"]),
+                            from_cache=True)
+
+
+__all__ = ["ResultCache", "CacheStats", "fault_key", "CACHE_SCHEMA"]

@@ -1,0 +1,830 @@
+"""Campaign-as-a-service: the asyncio job scheduler.
+
+One process, many concurrent campaigns: :class:`CampaignScheduler`
+accepts :class:`~repro.service.spec.CampaignSpec` jobs, shards each
+job's fault universe, and dispatches shards onto a shared worker pool
+with **priority** (higher first) and **fair share** (among equal
+priorities, the job with the smallest dispatched fraction of its
+universe goes next — a small campaign is never starved behind a huge
+one).  The dispatcher is a single asyncio task on a dedicated
+background thread, so ``submit()`` returns immediately and the calling
+thread blocks only where it chooses to (``job.result()`` /
+``gather()``).
+
+Everything an offline campaign guarantees carries over, because the
+scheduler reuses the very same per-fault evaluation functions
+(:func:`repro.faults.campaign._evaluate_fault` and friends):
+
+* outcomes are recorded **in fault order** per job, so progress
+  callbacks, heartbeats and checkpoints see the serial sequence;
+* per-fault deadlines cancel cooperatively inside workers, and a shard
+  that blows past its budget is hard-killed with the pool, its faults
+  re-dispatched individually and the unresponsive one recorded as a
+  structured timeout;
+* a fault that kills its worker twice is quarantined as a poison pill
+  (innocent shard-mates are re-dispatched and exonerated);
+* ``spec.checkpoint``/``resume`` and a shared
+  :class:`~repro.service.cache.ResultCache` short-circuit any fault
+  ever computed — across jobs, runs and processes.
+
+Results are ordinary :class:`~repro.faults.campaign.CampaignResult`
+objects, ``to_dict()``-identical (timing aside) to a standalone serial
+run of the same spec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import enum
+import functools
+import itertools
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.faults.campaign import (
+    CampaignResult,
+    FaultOutcome,
+    _QUARANTINE_AFTER,
+    _evaluate_fault,
+    _evaluate_fault_batch,
+    _quarantine_outcome,
+    _timeout_outcome,
+)
+from repro.obs.core import OBS, event
+from repro.obs.health import ProgressTracker, ServiceProgress
+from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.failure import FailureReport
+from repro.service.cache import ResultCache
+from repro.service.spec import CampaignSpec
+
+#: default shard size for techniques without a batched path: big enough
+#: to amortise dispatch, small enough that fair-share interleaving is
+#: visible between concurrent jobs.
+DEFAULT_SHARD_SIZE = 4
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class CampaignJob:
+    """Handle for one submitted campaign.
+
+    ``result()`` blocks until the scheduler finishes the job and
+    returns its :class:`~repro.faults.campaign.CampaignResult` (or
+    raises the job's error); ``done()``/``state`` never block.
+    """
+
+    def __init__(self, job_id: str, spec: CampaignSpec,
+                 priority: int) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.priority = priority
+        self.state = JobState.PENDING
+        self.cancel_requested = False
+        self._future: "concurrent.futures.Future[CampaignResult]" = \
+            concurrent.futures.Future()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> CampaignResult:
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self._future.exception(timeout)
+
+    def cancel(self) -> None:
+        """Ask the scheduler to abandon the job at the next shard
+        boundary (best effort; a completed job is unaffected)."""
+        self.cancel_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CampaignJob({self.id!r}, {self.state.value}, "
+                f"priority={self.priority})")
+
+
+@dataclass
+class _Shard:
+    """One dispatchable unit: a reference computation or a fault chunk."""
+
+    kind: str                    # "ref" | "faults"
+    indices: List[int] = field(default_factory=list)
+
+
+class _JobRun:
+    """Dispatcher-side state for one admitted job."""
+
+    def __init__(self, job: CampaignJob, seq: int) -> None:
+        self.job = job
+        self.seq = seq
+        self.spec = job.spec
+        self.fault_list: List[Any] = list(job.spec.faults)
+        self.total = len(self.fault_list)
+        self.failures = FailureReport()
+        self.outcomes: Dict[int, FaultOutcome] = {}
+        self.buffered: Dict[int, FaultOutcome] = {}
+        self.emit_queue: Deque[int] = deque()
+        self.ready: Deque[_Shard] = deque()
+        self.inflight = 0
+        self.dispatched = 0
+        self.crash_counts: Dict[int, int] = {}
+        self.reference: Any = job.spec.reference
+        self.have_reference = job.spec.reference is not None
+        self.evaluate = None
+        self.evaluate_batch = None
+        self.pooled = True
+        self.collect_obs = False
+        self.ckpt: Optional[CampaignCheckpoint] = None
+        self.cache: Optional[ResultCache] = None
+        self.context_key: Optional[str] = None
+        self.tracker: Optional[ProgressTracker] = None
+        self.last_progress: Any = None
+        self.deadline_end: Optional[float] = None
+        self.deadline_hit = False
+        self.t0 = time.perf_counter()
+
+    @property
+    def share(self) -> float:
+        """Fraction of the universe already dispatched (fair-share
+        ordering key; cached/restored faults count as dispatched)."""
+        return self.dispatched / self.total if self.total else 1.0
+
+    def shard_budget(self, shard: _Shard,
+                    grace: float) -> Optional[float]:
+        timeout = self.spec.fault_timeout_s
+        if timeout is None or shard.kind != "faults":
+            return None
+        return (len(shard.indices) + 1) * timeout + grace
+
+
+def _evaluate_shard(evaluate, faults: List[Any]) -> List[FaultOutcome]:
+    """Worker-side driver for a per-fault shard: the same
+    :func:`_evaluate_fault` partial a standalone campaign uses, applied
+    in order — which is what makes scheduled results fault-for-fault
+    identical to serial runs.  Module-level so the pool can pickle it."""
+    return [evaluate(f) for f in faults]
+
+
+def _call_reference(technique, target) -> Any:
+    return technique(target)
+
+
+class CampaignScheduler:
+    """Async front end turning :class:`FaultCampaign` into a service.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes shared by all jobs (default: CPU count - 1,
+        at least 1, at most 8).  Jobs whose technique/detector/target
+        cannot pickle run on a thread pool of the same width instead.
+    cache:
+        Default :class:`~repro.service.cache.ResultCache` consulted for
+        every job that does not bring its own (``spec.cache`` wins).
+        Sharing one cache across jobs is what makes overlapping fault
+        universes free.
+    shard_size:
+        Faults per dispatched shard for techniques without a batched
+        path (batched techniques shard at ``spec.batch_size``).
+    name:
+        Label used in health gauges and reports.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 timeout_grace_s: float = 1.0,
+                 name: str = "scheduler") -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.workers = (workers if workers is not None
+                        else max(1, min(8, (os.cpu_count() or 2) - 1)))
+        self.cache = cache
+        self.shard_size = shard_size
+        self.timeout_grace_s = timeout_grace_s
+        self.name = name
+        self._seq = itertools.count(1)
+        self._intake: Deque[CampaignJob] = deque()
+        self._intake_lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._closing = False
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._threads: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._active: List[_JobRun] = []
+        self._jobs: List[CampaignJob] = []
+
+    # -- public API ----------------------------------------------------
+    def submit(self, spec: CampaignSpec,
+               priority: Optional[int] = None) -> CampaignJob:
+        """Enqueue a campaign; returns immediately with its job handle.
+
+        ``priority`` overrides ``spec.priority`` (higher runs first).
+        """
+        if self._closing:
+            raise CampaignError("scheduler is closed")
+        if not isinstance(spec, CampaignSpec):
+            raise TypeError("submit() takes a CampaignSpec")
+        spec.require_workload()
+        resolved = spec.resolved()
+        job = CampaignJob(f"{self.name}-job{next(self._ids)}", resolved,
+                          spec.priority if priority is None else priority)
+        self._jobs.append(job)
+        self._ensure_thread()
+        with self._intake_lock:
+            self._intake.append(job)
+        self._loop.call_soon_threadsafe(self._wake.set)
+        return job
+
+    def gather(self, *jobs: CampaignJob,
+               timeout: Optional[float] = None) -> List[CampaignResult]:
+        """Block until every job finishes; results in argument order."""
+        if not jobs:
+            jobs = tuple(self._jobs)
+        return [job.result(timeout) for job in jobs]
+
+    def progress(self) -> ServiceProgress:
+        """Latest per-job progress snapshot (thread-safe reads of
+        immutable records)."""
+        snap = ServiceProgress()
+        for jr in list(self._active):
+            if jr.last_progress is not None:
+                snap.update(jr.last_progress)
+        return snap
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs; with ``wait`` (default) block until
+        everything already submitted has finished, then tear down the
+        loop and the pools."""
+        if wait:
+            for job in self._jobs:
+                if not job.done():
+                    try:
+                        job.result()
+                    except Exception:  # noqa: BLE001 - job errors are
+                        pass           # surfaced via job.result(), not close
+        self._closing = True
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._wake.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        for job in self._jobs:
+            if not job.done():
+                job._future.set_exception(
+                    CampaignError("scheduler closed before job finished"))
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close(wait=exc == (None, None, None))
+
+    # -- loop-thread plumbing ------------------------------------------
+    def _ensure_thread(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._loop_ready.clear()
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name=f"{self.name}-dispatch",
+                                        daemon=True)
+        self._thread.start()
+        self._loop_ready.wait()
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._dispatch())
+
+    def _executor(self, jr: _JobRun):
+        if jr.pooled:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers)
+            return self._pool
+        if self._threads is None:
+            self._threads = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix=f"{self.name}-local")
+        return self._threads
+
+    def _kill_pool(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 - already dead is fine
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+    # -- job admission -------------------------------------------------
+    def _admit(self, job: CampaignJob) -> None:
+        jr = _JobRun(job, next(self._seq))
+        try:
+            self._prepare(jr)
+        except Exception as exc:  # noqa: BLE001 - bad spec fails its job
+            job.state = JobState.FAILED
+            if not job.done():
+                job._future.set_exception(exc)
+            return
+        job.state = JobState.RUNNING
+        self._active.append(jr)
+        if not jr.emit_queue and not jr.ready and not jr.inflight:
+            self._finalize(jr)
+
+    def _prepare(self, jr: _JobRun) -> None:
+        spec = jr.spec
+        jr.collect_obs = OBS.enabled
+        jr.cache = spec.cache if spec.cache is not None else self.cache
+        if jr.cache is not None:
+            jr.context_key = spec.context_key()
+        jr.tracker = ProgressTracker(jr.total, callback=self._progress_cb(jr),
+                                     heartbeat_every=spec.heartbeat_every,
+                                     label=jr.job.id)
+        if spec.campaign_deadline_s is not None:
+            jr.deadline_end = time.monotonic() + spec.campaign_deadline_s
+
+        restored: Dict[int, FaultOutcome] = {}
+        if spec.checkpoint is not None:
+            jr.ckpt = CampaignCheckpoint(spec.checkpoint, spec.content_key(),
+                                         every=spec.checkpoint_every)
+            if spec.resume:
+                restored = {i: o for i, o in jr.ckpt.load().items()
+                            if 0 <= i < jr.total}
+        # checkpoint-restored outcomes also seed the cache: they are
+        # genuine deterministic verdicts this process never has to
+        # recompute, here or in any other job
+        for idx in sorted(restored):
+            jr.dispatched += 1
+            self._record(jr, idx, restored[idx], save=False)
+
+        pending: List[int] = []
+        for idx in range(jr.total):
+            if idx in jr.outcomes:
+                continue
+            if jr.cache is not None:
+                hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
+                                   self._threshold(jr))
+                if hit is not None:
+                    jr.dispatched += 1
+                    self._record(jr, idx, hit, store=False)
+                    continue
+            pending.append(idx)
+
+        jr.emit_queue = deque(pending)
+        if not pending:
+            return
+
+        evaluate_probe = functools.partial(
+            _evaluate_fault, spec.technique, spec.detector,
+            self._threshold(jr), spec.on_error, jr.collect_obs,
+            spec.fault_timeout_s, spec.target, None)
+        jr.pooled = self._picklable(evaluate_probe, jr.fault_list)
+
+        if jr.have_reference:
+            self._build_shards(jr)
+        else:
+            # the fault-free reference is itself one dispatched unit,
+            # so a slow reference never stalls other jobs' shards
+            jr.ready.append(_Shard("ref"))
+
+    def _threshold(self, jr: _JobRun) -> float:
+        return jr.spec.threshold
+
+    def _build_shards(self, jr: _JobRun) -> None:
+        spec = jr.spec
+        evaluate = functools.partial(
+            _evaluate_fault, spec.technique, spec.detector,
+            self._threshold(jr), spec.on_error, jr.collect_obs,
+            spec.fault_timeout_s, spec.target, jr.reference)
+        jr.evaluate = evaluate
+        use_batch = (spec.batch_size > 1
+                     and hasattr(spec.technique, "evaluate_batch"))
+        if use_batch:
+            jr.evaluate_batch = functools.partial(
+                _evaluate_fault_batch, spec.technique, spec.detector,
+                self._threshold(jr), spec.on_error, jr.collect_obs,
+                spec.fault_timeout_s, spec.target, jr.reference)
+        width = spec.batch_size if use_batch else self.shard_size
+        pending = list(jr.emit_queue)
+        for start in range(0, len(pending), width):
+            jr.ready.append(_Shard("faults", pending[start:start + width]))
+
+    def _progress_cb(self, jr: _JobRun):
+        user_cb = jr.spec.progress
+
+        def cb(progress: Any) -> None:
+            jr.last_progress = progress
+            if user_cb is not None:
+                user_cb(progress)
+        return cb
+
+    @staticmethod
+    def _picklable(evaluate, fault_list) -> bool:
+        try:
+            pickle.dumps(evaluate)
+            pickle.dumps(fault_list)
+        except Exception:  # noqa: BLE001 - any failure means thread pool
+            return False
+        return True
+
+    # -- recording -----------------------------------------------------
+    def _record(self, jr: _JobRun, idx: int, outcome: FaultOutcome,
+                store: bool = True, save: bool = True) -> None:
+        jr.outcomes[idx] = outcome
+        if outcome.timed_out:
+            jr.failures.timeouts.append(outcome.fault.describe())
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.fault_timeouts").inc()
+                event("campaign.fault_timeout", level="warning",
+                      fault=outcome.fault.describe(),
+                      budget_s=jr.spec.fault_timeout_s, job=jr.job.id)
+        if outcome.quarantined:
+            jr.failures.quarantined.append(outcome.fault.describe())
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.quarantined").inc()
+                event("campaign.quarantine", level="error",
+                      fault=outcome.fault.describe(), job=jr.job.id)
+        if (store and jr.cache is not None
+                and not getattr(outcome, "from_cache", False)):
+            jr.cache.put(jr.context_key, outcome)
+        jr.tracker.update(outcome)
+        if jr.ckpt is not None and save:
+            jr.ckpt.maybe_save(jr.outcomes, jr.total)
+
+    def _emit_ready(self, jr: _JobRun) -> None:
+        while jr.emit_queue and jr.emit_queue[0] in jr.buffered:
+            idx = jr.emit_queue.popleft()
+            self._record(jr, idx, jr.buffered.pop(idx))
+        # quarantine/timeout verdicts buffered out of order still land
+        # once their turn comes; nothing else to do here
+
+    # -- dispatch loop -------------------------------------------------
+    async def _dispatch(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._loop_ready.set()
+        inflight: Dict[asyncio.Future, Tuple[_JobRun, _Shard, float]] = {}
+
+        try:
+            while True:
+                if self._closing:
+                    break
+                self._drain_intake()
+                self._sweep_deadlines(inflight)
+                self._fill_slots(inflight)
+                self._report_health(inflight)
+                for jr in list(self._active):
+                    self._maybe_finalize(jr)
+
+                if not inflight:
+                    await self._wait_for_wake()
+                    continue
+
+                await self._wait_inflight(inflight)
+                self._handle_hangs(inflight)
+                for jr in list(self._active):
+                    self._maybe_finalize(jr)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            if self._threads is not None:
+                self._threads.shutdown(wait=False, cancel_futures=True)
+
+    async def _wait_for_wake(self) -> None:
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout=0.5)
+        except asyncio.TimeoutError:
+            return
+        self._wake.clear()
+
+    def _drain_intake(self) -> None:
+        while True:
+            with self._intake_lock:
+                if not self._intake:
+                    return
+                job = self._intake.popleft()
+            if job.cancel_requested:
+                self._cancel_job(job)
+            else:
+                self._admit(job)
+
+    def _cancel_job(self, job: CampaignJob,
+                    jr: Optional[_JobRun] = None) -> None:
+        job.state = JobState.CANCELLED
+        if jr is not None and jr in self._active:
+            self._active.remove(jr)
+        if not job.done():
+            job._future.set_exception(CampaignError("job cancelled"))
+
+    def _sweep_deadlines(self, inflight) -> None:
+        now = time.monotonic()
+        for jr in list(self._active):
+            if jr.job.cancel_requested:
+                jr.ready.clear()
+                self._cancel_job(jr.job, jr)
+                continue
+            if (jr.deadline_end is not None and not jr.deadline_hit
+                    and now > jr.deadline_end):
+                jr.deadline_hit = True
+                jr.failures.deadline_hit = True
+                jr.ready.clear()
+
+    def _next_shard(self) -> Optional[Tuple[_JobRun, _Shard]]:
+        candidates = [jr for jr in self._active if jr.ready]
+        if not candidates:
+            return None
+        jr = min(candidates,
+                 key=lambda j: (-j.job.priority, j.share, j.seq))
+        return jr, jr.ready.popleft()
+
+    def _fill_slots(self, inflight) -> None:
+        while len(inflight) < self.workers:
+            pick = self._next_shard()
+            if pick is None:
+                return
+            jr, shard = pick
+            if shard.kind == "faults" and jr.cache is not None:
+                # dispatch-time recheck: a concurrent job may have
+                # computed some of these faults since admission
+                shard = self._strip_cached(jr, shard)
+                if shard is None:
+                    continue
+            if shard.kind == "ref":
+                fn = functools.partial(_call_reference, jr.spec.technique,
+                                       jr.spec.target)
+            elif jr.evaluate_batch is not None and len(shard.indices) > 1:
+                fn = functools.partial(
+                    jr.evaluate_batch,
+                    [jr.fault_list[i] for i in shard.indices])
+            else:
+                fn = functools.partial(
+                    _evaluate_shard, jr.evaluate,
+                    [jr.fault_list[i] for i in shard.indices])
+            try:
+                fut = self._loop.run_in_executor(self._executor(jr), fn)
+            except concurrent.futures.BrokenExecutor:
+                jr.ready.appendleft(shard)
+                self._handle_pool_break(inflight)
+                continue
+            jr.inflight += 1
+            if shard.kind == "faults":
+                jr.dispatched += len(shard.indices)
+            inflight[fut] = (jr, shard, time.monotonic())
+
+    def _strip_cached(self, jr: _JobRun,
+                      shard: _Shard) -> Optional[_Shard]:
+        """Drop shard members another job already computed; returns the
+        remaining shard, or ``None`` when the whole shard was served
+        from the cache (hits are buffered for in-order emission)."""
+        fresh: List[int] = []
+        for idx in shard.indices:
+            hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
+                               self._threshold(jr), count_miss=False)
+            if hit is not None:
+                jr.buffered[idx] = hit
+                jr.dispatched += 1
+            else:
+                fresh.append(idx)
+        if len(fresh) == len(shard.indices):
+            return shard
+        self._emit_ready(jr)
+        return _Shard("faults", fresh) if fresh else None
+
+    async def _wait_inflight(self, inflight) -> None:
+        now = time.monotonic()
+        waits: List[float] = []
+        for _, (jr, shard, t0) in inflight.items():
+            budget = jr.shard_budget(shard, self.timeout_grace_s)
+            if budget is not None:
+                waits.append(t0 + budget - now)
+        for jr in self._active:
+            if jr.deadline_end is not None and not jr.deadline_hit:
+                waits.append(jr.deadline_end - now)
+        wait_s = max(0.0, min(waits)) + 0.02 if waits else 0.5
+
+        wake_task = asyncio.ensure_future(self._wake.wait())
+        done, _ = await asyncio.wait({wake_task, *inflight},
+                                     timeout=wait_s,
+                                     return_when=asyncio.FIRST_COMPLETED)
+        if wake_task in done:
+            self._wake.clear()
+            done.discard(wake_task)
+        else:
+            wake_task.cancel()
+
+        crashed: List[Tuple[_JobRun, _Shard]] = []
+        for fut in done:
+            jr, shard, t0 = inflight.pop(fut)
+            jr.inflight -= 1
+            try:
+                payload = fut.result()
+            except concurrent.futures.BrokenExecutor:
+                crashed.append((jr, shard))
+                continue
+            except Exception as exc:  # noqa: BLE001 - fails this job only
+                self._fail_job(jr, exc)
+                continue
+            self._land(jr, shard, payload)
+        if crashed:
+            self._handle_crash(inflight, crashed)
+
+    def _land(self, jr: _JobRun, shard: _Shard, payload: Any) -> None:
+        if jr.job.state is not JobState.RUNNING:
+            return
+        if shard.kind == "ref":
+            jr.reference = payload
+            jr.have_reference = True
+            self._build_shards(jr)
+            return
+        if jr.deadline_hit:
+            return  # past the campaign deadline: result discarded
+        for idx, outcome in zip(shard.indices, payload):
+            jr.crash_counts.pop(idx, None)  # exonerated
+            jr.buffered[idx] = outcome
+        self._emit_ready(jr)
+
+    # -- failure handling ----------------------------------------------
+    def _fail_job(self, jr: _JobRun, exc: BaseException) -> None:
+        if jr in self._active:
+            self._active.remove(jr)
+        jr.job.state = JobState.FAILED
+        if not jr.job.done():
+            jr.job._future.set_exception(exc)
+
+    def _handle_crash(self, inflight, crashed) -> None:
+        """A worker died: every pooled in-flight shard is suspect.  The
+        pool is rebuilt; crashed shards are re-dispatched one fault at
+        a time with a strike each, and a fault striking
+        ``_QUARANTINE_AFTER`` times is recorded as a poison pill."""
+        for jr, shard in crashed:
+            jr.failures.worker_crashes += 1
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.worker_crashes").inc()
+            self._requeue_singles(jr, shard, strike=True)
+        self._handle_pool_break(inflight)
+
+    def _handle_pool_break(self, inflight) -> None:
+        """Kill + rebuild the shared pool, rescuing innocent in-flight
+        shards (re-queued intact, no strike)."""
+        self._kill_pool()
+        for fut, (jr, shard, _) in list(inflight.items()):
+            if not jr.pooled:
+                continue
+            del inflight[fut]
+            jr.inflight -= 1
+            jr.failures.pools_killed += 1
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.pools_killed").inc()
+            if shard.kind == "faults":
+                jr.dispatched -= len(shard.indices)
+            jr.ready.appendleft(shard)
+            fut.add_done_callback(_swallow)
+
+    def _requeue_singles(self, jr: _JobRun, shard: _Shard,
+                         strike: bool) -> None:
+        jr.failures.pools_killed += 1
+        if OBS.enabled:
+            OBS.metrics.counter("campaign.pools_killed").inc()
+        if shard.kind == "ref":
+            jr.ready.appendleft(shard)
+            return
+        jr.dispatched -= len(shard.indices)
+        for idx in reversed(shard.indices):
+            if strike:
+                jr.crash_counts[idx] = jr.crash_counts.get(idx, 0) + 1
+                if jr.crash_counts[idx] >= _QUARANTINE_AFTER:
+                    jr.buffered[idx] = _quarantine_outcome(
+                        jr.fault_list[idx], jr.crash_counts[idx])
+                    jr.dispatched += 1
+                    continue
+            jr.ready.appendleft(_Shard("faults", [idx]))
+        self._emit_ready(jr)
+
+    def _handle_hangs(self, inflight) -> None:
+        """A shard past its wall-clock budget missed every cooperative
+        check: kill the pool, time out single-fault shards, split
+        multi-fault shards for individual blame."""
+        now = time.monotonic()
+        hung = [(fut, jr, shard, t0)
+                for fut, (jr, shard, t0) in inflight.items()
+                if jr.pooled
+                and (budget := jr.shard_budget(shard,
+                                               self.timeout_grace_s))
+                is not None and now - t0 > budget]
+        if not hung:
+            return
+        for fut, jr, shard, t0 in hung:
+            del inflight[fut]
+            jr.inflight -= 1
+            fut.add_done_callback(_swallow)
+            jr.failures.pools_killed += 1
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.pools_killed").inc()
+            if len(shard.indices) == 1:
+                idx = shard.indices[0]
+                jr.buffered[idx] = _timeout_outcome(
+                    jr.fault_list[idx], jr.spec.fault_timeout_s,
+                    now - t0, killed=True)
+                self._emit_ready(jr)
+            else:
+                jr.dispatched -= len(shard.indices)
+                for idx in reversed(shard.indices):
+                    jr.ready.appendleft(_Shard("faults", [idx]))
+        self._handle_pool_break(inflight)
+
+    # -- completion ----------------------------------------------------
+    def _maybe_finalize(self, jr: _JobRun) -> None:
+        if jr.job.state is not JobState.RUNNING:
+            return
+        work_left = jr.ready or jr.inflight
+        if jr.deadline_hit:
+            if jr.inflight:
+                return
+        elif work_left or jr.emit_queue:
+            return
+        self._finalize(jr)
+
+    def _finalize(self, jr: _JobRun) -> None:
+        if jr in self._active:
+            self._active.remove(jr)
+        unevaluated = [i for i in jr.emit_queue if i not in jr.outcomes]
+        if unevaluated:
+            jr.failures.skipped.extend(
+                jr.fault_list[i].describe() for i in unevaluated)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.skipped").inc(len(unevaluated))
+                event("campaign.deadline", level="warning",
+                      skipped=len(unevaluated), job=jr.job.id,
+                      budget_s=jr.spec.campaign_deadline_s)
+        result = CampaignResult(
+            target_name=jr.spec.name
+            or getattr(jr.spec.target, "name",
+                       type(jr.spec.target).__name__),
+            reference=jr.reference,
+            threshold=self._threshold(jr),
+            failures=jr.failures)
+        result.outcomes = [jr.outcomes[i] for i in sorted(jr.outcomes)]
+        result.partial = bool(jr.failures.skipped or jr.failures.deadline_hit
+                              or jr.failures.timeouts
+                              or jr.failures.quarantined)
+        if jr.ckpt is not None:
+            jr.ckpt.save(jr.outcomes, jr.total)
+        result.workers = self.workers
+        result.elapsed_s = time.perf_counter() - jr.t0
+        if jr.collect_obs and OBS.enabled:
+            self._merge_obs(result)
+        jr.job.state = JobState.DONE
+        if not jr.job.done():
+            jr.job._future.set_result(result)
+
+    @staticmethod
+    def _merge_obs(result: CampaignResult) -> None:
+        """Fold per-fault snapshots back into the ambient scope — the
+        same parity contract as a pooled campaign run."""
+        m = OBS.metrics
+        for o in result.outcomes:
+            m.merge(o.metrics)
+            if o.events:
+                OBS.events.extend(o.events)
+            m.histogram("campaign.fault_wall_s").observe(o.elapsed_s)
+        m.counter("campaign.runs").inc()
+        m.counter("campaign.faults_evaluated").inc(result.n_faults)
+        m.counter("campaign.errors").inc(result.n_errors)
+
+    def _report_health(self, inflight) -> None:
+        if not OBS.enabled:
+            return
+        OBS.metrics.gauge("service.jobs_active").set(len(self._active))
+        OBS.metrics.gauge("service.shards_inflight").set(len(inflight))
+        OBS.metrics.gauge("service.queue_depth").set(
+            sum(len(jr.ready) for jr in self._active))
+
+
+def _swallow(fut) -> None:
+    """Consume an abandoned future's exception so asyncio never logs
+    'exception was never retrieved' for shards we deliberately killed."""
+    if not fut.cancelled():
+        fut.exception()
+
+
+__all__ = ["CampaignScheduler", "CampaignJob", "JobState",
+           "DEFAULT_SHARD_SIZE"]

@@ -1,0 +1,176 @@
+"""The campaign job model: one frozen spec instead of kwarg sprawl.
+
+:class:`CampaignSpec` is the single description of a fault campaign —
+workload (technique, detector, target, faults, optional precomputed
+reference) plus every execution, resilience and service option that
+used to travel as loose keyword arguments on
+:meth:`~repro.faults.campaign.FaultCampaign.run`.  The same object is
+accepted by ``FaultCampaign.run(spec=...)`` and by
+:meth:`~repro.service.scheduler.CampaignScheduler.submit`, and it
+serialises into the campaign content hash (:meth:`content_key`), so a
+spec *is* the campaign's identity for checkpointing and result caching.
+
+Option fields default to ``None`` meaning "inherit": a spec carrying
+only ``workers=4`` composes with a campaign constructed with its own
+threshold, and :meth:`resolved` fills the remaining holes from explicit
+fallbacks and then :data:`DEFAULTS`.  The dataclass is frozen so a spec
+can be hashed into content keys, shared between concurrent scheduler
+jobs and shipped to worker processes without defensive copying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.resilience.checkpoint import campaign_key, fault_context_key
+
+#: concrete values a :meth:`CampaignSpec.resolved` spec falls back to
+#: when neither the spec nor the caller supplies one.
+DEFAULTS: Dict[str, Any] = {
+    "threshold": 0.05,
+    "errors_as_detected": True,
+    "workers": 1,
+    "batch_size": 1,
+    "checkpoint_every": 1,
+    "timeout_grace_s": 1.0,
+    "heartbeat_every": 1,
+}
+
+#: option fields subject to None-means-inherit resolution.
+_OPTION_FIELDS = tuple(DEFAULTS)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One frozen description of a fault campaign and how to run it.
+
+    Workload fields (``technique``, ``detector``, ``target``,
+    ``faults``) may stay ``None`` when the spec only carries options for
+    ``FaultCampaign.run(spec=...)``; :meth:`CampaignScheduler.submit`
+    requires all four.  ``progress`` and ``cache`` are live objects
+    (callback, :class:`~repro.service.cache.ResultCache`) and are
+    excluded from equality — they configure *how* a run reports and
+    memoises, never *what* it computes.
+    """
+
+    # -- workload ------------------------------------------------------
+    technique: Optional[Callable[[Any], Any]] = None
+    detector: Optional[Callable[[Any, Any], float]] = None
+    target: Any = None
+    faults: Optional[Tuple[Any, ...]] = None
+    reference: Any = None
+    name: Optional[str] = None
+
+    # -- detection + execution options (None = inherit) ----------------
+    threshold: Optional[float] = None
+    errors_as_detected: Optional[bool] = None
+    workers: Optional[int] = None
+    batch_size: Optional[int] = None
+
+    # -- resilience options --------------------------------------------
+    fault_timeout_s: Optional[float] = None
+    campaign_deadline_s: Optional[float] = None
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    checkpoint_every: Optional[int] = None
+    timeout_grace_s: Optional[float] = None
+
+    # -- progress + service options ------------------------------------
+    progress: Optional[Callable[[Any], None]] = field(default=None,
+                                                      compare=False)
+    heartbeat_every: Optional[int] = None
+    priority: int = 0
+    cache: Optional[Any] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if self.threshold is not None and not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        for name in ("workers", "batch_size", "checkpoint_every",
+                     "heartbeat_every"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("fault_timeout_s", "campaign_deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if (self.timeout_grace_s is not None
+                and self.timeout_grace_s < 0):
+            raise ValueError("timeout_grace_s must be non-negative")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume=True requires checkpoint=<path>")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "CampaignSpec":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def resolved(self, **fallbacks: Any) -> "CampaignSpec":
+        """A spec with every ``None`` option field made concrete.
+
+        ``fallbacks`` (e.g. a campaign's constructor configuration)
+        win over :data:`DEFAULTS`; values already set on the spec win
+        over both.
+        """
+        changes: Dict[str, Any] = {}
+        for name in _OPTION_FIELDS:
+            if getattr(self, name) is None:
+                fallback = fallbacks.get(name)
+                changes[name] = (DEFAULTS[name] if fallback is None
+                                 else fallback)
+        return self.replace(**changes) if changes else self
+
+    # ------------------------------------------------------------------
+    @property
+    def on_error(self) -> str:
+        """The campaign-internal error-policy string."""
+        detected = self.errors_as_detected
+        if detected is None:
+            detected = DEFAULTS["errors_as_detected"]
+        return "detected" if detected else "undetected"
+
+    def has_workload(self) -> bool:
+        return (self.technique is not None and self.detector is not None
+                and self.target is not None and self.faults is not None)
+
+    def require_workload(self) -> None:
+        if not self.has_workload():
+            missing = [f for f in ("technique", "detector", "target",
+                                   "faults") if getattr(self, f) is None]
+            raise ValueError(
+                f"CampaignSpec is missing workload fields: "
+                f"{', '.join(missing)}")
+
+    # ------------------------------------------------------------------
+    def context_key(self) -> str:
+        """The per-fault evaluation context hash (see
+        :func:`repro.resilience.checkpoint.fault_context_key`) — the
+        result cache's addressing prefix."""
+        self.require_workload()
+        return fault_context_key(self.technique, self.detector, self.target,
+                                 self.on_error, self.fault_timeout_s)
+
+    def content_key(self) -> str:
+        """The full campaign content hash — identical to the key the
+        checkpoint layer derives, so a spec round-trips through
+        checkpoint/resume and the scheduler without re-deriving keys."""
+        self.require_workload()
+        spec = self.resolved()
+        return campaign_key(spec.technique, spec.detector, spec.target,
+                            spec.faults, spec.threshold, spec.on_error,
+                            spec.fault_timeout_s)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        n = "?" if self.faults is None else len(self.faults)
+        label = self.name or getattr(self.target, "name", None) \
+            or (type(self.target).__name__ if self.target is not None
+                else "unbound")
+        return f"CampaignSpec({label}, {n} faults, priority={self.priority})"
+
+
+__all__ = ["CampaignSpec", "DEFAULTS"]

@@ -80,16 +80,19 @@ class Session:
     """
 
     def __init__(self, *, fast_path: bool = True, workers: int = 1,
-                 obs: bool = True, name: str = "session") -> None:
+                 obs: bool = True, name: str = "session",
+                 cache: Any = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.fast_path = fast_path
         self.workers = workers
         self.obs = obs
         self.name = name
+        self.cache = cache
         self.tracer = Tracer()
         self.metrics = Metrics()
         self.events = EventLog()
+        self._scheduler: Any = None
 
     # -- scope handling ------------------------------------------------
     def _scope(self):
@@ -130,9 +133,9 @@ class Session:
         kwargs.setdefault("workers", self.workers)
         return FaultCampaign(technique, detector, **kwargs)
 
-    #: keyword arguments of :meth:`run_campaign` that belong to
-    #: :meth:`FaultCampaign.run` (resilience/progress knobs) rather than
-    #: the campaign constructor.
+    #: keyword arguments of :meth:`run_campaign` that belong on the
+    #: :class:`~repro.service.spec.CampaignSpec` (resilience/progress/
+    #: service knobs) rather than the campaign constructor.
     _RUN_KWARGS = ("progress", "heartbeat_every", "fault_timeout_s",
                    "campaign_deadline_s", "checkpoint", "resume",
                    "checkpoint_every", "timeout_grace_s")
@@ -140,21 +143,94 @@ class Session:
     def run_campaign(self, technique: Callable[[Any], Any],
                      detector: Callable[[Any, Any], float],
                      target: Any, faults: Iterable, *,
-                     reference: Any = None, **kwargs):
+                     reference: Any = None, spec: Any = None, **kwargs):
         """Build and run a campaign in one call; returns the
         :class:`~repro.faults.campaign.CampaignResult`.
 
         Constructor knobs (``threshold``, ``workers``,
-        ``errors_as_detected``...) and run-level resilience knobs
+        ``errors_as_detected``...) and spec-level resilience knobs
         (``fault_timeout_s``, ``campaign_deadline_s``, ``checkpoint``,
         ``resume``...) can be mixed freely; each is routed where it
-        belongs."""
+        belongs.  A full :class:`~repro.service.spec.CampaignSpec` can
+        be passed as ``spec=`` instead.  The session's result cache
+        (``Session(cache=...)``) is applied to every campaign run that
+        does not carry its own."""
+        from repro.service.spec import CampaignSpec
         run_kwargs = {k: kwargs.pop(k) for k in self._RUN_KWARGS
                       if k in kwargs}
         campaign = self.campaign(technique, detector, **kwargs)
+        if spec is None:
+            spec = CampaignSpec(**run_kwargs)
+        elif run_kwargs:
+            spec = spec.replace(**run_kwargs)
+        if spec.cache is None and self.cache is not None:
+            spec = spec.replace(cache=self.cache)
         with self._scope():
             return campaign.run(target, faults, reference=reference,
-                                **run_kwargs)
+                                spec=spec)
+
+    # -- campaign service ----------------------------------------------
+    def scheduler(self, **kwargs):
+        """The session's (lazily created)
+        :class:`~repro.service.scheduler.CampaignScheduler`, sharing the
+        session's worker count and result cache.  ``kwargs`` configure
+        the first creation only."""
+        if self._scheduler is None:
+            from repro.service.scheduler import CampaignScheduler
+            kwargs.setdefault("workers", self.workers)
+            kwargs.setdefault("cache", self.cache)
+            kwargs.setdefault("name", f"{self.name}-svc")
+            self._scheduler = CampaignScheduler(**kwargs)
+        return self._scheduler
+
+    def submit(self, *args: Any, priority: Optional[int] = None,
+               **options: Any):
+        """Submit a campaign job to the session's scheduler; returns a
+        :class:`~repro.service.scheduler.CampaignJob` immediately.
+
+        Accepts either one prepared
+        :class:`~repro.service.spec.CampaignSpec` (``options`` are
+        applied on top via :meth:`CampaignSpec.replace`), or the
+        positional workload ``(technique, detector, target, faults)``
+        with spec fields as keywords.  Collect results — each a
+        ``RunResult``-speaking
+        :class:`~repro.faults.campaign.CampaignResult` — with
+        :meth:`gather`."""
+        from repro.service.spec import CampaignSpec
+        if len(args) == 1 and isinstance(args[0], CampaignSpec):
+            spec = args[0]
+            if options:
+                spec = spec.replace(**options)
+        elif len(args) == 4:
+            technique, detector, target, faults = args
+            spec = CampaignSpec(technique=technique, detector=detector,
+                                target=target, faults=tuple(faults),
+                                **options)
+        else:
+            raise TypeError(
+                "submit() takes one CampaignSpec or the positional "
+                "workload (technique, detector, target, faults)")
+        return self.scheduler().submit(spec, priority=priority)
+
+    def gather(self, *jobs: Any, timeout: Optional[float] = None):
+        """Wait for submitted jobs (default: all of them); returns
+        their :class:`~repro.faults.campaign.CampaignResult` objects in
+        argument order.  Runs under the session's observation scope so
+        jobs finishing during the wait merge their metrics/events into
+        the session sinks."""
+        if self._scheduler is None:
+            return []
+        with self._scope():
+            return self._scheduler.gather(*jobs, timeout=timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Close the session's scheduler (no-op when none was
+        created); with ``wait`` (default) all submitted jobs finish
+        first."""
+        if self._scheduler is not None:
+            with self._scope():
+                self._scheduler.close(wait=wait)
+            self._scheduler = None
 
     # -- digital BIST --------------------------------------------------
     def bist(self, width: int, **kwargs):

@@ -31,6 +31,7 @@ from repro.faults.model import BridgingFault, StuckAtFault
 from repro.faults.universe import paper_circuit1_faults, stuck_at_universe
 from repro.obs.core import observe
 from repro.resilience.deadline import check_deadline
+from repro.service import CampaignSpec
 from repro.spice import Circuit, batched_transient, transient
 from repro.spice.batched import BatchedMarch
 
@@ -207,7 +208,8 @@ def test_campaign_batched_matches_serial():
 def test_campaign_run_batch_size_overrides_campaign_default():
     target, faults = _dictionary_scenario()
     serial = _dictionary_campaign().run(target, faults)
-    batched = _dictionary_campaign().run(target, faults, batch_size=16)
+    batched = _dictionary_campaign().run(target, faults,
+                                         spec=CampaignSpec(batch_size=16))
     assert _normalized(batched) == _normalized(serial)
 
 
@@ -314,9 +316,9 @@ def test_campaign_batched_matches_serial_under_fault_timeouts():
               BridgingFault("br2", "a", "b", resistance=300.0)]
     detector = SignatureDetector(abs_v=0.5)
     serial = FaultCampaign(_SlowTechnique(), detector).run(
-        target, faults, fault_timeout_s=0.2)
+        target, faults, spec=CampaignSpec(fault_timeout_s=0.2))
     batched = FaultCampaign(_SlowTechnique(), detector, batch_size=3).run(
-        target, faults, fault_timeout_s=0.2)
+        target, faults, spec=CampaignSpec(fault_timeout_s=0.2))
     assert serial.n_timeouts == batched.n_timeouts == 1
     assert serial.outcomes[1].timed_out and batched.outcomes[1].timed_out
     assert not batched.outcomes[1].detected

@@ -226,17 +226,23 @@ class TestCampaign:
         assert result.outcomes[0].detected
         assert result.outcomes[0].error is not None
 
-    def test_campaign_error_propagates_when_asked(self):
+    def test_campaign_error_counted_undetected_when_disabled(self):
         def broken(ckt):
-            raise RuntimeError("boom")
-        with pytest.warns(DeprecationWarning,
-                          match="treat_errors_as_detected is deprecated"):
-            campaign = FaultCampaign(lambda c: 0.0, lambda r, m: 0.0,
-                                     treat_errors_as_detected=False)
-        campaign.technique = broken
-        with pytest.raises(RuntimeError):
-            campaign.run(divider(), [StuckAtFault.sa0("mid")],
-                         reference=0.0)
+            if ckt.has_element("FLT_mid-sa0_V"):
+                raise RuntimeError("simulation diverged")
+            return 0.0
+        campaign = FaultCampaign(broken, lambda r, m: 0.0,
+                                 errors_as_detected=False)
+        result = campaign.run(divider(), [StuckAtFault.sa0("mid")])
+        assert not result.outcomes[0].detected
+        assert result.outcomes[0].error is not None
+
+    def test_removed_error_alias_rejected(self):
+        # treat_errors_as_detected= went through its deprecation cycle
+        # and is gone; the constructor rejects it like any unknown kwarg.
+        with pytest.raises(TypeError):
+            FaultCampaign(lambda c: 0.0, lambda r, m: 0.0,
+                          treat_errors_as_detected=False)
 
     def test_detection_clamped(self):
         campaign = FaultCampaign(self._mid_voltage, lambda r, m: 7.3)

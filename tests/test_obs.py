@@ -310,13 +310,10 @@ class TestErrorsAsDetected:
         assert result.outcomes[0].error is not None
         assert result.to_dict()["n_errors"] == 1
 
-    def test_deprecated_alias_warns_and_raises(self):
-        with pytest.warns(DeprecationWarning):
-            campaign = FaultCampaign(self._broken, _shift_detector,
-                                     treat_errors_as_detected=False)
-        with pytest.raises(RuntimeError):
-            campaign.run(divider(), [StuckAtFault.sa0("mid")],
-                         reference=0.0)
+    def test_removed_alias_rejected(self):
+        with pytest.raises(TypeError):
+            FaultCampaign(self._broken, _shift_detector,
+                          treat_errors_as_detected=False)
 
 
 class TestSession:

@@ -17,6 +17,7 @@ from repro.obs import export, profile
 from repro.obs.health import CampaignProgress, straggler_report
 from repro.obs.log import EventLog
 from repro.obs.trace import Tracer
+from repro.service import CampaignSpec
 from repro.session import RunResult, Session
 from repro.spice import Circuit, dc_operating_point, transient
 from repro.spice.solver import NewtonError
@@ -413,7 +414,8 @@ class TestCampaignHealth:
     def test_progress_callback_sequence(self):
         updates = []
         FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5).run(
-            divider(), _divider_faults(), progress=updates.append)
+            divider(), _divider_faults(),
+            spec=CampaignSpec(progress=updates.append))
         assert [(p.done, p.total) for p in updates] == [
             (1, 4), (2, 4), (3, 4), (4, 4)]
         assert all(isinstance(p, CampaignProgress) for p in updates)
@@ -423,12 +425,12 @@ class TestCampaignHealth:
     def test_progress_parity_serial_vs_workers(self):
         serial, pooled = [], []
         FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5).run(
-            divider(), _divider_faults(),
-            progress=lambda p: serial.append((p.done, p.total, p.fault)))
+            divider(), _divider_faults(), spec=CampaignSpec(
+                progress=lambda p: serial.append((p.done, p.total, p.fault))))
         FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5,
                       workers=2).run(
-            divider(), _divider_faults(),
-            progress=lambda p: pooled.append((p.done, p.total, p.fault)))
+            divider(), _divider_faults(), spec=CampaignSpec(
+                progress=lambda p: pooled.append((p.done, p.total, p.fault))))
         assert serial == pooled
 
     def test_heartbeat_parity_serial_vs_workers(self):
@@ -448,7 +450,8 @@ class TestCampaignHealth:
     def test_heartbeat_every(self):
         with obs.observe() as o:
             FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5).run(
-                divider(), _divider_faults(), heartbeat_every=2)
+                divider(), _divider_faults(),
+                spec=CampaignSpec(heartbeat_every=2))
         assert o.metrics.counter_values()["campaign.heartbeats"] == 2
 
     def test_outcomes_carry_worker_pid(self):

@@ -37,6 +37,7 @@ from repro.resilience import (
     installed,
     retry_scope,
 )
+from repro.service import CampaignSpec
 from repro.spice import Circuit, dc_operating_point, parse_netlist, transient
 from repro.verify.goldens import normalize
 
@@ -398,7 +399,7 @@ class TestCheckpoint:
     def test_resume_requires_checkpoint_path(self):
         c = FaultCampaign(measure_mid, delta_detector)
         with pytest.raises(ValueError, match="resume"):
-            c.run(divider(), mid_faults(2), resume=True)
+            c.run(divider(), mid_faults(2), spec=CampaignSpec(resume=True))
 
 
 # ---------------------------------------------------------------------------
@@ -414,8 +415,9 @@ class TestCampaignResilience:
         c = FaultCampaign(slow_transient_technique, delta_detector,
                           errors_as_detected=errors_as_detected,
                           workers=workers)
-        res = c.run(ckt, faults, reference=2.0, fault_timeout_s=0.05,
-                    timeout_grace_s=5.0)
+        res = c.run(ckt, faults, reference=2.0,
+                    spec=CampaignSpec(fault_timeout_s=0.05,
+                                      timeout_grace_s=5.0))
         assert res.n_faults == 2
         assert res.n_timeouts == 2
         assert res.partial
@@ -452,7 +454,8 @@ class TestCampaignResilience:
         ckt = divider()
         faults = mid_faults(6)
         c = FaultCampaign(slow_transient_technique, delta_detector)
-        res = c.run(ckt, faults, reference=2.0, campaign_deadline_s=0.05)
+        res = c.run(ckt, faults, reference=2.0,
+                    spec=CampaignSpec(campaign_deadline_s=0.05))
         assert res.partial
         rep = res.failure_report()
         assert rep.deadline_hit
@@ -473,7 +476,7 @@ class TestCampaignResilience:
         hang = [StuckAtFault(name="hang", node="mid", resistance=1.0)]
         t0 = time.perf_counter()
         res = c.run(ckt, hang + faults[:1], reference=2.0,
-                    campaign_deadline_s=0.5)
+                    spec=CampaignSpec(campaign_deadline_s=0.5))
         assert time.perf_counter() - t0 < 10.0
         assert res.partial
         assert res.failure_report().deadline_hit
@@ -486,11 +489,12 @@ class TestCampaignResilience:
         ckt = divider()
         faults = mid_faults(3)
         c = FaultCampaign(measure_mid, delta_detector)
-        first = c.run(ckt, faults, checkpoint=ckpt_path)
+        first = c.run(ckt, faults, spec=CampaignSpec(checkpoint=ckpt_path))
         assert os.path.exists(ckpt_path)
         # poison the technique: any evaluation now would diverge
         resumed = FaultCampaign(measure_mid, delta_detector).run(
-            ckt, faults, checkpoint=ckpt_path, resume=True)
+            ckt, faults, spec=CampaignSpec(checkpoint=ckpt_path,
+                                           resume=True))
         assert normalize(resumed.to_dict()) == normalize(first.to_dict())
         assert calls_path.exists() is False
 
@@ -502,24 +506,26 @@ class TestCampaignResilience:
         uninterrupted run's — serially and pooled."""
         ckt = divider()
         faults = mid_faults(6)
-        kwargs = dict(reference=2.0, workers=workers)
+        spec = CampaignSpec(workers=workers)
 
         golden = FaultCampaign(chaos_technique, delta_detector).run(
-            ckt, faults, **kwargs)
+            ckt, faults, reference=2.0, spec=spec)
 
         ckpt_path = str(tmp_path / f"resume-{workers}.ckpt")
         os.environ["REPRO_TEST_INTERRUPT"] = "FLT_f4_V"
         try:
             with pytest.raises(KeyboardInterrupt):
                 FaultCampaign(chaos_technique, delta_detector).run(
-                    ckt, faults, checkpoint=ckpt_path, checkpoint_every=1,
-                    **kwargs)
+                    ckt, faults, reference=2.0,
+                    spec=spec.replace(checkpoint=ckpt_path,
+                                      checkpoint_every=1))
         finally:
             os.environ.pop("REPRO_TEST_INTERRUPT", None)
         assert os.path.exists(ckpt_path)
 
         resumed = FaultCampaign(chaos_technique, delta_detector).run(
-            ckt, faults, checkpoint=ckpt_path, resume=True, **kwargs)
+            ckt, faults, reference=2.0,
+            spec=spec.replace(checkpoint=ckpt_path, resume=True))
         assert normalize(resumed.to_dict()) == normalize(golden.to_dict())
         assert not resumed.partial
 
@@ -530,10 +536,11 @@ class TestCampaignResilience:
         faults = mid_faults(4)
         ckpt_path = str(tmp_path / "p.ckpt")
         c = FaultCampaign(measure_mid, delta_detector)
-        c.run(ckt, faults, checkpoint=ckpt_path)
+        c.run(ckt, faults, spec=CampaignSpec(checkpoint=ckpt_path))
         seen = []
-        c.run(ckt, faults, checkpoint=ckpt_path, resume=True,
-              progress=lambda p: seen.append((p.done, p.fault)))
+        c.run(ckt, faults, spec=CampaignSpec(
+            checkpoint=ckpt_path, resume=True,
+            progress=lambda p: seen.append((p.done, p.fault))))
         assert [d for d, _ in seen] == [1, 2, 3, 4]
         assert [f for _, f in seen] == [f.describe() for f in faults]
 
@@ -551,8 +558,9 @@ class TestCampaignResilience:
         faults = [healthy[0], hang, boom, healthy[1], healthy[2]]
         c = FaultCampaign(chaos_technique, delta_detector, workers=2)
         with observe() as h:
-            res = c.run(ckt, faults, reference=2.0, fault_timeout_s=0.4,
-                        timeout_grace_s=0.3)
+            res = c.run(ckt, faults, reference=2.0,
+                        spec=CampaignSpec(fault_timeout_s=0.4,
+                                          timeout_grace_s=0.3))
         assert res.n_faults == 5          # every fault accounted for
         assert res.partial
         rep = res.failure_report()
