@@ -232,3 +232,28 @@ class TransientTechnique:
 
     def evaluate_batch(self, target: Circuit, faults) -> list:
         return self.tester.evaluate_batch(target, faults)
+
+    def surrogate_workload(self, target: Circuit):
+        """Surrogate-prescreen protocol: how to reproduce this
+        technique's measurement from a fitted small-signal model (same
+        stimulus, same correlation post-processing as :meth:`__call__`).
+        """
+        from repro.surrogate.prescreen import SurrogateWorkload
+
+        tester = self.tester
+        cfg = tester.config
+        stimulus = cfg.stimulus()
+        p = cfg.correlation_signal()
+
+        def postprocess(y: Waveform) -> Waveform:
+            if cfg.noise_sigma_v > 0.0:
+                y = y.with_noise(cfg.noise_sigma_v, seed=cfg.noise_seed)
+            return tester.windowed(tester._impulse_estimate(y, p))
+
+        return SurrogateWorkload(source_name=tester.source_name,
+                                 output_node=tester.output_node,
+                                 dt=cfg.sim_dt_s,
+                                 t_stop=stimulus.duration,
+                                 stimulus=stimulus,
+                                 postprocess=postprocess,
+                                 prepare=tester.prepared_circuit)

@@ -17,6 +17,7 @@ The hierarchy::
     │   └── NetlistSyntaxError                     (in repro.spice.parser)
     ├── CampaignError        (also RuntimeError)   fault-campaign failures
     │   └── CheckpointError                        bad/mismatched checkpoint
+    ├── SurrogateError                             vector fit / prescreen failure
     ├── DeadlineExceeded                           resilience-layer deadline
     └── CounterTimeout       (also TimeoutError)   counter never settles
 
@@ -64,6 +65,16 @@ class CheckpointError(CampaignError):
     a different (technique, fault universe, config) key."""
 
 
+class SurrogateError(ReproError):
+    """A reduced-order surrogate could not be fitted or trusted.
+
+    Raised by :mod:`repro.surrogate` when vector fitting diverges, the
+    sampled response is degenerate, or a fitted model violates its
+    declared error bound.  The surrogate prescreen treats this as
+    "escalate to the full transient", never as a verdict.
+    """
+
+
 class DeadlineExceeded(ReproError):
     """A resilience-layer wall-clock deadline expired.
 
@@ -93,6 +104,7 @@ __all__ = [
     "DeckError",
     "CampaignError",
     "CheckpointError",
+    "SurrogateError",
     "DeadlineExceeded",
     "CounterTimeout",
 ]

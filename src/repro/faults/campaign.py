@@ -120,6 +120,11 @@ class FaultOutcome:
     #: payload is byte-identical to the cold run that populated the
     #: cache.
     from_cache: bool = False
+    #: which engine produced the verdict: ``"transient"`` (the full MNA
+    #: march — the default, and what every historical payload implied)
+    #: or ``"surrogate"`` (the vector-fitted prescreen classified the
+    #: fault outside the margin band and the transient never ran).
+    decided_by: str = "transient"
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
@@ -146,6 +151,8 @@ class FaultOutcome:
             out["timed_out"] = True
         if self.quarantined:
             out["quarantined"] = True
+        if self.decided_by != "transient":
+            out["decided_by"] = self.decided_by
         return out
 
 
@@ -191,6 +198,12 @@ class CampaignResult:
     @property
     def n_quarantined(self) -> int:
         return sum(1 for o in self.outcomes if o.quarantined)
+
+    @property
+    def n_prescreened(self) -> int:
+        """Faults decided by the surrogate prescreen (no transient)."""
+        return sum(1 for o in self.outcomes
+                   if o.decided_by == "surrogate")
 
     @property
     def n_skipped(self) -> int:
@@ -692,6 +705,13 @@ class FaultCampaign:
             outcomes: Dict[int, FaultOutcome] = {}
             cache_context = (rspec.context_key() if cache is not None
                              else None)
+            # surrogate verdicts live under their own context key —
+            # prescreened and full runs must never replay each other's
+            # entries (the surrogate's score is not the transient's)
+            surrogate_context = (rspec.surrogate_context_key()
+                                 if cache is not None
+                                 and rspec.prescreen == "surrogate"
+                                 else None)
 
             def record(idx: int, outcome: FaultOutcome,
                        save: bool = True) -> None:
@@ -710,7 +730,11 @@ class FaultCampaign:
                         event("campaign.quarantine", level="error",
                               fault=outcome.fault.describe())
                 if cache is not None and not outcome.from_cache:
-                    cache.put(cache_context, outcome)
+                    if outcome.decided_by == "surrogate":
+                        if surrogate_context is not None:
+                            cache.put(surrogate_context, outcome)
+                    else:
+                        cache.put(cache_context, outcome)
                 tracker.update(outcome)
                 if ckpt is not None and save:
                     ckpt.maybe_save(outcomes, len(fault_list))
@@ -726,13 +750,42 @@ class FaultCampaign:
                 for idx in range(len(fault_list)):
                     if idx in outcomes:
                         continue
-                    hit = cache.get(cache_context, fault_list[idx],
-                                    threshold)
+                    # a prescreened run probes the surrogate context
+                    # first (silently — the authoritative miss counter
+                    # is the transient context's), then the shared
+                    # transient context, so a warm prescreened re-run
+                    # replays both verdict kinds without a simulation
+                    hit = None
+                    if surrogate_context is not None:
+                        hit = cache.get(surrogate_context,
+                                        fault_list[idx], threshold,
+                                        count_miss=False)
+                    if hit is None:
+                        hit = cache.get(cache_context, fault_list[idx],
+                                        threshold)
                     if hit is not None:
                         record(idx, hit)
 
             pending = [i for i in range(len(fault_list))
                        if i not in outcomes]
+
+            if pending and rspec.prescreen == "surrogate":
+                # the prescreen runs in the parent, before the MNA
+                # reference is even computed: a fully surrogate-decided
+                # campaign performs zero transient simulations
+                from repro.surrogate.prescreen import SurrogatePrescreen
+                prescreen = SurrogatePrescreen(
+                    self.technique, self.detector, threshold,
+                    config=rspec.prescreen_config)
+                verdicts = prescreen.classify(
+                    target, [fault_list[i] for i in pending])
+                escalated = []
+                for idx, verdict in zip(pending, verdicts):
+                    if verdict is None:
+                        escalated.append(idx)
+                    else:
+                        record(idx, verdict)
+                pending = escalated
 
             if pending:
                 if reference is None:
@@ -1229,6 +1282,8 @@ class FaultCampaign:
         sp.set(n_faults=result.n_faults, n_detected=result.n_detected,
                n_errors=result.n_errors, coverage=result.coverage,
                workers=result.workers)
+        if result.n_prescreened:
+            sp.set(n_prescreened=result.n_prescreened)
         if result.partial or result.failures.degraded:
             sp.set(partial=result.partial,
                    failures=result.failures.summary())

@@ -81,6 +81,22 @@ class TransientSignatureTechnique:
                 out[slot] = result.array(self.node)
         return out
 
+    def surrogate_workload(self, target: Circuit):
+        """Surrogate-prescreen protocol: the stimulus is whatever
+        time-varying voltage source the netlist carries (the dictionary
+        bakes it in), the measurement is the raw sample array."""
+        from repro.surrogate.prescreen import SurrogateWorkload, waveform_source
+
+        source_name, stimulus = waveform_source(target, self.dt,
+                                                self.t_stop)
+        return SurrogateWorkload(source_name=source_name,
+                                 output_node=self.node,
+                                 dt=self.dt,
+                                 t_stop=self.t_stop,
+                                 stimulus=stimulus,
+                                 postprocess=lambda y: y.values,
+                                 method=self.method)
+
 
 class SignatureDetector:
     """Fraction of samples where the measured signature deviates from

@@ -34,7 +34,8 @@ from repro.obs.core import observe
 
 #: counter prefixes persisted into BENCH_*.json (the telemetry half).
 KEY_COUNTER_PREFIXES = ("solver.", "transient.", "mna.", "fastpath.",
-                        "campaign.", "experiments.", "bist.", "batched.")
+                        "campaign.", "experiments.", "bist.", "batched.",
+                        "surrogate.")
 
 #: file schema tag (bump on incompatible layout changes).
 SCHEMA = "repro.bench/1"
@@ -112,6 +113,49 @@ def _dictionary_campaign(batch_size: int) -> Callable[[], Any]:
     return run
 
 
+def _surrogate_campaign(prescreen: bool) -> Callable[[], Any]:
+    """The 64-fault dictionary campaign with a 127-chip PRBS (12.7 ms),
+    with and without the surrogate prescreen — the BENCH_surrogate
+    speedup scenario (mirrors benchmarks/bench_surrogate_prescreen.py).
+    The longer stimulus is what the prescreen is for: transient cost
+    scales with steps, the vector fit does not."""
+    def run():
+        from repro.faults import FaultCampaign
+        from repro.faults.dictionary import (
+            SignatureDetector,
+            TransientSignatureTechnique,
+            dictionary_faults,
+            dictionary_ladder,
+        )
+        from repro.service.spec import CampaignSpec
+        from repro.signals.prbs import prbs_waveform
+        stimulus = prbs_waveform(order=7, chip_time=100e-6, low=0.0,
+                                 high=5.0, dt=1e-6, seed=3)
+        target = dictionary_ladder(n_sections=10, stimulus=stimulus)
+        faults = dictionary_faults(n_sections=10, n_faults=64)
+        technique = TransientSignatureTechnique(
+            t_stop=stimulus.duration, dt=1e-6, node="n9")
+        campaign = FaultCampaign(technique, SignatureDetector(abs_v=0.05),
+                                 threshold=0.05)
+        spec = CampaignSpec(target=target, faults=tuple(faults))
+        if prescreen:
+            spec = spec.replace(prescreen="surrogate")
+        return campaign.run(spec=spec)
+    run.__name__ = ("dictionary_64f_prescreened" if prescreen
+                    else "dictionary_64f_transient")
+    return run
+
+
+def _fit_rc_ladder():
+    """One vector fit of the 10-section ladder's transfer function —
+    the prescreen's per-fault unit of work, timed in isolation."""
+    from repro.faults.dictionary import dictionary_ladder
+    from repro.surrogate import PrescreenConfig, fit_circuit
+    circuit = dictionary_ladder(n_sections=10)
+    return fit_circuit(circuit, "VIN", "n9", config=PrescreenConfig(),
+                       dt=1e-6, t_stop=6.3e-3)
+
+
 def _sparse_ladder_transient():
     """A 1000-node RC ladder transient: above the sparse threshold, so
     the march runs through the CSC/splu route (the dense path on this
@@ -154,6 +198,14 @@ SUITES: Dict[str, Dict[str, Callable[[], Any]]] = {
         "dictionary_64f_k32": _dictionary_campaign(32),
         "dictionary_64f_k64": _dictionary_campaign(64),
         "sparse_ladder_1000": _sparse_ladder_transient,
+    },
+    # surrogate prescreen vs full transient on one shared scenario
+    # (mirrors benchmarks/bench_surrogate_prescreen.py); the two
+    # dictionary workloads' median ratio is the prescreen speedup.
+    "surrogate": {
+        "dictionary_64f_transient": _surrogate_campaign(False),
+        "dictionary_64f_prescreened": _surrogate_campaign(True),
+        "vector_fit_ladder10": _fit_rc_ladder,
     },
 }
 

@@ -96,18 +96,22 @@ def fault_context_key(technique: Callable, detector: Callable, target: Any,
 
 def campaign_key(technique: Callable, detector: Callable, target: Any,
                  faults: Iterable[Any], threshold: float, on_error: str,
-                 fault_timeout_s: Optional[float] = None) -> str:
+                 fault_timeout_s: Optional[float] = None,
+                 extra: Iterable[str] = ()) -> str:
     """Content hash of (technique, fault universe, config).
 
     The per-fault evaluation context (see :func:`fault_context_key`)
     plus the threshold and the full fault universe: everything that can
     change a campaign's recorded results participates; the
     campaign-wide deadline deliberately does not (it changes how *far*
-    a run gets, never what an evaluated fault produced).
+    a run gets, never what an evaluated fault produced).  ``extra``
+    appends caller-supplied identity parts (e.g. the surrogate
+    prescreen configuration) — the empty default keeps every historical
+    key bit-identical.
     """
     context = fault_context_key(technique, detector, target, on_error,
                                 fault_timeout_s)
-    h = _hash_parts((context, repr(float(threshold))))
+    h = _hash_parts((context, repr(float(threshold)), *extra))
     for fault in faults:
         h.update(fault.describe().encode("utf-8", "replace"))
         h.update(b"\x00")

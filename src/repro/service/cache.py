@@ -170,6 +170,10 @@ class ResultCache:
             "error": outcome.error,
             "elapsed_s": float(outcome.elapsed_s),
         }
+        # conditional so historical entries (and their hashes) keep
+        # their shape; absent means "transient"
+        if outcome.decided_by != "transient":
+            entry["decided_by"] = outcome.decided_by
         with self._lock:
             self._remember(key, entry)
             if self.path is not None:
@@ -269,7 +273,9 @@ class ResultCache:
         return FaultOutcome(fault=fault, detection=detection,
                             detected=detected, error=error,
                             elapsed_s=float(entry["elapsed_s"]),
-                            from_cache=True)
+                            from_cache=True,
+                            decided_by=entry.get("decided_by",
+                                                 "transient"))
 
 
 __all__ = ["ResultCache", "CacheStats", "fault_key", "CACHE_SCHEMA"]

@@ -68,6 +68,12 @@ class CampaignSpec:
     errors_as_detected: Optional[bool] = None
     workers: Optional[int] = None
     batch_size: Optional[int] = None
+    #: ``"surrogate"`` classifies clear detections/misses through the
+    #: vector-fitted prescreen (:mod:`repro.surrogate`) and only runs
+    #: the full MNA transient for faults inside the margin band;
+    #: ``None`` (the default, not an inherit hole) disables it.
+    prescreen: Optional[str] = None
+    prescreen_config: Optional[Any] = None
 
     # -- resilience options --------------------------------------------
     fault_timeout_s: Optional[float] = None
@@ -103,6 +109,12 @@ class CampaignSpec:
             raise ValueError("timeout_grace_s must be non-negative")
         if self.resume and self.checkpoint is None:
             raise ValueError("resume=True requires checkpoint=<path>")
+        if self.prescreen not in (None, "surrogate"):
+            raise ValueError(
+                f"unknown prescreen {self.prescreen!r} "
+                f"(supported: 'surrogate')")
+        if self.prescreen_config is not None and self.prescreen is None:
+            raise ValueError("prescreen_config requires prescreen=")
 
     # ------------------------------------------------------------------
     def replace(self, **changes: Any) -> "CampaignSpec":
@@ -154,6 +166,35 @@ class CampaignSpec:
         return fault_context_key(self.technique, self.detector, self.target,
                                  self.on_error, self.fault_timeout_s)
 
+    def surrogate_context_key(self) -> str:
+        """The cache context for surrogate-decided outcomes.
+
+        Derived from :meth:`context_key` plus the threshold and the
+        full prescreen configuration: a surrogate verdict is only
+        replayable by a campaign running the *same* prescreen against
+        the *same* threshold, and it must never collide with the
+        transient context that unprescreened runs share.
+        """
+        from repro.resilience.checkpoint import _hash_parts
+        return _hash_parts((self.context_key(),
+                            *self._prescreen_parts(resolved=True)
+                            )).hexdigest()
+
+    def _prescreen_parts(self, resolved: bool = False) -> Tuple[str, ...]:
+        """Identity strings of the prescreen configuration (empty when
+        no prescreen is set, so existing keys stay bit-identical)."""
+        if self.prescreen is None:
+            return ()
+        from repro.surrogate.prescreen import PrescreenConfig
+        config = self.prescreen_config or PrescreenConfig()
+        parts = [f"prescreen={self.prescreen}", config.describe()]
+        if resolved:
+            threshold = self.threshold
+            if threshold is None:
+                threshold = DEFAULTS["threshold"]
+            parts.insert(0, repr(float(threshold)))
+        return tuple(parts)
+
     def content_key(self) -> str:
         """The full campaign content hash — identical to the key the
         checkpoint layer derives, so a spec round-trips through
@@ -162,7 +203,8 @@ class CampaignSpec:
         spec = self.resolved()
         return campaign_key(spec.technique, spec.detector, spec.target,
                             spec.faults, spec.threshold, spec.on_error,
-                            spec.fault_timeout_s)
+                            spec.fault_timeout_s,
+                            extra=spec._prescreen_parts())
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -1,0 +1,60 @@
+"""Reduced-order rational surrogates for mixed-signal fault testing.
+
+Vector fitting (Gustavsen & Semlyen 1999, Deschrijver et al. 2008)
+turns a sampled frequency response into a stable pole/residue model
+whose transient evaluation is a pole-wise recurrence — orders of
+magnitude cheaper than the full MNA march.  The package splits into:
+
+* :mod:`~repro.surrogate.vectorfit` — the fitter and the model
+  (pure numpy/scipy, no circuit knowledge),
+* :mod:`~repro.surrogate.prescreen` — the campaign stage that samples
+  circuits via :class:`~repro.spice.linearize.FrequencyPencil`,
+  classifies clear detections/non-detections against a margin band and
+  escalates the rest to the full transient,
+* :mod:`~repro.surrogate.drift` — pole drift as a frequency-domain
+  fault signature (technique + detector).
+"""
+
+from repro.surrogate.drift import (
+    PoleDrift,
+    PoleDriftDetector,
+    SurrogateFitTechnique,
+    pole_drift,
+)
+from repro.surrogate.prescreen import (
+    PrescreenConfig,
+    SurrogatePrescreen,
+    SurrogateWorkload,
+    fit_circuit,
+    sample_grid,
+    sample_stimulus,
+    surrogate_measurement,
+    waveform_source,
+)
+from repro.surrogate.vectorfit import (
+    RELOCATION_TOL,
+    FitReport,
+    SurrogateModel,
+    VectorFitter,
+    sample_frequencies,
+)
+
+__all__ = [
+    "VectorFitter",
+    "SurrogateModel",
+    "FitReport",
+    "sample_frequencies",
+    "RELOCATION_TOL",
+    "PrescreenConfig",
+    "SurrogateWorkload",
+    "SurrogatePrescreen",
+    "fit_circuit",
+    "surrogate_measurement",
+    "sample_grid",
+    "sample_stimulus",
+    "waveform_source",
+    "PoleDrift",
+    "pole_drift",
+    "SurrogateFitTechnique",
+    "PoleDriftDetector",
+]

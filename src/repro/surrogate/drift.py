@@ -1,0 +1,122 @@
+"""Pole drift as a frequency-domain fault signature.
+
+The paper's impulse-response technique classifies faults in the time
+domain; a fitted :class:`~repro.surrogate.vectorfit.SurrogateModel`
+exposes the same information spectrally — a fault that changes the
+circuit's dynamics moves its poles.  This module turns that into a
+campaign-compatible technique/detector pair:
+
+* :class:`SurrogateFitTechnique` maps a circuit to its fitted surrogate
+  (one ``FrequencyPencil`` factorisation + vector fit, no transient),
+* :func:`pole_drift` greedily matches the faulty model's poles to the
+  reference model's and reports the largest relative displacement,
+* :class:`PoleDriftDetector` thresholds that displacement as the
+  campaign detection score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.surrogate.prescreen import PrescreenConfig, fit_circuit
+from repro.surrogate.vectorfit import SurrogateModel
+
+
+@dataclass(frozen=True)
+class PoleDrift:
+    """Greedy pole correspondence between two fitted models.
+
+    ``pairs`` holds ``(reference_pole, matched_pole, relative_shift)``
+    per reference pole, where the shift is normalised by the reference
+    pole's magnitude (floored at 1 rad/s so origin poles do not blow
+    up the ratio).  ``unmatched`` counts order mismatch between the two
+    fits — itself a fault signature.
+    """
+
+    pairs: Tuple[Tuple[complex, complex, float], ...]
+    unmatched: int
+
+    @property
+    def max_shift(self) -> float:
+        worst = max((shift for _, _, shift in self.pairs), default=0.0)
+        return worst if self.unmatched == 0 else max(worst, 1.0)
+
+    def summary(self) -> str:
+        return (f"pole drift: {len(self.pairs)} matched, "
+                f"{self.unmatched} unmatched, max shift "
+                f"{self.max_shift:.3e}")
+
+
+def pole_drift(reference: SurrogateModel,
+               faulty: SurrogateModel) -> PoleDrift:
+    """Match each reference pole to its nearest free faulty pole."""
+    ref = list(np.asarray(reference.poles, dtype=complex))
+    fau = list(np.asarray(faulty.poles, dtype=complex))
+    pairs: List[Tuple[complex, complex, float]] = []
+    # closest correspondences claim their partners first, so one runaway
+    # pole cannot steal every match
+    candidates = sorted(
+        ((abs(p - q), i, j) for i, p in enumerate(ref)
+         for j, q in enumerate(fau)),
+        key=lambda t: t[0])
+    used_ref: set = set()
+    used_fau: set = set()
+    for dist, i, j in candidates:
+        if i in used_ref or j in used_fau:
+            continue
+        used_ref.add(i)
+        used_fau.add(j)
+        scale = max(abs(ref[i]), 1.0)
+        pairs.append((complex(ref[i]), complex(fau[j]), float(dist / scale)))
+    unmatched = (len(ref) - len(used_ref)) + (len(fau) - len(used_fau))
+    pairs.sort(key=lambda t: (t[0].real, abs(t[0].imag), t[0].imag))
+    return PoleDrift(pairs=tuple(pairs), unmatched=unmatched)
+
+
+class SurrogateFitTechnique:
+    """Campaign technique returning the circuit's fitted surrogate.
+
+    Pure frequency-domain: the measurement is the
+    :class:`SurrogateModel` itself, scored downstream by
+    :class:`PoleDriftDetector`.  Per-circuit cost is one QZ
+    factorisation plus the vector fit — no transient at all.
+    """
+
+    def __init__(self, input_source: str, output_node: str,
+                 config: Optional[PrescreenConfig] = None,
+                 dt: float = 1e-6, t_stop: float = 1e-3) -> None:
+        self.input_source = input_source
+        self.output_node = output_node
+        self.config = config or PrescreenConfig()
+        self.dt = dt
+        self.t_stop = t_stop
+
+    def __call__(self, circuit: Any) -> SurrogateModel:
+        return fit_circuit(circuit, self.input_source, self.output_node,
+                           config=self.config, dt=self.dt,
+                           t_stop=self.t_stop)
+
+
+class PoleDriftDetector:
+    """Detection score = 1 when any pole drifted beyond the relative
+    threshold (or the model order changed), else the largest observed
+    shift normalised by the threshold, clamped to [0, 1)."""
+
+    def __init__(self, rel_threshold: float = 0.05) -> None:
+        if rel_threshold <= 0.0:
+            raise ValueError("rel_threshold must be positive")
+        self.rel_threshold = rel_threshold
+
+    def __call__(self, reference: SurrogateModel,
+                 measurement: SurrogateModel) -> float:
+        drift = pole_drift(reference, measurement)
+        if drift.unmatched > 0:
+            return 1.0
+        return min(1.0, drift.max_shift / self.rel_threshold)
+
+
+__all__ = ["PoleDrift", "pole_drift", "SurrogateFitTechnique",
+           "PoleDriftDetector"]

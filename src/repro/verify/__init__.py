@@ -18,10 +18,15 @@ pits every solver route against independent references:
   that the integrator's observed order matches its nominal order.
 * :mod:`repro.verify.goldens` — the golden regression store pinning
   experiment outputs under ``tests/goldens/``.
+* :mod:`repro.verify.surrogate_diff` — prescreened
+  (``prescreen="surrogate"``) vs full-transient fault-campaign verdicts
+  over seeded circuits and the E7 universe; zero disagreements is the
+  pinned invariant.
 
 Command line::
 
     python -m repro.verify --seeds 200
+    python -m repro.verify --mode surrogate --seeds 100 --e7
 """
 
 from repro.verify.convergence import ConvergenceResult, check_convergence
@@ -43,6 +48,13 @@ from repro.verify.oracle import (
     rc_step_response,
     series_rlc_step_response,
 )
+from repro.verify.surrogate_diff import (
+    SurrogateDiffReport,
+    SurrogateMismatch,
+    compare_campaigns,
+    run_e7_surrogate,
+    run_surrogate_differential,
+)
 
 __all__ = [
     "ConvergenceResult",
@@ -60,4 +72,9 @@ __all__ = [
     "LinearOracle",
     "rc_step_response",
     "series_rlc_step_response",
+    "SurrogateDiffReport",
+    "SurrogateMismatch",
+    "compare_campaigns",
+    "run_e7_surrogate",
+    "run_surrogate_differential",
 ]

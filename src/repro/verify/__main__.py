@@ -4,11 +4,18 @@ Runs the differential harness over a seed range (and optionally the
 convergence-order checks), prints a summary and exits non-zero on any
 mismatch — the CI ``verify-fuzz`` job is exactly this command.
 
+``--mode surrogate`` switches to the surrogate-vs-reference
+differential: unprescreened vs ``prescreen="surrogate"`` fault
+campaigns over the same seeded circuits (plus ``--e7`` for the paper's
+circuit-1 fault universe), exiting non-zero on any verdict
+disagreement — the CI ``surrogate-equivalence`` job runs this.
+
 Examples::
 
     python -m repro.verify --seeds 200
     python -m repro.verify --seeds 50 --kinds rc,rlc --method trap
     python -m repro.verify --seeds 200 --check-convergence --report out.json
+    python -m repro.verify --mode surrogate --seeds 100 --e7
 """
 
 from __future__ import annotations
@@ -28,6 +35,17 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         prog="python -m repro.verify",
         description="differential-testing harness: fast path vs reference "
                     "engine vs analytic oracle over seeded random circuits")
+    parser.add_argument("--mode", default="routes",
+                        choices=("routes", "surrogate"),
+                        help="'routes' compares solver routes against the "
+                             "oracle; 'surrogate' compares prescreened vs "
+                             "full-transient campaign verdicts")
+    parser.add_argument("--e7", action="store_true",
+                        help="surrogate mode: also compare campaigns over "
+                             "the paper's E7/circuit-1 fault universe")
+    parser.add_argument("--margin", type=float, default=None,
+                        help="surrogate mode: prescreen margin band "
+                             "half-width (default: PrescreenConfig default)")
     parser.add_argument("--seeds", type=int, default=200,
                         help="number of seeds per circuit kind (default 200)")
     parser.add_argument("--seed-start", type=int, default=0,
@@ -51,8 +69,53 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def _main_surrogate(args: argparse.Namespace) -> int:
+    from repro.surrogate.prescreen import PrescreenConfig
+    from repro.verify.surrogate_diff import (
+        SURROGATE_KINDS,
+        run_e7_surrogate,
+        run_surrogate_differential,
+    )
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    # the routes default includes mosfet, which the surrogate
+    # differential deliberately excludes — trim instead of erroring
+    kinds = [k for k in kinds if k in SURROGATE_KINDS] or \
+        list(SURROGATE_KINDS)
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    config = (PrescreenConfig(margin=args.margin)
+              if args.margin is not None else None)
+
+    report = run_surrogate_differential(seeds, kinds=kinds,
+                                        config=config,
+                                        max_steps=args.max_steps)
+    if not args.quiet:
+        print(report.summary())
+    reports = [report]
+    if args.e7:
+        e7 = run_e7_surrogate(config=config)
+        reports.append(e7)
+        if not args.quiet:
+            print(e7.summary())
+
+    ok = all(r.ok for r in reports)
+    if args.report:
+        payload = report.to_dict()
+        if args.e7:
+            payload["e7"] = reports[1].to_dict()
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"report written to {args.report}")
+
+    print("verify: OK" if ok else "verify: FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: List[str] = None) -> int:
     args = _parse_args(sys.argv[1:] if argv is None else argv)
+    if args.mode == "surrogate":
+        return _main_surrogate(args)
     kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
     seeds = range(args.seed_start, args.seed_start + args.seeds)
 

@@ -1,8 +1,28 @@
-"""Shared pytest wiring: the golden-store update flag.
+"""Shared pytest wiring: the golden-store update flag and markers.
 
 ``pytest --update-goldens`` re-pins every golden the run touches (see
 :mod:`repro.verify.goldens`); without it, drift fails with a unified
 diff of committed vs recomputed payloads.
+
+Markers (declared in ``pyproject.toml``, documented here — the single
+place to look them up):
+
+``slow``
+    Long-running transistor-level simulations (full experiment
+    reproductions, multi-second transients).  Deselect for a quick
+    loop: ``pytest -m "not slow"``.
+``chaos``
+    Fault-injection tests that deliberately hang or kill worker
+    processes to exercise the resilience layer (crash recovery,
+    poison-pill quarantine, deadline rescue).  They spawn and destroy
+    process pools, so they are the suite's flakiest-by-design corner:
+    ``pytest -m chaos`` runs them alone.
+``surrogate``
+    The vector-fitting surrogate suite: fitter property tests
+    (hypothesis), golden fits, prescreen-vs-transient equivalence pins
+    and the prescreen benchmark.  ``pytest -m "not surrogate"`` skips
+    the whole family cleanly; CI's ``surrogate-equivalence`` job runs
+    ``pytest -m surrogate`` plus the differential harness.
 """
 
 from pathlib import Path

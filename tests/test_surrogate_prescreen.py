@@ -1,0 +1,266 @@
+"""Prescreen-vs-transient equivalence pins and cache composition.
+
+The contract under test: ``prescreen="surrogate"`` must never change
+what a campaign *concludes* — per-fault ``detected`` verdicts are
+identical, escalated outcomes are byte-identical (modulo wall-clock),
+and ``decided_by`` is the only new information.  Pinned on the paper's
+E7 universe (serial and ``workers=2, batch_size=8``), on a seeded
+random-circuit differential, and against the result cache (surrogate
+verdicts live under their own context key and never leak into
+unprescreened runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SurrogateError
+from repro.faults.campaign import FaultCampaign
+from repro.faults.dictionary import (
+    SignatureDetector,
+    TransientSignatureTechnique,
+    dictionary_faults,
+    dictionary_ladder,
+)
+from repro.service.cache import ResultCache
+from repro.service.spec import CampaignSpec
+from repro.signals.prbs import prbs_waveform
+from repro.surrogate import (
+    PrescreenConfig,
+    SurrogatePrescreen,
+    waveform_source,
+)
+from repro.verify.surrogate_diff import (
+    compare_campaigns,
+    e7_workload,
+    run_surrogate_differential,
+)
+
+pytestmark = pytest.mark.surrogate
+
+THRESHOLD = 0.05
+MARGIN = PrescreenConfig().margin
+
+
+# ----------------------------------------------------------------------
+# small dictionary workload (cheap enough to run several campaigns)
+# ----------------------------------------------------------------------
+
+def _dictionary_workload(n_sections=4, n_faults=8):
+    stimulus = prbs_waveform(order=4, chip_time=50e-6, low=0.0, high=5.0,
+                             dt=1e-6, seed=3)
+    target = dictionary_ladder(n_sections=n_sections, stimulus=stimulus)
+    faults = dictionary_faults(n_sections=n_sections, n_faults=n_faults)
+    technique = TransientSignatureTechnique(t_stop=stimulus.duration,
+                                            dt=1e-6,
+                                            node=f"n{n_sections - 1}")
+    return target, technique, SignatureDetector(abs_v=0.05), tuple(faults)
+
+
+def _assert_equivalent(reference, prescreened):
+    """detected equality everywhere; byte equality where the transient
+    actually ran; decided_by is the only extra key either way."""
+    assert len(prescreened.outcomes) == len(reference.outcomes)
+    for ref, pre in zip(reference.outcomes, prescreened.outcomes):
+        assert ref.decided_by == "transient"
+        assert pre.fault.describe() == ref.fault.describe()
+        assert pre.detected == ref.detected, pre.fault.describe()
+        if pre.decided_by == "surrogate":
+            # a surrogate verdict is only legal outside the margin band
+            assert abs(pre.detection - THRESHOLD) > MARGIN
+        else:
+            ref_doc = dict(ref.to_dict(), elapsed_s=0.0)
+            pre_doc = dict(pre.to_dict(), elapsed_s=0.0)
+            ref_doc.pop("worker_pid", None)
+            pre_doc.pop("worker_pid", None)
+            assert pre_doc == ref_doc
+
+
+# ----------------------------------------------------------------------
+# E7: the paper's circuit-1 fault universe
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e7_runs():
+    target, technique, detector, faults, threshold = e7_workload()
+    assert threshold == THRESHOLD
+    campaign = FaultCampaign(technique, detector, threshold=threshold)
+    reference = campaign.run(spec=CampaignSpec(target=target,
+                                               faults=faults))
+    prescreened = campaign.run(spec=CampaignSpec(
+        target=target, faults=faults, prescreen="surrogate"))
+    return reference, prescreened
+
+
+@pytest.mark.slow
+def test_e7_equivalence_serial(e7_runs):
+    reference, prescreened = e7_runs
+    _assert_equivalent(reference, prescreened)
+    mismatches = compare_campaigns("e7", reference, prescreened,
+                                   THRESHOLD, MARGIN)
+    assert mismatches == [], [m.summary() for m in mismatches]
+    # OP1's catastrophic faults all score far from the threshold: the
+    # surrogate decides the entire universe without one MNA transient
+    assert prescreened.n_prescreened == prescreened.n_faults
+
+
+@pytest.mark.slow
+def test_e7_equivalence_parallel_batched(e7_runs):
+    reference, _ = e7_runs
+    target, technique, detector, faults, threshold = e7_workload()
+    campaign = FaultCampaign(technique, detector, threshold=threshold)
+    prescreened = campaign.run(spec=CampaignSpec(
+        target=target, faults=faults, workers=2, batch_size=8,
+        prescreen="surrogate"))
+    _assert_equivalent(reference, prescreened)
+    assert compare_campaigns("e7:w2b8", reference, prescreened,
+                             THRESHOLD, MARGIN) == []
+
+
+# ----------------------------------------------------------------------
+# dictionary campaign: equivalence + decided_by provenance
+# ----------------------------------------------------------------------
+
+def test_dictionary_equivalence_and_provenance():
+    target, technique, detector, faults = _dictionary_workload()
+    campaign = FaultCampaign(technique, detector, threshold=THRESHOLD)
+    reference = campaign.run(spec=CampaignSpec(target=target,
+                                               faults=faults))
+    prescreened = campaign.run(spec=CampaignSpec(
+        target=target, faults=faults, prescreen="surrogate"))
+    _assert_equivalent(reference, prescreened)
+    assert prescreened.n_prescreened == sum(
+        1 for o in prescreened.outcomes if o.decided_by == "surrogate")
+    assert prescreened.n_prescreened > 0
+    # serialisation: decided_by only appears when the surrogate decided,
+    # so historical campaign documents keep their exact shape
+    for outcome in reference.outcomes:
+        assert "decided_by" not in outcome.to_dict()
+    for outcome in prescreened.outcomes:
+        doc = outcome.to_dict()
+        assert ("decided_by" in doc) == (outcome.decided_by == "surrogate")
+
+
+def test_random_circuit_differential_smoke():
+    report = run_surrogate_differential(range(3), max_faults=4)
+    assert report.ok, report.summary()
+    assert report.n_campaigns > 0
+    assert report.n_faults > 0
+    doc = report.to_dict()
+    assert doc["kind"] == "surrogate_diff_report"
+    assert doc["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# cache composition
+# ----------------------------------------------------------------------
+
+def test_surrogate_verdicts_cache_under_their_own_key():
+    target, technique, detector, faults = _dictionary_workload()
+    cache = ResultCache()
+    campaign = FaultCampaign(technique, detector, threshold=THRESHOLD,
+                             cache=cache)
+    spec = CampaignSpec(technique=technique, detector=detector,
+                        target=target, faults=faults,
+                        prescreen="surrogate")
+    assert spec.surrogate_context_key() != spec.context_key()
+
+    cold = campaign.run(spec=spec)
+    assert cold.n_prescreened > 0
+    assert all(not o.from_cache for o in cold.outcomes)
+
+    # warm re-run: every verdict replays, surrogate provenance intact
+    warm = campaign.run(spec=spec)
+    assert all(o.from_cache for o in warm.outcomes)
+    for before, after in zip(cold.outcomes, warm.outcomes):
+        assert after.decided_by == before.decided_by
+        assert after.detected == before.detected
+        assert after.detection == before.detection
+
+    # an unprescreened run must NOT replay surrogate verdicts: they sit
+    # under the surrogate context key, invisible to the plain context
+    plain = campaign.run(spec=CampaignSpec(target=target, faults=faults))
+    for cached, fresh in zip(cold.outcomes, plain.outcomes):
+        assert fresh.decided_by == "transient"
+        if cached.decided_by == "surrogate":
+            assert not fresh.from_cache
+        assert fresh.detected == cached.detected
+
+
+def test_prescreen_changes_content_key_but_not_legacy_keys():
+    target, technique, detector, faults = _dictionary_workload()
+    plain = CampaignSpec(technique=technique, detector=detector,
+                         target=target, faults=faults)
+    prescreened = plain.replace(prescreen="surrogate")
+    tuned = plain.replace(prescreen="surrogate",
+                          prescreen_config=PrescreenConfig(margin=0.2))
+    # same fault universe, same context: the prescreen option lives only
+    # in the campaign-level content key and the surrogate context key
+    assert plain.context_key() == prescreened.context_key()
+    assert len({plain.content_key(), prescreened.content_key(),
+                tuned.content_key()}) == 3
+    assert prescreened.surrogate_context_key() != \
+        tuned.surrogate_context_key()
+
+
+def test_spec_validation():
+    target, _, _, faults = _dictionary_workload()
+    with pytest.raises(ValueError):
+        CampaignSpec(target=target, faults=faults, prescreen="bogus")
+    with pytest.raises(ValueError):
+        CampaignSpec(target=target, faults=faults,
+                     prescreen_config=PrescreenConfig())
+    with pytest.raises(ValueError):
+        PrescreenConfig(margin=-0.1)
+    with pytest.raises(ValueError):
+        PrescreenConfig(n_samples=1)
+    with pytest.raises(ValueError):
+        PrescreenConfig(max_fit_rms=0.0)
+    # the canonical identity string is what cache keys hash
+    assert PrescreenConfig().describe().startswith("surrogate-prescreen/1:")
+    assert PrescreenConfig(margin=0.2).describe() != \
+        PrescreenConfig().describe()
+
+
+# ----------------------------------------------------------------------
+# escalation paths
+# ----------------------------------------------------------------------
+
+def test_unsupported_technique_escalates_everything():
+    target, _, detector, faults = _dictionary_workload()
+
+    class NoHookTechnique:
+        def __call__(self, circuit):  # pragma: no cover - never invoked
+            raise AssertionError("prescreen must not simulate")
+
+    prescreen = SurrogatePrescreen(NoHookTechnique(), detector,
+                                   threshold=THRESHOLD)
+    assert prescreen.classify(target, list(faults)) == [None] * len(faults)
+
+
+def test_margin_band_and_confident_scores():
+    target, technique, _, faults = _dictionary_workload()
+    # a detector pinning every score to the threshold sits inside the
+    # band for every fault: the surrogate must refuse all verdicts
+    on_the_fence = SurrogatePrescreen(technique, lambda ref, m: THRESHOLD,
+                                      threshold=THRESHOLD)
+    assert on_the_fence.classify(target, list(faults)) == \
+        [None] * len(faults)
+    # ... while a saturated detector decides everything
+    certain = SurrogatePrescreen(technique, lambda ref, m: 1.0,
+                                 threshold=THRESHOLD)
+    verdicts = certain.classify(target, list(faults))
+    assert all(v is not None for v in verdicts)
+    assert all(v.decided_by == "surrogate" and v.detected
+               for v in verdicts)
+
+
+def test_waveform_source_requires_unique_time_varying_source():
+    target, _, _, _ = _dictionary_workload()
+    t_stop = 750e-6
+    name, wave = waveform_source(target, dt=1e-6, t_stop=t_stop)
+    assert name == "VIN"
+    assert wave.duration == pytest.approx(t_stop, rel=0.01)
+    dc_only = target.copy()
+    dc_only.element("VIN").value = 2.5
+    with pytest.raises(SurrogateError):
+        waveform_source(dc_only, dt=1e-6, t_stop=t_stop)
