@@ -41,6 +41,7 @@ from repro.faults.model import Fault
 from repro.obs.core import OBS, event, observe
 from repro.obs.core import span as obs_span
 from repro.obs.health import ProgressTracker
+from repro.obs.trace import Span, TraceContext, stamp_pids
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.deadline import Deadline, deadline_scope, installed
 from repro.resilience.failure import FailureReport
@@ -125,6 +126,15 @@ class FaultOutcome:
     #: or ``"surrogate"`` (the vector-fitted prescreen classified the
     #: fault outside the margin band and the transient never ran).
     decided_by: str = "transient"
+    #: worker-side span forest recorded while evaluating this fault
+    #: (same isolation/ship-back story as ``metrics``).  The parent
+    #: grafts it under the campaign/job span and clears the field;
+    #: deliberately absent from :meth:`to_dict` — trace data belongs to
+    #: the trace export, not the campaign payload.
+    spans: Optional[List[Any]] = None
+    #: reference to the span that produced this outcome, as
+    #: ``"<trace_id>:<span path>"`` (absent from :meth:`to_dict`).
+    span: Optional[str] = None
 
     def describe(self) -> str:
         status = "DETECTED" if self.detected else "missed"
@@ -176,6 +186,11 @@ class CampaignResult:
     #: structured degradation accounting (always present; empty —
     #: ``degraded == False`` — for a clean run).
     failures: FailureReport = field(default_factory=FailureReport)
+    #: this run's :class:`~repro.service.cache.CacheStats` delta (hits/
+    #: misses/disk_hits/corrupt contributed by this run alone); ``None``
+    #: when no cache was attached.  Diagnostic — absent from
+    #: :meth:`to_dict`, surfaced through :meth:`summary`.
+    cache_stats: Any = field(default=None, repr=False, compare=False)
 
     @property
     def n_faults(self) -> int:
@@ -239,6 +254,8 @@ class CampaignResult:
             line += f", {self.n_errors} simulation errors"
         if self.elapsed_s:
             line += f" [{self.elapsed_s:.2f} s, workers={self.workers}]"
+        if self.cache_stats is not None and self.cache_stats.lookups:
+            line += f" [{self.cache_stats.describe()}]"
         if self.partial:
             line += " [PARTIAL]"
         if self.failures.degraded:
@@ -302,6 +319,15 @@ def _quarantine_outcome(fault: Fault, crashes: int) -> FaultOutcome:
         quarantined=True)
 
 
+def _span_ref(trace_ctx: Optional[TraceContext], name: str) -> str:
+    """The ``"<trace_id>:<path>"`` reference an outcome carries back to
+    the span that produced it."""
+    if trace_ctx is None:
+        return name
+    path = f"{trace_ctx.parent}/{name}" if trace_ctx.parent else name
+    return f"{trace_ctx.trace_id}:{path}"
+
+
 def _evaluate_fault(technique: Callable[[Any], Any],
                     detector: Callable[[Any, Any], float],
                     threshold: float,
@@ -309,6 +335,7 @@ def _evaluate_fault(technique: Callable[[Any], Any],
                     collect_obs: bool,
                     fault_timeout_s: Optional[float],
                     target: Any, reference: Any,
+                    trace_ctx: Optional[TraceContext],
                     fault: Fault) -> FaultOutcome:
     """Evaluate a single fault against the reference measurement.
 
@@ -318,17 +345,26 @@ def _evaluate_fault(technique: Callable[[Any], Any],
     When ``collect_obs`` is set the evaluation runs inside an isolated
     observation scope and the metrics snapshot rides back on the
     outcome — identically in-process and in a worker, which is what
-    makes the *metrics* identical too.  The per-fault deadline is
-    likewise installed here, so cooperative cancellation works the same
-    serially and inside a worker.
+    makes the *metrics* identical too.  The span forest recorded under
+    the adopted ``trace_ctx`` rides back the same way (``spans``), for
+    the parent to graft under the campaign span.  The per-fault
+    deadline is likewise installed here, so cooperative cancellation
+    works the same serially and inside a worker.
     """
     if collect_obs:
         with observe() as handle:
-            outcome = _evaluate_fault_plain(technique, detector, threshold,
-                                            on_error, fault_timeout_s,
-                                            target, reference, fault)
+            tracer = handle.tracer.adopt(trace_ctx)
+            attrs = trace_ctx.attrs() if trace_ctx is not None else {}
+            with tracer.span("fault.evaluate",
+                             fault=fault.describe(), **attrs):
+                outcome = _evaluate_fault_plain(
+                    technique, detector, threshold, on_error,
+                    fault_timeout_s, target, reference, fault)
+        stamp_pids(tracer.spans, os.getpid())
         outcome.metrics = handle.metrics.to_dict()
         outcome.events = handle.events.records()
+        outcome.spans = tracer.spans
+        outcome.span = _span_ref(trace_ctx, "fault.evaluate")
         return outcome
     return _evaluate_fault_plain(technique, detector, threshold, on_error,
                                  fault_timeout_s, target, reference, fault)
@@ -375,6 +411,7 @@ def _evaluate_fault_plain(technique, detector, threshold, on_error,
 
 def _evaluate_fault_batch(technique, detector, threshold, on_error,
                           collect_obs, fault_timeout_s, target, reference,
+                          trace_ctx: Optional[TraceContext],
                           faults: List[Fault]) -> List[FaultOutcome]:
     """Evaluate a chunk of faults through the technique's batched path.
 
@@ -395,23 +432,31 @@ def _evaluate_fault_batch(technique, detector, threshold, on_error,
     """
     if collect_obs:
         with observe() as handle:
-            outcomes, batch_slots = _evaluate_batch_plain(
-                technique, detector, threshold, on_error, collect_obs,
-                fault_timeout_s, target, reference, faults)
+            tracer = handle.tracer.adopt(trace_ctx)
+            attrs = trace_ctx.attrs() if trace_ctx is not None else {}
+            with tracer.span("fault.batch", n_faults=len(faults), **attrs):
+                outcomes, batch_slots = _evaluate_batch_plain(
+                    technique, detector, threshold, on_error, collect_obs,
+                    fault_timeout_s, target, reference, trace_ctx, faults)
+        stamp_pids(tracer.spans, os.getpid())
         if batch_slots:
             first = outcomes[batch_slots[0]]
             first.metrics = handle.metrics.to_dict()
             first.events = handle.events.records()
+            first.spans = tracer.spans
+        ref = _span_ref(trace_ctx, "fault.batch")
+        for i in batch_slots:
+            outcomes[i].span = ref
         return outcomes
     outcomes, _ = _evaluate_batch_plain(
         technique, detector, threshold, on_error, collect_obs,
-        fault_timeout_s, target, reference, faults)
+        fault_timeout_s, target, reference, trace_ctx, faults)
     return outcomes
 
 
 def _evaluate_batch_plain(technique, detector, threshold, on_error,
                           collect_obs, fault_timeout_s, target, reference,
-                          faults):
+                          trace_ctx, faults):
     t0 = time.perf_counter()
     measurements = None
     with deadline_scope(fault_timeout_s, label="fault") as dl:
@@ -444,7 +489,7 @@ def _evaluate_batch_plain(technique, detector, threshold, on_error,
                 OBS.metrics.counter("campaign.batch_fallbacks").inc()
             outcomes.append(_evaluate_fault(
                 technique, detector, threshold, on_error, collect_obs,
-                fault_timeout_s, target, reference, fault))
+                fault_timeout_s, target, reference, trace_ctx, fault))
             continue
         try:
             score = float(detector(reference, meas))
@@ -468,6 +513,46 @@ def _evaluate_batch_plain(technique, detector, threshold, on_error,
         batch_slots.append(len(outcomes))
         outcomes.append(outcome)
     return outcomes, batch_slots
+
+
+def _graft_spans(parent: Span, outcome: FaultOutcome) -> None:
+    """Attach an outcome's shipped span forest under the campaign/job
+    span (clearing the ship-back field), or synthesise a zero-width
+    provenance span for outcomes that never ran a transient — cache
+    replays, surrogate verdicts, parent-side timeout/quarantine
+    verdicts — so *every* outcome is represented in the trace.
+    """
+    if outcome.spans:
+        for root in outcome.spans:
+            if (outcome.worker_pid is not None
+                    and "worker_pid" not in root.attrs):
+                root.attrs["worker_pid"] = outcome.worker_pid
+            parent.children.append(root)
+        outcome.spans = None
+        return
+    if outcome.span is not None:
+        # covered by a sibling's forest (non-carrier slot of a batched
+        # chunk): the chunk span already represents it
+        return
+    if outcome.from_cache:
+        name = "fault.cached"
+    elif outcome.decided_by != "transient":
+        name = "fault.prescreened"
+    else:
+        name = "fault.verdict"
+    now = time.perf_counter()
+    node = Span(name, attrs={"fault": outcome.fault.describe()},
+                t_start=now)
+    node.close(t_end=now)
+    node.pid = os.getpid()
+    if outcome.from_cache:
+        node.attrs["from_cache"] = True
+    if outcome.decided_by != "transient":
+        node.attrs["decided_by"] = outcome.decided_by
+    if outcome.error is not None:
+        node.attrs["error"] = outcome.error
+    parent.children.append(node)
+    outcome.span = f"{parent.name}/{name}"
 
 
 class FaultCampaign:
@@ -685,6 +770,9 @@ class FaultCampaign:
             n_workers = rspec.workers
             n_workers = min(n_workers, len(fault_list)) if fault_list else 1
             collect_obs = OBS.enabled
+            # captured inside the campaign span, so worker-side roots
+            # record this exact position in the trace as their parent
+            trace_ctx = TraceContext.capture()
 
             ckpt: Optional[CampaignCheckpoint] = None
             restored: Dict[int, FaultOutcome] = {}
@@ -705,6 +793,8 @@ class FaultCampaign:
             outcomes: Dict[int, FaultOutcome] = {}
             cache_context = (rspec.context_key() if cache is not None
                              else None)
+            cache_stats0 = (cache.stats.snapshot() if cache is not None
+                            else None)
             # surrogate verdicts live under their own context key —
             # prescreened and full runs must never replay each other's
             # entries (the surrogate's score is not the transient's)
@@ -798,7 +888,7 @@ class FaultCampaign:
                 evaluate = functools.partial(
                     _evaluate_fault, self.technique, self.detector,
                     threshold, on_error, collect_obs,
-                    fault_timeout_s, target, reference)
+                    fault_timeout_s, target, reference, trace_ctx)
                 # Batched dispatch needs the technique to implement the
                 # batch protocol; otherwise the knob degrades to
                 # per-fault.
@@ -807,7 +897,7 @@ class FaultCampaign:
                 evaluate_batch = (functools.partial(
                     _evaluate_fault_batch, self.technique, self.detector,
                     threshold, on_error, collect_obs,
-                    fault_timeout_s, target, reference)
+                    fault_timeout_s, target, reference, trace_ctx)
                     if use_batch else None)
 
                 if n_workers > 1 and not self._picklable(evaluate,
@@ -863,9 +953,21 @@ class FaultCampaign:
 
             result.workers = n_workers
             result.elapsed_s = time.perf_counter() - t_start
+            if cache is not None:
+                result.cache_stats = cache.stats.delta(cache_stats0)
             self._record_obs(result, sp)
         if OBS.enabled:
             result.trace = sp
+        ledger = OBS.ledger
+        if ledger is not None:
+            # history is best-effort persistence: a full disk or a
+            # read-only path must never fail the campaign itself
+            try:
+                ledger.record_campaign(result, key=rspec.content_key(),
+                                       name=name,
+                                       prescreen=rspec.prescreen)
+            except Exception:  # noqa: BLE001
+                pass
         return result
 
     # ------------------------------------------------------------------
@@ -1271,6 +1373,7 @@ class FaultCampaign:
             m.merge(o.metrics)
             if o.events:
                 OBS.events.extend(o.events)
+            _graft_spans(sp, o)
             m.histogram("campaign.fault_wall_s").observe(o.elapsed_s)
             busy += o.elapsed_s
         m.counter("campaign.runs").inc()

@@ -54,9 +54,10 @@ from repro.obs.core import (
     record,
     span,
 )
+from repro.obs.ledger import RunLedger
 from repro.obs.log import EventLog
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Span, TraceContext, Tracer, orphan_spans
 
 enable_from_env()
 
@@ -78,6 +79,9 @@ __all__ = [
     "Histogram",
     "Metrics",
     "EventLog",
+    "RunLedger",
     "Span",
+    "TraceContext",
     "Tracer",
+    "orphan_spans",
 ]

@@ -296,12 +296,18 @@ def run_suite(suite: str = "sim", ids: Optional[List[str]] = None,
             print(f"  median {rec['median_s'] * 1e3:.2f} ms  "
                   f"iqr {rec['iqr_s'] * 1e3:.2f} ms  "
                   f"({len(rec['counters'])} counters)")
+    # lazy import: ledger pulls KEY_COUNTER_PREFIXES from this module
+    from repro.obs.ledger import runtime_meta
     doc = {
         "schema": SCHEMA,
         "suite": suite,
         "rounds": rounds,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # provenance only — compare_benches reads doc["workloads"] and
+        # ignores this block, so trajectories stay comparable across
+        # hosts and commits while each point remains attributable
+        "meta": runtime_meta(),
         "workloads": results,
     }
     path = os.path.join(out_dir, f"BENCH_{suite}.json")

@@ -54,22 +54,30 @@ NULL_SPAN = _NullSpan()
 
 
 class ObsState:
-    """The ambient observation scope (tracer + metrics + events + flag)."""
+    """The ambient observation scope (tracer + metrics + events + flag),
+    plus the optional persistent run ledger campaigns report into."""
 
-    __slots__ = ("enabled", "tracer", "metrics", "events")
+    __slots__ = ("enabled", "tracer", "metrics", "events", "ledger")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = Metrics()
         self.events = EventLog()
+        #: a :class:`repro.obs.ledger.RunLedger` (or None).  Deliberately
+        #: independent of ``enabled``: runs are ledgered even when span/
+        #: metric recording is off, because the ledger is cheap (one row
+        #: per campaign) and history is most valuable for routine runs.
+        self.ledger: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def snapshot(self) -> tuple:
-        return (self.enabled, self.tracer, self.metrics, self.events)
+        return (self.enabled, self.tracer, self.metrics, self.events,
+                self.ledger)
 
     def restore(self, saved: tuple) -> None:
-        self.enabled, self.tracer, self.metrics, self.events = saved
+        (self.enabled, self.tracer, self.metrics, self.events,
+         self.ledger) = saved
 
 
 #: process-wide ambient scope; hot code reads ``OBS.enabled`` directly.
@@ -103,15 +111,18 @@ class Observation:
 def observe(tracer: Optional[Tracer] = None,
             metrics: Optional[Metrics] = None,
             events: Optional[EventLog] = None,
-            profile_memory: bool = False) -> Iterator[Observation]:
+            profile_memory: bool = False,
+            ledger: Optional[Any] = None) -> Iterator[Observation]:
     """Enable observability for the block, scoped and nestable.
 
     Fresh sinks are created unless existing ones are passed in (a
     :class:`~repro.session.Session` passes its own so successive runs
     accumulate into one report).  ``profile_memory=True`` builds the
     fresh tracer with per-span tracemalloc peaks (no effect on a tracer
-    passed in).  On exit the previous ambient scope — including
-    disabled-ness — is restored.
+    passed in).  ``ledger`` installs a run ledger for the scope; when
+    omitted the enclosing scope's ledger stays active (worker-side
+    isolation scopes must not silence the ambient ledger).  On exit the
+    previous ambient scope — including disabled-ness — is restored.
     """
     handle = Observation(
         tracer if tracer is not None else Tracer(profile_memory=profile_memory),
@@ -122,6 +133,8 @@ def observe(tracer: Optional[Tracer] = None,
     OBS.tracer = handle.tracer
     OBS.metrics = handle.metrics
     OBS.events = handle.events
+    if ledger is not None:
+        OBS.ledger = ledger
     try:
         yield handle
     finally:
@@ -210,10 +223,18 @@ def enable_from_env(env: Optional[dict] = None) -> bool:
     trace as Chrome Trace Event JSON, the span/event stream as JSONL,
     or the metrics as Prometheus text exposition respectively.
 
+    ``REPRO_OBS_LEDGER=/path/ledger.jsonl`` independently installs a
+    persistent :class:`~repro.obs.ledger.RunLedger` at that path (the
+    ledger works with span recording off — see :class:`ObsState`).
+
     Returns True when observability was switched on.  Called once at
     package import; safe to call again (idempotent per process).
     """
     env = os.environ if env is None else env
+    ledger_path = str(env.get("REPRO_OBS_LEDGER", "")).strip()
+    if ledger_path and OBS.ledger is None:
+        from repro.obs.ledger import RunLedger
+        OBS.ledger = RunLedger(ledger_path)
     raw = str(env.get("REPRO_OBS", "")).strip()
     flag = raw.lower()
     if flag in ("1", "true", "on", "yes"):

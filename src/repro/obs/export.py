@@ -64,7 +64,9 @@ def chrome_trace_events(tracer: Tracer, pid: Optional[int] = None,
                 "ph": "X",
                 "ts": (span.t_start - epoch) * 1e6,   # microseconds
                 "dur": span.duration_s * 1e6,
-                "pid": pid,
+                # grafted cross-process spans carry the recording pid,
+                # so Perfetto draws one row per worker process
+                "pid": span.pid if span.pid is not None else pid,
                 "tid": tid,
                 "cat": "repro",
                 "args": args,
@@ -97,11 +99,63 @@ def write_chrome_trace(tracer: Tracer, path: str,
 # Prometheus text exposition
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def _prom_name(name: str, namespace: str) -> str:
-    base = _NAME_RE.sub("_", name)
+    """Sanitise to the 0.0.4 metric-name charset.
+
+    Metric names flow in from user-supplied strings (job labels become
+    ``service.job.<id>.progress`` gauges), so this must survive
+    arbitrary input: every illegal byte becomes ``_``, an empty result
+    becomes ``_``, and a leading digit is prefixed (names must match
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    base = _NAME_RE.sub("_", name) or "_"
+    if base[0].isdigit():
+        base = "_" + base
     return f"{namespace}_{base}" if namespace else base
+
+
+def _prom_label_name(name: str) -> str:
+    """Label names are narrower than metric names (no colons)."""
+    base = _LABEL_NAME_RE.sub("_", str(name)) or "_"
+    if base[0].isdigit():
+        base = "_" + base
+    return base
+
+
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote and newline (the only bytes with meaning)."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _prom_unescape(value: str) -> str:
+    """Invert :func:`_prom_label_value` (left-to-right, one pass)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _prom_labels(labels: Optional[Dict[str, Any]],
+                 extra: Optional[str] = None) -> str:
+    """Render a ``{name="value",...}`` block ("" when empty)."""
+    items = [f'{_prom_label_name(k)}="{_prom_label_value(v)}"'
+             for k, v in (labels or {}).items()]
+    if extra:
+        items.append(extra)
+    return "{" + ",".join(items) + "}" if items else ""
 
 
 def _prom_num(value: float) -> str:
@@ -112,25 +166,30 @@ def _prom_num(value: float) -> str:
     return repr(float(value)) if isinstance(value, float) else str(value)
 
 
-def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
+def prometheus_text(metrics: Metrics, namespace: str = "repro",
+                    labels: Optional[Dict[str, Any]] = None) -> str:
     """Render the registry in Prometheus text exposition format 0.0.4.
 
     Counters gain the conventional ``_total`` suffix; histogram buckets
     are emitted cumulatively (Prometheus semantics) even though
     :class:`~repro.obs.metrics.Histogram` stores them per-interval.
+    ``labels`` attach to every sample (names sanitised, values escaped
+    — safe for user-supplied job labels).
     """
+    label_str = _prom_labels(labels)
     lines: List[str] = []
     for name in sorted(metrics.counters):
         pname = _prom_name(name, namespace)
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname}_total {metrics.counters[name].value}")
+        lines.append(f"{pname}_total{label_str} "
+                     f"{metrics.counters[name].value}")
     for name in sorted(metrics.gauges):
         value = metrics.gauges[name].value
         if value is None:
             continue
         pname = _prom_name(name, namespace)
         lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {_prom_num(value)}")
+        lines.append(f"{pname}{label_str} {_prom_num(value)}")
     for name in sorted(metrics.histograms):
         h = metrics.histograms[name]
         pname = _prom_name(name, namespace)
@@ -138,11 +197,12 @@ def prometheus_text(metrics: Metrics, namespace: str = "repro") -> str:
         cumulative = 0
         for bound, n in zip(h.BOUNDS, h.buckets):
             cumulative += n
-            lines.append(f'{pname}_bucket{{le="{_prom_num(bound)}"}} '
-                         f"{cumulative}")
-        lines.append(f'{pname}_bucket{{le="+Inf"}} {h.count}')
-        lines.append(f"{pname}_sum {_prom_num(h.total)}")
-        lines.append(f"{pname}_count {h.count}")
+            le = _prom_labels(labels, extra=f'le="{_prom_num(bound)}"')
+            lines.append(f"{pname}_bucket{le} {cumulative}")
+        inf = _prom_labels(labels, extra='le="+Inf"')
+        lines.append(f"{pname}_bucket{inf} {h.count}")
+        lines.append(f"{pname}_sum{label_str} {_prom_num(h.total)}")
+        lines.append(f"{pname}_count{label_str} {h.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -169,14 +229,18 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
         key, _, raw = line.rpartition(" ")
         value = float(raw)
         label = None
+        labels: Dict[str, str] = {}
         if "{" in key:
             key, _, labelpart = key.partition("{")
-            m = re.search(r'le="([^"]+)"', labelpart)
-            label = m.group(1) if m else None
+            for m in _LABEL_PAIR_RE.finditer(labelpart):
+                labels[m.group(1)] = _prom_unescape(m.group(2))
+            label = labels.pop("le", None)
         for base, mtype in types.items():
             if key == base or key.startswith(base + "_"):
                 suffix = key[len(base):]
                 rec = out.setdefault(base, {"type": mtype})
+                if labels:
+                    rec.setdefault("labels", {}).update(labels)
                 if mtype == "counter" and suffix == "_total":
                     rec["value"] = value
                 elif mtype == "gauge" and suffix == "":

@@ -54,6 +54,15 @@ class CampaignProgress:
     def fraction(self) -> float:
         return self.done / self.total if self.total else 1.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON shape for the dashboard status file."""
+        return {"job": self.job, "done": self.done, "total": self.total,
+                "fraction": self.fraction, "elapsed_s": self.elapsed_s,
+                "eta_s": self.eta_s, "rate_per_s": self.rate_per_s,
+                "fault": self.fault,
+                "fault_elapsed_s": self.fault_elapsed_s,
+                "worker_pid": self.worker_pid}
+
     def describe(self) -> str:
         pct = 100.0 * self.fraction
         label = f"campaign[{self.job}]" if self.job else "campaign"

@@ -29,15 +29,51 @@ from __future__ import annotations
 import json
 import time
 import tracemalloc
+import uuid
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serialisable link from an observing scope to work running
+    elsewhere — another process, another thread, or simply later.
+
+    Carries the owning tracer's ``trace_id`` plus the slash-joined path
+    of the span that was open at capture time.  A worker adopts the
+    context (:meth:`Tracer.adopt`) so the spans it records carry the
+    parent's trace identity; the parent then grafts the shipped span
+    forest under its own tree and the whole run exports as one
+    connected Chrome trace.  Pickles with the stdlib (two short
+    strings), so it rides :mod:`multiprocessing` task tuples for free.
+    """
+
+    trace_id: str
+    parent: str = ""
+
+    @classmethod
+    def capture(cls) -> Optional["TraceContext"]:
+        """Context of the ambient scope, or ``None`` when disabled."""
+        from repro.obs.core import OBS
+        if not OBS.enabled:
+            return None
+        return cls(trace_id=OBS.tracer.trace_id,
+                   parent=OBS.tracer.current_path())
+
+    def attrs(self) -> Dict[str, str]:
+        """The context as span attributes (provenance on worker roots)."""
+        out: Dict[str, str] = {"trace_id": self.trace_id}
+        if self.parent:
+            out["parent"] = self.parent
+        return out
 
 
 class Span:
     """One timed, attributed node of the trace tree."""
 
     __slots__ = ("name", "attrs", "t_start", "t_end",
-                 "cpu_start", "cpu_end", "mem_peak", "children")
+                 "cpu_start", "cpu_end", "mem_peak", "pid", "children")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None,
                  t_start: Optional[float] = None) -> None:
@@ -50,6 +86,10 @@ class Span:
         #: peak tracemalloc traced memory (bytes) over the span's
         #: lifetime; ``None`` unless the owning tracer profiles memory.
         self.mem_peak: Optional[int] = None
+        #: pid of the process that recorded the span; ``None`` means
+        #: "the exporting process" (only cross-process spans are
+        #: stamped, so single-process traces stay byte-identical).
+        self.pid: Optional[int] = None
         self.children: List[Span] = []
 
     @property
@@ -99,6 +139,8 @@ class Span:
         }
         if self.mem_peak is not None:
             out["mem_peak_bytes"] = self.mem_peak
+        if self.pid is not None:
+            out["pid"] = self.pid
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -120,6 +162,16 @@ class Tracer:
         self._stack: List[Span] = []
         self._count = 0
         self.profile_memory = profile_memory
+        #: identity of the trace this forest belongs to; workers adopt
+        #: the submitting scope's id so grafted spans are attributable.
+        self.trace_id: str = uuid.uuid4().hex[:16]
+
+    def adopt(self, ctx: Optional[TraceContext]) -> "Tracer":
+        """Take on the trace identity of a captured context (no-op for
+        ``None``, so call sites need no obs-enabled guard)."""
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+        return self
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -216,3 +268,43 @@ class Tracer:
         """Number of spans recorded (running count; does not build the
         flat event list)."""
         return self._count
+
+
+# ---------------------------------------------------------------------------
+# cross-process helpers
+
+
+def stamp_pids(spans: List[Span], pid: int) -> None:
+    """Stamp ``pid`` on every span of a forest that is about to leave
+    its process (already-stamped spans are left alone)."""
+    for span in spans:
+        if span.pid is None:
+            span.pid = pid
+        stamp_pids(span.children, pid)
+
+
+def orphan_spans(tracer: Tracer) -> List[Span]:
+    """Spans that break single-trace connectivity.
+
+    Two failure shapes: a ``fault.*`` span sitting at the forest root
+    (worker output that was shipped but never grafted under its
+    campaign/job span), and any span whose recorded ``trace_id``
+    attribute disagrees with the tracer's — a forest stitched together
+    from unrelated traces.  An empty list is the invariant the
+    ``service-trace`` CI job pins: one submit, one connected timeline.
+    """
+    orphans: List[Span] = []
+    for root in tracer.spans:
+        if root.name.startswith("fault."):
+            orphans.append(root)
+
+    def visit(span: Span) -> None:
+        tid = span.attrs.get("trace_id")
+        if tid is not None and tid != tracer.trace_id:
+            orphans.append(span)
+        for child in span.children:
+            visit(child)
+
+    for root in tracer.spans:
+        visit(root)
+    return orphans

@@ -85,9 +85,27 @@ class CacheStats:
                 "corrupt": self.corrupt, "disk_hits": self.disk_hits,
                 "hit_rate": self.hit_rate}
 
+    def snapshot(self) -> "CacheStats":
+        """Immutable copy, for before/after accounting."""
+        return CacheStats(self.hits, self.misses, self.stores,
+                          self.evictions, self.corrupt, self.disk_hits)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """What this run contributed: current minus a prior snapshot.
+
+        A shared cache serves many runs; ``CampaignResult.cache_stats``
+        must describe *this* run's hits, not the cache's lifetime."""
+        return CacheStats(self.hits - since.hits,
+                          self.misses - since.misses,
+                          self.stores - since.stores,
+                          self.evictions - since.evictions,
+                          self.corrupt - since.corrupt,
+                          self.disk_hits - since.disk_hits)
+
     def describe(self) -> str:
         return (f"cache: {self.hits}/{self.lookups} hits "
-                f"({100.0 * self.hit_rate:.0f}%), {self.stores} stores, "
+                f"({100.0 * self.hit_rate:.0f}%, {self.disk_hits} disk), "
+                f"{self.stores} stores, "
                 f"{self.corrupt} corrupt, {self.evictions} evicted")
 
 

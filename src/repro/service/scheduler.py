@@ -54,11 +54,14 @@ from repro.faults.campaign import (
     _QUARANTINE_AFTER,
     _evaluate_fault,
     _evaluate_fault_batch,
+    _graft_spans,
     _quarantine_outcome,
     _timeout_outcome,
 )
 from repro.obs.core import OBS, event
+from repro.obs.core import span as obs_span
 from repro.obs.health import ProgressTracker, ServiceProgress
+from repro.obs.trace import Span, TraceContext
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.failure import FailureReport
 from repro.service.cache import ResultCache
@@ -93,6 +96,20 @@ class CampaignJob:
         self.priority = priority
         self.state = JobState.PENDING
         self.cancel_requested = False
+        #: trace context captured at submit time on the *submitting*
+        #: thread, so the job's spans join the submitter's trace even
+        #: though dispatch happens on the scheduler thread (where the
+        #: submitter's observe() scope may not be ambient).
+        self.trace_ctx: Optional[TraceContext] = None
+        #: run ledger captured at submit time (same scope race).
+        self.ledger: Any = None
+        #: ``(result, job_span)`` parked by the dispatcher when the job
+        #: finalised while no observation scope was ambient (the
+        #: submitter may be inside ``Session.watch()``); the first
+        #: ``result()`` call that runs under an enabled scope drains it
+        #: so the job span still joins the gatherer's trace.
+        self._pending_obs: Optional[tuple] = None
+        self._obs_lock = threading.Lock()
         self._future: "concurrent.futures.Future[CampaignResult]" = \
             concurrent.futures.Future()
 
@@ -100,7 +117,21 @@ class CampaignJob:
         return self._future.done()
 
     def result(self, timeout: Optional[float] = None) -> CampaignResult:
-        return self._future.result(timeout)
+        result = self._future.result(timeout)
+        self._drain_obs()
+        return result
+
+    def _drain_obs(self) -> None:
+        if self._pending_obs is None or not OBS.enabled:
+            return
+        with self._obs_lock:
+            pending, self._pending_obs = self._pending_obs, None
+        if pending is None:
+            return
+        result, job_span = pending
+        CampaignScheduler._merge_obs(result)
+        if job_span is not None:
+            OBS.tracer.spans.append(job_span)
 
     def exception(self, timeout: Optional[float] = None):
         return self._future.exception(timeout)
@@ -121,6 +152,9 @@ class _Shard:
 
     kind: str                    # "ref" | "faults"
     indices: List[int] = field(default_factory=list)
+    #: open dispatch span while the shard is in flight (None when the
+    #: job is untraced); detached from any tracer until grafted.
+    span: Any = field(default=None, compare=False)
 
 
 class _JobRun:
@@ -146,9 +180,17 @@ class _JobRun:
         self.evaluate_batch = None
         self.pooled = True
         self.collect_obs = False
+        #: detached "service.job" span covering admission -> finalize;
+        #: outcome span forests are grafted under it as they land, and
+        #: it joins the ambient tracer's forest at finalize.  Touched
+        #: only on the dispatcher thread until then.
+        self.job_span: Optional[Span] = None
+        self.trace_ctx: Optional[TraceContext] = None
         self.ckpt: Optional[CampaignCheckpoint] = None
         self.cache: Optional[ResultCache] = None
         self.context_key: Optional[str] = None
+        self.surrogate_key: Optional[str] = None
+        self.cache_stats0: Any = None
         self.tracker: Optional[ProgressTracker] = None
         self.last_progress: Any = None
         self.deadline_end: Optional[float] = None
@@ -208,7 +250,8 @@ class CampaignScheduler:
                  cache: Optional[ResultCache] = None,
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  timeout_grace_s: float = 1.0,
-                 name: str = "scheduler") -> None:
+                 name: str = "scheduler",
+                 status_path: Optional[str] = None) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if shard_size < 1:
@@ -219,6 +262,12 @@ class CampaignScheduler:
         self.shard_size = shard_size
         self.timeout_grace_s = timeout_grace_s
         self.name = name
+        # live-dashboard status file (``python -m repro.obs top`` reads
+        # it); independent of OBS.enabled because watching progress
+        # should not require paying for span recording
+        self.status_path = (status_path if status_path is not None
+                            else os.environ.get("REPRO_OBS_STATUS") or None)
+        self._status_last = 0.0
         self._seq = itertools.count(1)
         self._intake: Deque[CampaignJob] = deque()
         self._intake_lock = threading.Lock()
@@ -247,6 +296,13 @@ class CampaignScheduler:
         resolved = spec.resolved()
         job = CampaignJob(f"{self.name}-job{next(self._ids)}", resolved,
                           spec.priority if priority is None else priority)
+        # trace context and ledger are captured here, on the submitting
+        # thread, while the submitter's observe() scope is ambient — the
+        # dispatcher thread sees a different (possibly disabled) scope
+        with obs_span("service.submit", job=job.id,
+                      spec=resolved.describe()):
+            job.trace_ctx = TraceContext.capture()
+        job.ledger = OBS.ledger
         self._jobs.append(job)
         self._ensure_thread()
         with self._intake_lock:
@@ -352,10 +408,30 @@ class CampaignScheduler:
 
     def _prepare(self, jr: _JobRun) -> None:
         spec = jr.spec
-        jr.collect_obs = OBS.enabled
+        # collect when the dispatcher's ambient scope is enabled OR the
+        # submitter's was (the submit-time context proves it); the
+        # shipped snapshots are merged/grafted at finalize only if a
+        # scope is still enabled there
+        jr.collect_obs = OBS.enabled or jr.job.trace_ctx is not None
+        if jr.collect_obs:
+            jr.job_span = Span("service.job",
+                               attrs={"job": jr.job.id,
+                                      "spec": spec.describe()})
+            jr.job_span.pid = os.getpid()
+            if jr.job.trace_ctx is not None:
+                jr.job_span.attrs.update(jr.job.trace_ctx.attrs())
+                jr.trace_ctx = TraceContext(
+                    trace_id=jr.job.trace_ctx.trace_id,
+                    parent="service.job")
         jr.cache = spec.cache if spec.cache is not None else self.cache
         if jr.cache is not None:
             jr.context_key = spec.context_key()
+            jr.cache_stats0 = jr.cache.stats.snapshot()
+            if spec.prescreen == "surrogate":
+                # surrogate verdicts live under their own context key —
+                # never replayed into unprescreened runs (see
+                # FaultCampaign.run, which this mirrors exactly)
+                jr.surrogate_key = spec.surrogate_context_key()
         jr.tracker = ProgressTracker(jr.total, callback=self._progress_cb(jr),
                                      heartbeat_every=spec.heartbeat_every,
                                      label=jr.job.id)
@@ -381,13 +457,54 @@ class CampaignScheduler:
             if idx in jr.outcomes:
                 continue
             if jr.cache is not None:
-                hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
-                                   self._threshold(jr))
+                # prescreened jobs probe the surrogate context first
+                # (silently — the transient context owns the miss
+                # counter), then the shared transient context
+                hit = None
+                if jr.surrogate_key is not None:
+                    hit = jr.cache.get(jr.surrogate_key,
+                                       jr.fault_list[idx],
+                                       self._threshold(jr),
+                                       count_miss=False)
+                if hit is None:
+                    hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
+                                       self._threshold(jr))
                 if hit is not None:
                     jr.dispatched += 1
                     self._record(jr, idx, hit, store=False)
                     continue
             pending.append(idx)
+
+        if pending and spec.prescreen == "surrogate":
+            # the prescreen runs here on the dispatcher, before the MNA
+            # reference is even scheduled: a fully surrogate-decided job
+            # performs zero transient simulations (same staging as
+            # FaultCampaign.run — checkpoint, cache, prescreen, dispatch)
+            from repro.surrogate.prescreen import SurrogatePrescreen
+            t_pre = time.perf_counter()
+            prescreen = SurrogatePrescreen(spec.technique, spec.detector,
+                                           self._threshold(jr),
+                                           config=spec.prescreen_config)
+            verdicts = prescreen.classify(
+                spec.target, [jr.fault_list[i] for i in pending])
+            escalated: List[int] = []
+            for idx, verdict in zip(pending, verdicts):
+                if verdict is None:
+                    escalated.append(idx)
+                else:
+                    jr.dispatched += 1
+                    self._record(jr, idx, verdict)
+            if jr.job_span is not None:
+                node = Span("service.prescreen",
+                            attrs={"job": jr.job.id,
+                                   "n_faults": len(pending),
+                                   "decided": len(pending) - len(escalated),
+                                   "escalated": len(escalated)},
+                            t_start=t_pre)
+                node.close()
+                node.pid = os.getpid()
+                jr.job_span.children.append(node)
+            pending = escalated
 
         jr.emit_queue = deque(pending)
         if not pending:
@@ -396,7 +513,7 @@ class CampaignScheduler:
         evaluate_probe = functools.partial(
             _evaluate_fault, spec.technique, spec.detector,
             self._threshold(jr), spec.on_error, jr.collect_obs,
-            spec.fault_timeout_s, spec.target, None)
+            spec.fault_timeout_s, spec.target, None, jr.trace_ctx)
         jr.pooled = self._picklable(evaluate_probe, jr.fault_list)
 
         if jr.have_reference:
@@ -414,7 +531,7 @@ class CampaignScheduler:
         evaluate = functools.partial(
             _evaluate_fault, spec.technique, spec.detector,
             self._threshold(jr), spec.on_error, jr.collect_obs,
-            spec.fault_timeout_s, spec.target, jr.reference)
+            spec.fault_timeout_s, spec.target, jr.reference, jr.trace_ctx)
         jr.evaluate = evaluate
         use_batch = (spec.batch_size > 1
                      and hasattr(spec.technique, "evaluate_batch"))
@@ -422,7 +539,8 @@ class CampaignScheduler:
             jr.evaluate_batch = functools.partial(
                 _evaluate_fault_batch, spec.technique, spec.detector,
                 self._threshold(jr), spec.on_error, jr.collect_obs,
-                spec.fault_timeout_s, spec.target, jr.reference)
+                spec.fault_timeout_s, spec.target, jr.reference,
+                jr.trace_ctx)
         width = spec.batch_size if use_batch else self.shard_size
         pending = list(jr.emit_queue)
         for start in range(0, len(pending), width):
@@ -465,7 +583,13 @@ class CampaignScheduler:
                       fault=outcome.fault.describe(), job=jr.job.id)
         if (store and jr.cache is not None
                 and not getattr(outcome, "from_cache", False)):
-            jr.cache.put(jr.context_key, outcome)
+            if outcome.decided_by == "surrogate":
+                if jr.surrogate_key is not None:
+                    jr.cache.put(jr.surrogate_key, outcome)
+            else:
+                jr.cache.put(jr.context_key, outcome)
+        if jr.job_span is not None:
+            _graft_spans(jr.job_span, outcome)
         jr.tracker.update(outcome)
         if jr.ckpt is not None and save:
             jr.ckpt.maybe_save(jr.outcomes, jr.total)
@@ -588,6 +712,12 @@ class CampaignScheduler:
             jr.inflight += 1
             if shard.kind == "faults":
                 jr.dispatched += len(shard.indices)
+            if jr.job_span is not None:
+                shard.span = Span("service.shard",
+                                  attrs={"job": jr.job.id,
+                                         "kind": shard.kind,
+                                         "n_faults": len(shard.indices)})
+                shard.span.pid = os.getpid()
             inflight[fut] = (jr, shard, time.monotonic())
 
     def _strip_cached(self, jr: _JobRun,
@@ -597,8 +727,13 @@ class CampaignScheduler:
         from the cache (hits are buffered for in-order emission)."""
         fresh: List[int] = []
         for idx in shard.indices:
-            hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
-                               self._threshold(jr), count_miss=False)
+            hit = None
+            if jr.surrogate_key is not None:
+                hit = jr.cache.get(jr.surrogate_key, jr.fault_list[idx],
+                                   self._threshold(jr), count_miss=False)
+            if hit is None:
+                hit = jr.cache.get(jr.context_key, jr.fault_list[idx],
+                                   self._threshold(jr), count_miss=False)
             if hit is not None:
                 jr.buffered[idx] = hit
                 jr.dispatched += 1
@@ -641,13 +776,29 @@ class CampaignScheduler:
                 crashed.append((jr, shard))
                 continue
             except Exception as exc:  # noqa: BLE001 - fails this job only
+                self._close_shard_span(jr, shard, failed="exception")
                 self._fail_job(jr, exc)
                 continue
             self._land(jr, shard, payload)
         if crashed:
             self._handle_crash(inflight, crashed)
 
+    def _close_shard_span(self, jr: _JobRun, shard: _Shard,
+                          **attrs: Any) -> None:
+        """Close a shard's dispatch span and graft it under the job
+        span (shards are re-dispatched with a fresh span, so requeue
+        paths close the old one with a failure attribute)."""
+        span, shard.span = shard.span, None
+        if span is None:
+            return
+        if attrs:
+            span.set(**attrs)
+        span.close()
+        if jr.job_span is not None:
+            jr.job_span.children.append(span)
+
     def _land(self, jr: _JobRun, shard: _Shard, payload: Any) -> None:
+        self._close_shard_span(jr, shard)
         if jr.job.state is not JobState.RUNNING:
             return
         if shard.kind == "ref":
@@ -679,6 +830,7 @@ class CampaignScheduler:
             jr.failures.worker_crashes += 1
             if OBS.enabled:
                 OBS.metrics.counter("campaign.worker_crashes").inc()
+            self._close_shard_span(jr, shard, failed="worker_crash")
             self._requeue_singles(jr, shard, strike=True)
         self._handle_pool_break(inflight)
 
@@ -696,6 +848,7 @@ class CampaignScheduler:
                 OBS.metrics.counter("campaign.pools_killed").inc()
             if shard.kind == "faults":
                 jr.dispatched -= len(shard.indices)
+            self._close_shard_span(jr, shard, failed="pool_killed")
             jr.ready.appendleft(shard)
             fut.add_done_callback(_swallow)
 
@@ -736,6 +889,7 @@ class CampaignScheduler:
             del inflight[fut]
             jr.inflight -= 1
             fut.add_done_callback(_swallow)
+            self._close_shard_span(jr, shard, failed="hang")
             jr.failures.pools_killed += 1
             if OBS.enabled:
                 OBS.metrics.counter("campaign.pools_killed").inc()
@@ -790,11 +944,45 @@ class CampaignScheduler:
             jr.ckpt.save(jr.outcomes, jr.total)
         result.workers = self.workers
         result.elapsed_s = time.perf_counter() - jr.t0
-        if jr.collect_obs and OBS.enabled:
-            self._merge_obs(result)
+        if jr.cache is not None and jr.cache_stats0 is not None:
+            result.cache_stats = jr.cache.stats.delta(jr.cache_stats0)
+        if jr.job_span is not None:
+            jr.job_span.set(n_faults=result.n_faults,
+                            n_detected=result.n_detected,
+                            coverage=result.coverage)
+            if result.n_prescreened:
+                jr.job_span.set(n_prescreened=result.n_prescreened)
+            if result.partial:
+                jr.job_span.set(partial=True)
+            jr.job_span.close()
+        if jr.collect_obs:
+            if OBS.enabled:
+                self._merge_obs(result)
+                if jr.job_span is not None:
+                    # the finished job span joins the ambient forest as
+                    # a root: Session.report()/exports see one
+                    # connected trace
+                    OBS.tracer.spans.append(jr.job_span)
+            else:
+                # no scope is ambient on the dispatcher right now (the
+                # submitter is between scopes, e.g. in watch()); park
+                # the payload so the gathering thread joins it instead
+                jr.job._pending_obs = (result, jr.job_span)
         jr.job.state = JobState.DONE
         if not jr.job.done():
             jr.job._future.set_result(result)
+        ledger = jr.job.ledger if jr.job.ledger is not None else OBS.ledger
+        if ledger is not None:
+            # persistence is best-effort: a full disk must not fail a
+            # job that already computed its result
+            try:
+                ledger.record_campaign(result, key=jr.spec.content_key(),
+                                       name=result.target_name,
+                                       prescreen=jr.spec.prescreen,
+                                       job=jr.job.id)
+            except Exception:  # noqa: BLE001
+                pass
+        self._publish_status(force=True)
 
     @staticmethod
     def _merge_obs(result: CampaignResult) -> None:
@@ -811,12 +999,34 @@ class CampaignScheduler:
         m.counter("campaign.errors").inc(result.n_errors)
 
     def _report_health(self, inflight) -> None:
+        self._publish_status()
         if not OBS.enabled:
             return
         OBS.metrics.gauge("service.jobs_active").set(len(self._active))
         OBS.metrics.gauge("service.shards_inflight").set(len(inflight))
         OBS.metrics.gauge("service.queue_depth").set(
             sum(len(jr.ready) for jr in self._active))
+        for jr in list(self._active):
+            if jr.last_progress is not None:
+                # job ids flow into the metric name: the Prometheus
+                # exporter sanitises them to the 0.0.4 charset
+                OBS.metrics.gauge(f"service.job.{jr.job.id}.progress").set(
+                    jr.last_progress.fraction)
+
+    def _publish_status(self, force: bool = False) -> None:
+        """Atomically refresh the dashboard status file (throttled;
+        no-op unless a status path is configured)."""
+        if self.status_path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._status_last < 0.5:
+            return
+        self._status_last = now
+        from repro.obs.dashboard import status_snapshot, write_status
+        try:
+            write_status(status_snapshot(self), self.status_path)
+        except OSError:  # pragma: no cover - status is best-effort
+            pass
 
 
 def _swallow(fut) -> None:

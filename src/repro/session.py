@@ -31,6 +31,7 @@ working unchanged — the Session is sugar plus scoping, not a new engine.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, \
     runtime_checkable
 
@@ -77,11 +78,14 @@ class Session:
         normalises results, the sinks just stay empty).
     name:
         Label for reports.
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` (or a path to one) every
+        campaign run through this session records a history row into.
     """
 
     def __init__(self, *, fast_path: bool = True, workers: int = 1,
                  obs: bool = True, name: str = "session",
-                 cache: Any = None) -> None:
+                 cache: Any = None, ledger: Any = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.fast_path = fast_path
@@ -89,6 +93,10 @@ class Session:
         self.obs = obs
         self.name = name
         self.cache = cache
+        if isinstance(ledger, (str, os.PathLike)):
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        self.ledger = ledger
         self.tracer = Tracer()
         self.metrics = Metrics()
         self.events = EventLog()
@@ -100,7 +108,7 @@ class Session:
         do-nothing scope when observability is off)."""
         if self.obs:
             return observe(tracer=self.tracer, metrics=self.metrics,
-                           events=self.events)
+                           events=self.events, ledger=self.ledger)
         import contextlib
         return contextlib.nullcontext(
             Observation(self.tracer, self.metrics, self.events))
@@ -210,7 +218,11 @@ class Session:
             raise TypeError(
                 "submit() takes one CampaignSpec or the positional "
                 "workload (technique, detector, target, faults)")
-        return self.scheduler().submit(spec, priority=priority)
+        # submit under the session scope so the job captures the
+        # session's trace context (cross-process trace propagation) and
+        # its run ledger at the moment of submission
+        with self._scope():
+            return self.scheduler().submit(spec, priority=priority)
 
     def gather(self, *jobs: Any, timeout: Optional[float] = None):
         """Wait for submitted jobs (default: all of them); returns
@@ -231,6 +243,24 @@ class Session:
             with self._scope():
                 self._scheduler.close(wait=wait)
             self._scheduler = None
+
+    def watch(self, interval: float = 0.5, out: Any = None,
+              max_frames: Optional[int] = None) -> str:
+        """Live terminal dashboard over the session's scheduler: one
+        frame per ``interval`` showing in-flight jobs, shard progress,
+        ETA, straggler flags and the cache hit rate, until every
+        submitted job has finished (or ``max_frames``).  Returns the
+        last frame rendered."""
+        from repro.obs.dashboard import render_frame, status_snapshot, watch
+        if self._scheduler is None:
+            frame = render_frame({})
+            if out is not None:
+                print(frame, file=out)
+            return frame
+        sched = self._scheduler
+        return watch(lambda: status_snapshot(sched), out=out,
+                     interval=interval, max_frames=max_frames,
+                     done=lambda: all(j.done() for j in sched._jobs))
 
     # -- digital BIST --------------------------------------------------
     def bist(self, width: int, **kwargs):
@@ -268,10 +298,14 @@ class Session:
         (``html=True``, with the Chrome trace JSON embedded)."""
         from repro.obs.report import render_html_report, render_text_report
         render = render_html_report if html else render_text_report
-        return render(self.name, self.tracer, self.metrics,
+        text = render(self.name, self.tracer, self.metrics,
                       events=self.events, top=top,
                       config={"fast_path": self.fast_path,
                               "workers": self.workers, "obs": self.obs})
+        if (not html and self.cache is not None
+                and self.cache.stats.lookups):
+            text += f"\n{self.cache.stats.describe()}\n"
+        return text
 
     def report_data(self) -> Dict[str, Any]:
         """Everything the session observed, machine-readably: trace

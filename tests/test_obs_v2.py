@@ -206,6 +206,37 @@ class TestPrometheusExport:
     def test_empty_registry(self):
         assert export.prometheus_text(obs.Metrics()) == ""
 
+    def test_hostile_names_survive_sanitisation(self):
+        # user-supplied job labels become metric names
+        # (service.job.<id>.progress) — the exporter must emit legal
+        # 0.0.4 names for arbitrary input
+        assert export._prom_name("", "repro") == "repro__"
+        assert export._prom_name("", "") == "_"
+        assert export._prom_name("7seg adc", "") == "_7seg_adc"
+        assert export._prom_name('job{evil="x"}', "repro") == \
+            "repro_job_evil__x__"
+        assert export._prom_label_name("job name") == "job_name"
+        assert export._prom_label_name("9digit") == "_9digit"
+
+    def test_hostile_labels_round_trip(self):
+        m = obs.Metrics()
+        m.counter("9weird job{name}").inc(3)
+        m.gauge("service.job.progress").set(0.5)
+        labels = {"job name": 'evil "quoted\\path"\nnext',
+                  "9digit": "braces{}and,commas=ok"}
+        text = export.prometheus_text(m, labels=labels)
+        parsed = export.parse_prometheus_text(text)
+        rec = parsed["repro__9weird_job_name_"]
+        assert rec["value"] == 3.0
+        assert rec["labels"]["job_name"] == 'evil "quoted\\path"\nnext'
+        assert rec["labels"]["_9digit"] == "braces{}and,commas=ok"
+        gauge = parsed["repro_service_job_progress"]
+        assert gauge["value"] == 0.5
+        assert gauge["labels"]["job_name"] == 'evil "quoted\\path"\nnext'
+        # the exposition text itself stays single-line per sample
+        assert all(line.count('"') % 2 == 0
+                   for line in text.splitlines())
+
 
 class TestJsonlExport:
     def test_lines_parse_and_interleave(self):
@@ -454,6 +485,26 @@ class TestCampaignHealth:
                 spec=CampaignSpec(heartbeat_every=2))
         assert o.metrics.counter_values()["campaign.heartbeats"] == 2
 
+    def test_span_tree_parity_serial_vs_workers(self):
+        # pooled workers finish out of order, but outcomes are recorded
+        # in fault order — so the grafted span tree must match the
+        # serial run's, name for name and fault for fault
+        with obs.observe() as serial:
+            FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5).run(
+                divider(), _divider_faults())
+        with obs.observe() as pooled:
+            FaultCampaign(_mid_voltage, _shift_detector, threshold=0.5,
+                          workers=2).run(divider(), _divider_faults())
+
+        def fault_children(o):
+            (root,) = o.tracer.spans
+            return [(c.name, c.attrs.get("fault")) for c in root.children
+                    if c.name.startswith("fault.")]
+
+        assert fault_children(serial) == fault_children(pooled)
+        assert [f[1] for f in fault_children(serial)] == \
+            [f.describe() for f in _divider_faults()]
+
     def test_outcomes_carry_worker_pid(self):
         result = FaultCampaign(_mid_voltage, _shift_detector,
                                threshold=0.5).run(divider(),
@@ -548,6 +599,34 @@ class TestBenchPipeline:
         # warn-only downgrades
         assert obs_bench.compare_benches(str(a), str(b), threshold=1.15,
                                          warn_only=True,
+                                         out=io.StringIO()) == 0
+
+    def test_bench_stamps_runtime_meta(self, tmp_path):
+        import platform
+        path = obs_bench.run_suite(suite="sim", ids=["divider_campaign"],
+                                   rounds=1, out_dir=str(tmp_path),
+                                   echo=False)
+        doc = json.loads(open(path).read())
+        meta = doc["meta"]
+        assert set(meta) >= {"hostname", "python", "git_commit",
+                             "git_dirty", "numpy"}
+        assert meta["python"] == platform.python_version()
+
+    def test_compare_ignores_meta(self, tmp_path):
+        import io
+        rec = {"median_s": 1.0, "iqr_s": 0.0, "counters": {}}
+        base = {"schema": obs_bench.SCHEMA, "suite": "sim", "rounds": 3,
+                "workloads": {"w": dict(rec)},
+                "meta": {"hostname": "box-a", "git_commit": "aaaa"}}
+        cand = {"schema": obs_bench.SCHEMA, "suite": "sim", "rounds": 3,
+                "workloads": {"w": dict(rec)},
+                "meta": {"hostname": "box-b", "git_commit": "bbbb"}}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(cand))
+        # different provenance, identical timings: provenance is
+        # recorded for humans, never gated on
+        assert obs_bench.compare_benches(str(a), str(b), threshold=1.15,
                                          out=io.StringIO()) == 0
 
     def test_cli_bench_and_compare(self, tmp_path):
