@@ -15,7 +15,10 @@ campaign/solver layers wire them through:
 * :mod:`repro.resilience.checkpoint` — atomic, content-keyed
   checkpoint/resume for fault campaigns;
 * :mod:`repro.resilience.failure` — structured degradation accounting
-  (:class:`FailureReport`) for partial runs.
+  (:class:`FailureReport`) for partial runs;
+* :mod:`repro.resilience.chaos` — deterministic fault injection at the
+  service boundaries (scheduled ``os.replace``/``fsync`` failures,
+  torn file tails, SIGKILL-on-cue subprocesses) for the chaos suite.
 """
 
 from repro.errors import (
@@ -23,6 +26,14 @@ from repro.errors import (
     CheckpointError,
     DeadlineExceeded,
     ReproError,
+)
+from repro.resilience.chaos import (
+    ChaosError,
+    ChaosProcess,
+    chaos_os,
+    corrupt_tail,
+    tear_tail,
+    wait_for,
 )
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
@@ -70,4 +81,11 @@ __all__ = [
     "FailureReport",
     "CampaignError",
     "ReproError",
+    # chaos harness
+    "ChaosError",
+    "ChaosProcess",
+    "chaos_os",
+    "corrupt_tail",
+    "tear_tail",
+    "wait_for",
 ]

@@ -143,22 +143,29 @@ class CampaignCheckpoint:
     def load(self) -> Dict[int, Any]:
         """Completed outcomes from disk: fault index → outcome.
 
-        Missing file → empty dict (a fresh run).  A file written under
-        a different content key, an unknown schema, or an unreadable
-        payload raise :class:`~repro.errors.CheckpointError`.
+        Missing file → empty dict (a fresh run).  An unreadable payload
+        or unknown schema — a crash tore the file outside the atomic
+        write path, or the format moved on — is *quarantined*: renamed
+        to ``<path>.corrupt`` with a warning and the run restarts
+        fresh, mirroring how :class:`~repro.service.cache.ResultCache`
+        degrades corruption to recomputation.  A file written under a
+        *different content key* still raises
+        :class:`~repro.errors.CheckpointError`: that file is healthy,
+        it just belongs to someone else, and silently discarding it
+        would destroy another campaign's progress.
         """
         if not os.path.exists(self.path):
             return {}
         try:
             with open(self.path, "rb") as fh:
                 doc = pickle.load(fh)
-        except Exception as exc:  # noqa: BLE001 - any unpickling failure
-            raise CheckpointError(
-                f"checkpoint {self.path!r} is unreadable: {exc}") from exc
-        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
-            raise CheckpointError(
-                f"checkpoint {self.path!r} has unknown schema "
-                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}")
+            if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"unknown schema "
+                    f"{doc.get('schema') if isinstance(doc, dict) else doc!r}")
+        except Exception as exc:  # noqa: BLE001 - any damage -> quarantine
+            self._quarantine(exc)
+            return {}
         if doc.get("key") != self.key:
             raise CheckpointError(
                 f"checkpoint {self.path!r} belongs to a different campaign "
@@ -166,6 +173,19 @@ class CampaignCheckpoint:
                 f"resume — delete the file or pass resume=False")
         outcomes = doc.get("outcomes", {})
         return {int(i): o for i, o in outcomes.items()}
+
+    def _quarantine(self, exc: Exception) -> None:
+        """Move a corrupt checkpoint aside so it stays inspectable but
+        never blocks a fresh run."""
+        import warnings
+        try:
+            os.replace(self.path, self.path + ".corrupt")
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+        warnings.warn(
+            f"checkpoint {self.path!r} is corrupt ({exc}); quarantined "
+            f"to {self.path + '.corrupt'!r} and starting fresh",
+            RuntimeWarning, stacklevel=3)
 
     # ------------------------------------------------------------------
     def save(self, outcomes: Dict[int, Any], n_faults: int,

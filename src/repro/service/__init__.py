@@ -14,12 +14,18 @@ FaultCampaign` runs into submitted **jobs**:
 * :class:`~repro.service.scheduler.CampaignScheduler` — an asyncio
   dispatcher sharding submitted fault universes across a shared worker
   pool with priority and fair share, composing with deadlines, retry,
-  checkpointing, poison-pill quarantine and the cache.
+  checkpointing, poison-pill quarantine and the cache;
+* :class:`~repro.service.queue.PersistentJobQueue` — a write-ahead
+  JSONL journal of accepted jobs and their state transitions, so a
+  SIGKILLed scheduler recovers every undone job on restart
+  (``CampaignScheduler(queue=...)`` / ``Session(queue_path=...)``).
 """
 
 from repro.service.cache import CACHE_SCHEMA, CacheStats, ResultCache, \
     fault_key
-from repro.service.spec import DEFAULTS, CampaignSpec
+from repro.service.queue import JobRecord, PersistentJobQueue, QueueError, \
+    QUEUE_SCHEMA
+from repro.service.spec import DEFAULTS, SPEC_SCHEMA, CampaignSpec
 
 #: scheduler classes resolve lazily (PEP 562): the scheduler module
 #: imports the campaign layer, which itself imports
@@ -41,10 +47,15 @@ def __dir__():
 __all__ = [
     "CampaignSpec",
     "DEFAULTS",
+    "SPEC_SCHEMA",
     "ResultCache",
     "CacheStats",
     "fault_key",
     "CACHE_SCHEMA",
+    "PersistentJobQueue",
+    "JobRecord",
+    "QueueError",
+    "QUEUE_SCHEMA",
     "CampaignScheduler",
     "CampaignJob",
     "JobState",

@@ -1,0 +1,100 @@
+"""``python -m repro.service`` — operating a durable campaign service.
+
+Subcommands
+-----------
+``queue``
+    Inspect and repair a persistent job queue journal
+    (:mod:`repro.service.queue`): ``list`` one line per journaled job
+    with state/priority/seq, ``requeue`` puts a failed or stuck job
+    back in line for the next recovery, ``drop`` retires a job so no
+    replay resurrects it, ``compact`` rewrites the journal keeping only
+    live jobs.
+``cache``
+    Operate a :class:`~repro.service.cache.ResultCache` disk tier:
+    ``stats`` reports entry count and on-disk footprint, ``scrub`` runs
+    the validation/eviction maintenance pass (quarantines corrupt or
+    key-mismatched entries, then evicts LRU down to ``--max-bytes`` if
+    given).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Durable campaign-service operations "
+                    "(job queue journal + result cache disk tier).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_queue = sub.add_parser(
+        "queue", help="inspect/repair a persistent job queue journal")
+    p_queue.add_argument("action",
+                         choices=("list", "requeue", "drop", "compact"),
+                         help="list jobs / requeue one / drop one / "
+                              "compact the journal")
+    p_queue.add_argument("path", help="queue journal (JSONL)")
+    p_queue.add_argument("job", nargs="?", default=None,
+                         help="job id (required for requeue/drop)")
+
+    p_cache = sub.add_parser(
+        "cache", help="operate a result-cache disk tier")
+    p_cache.add_argument("action", choices=("stats", "scrub"),
+                         help="report footprint / run the "
+                              "validation+eviction pass")
+    p_cache.add_argument("path", help="cache directory")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="byte budget to evict down to during "
+                              "scrub (default: no eviction)")
+
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.command == "queue":
+        from repro.service.queue import PersistentJobQueue
+        queue = PersistentJobQueue(args.path)
+        if args.action == "list":
+            print(queue.describe())
+            return 0
+        if args.action == "compact":
+            dropped = queue.compact()
+            print(f"compacted: dropped {dropped} settled job(s), "
+                  f"{queue.depth()} live")
+            return 0
+        if args.job is None:
+            print(f"queue {args.action}: job id required", file=sys.stderr)
+            return 2
+        ok = (queue.requeue(args.job) if args.action == "requeue"
+              else queue.drop(args.job))
+        if not ok:
+            print(f"queue {args.action}: unknown job {args.job!r}",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.action}d {args.job}")
+        return 0
+
+    if args.command == "cache":
+        from repro.service.cache import ResultCache
+        cache = ResultCache(path=args.path, max_bytes=args.max_bytes)
+        if args.action == "stats":
+            entries = cache._entries_on_disk()
+            print(json.dumps({
+                "path": cache.path,
+                "entries": len(entries),
+                "bytes": sum(size for _, size, _, _ in entries),
+                "max_bytes": cache.max_bytes,
+            }, indent=2))
+            return 0
+        report = cache.scrub()
+        report["path"] = cache.path
+        print(json.dumps(report, indent=2))
+        # quarantines are worth a non-zero exit so cron jobs notice
+        return 1 if report["quarantined"] else 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

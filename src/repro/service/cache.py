@@ -70,6 +70,8 @@ class CacheStats:
     evictions: int = 0
     corrupt: int = 0
     disk_hits: int = 0
+    #: bytes reclaimed from the disk tier by LRU eviction/scrub.
+    evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -83,12 +85,14 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "evictions": self.evictions,
                 "corrupt": self.corrupt, "disk_hits": self.disk_hits,
+                "evicted_bytes": self.evicted_bytes,
                 "hit_rate": self.hit_rate}
 
     def snapshot(self) -> "CacheStats":
         """Immutable copy, for before/after accounting."""
         return CacheStats(self.hits, self.misses, self.stores,
-                          self.evictions, self.corrupt, self.disk_hits)
+                          self.evictions, self.corrupt, self.disk_hits,
+                          self.evicted_bytes)
 
     def delta(self, since: "CacheStats") -> "CacheStats":
         """What this run contributed: current minus a prior snapshot.
@@ -100,13 +104,17 @@ class CacheStats:
                           self.stores - since.stores,
                           self.evictions - since.evictions,
                           self.corrupt - since.corrupt,
-                          self.disk_hits - since.disk_hits)
+                          self.disk_hits - since.disk_hits,
+                          self.evicted_bytes - since.evicted_bytes)
 
     def describe(self) -> str:
+        reclaimed = (f", {self.evicted_bytes} B reclaimed"
+                     if self.evicted_bytes else "")
         return (f"cache: {self.hits}/{self.lookups} hits "
                 f"({100.0 * self.hit_rate:.0f}%, {self.disk_hits} disk), "
                 f"{self.stores} stores, "
-                f"{self.corrupt} corrupt, {self.evictions} evicted")
+                f"{self.corrupt} corrupt, {self.evictions} evicted"
+                f"{reclaimed}")
 
 
 class ResultCache:
@@ -118,7 +126,17 @@ class ResultCache:
         Directory for the disk tier (created on first store).  ``None``
         keeps the cache purely in memory.
     max_memory_entries:
-        LRU capacity of the memory tier; disk entries are unbounded.
+        LRU capacity of the memory tier.
+    max_bytes:
+        Byte budget for the disk tier (``None`` = unbounded, the
+        historical behaviour).  Enforced *synchronously*: every store
+        that pushes the tier over budget immediately evicts
+        least-recently-used entries (by mtime — disk hits ``utime`` the
+        entry, so recency survives process restarts) until the tier is
+        back under, so the on-disk footprint never exceeds the budget
+        between two calls.  Reclaimed bytes are counted in
+        :attr:`CacheStats.evicted_bytes` and the ``cache.evicted_bytes``
+        observability counter.
 
     The cache is safe to share between a session's foreground runs and
     a :class:`~repro.service.scheduler.CampaignScheduler`'s dispatcher
@@ -129,14 +147,23 @@ class ResultCache:
     """
 
     def __init__(self, path: Optional[str] = None,
-                 max_memory_entries: int = 4096) -> None:
+                 max_memory_entries: int = 4096,
+                 max_bytes: Optional[int] = None) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if max_bytes is not None and path is None:
+            raise ValueError("max_bytes requires a disk tier (path=)")
         self.path = None if path is None else os.fspath(path)
         self.max_memory_entries = max_memory_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
+        #: tracked on-disk footprint; measured once here, then
+        #: maintained incrementally by store/evict (scrub re-measures).
+        self._disk_bytes = self._measure_disk() if max_bytes else 0
 
     # ------------------------------------------------------------------
     def key(self, context_key: str, fault: Any) -> str:
@@ -195,7 +222,16 @@ class ResultCache:
         with self._lock:
             self._remember(key, entry)
             if self.path is not None:
-                self._store_disk(key, entry)
+                # the disk tier is an optimisation: a full disk or a
+                # failed rename degrades to memory-only, never fails
+                # the campaign that computed the outcome
+                try:
+                    self._store_disk(key, entry)
+                    if self.max_bytes is not None:
+                        self._evict_disk(keep=key)
+                except OSError:
+                    if OBS.enabled:
+                        OBS.metrics.counter("cache.store_errors").inc()
             self.stats.stores += 1
         if OBS.enabled:
             OBS.metrics.counter("cache.stores").inc()
@@ -232,13 +268,22 @@ class ResultCache:
         target = self._entry_path(key)
         directory = os.path.dirname(target)
         os.makedirs(directory, exist_ok=True)
+        old = 0
+        if self.max_bytes is not None:
+            try:
+                old = os.path.getsize(target)
+            except OSError:
+                old = 0
         fd, tmp = tempfile.mkstemp(prefix=".cache-", dir=directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
                 fh.flush()
                 os.fsync(fh.fileno())
+            new = os.path.getsize(tmp)
             os.replace(tmp, target)
+            if self.max_bytes is not None:
+                self._disk_bytes += new - old
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -264,6 +309,11 @@ class ResultCache:
         except Exception:  # noqa: BLE001 - any corruption -> quarantine
             self._quarantine(target)
             return None
+        try:
+            # refresh mtime so LRU recency survives process restarts
+            os.utime(target)
+        except OSError:  # pragma: no cover - racing eviction is fine
+            pass
         return entry
 
     def _quarantine(self, target: str) -> None:
@@ -276,6 +326,107 @@ class ResultCache:
             os.replace(target, target + ".corrupt")
         except OSError:  # pragma: no cover - racing cleanup is fine
             pass
+
+    # -- disk budget ---------------------------------------------------
+    def _entries_on_disk(self):
+        """(mtime, size, path, key) for every entry file, oldest first.
+        Quarantine leftovers (``.corrupt``) and torn temp files are not
+        entries and don't count against the budget."""
+        found = []
+        if self.path is None or not os.path.isdir(self.path):
+            return found
+        for shard in os.scandir(self.path):
+            if not shard.is_dir():
+                continue
+            try:
+                files = list(os.scandir(shard.path))
+            except OSError:  # pragma: no cover - racing removal
+                continue
+            for item in files:
+                if not item.name.endswith(".json"):
+                    continue
+                try:
+                    stat = item.stat()
+                except OSError:  # pragma: no cover - racing removal
+                    continue
+                found.append((stat.st_mtime, stat.st_size, item.path,
+                              item.name[:-len(".json")]))
+        found.sort()
+        return found
+
+    def _measure_disk(self) -> int:
+        return sum(size for _, size, _, _ in self._entries_on_disk())
+
+    def _evict_disk(self, keep: Optional[str] = None) -> int:
+        """Delete least-recently-used entries until the tier fits
+        ``max_bytes`` (callers hold the lock).  ``keep`` shields the
+        entry just written — the newest data must never be the victim
+        of its own store.  Returns bytes reclaimed."""
+        if self.max_bytes is None or self._disk_bytes <= self.max_bytes:
+            return 0
+        reclaimed = 0
+        for _, size, entry_path, key in self._entries_on_disk():
+            if self._disk_bytes <= self.max_bytes:
+                break
+            if key == keep:
+                continue
+            try:
+                os.unlink(entry_path)
+            except OSError:  # pragma: no cover - racing removal
+                continue
+            self._disk_bytes -= size
+            reclaimed += size
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+            if OBS.enabled:
+                OBS.metrics.counter("cache.evictions").inc()
+                OBS.metrics.counter("cache.evicted_bytes").inc(size)
+        return reclaimed
+
+    def disk_bytes(self) -> int:
+        """Current measured on-disk footprint of the entry files."""
+        with self._lock:
+            return self._measure_disk()
+
+    def scrub(self) -> Dict[str, int]:
+        """One atomic maintenance pass over the disk tier.
+
+        Validates every entry the way a lookup would — parseable JSON,
+        known schema, *key matches the filename*, float detection and
+        wall-time fields — quarantining mismatches to ``.corrupt``;
+        then re-measures the tier and evicts down to ``max_bytes`` if a
+        budget is set.  Each individual action is an atomic rename or
+        unlink, so a crash mid-scrub leaves every entry either intact
+        or cleanly quarantined, never torn.
+        """
+        quarantined = 0
+        with self._lock:
+            for _, _, entry_path, key in self._entries_on_disk():
+                try:
+                    with open(entry_path, "r", encoding="utf-8") as fh:
+                        entry = json.load(fh)
+                    if (not isinstance(entry, dict)
+                            or entry.get("schema") != CACHE_SCHEMA
+                            or entry.get("key") != key
+                            or not isinstance(entry.get("detection"),
+                                              float)
+                            or not isinstance(entry.get("elapsed_s"),
+                                              float)):
+                        raise ValueError("malformed cache entry")
+                except Exception:  # noqa: BLE001 - any damage aside
+                    self._quarantine(entry_path)
+                    quarantined += 1
+            self._disk_bytes = self._measure_disk()
+            evicted_bytes = self._evict_disk()
+            report = {
+                "entries": len(self._entries_on_disk()),
+                "bytes": self._disk_bytes,
+                "quarantined": quarantined,
+                "evicted_bytes": evicted_bytes,
+            }
+        if OBS.enabled:
+            OBS.events.emit("cache.scrub", **report)
+        return report
 
     # -- outcome reconstruction ----------------------------------------
     @staticmethod

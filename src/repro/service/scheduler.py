@@ -41,8 +41,10 @@ import functools
 import itertools
 import os
 import pickle
+import re
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -65,6 +67,7 @@ from repro.obs.trace import Span, TraceContext
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.failure import FailureReport
 from repro.service.cache import ResultCache
+from repro.service.queue import JobRecord, PersistentJobQueue
 from repro.service.spec import CampaignSpec
 
 #: default shard size for techniques without a batched path: big enough
@@ -103,6 +106,9 @@ class CampaignJob:
         self.trace_ctx: Optional[TraceContext] = None
         #: run ledger captured at submit time (same scope race).
         self.ledger: Any = None
+        #: original scheduler admission seq when this job was rebuilt
+        #: from the persistent queue (None for fresh submissions).
+        self.recovered_seq: Optional[int] = None
         #: ``(result, job_span)`` parked by the dispatcher when the job
         #: finalised while no observation scope was ambient (the
         #: submitter may be inside ``Session.watch()``); the first
@@ -242,6 +248,14 @@ class CampaignScheduler:
         path (batched techniques shard at ``spec.batch_size``).
     name:
         Label used in health gauges and reports.
+    queue:
+        A :class:`~repro.service.queue.PersistentJobQueue` (or a path
+        to create one at) making accepted jobs durable: every
+        ``submit()`` is journaled *before* it is enqueued, state
+        transitions are journaled as the job moves, and
+        :meth:`recover` re-submits whatever a previous (killed)
+        process left undone.  ``None`` (default) keeps the historical
+        in-memory-only behaviour.
     """
 
     _ids = itertools.count(1)
@@ -251,7 +265,8 @@ class CampaignScheduler:
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  timeout_grace_s: float = 1.0,
                  name: str = "scheduler",
-                 status_path: Optional[str] = None) -> None:
+                 status_path: Optional[str] = None,
+                 queue: Optional[Any] = None) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if shard_size < 1:
@@ -259,6 +274,9 @@ class CampaignScheduler:
         self.workers = (workers if workers is not None
                         else max(1, min(8, (os.cpu_count() or 2) - 1)))
         self.cache = cache
+        if queue is not None and not isinstance(queue, PersistentJobQueue):
+            queue = PersistentJobQueue(os.fspath(queue))
+        self.queue: Optional[PersistentJobQueue] = queue
         self.shard_size = shard_size
         self.timeout_grace_s = timeout_grace_s
         self.name = name
@@ -287,6 +305,10 @@ class CampaignScheduler:
         """Enqueue a campaign; returns immediately with its job handle.
 
         ``priority`` overrides ``spec.priority`` (higher runs first).
+        With a persistent queue attached the job is journaled *before*
+        it is enqueued — the write-ahead contract — and a failure to
+        journal raises :class:`~repro.service.queue.QueueError` rather
+        than accepting work the queue would forget after a crash.
         """
         if self._closing:
             raise CampaignError("scheduler is closed")
@@ -296,11 +318,16 @@ class CampaignScheduler:
         resolved = spec.resolved()
         job = CampaignJob(f"{self.name}-job{next(self._ids)}", resolved,
                           spec.priority if priority is None else priority)
+        if self.queue is not None:
+            self.queue.submit(job.id, resolved, job.priority)
+        return self._enqueue(job)
+
+    def _enqueue(self, job: CampaignJob) -> CampaignJob:
         # trace context and ledger are captured here, on the submitting
         # thread, while the submitter's observe() scope is ambient — the
         # dispatcher thread sees a different (possibly disabled) scope
         with obs_span("service.submit", job=job.id,
-                      spec=resolved.describe()):
+                      spec=job.spec.describe()):
             job.trace_ctx = TraceContext.capture()
         job.ledger = OBS.ledger
         self._jobs.append(job)
@@ -309,6 +336,80 @@ class CampaignScheduler:
             self._intake.append(job)
         self._loop.call_soon_threadsafe(self._wake.set)
         return job
+
+    def recover(self) -> List[CampaignJob]:
+        """Re-submit every job a previous process journaled but never
+        settled; returns their fresh handles, dispatch order.
+
+        Recovered jobs keep their original id, priority and — when they
+        had been admitted before the crash — their original fair-share
+        seq, so the restarted schedule interleaves exactly as the
+        uninterrupted one would have.  Specs carrying a checkpoint are
+        resumed from it, and the shared :class:`ResultCache` replays
+        every fault any earlier run already computed, which together
+        make the recovered results ``to_dict()``-identical to an
+        uninterrupted run.  Jobs journaled without a picklable workload
+        cannot be rebuilt; they stay live in the journal (for ``queue
+        requeue``/``drop``) and are counted, not raised.
+        """
+        if self.queue is None:
+            return []
+        jobs: List[CampaignJob] = []
+        unrecoverable = 0
+        with obs_span("service.recover", queue=self.queue.path) as sp:
+            self.queue.replay()
+            pending = self.queue.pending()
+            self._advance_counters()
+            for record in pending:
+                job = self._rebuild_job(record)
+                if job is None:
+                    unrecoverable += 1
+                    continue
+                self._enqueue(job)
+                jobs.append(job)
+            sp.set(recovered=len(jobs), unrecoverable=unrecoverable,
+                   settled=len(self.queue) - len(pending))
+        if OBS.enabled:
+            OBS.metrics.gauge("service.recovered_jobs").set(len(jobs))
+            event("service.recover", queue=self.queue.path,
+                  recovered=len(jobs), unrecoverable=unrecoverable)
+        return jobs
+
+    def _rebuild_job(self, record: JobRecord) -> Optional[CampaignJob]:
+        try:
+            spec = record.spec()
+        except Exception as exc:  # noqa: BLE001 - journal outlived code
+            warnings.warn(
+                f"job {record.job_id!r} could not be rebuilt from the "
+                f"queue journal ({exc}); leaving it live for operator "
+                f"requeue/drop", RuntimeWarning, stacklevel=3)
+            return None
+        if spec.checkpoint is not None and not spec.resume:
+            # the dead process may have checkpointed partial work; a
+            # recovered job must harvest it rather than recompute
+            spec = spec.replace(resume=True)
+        job = CampaignJob(record.job_id, spec.resolved(), record.priority)
+        job.recovered_seq = record.seq
+        return job
+
+    def _advance_counters(self) -> None:
+        """Start the id and seq counters above everything journaled so
+        recovered and fresh jobs never collide."""
+        max_id = 0
+        for record in self.queue.records.values():
+            m = re.fullmatch(re.escape(self.name) + r"-job(\d+)",
+                             record.job_id)
+            if m:
+                max_id = max(max_id, int(m.group(1)))
+        if max_id:
+            # _ids is class-level (unique across schedulers); consume
+            # up to the journaled maximum, never rewind
+            for i in CampaignScheduler._ids:
+                if i >= max_id:
+                    break
+        max_seq = self.queue.max_seq()
+        if max_seq >= 0:
+            self._seq = itertools.count(max_seq + 1)
 
     def gather(self, *jobs: CampaignJob,
                timeout: Optional[float] = None) -> List[CampaignResult]:
@@ -392,16 +493,31 @@ class CampaignScheduler:
         self._pool = None
 
     # -- job admission -------------------------------------------------
+    def _mark_queue(self, job: CampaignJob, transition: str,
+                    seq: Optional[int] = None,
+                    error: Optional[BaseException] = None) -> None:
+        """Journal a state transition, best-effort (see
+        :meth:`PersistentJobQueue.mark`: a lost mark only costs a
+        replay-from-cache after a crash)."""
+        if self.queue is None:
+            return
+        self.queue.mark(job.id, transition, seq=seq,
+                        error=None if error is None else repr(error))
+
     def _admit(self, job: CampaignJob) -> None:
-        jr = _JobRun(job, next(self._seq))
+        seq = (next(self._seq) if job.recovered_seq is None
+               else job.recovered_seq)
+        jr = _JobRun(job, seq)
         try:
             self._prepare(jr)
         except Exception as exc:  # noqa: BLE001 - bad spec fails its job
             job.state = JobState.FAILED
+            self._mark_queue(job, "failed", error=exc)
             if not job.done():
                 job._future.set_exception(exc)
             return
         job.state = JobState.RUNNING
+        self._mark_queue(job, "dispatched", seq=jr.seq)
         self._active.append(jr)
         if not jr.emit_queue and not jr.ready and not jr.inflight:
             self._finalize(jr)
@@ -592,7 +708,22 @@ class CampaignScheduler:
             _graft_spans(jr.job_span, outcome)
         jr.tracker.update(outcome)
         if jr.ckpt is not None and save:
-            jr.ckpt.maybe_save(jr.outcomes, jr.total)
+            self._save_ckpt(jr)
+
+    def _save_ckpt(self, jr: _JobRun, force: bool = False) -> None:
+        """Checkpoint writes are best-effort inside the service: a full
+        disk or failed rename costs recomputation after a crash, not
+        the dispatcher (standalone campaign runs keep raising)."""
+        try:
+            if force:
+                jr.ckpt.save(jr.outcomes, jr.total)
+            else:
+                jr.ckpt.maybe_save(jr.outcomes, jr.total)
+        except OSError:
+            if OBS.enabled:
+                OBS.metrics.counter("service.checkpoint_errors").inc()
+                event("service.checkpoint_error", level="warning",
+                      job=jr.job.id, path=jr.ckpt.path)
 
     def _emit_ready(self, jr: _JobRun) -> None:
         while jr.emit_queue and jr.emit_queue[0] in jr.buffered:
@@ -654,6 +785,9 @@ class CampaignScheduler:
     def _cancel_job(self, job: CampaignJob,
                     jr: Optional[_JobRun] = None) -> None:
         job.state = JobState.CANCELLED
+        # cancellation is an explicit decision: retire the journal
+        # record so no future recovery resurrects the job
+        self._mark_queue(job, "dropped")
         if jr is not None and jr in self._active:
             self._active.remove(jr)
         if not job.done():
@@ -818,6 +952,7 @@ class CampaignScheduler:
         if jr in self._active:
             self._active.remove(jr)
         jr.job.state = JobState.FAILED
+        self._mark_queue(jr.job, "failed", error=exc)
         if not jr.job.done():
             jr.job._future.set_exception(exc)
 
@@ -941,7 +1076,7 @@ class CampaignScheduler:
                               or jr.failures.timeouts
                               or jr.failures.quarantined)
         if jr.ckpt is not None:
-            jr.ckpt.save(jr.outcomes, jr.total)
+            self._save_ckpt(jr, force=True)
         result.workers = self.workers
         result.elapsed_s = time.perf_counter() - jr.t0
         if jr.cache is not None and jr.cache_stats0 is not None:
@@ -971,6 +1106,7 @@ class CampaignScheduler:
         jr.job.state = JobState.DONE
         if not jr.job.done():
             jr.job._future.set_result(result)
+        self._mark_queue(jr.job, "done")
         ledger = jr.job.ledger if jr.job.ledger is not None else OBS.ledger
         if ledger is not None:
             # persistence is best-effort: a full disk must not fail a
@@ -1006,6 +1142,11 @@ class CampaignScheduler:
         OBS.metrics.gauge("service.shards_inflight").set(len(inflight))
         OBS.metrics.gauge("service.queue_depth").set(
             sum(len(jr.ready) for jr in self._active))
+        if self.queue is not None:
+            # live (unsettled) jobs in the persistent journal — distinct
+            # from queue_depth above, which counts ready shards
+            OBS.metrics.gauge("service.journal_depth").set(
+                self.queue.depth())
         for jr in list(self._active):
             if jr.last_progress is not None:
                 # job ids flow into the metric name: the Prometheus

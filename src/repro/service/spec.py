@@ -20,11 +20,16 @@ jobs and shipped to worker processes without defensive copying.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.resilience.checkpoint import campaign_key, fault_context_key
+
+#: serialised-spec schema tag; bump on incompatible layout changes.
+SPEC_SCHEMA = "repro.campaign-spec/1"
 
 #: concrete values a :meth:`CampaignSpec.resolved` spec falls back to
 #: when neither the spec nor the caller supplies one.
@@ -207,6 +212,65 @@ class CampaignSpec:
                             extra=spec._prescreen_parts())
 
     # ------------------------------------------------------------------
+    #: scalar fields serialised as plain JSON in :meth:`to_dict` —
+    #: everything human-readable about a journaled job.
+    _SCALAR_FIELDS = ("name", "threshold", "errors_as_detected", "workers",
+                      "batch_size", "prescreen", "fault_timeout_s",
+                      "campaign_deadline_s", "checkpoint", "resume",
+                      "checkpoint_every", "timeout_grace_s",
+                      "heartbeat_every", "priority")
+
+    #: object fields carried through the pickle blob (callables,
+    #: circuits, fault objects — not JSON-representable).
+    _WORKLOAD_FIELDS = ("technique", "detector", "target", "faults",
+                        "reference", "prescreen_config")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable snapshot of the spec — what the
+        persistent job queue journals.
+
+        Scalar options are stored as plain JSON (so a journal is
+        greppable); the workload objects (technique, detector, target,
+        faults, reference, prescreen config) are pickled into one
+        base64 ``workload`` blob, exactly the way checkpoints persist
+        outcomes.  Live objects (``progress``, ``cache``) are dropped —
+        they configure a run, never what it computes.  An unpicklable
+        workload yields ``workload=None``: the record still journals
+        state transitions but cannot be replayed after a restart.
+        """
+        doc: Dict[str, Any] = {"schema": SPEC_SCHEMA}
+        for name in self._SCALAR_FIELDS:
+            doc[name] = getattr(self, name)
+        if self.faults is not None:
+            doc["n_faults"] = len(self.faults)
+        workload = {f: getattr(self, f) for f in self._WORKLOAD_FIELDS}
+        try:
+            blob = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
+            doc["workload"] = base64.b64encode(blob).decode("ascii")
+        except Exception:  # noqa: BLE001 - closures/lambdas cannot journal
+            doc["workload"] = None
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec journaled by :meth:`to_dict` (validation
+        re-runs).  Raises ``ValueError`` for unknown schemas and specs
+        journaled without a recoverable workload."""
+        if not isinstance(doc, dict) or doc.get("schema") != SPEC_SCHEMA:
+            raise ValueError(
+                f"not a serialised CampaignSpec: "
+                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}")
+        if not doc.get("workload"):
+            raise ValueError(
+                "spec was journaled without a recoverable workload "
+                "(technique/detector/target/faults did not pickle)")
+        workload = pickle.loads(base64.b64decode(doc["workload"]))
+        fields = {name: doc.get(name) for name in cls._SCALAR_FIELDS}
+        fields["resume"] = bool(fields.get("resume"))
+        fields["priority"] = int(fields.get("priority") or 0)
+        return cls(**fields, **workload)
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         n = "?" if self.faults is None else len(self.faults)
         label = self.name or getattr(self.target, "name", None) \
@@ -215,4 +279,4 @@ class CampaignSpec:
         return f"CampaignSpec({label}, {n} faults, priority={self.priority})"
 
 
-__all__ = ["CampaignSpec", "DEFAULTS"]
+__all__ = ["CampaignSpec", "DEFAULTS", "SPEC_SCHEMA"]

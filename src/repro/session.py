@@ -81,11 +81,19 @@ class Session:
     ledger:
         A :class:`~repro.obs.ledger.RunLedger` (or a path to one) every
         campaign run through this session records a history row into.
+    queue_path:
+        Path to a :class:`~repro.service.queue.PersistentJobQueue`
+        journal making the session's scheduler durable: submitted jobs
+        are write-ahead journaled, and a session restarted over the
+        same path replays the journal — undone jobs are re-submitted
+        with their original identity and produce results identical to
+        an uninterrupted run (see :meth:`recover`).
     """
 
     def __init__(self, *, fast_path: bool = True, workers: int = 1,
                  obs: bool = True, name: str = "session",
-                 cache: Any = None, ledger: Any = None) -> None:
+                 cache: Any = None, ledger: Any = None,
+                 queue_path: Any = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.fast_path = fast_path
@@ -97,6 +105,8 @@ class Session:
             from repro.obs.ledger import RunLedger
             ledger = RunLedger(ledger)
         self.ledger = ledger
+        self.queue_path = (None if queue_path is None
+                           else os.fspath(queue_path))
         self.tracer = Tracer()
         self.metrics = Metrics()
         self.events = EventLog()
@@ -188,8 +198,20 @@ class Session:
             kwargs.setdefault("workers", self.workers)
             kwargs.setdefault("cache", self.cache)
             kwargs.setdefault("name", f"{self.name}-svc")
+            kwargs.setdefault("queue", self.queue_path)
             self._scheduler = CampaignScheduler(**kwargs)
         return self._scheduler
+
+    def recover(self) -> List[Any]:
+        """Replay the session's durable queue: re-submit every job a
+        previous (crashed) process accepted but never settled, under
+        the session's observation scope.  Returns the fresh
+        :class:`~repro.service.scheduler.CampaignJob` handles (empty
+        without ``queue_path=``); collect them with :meth:`gather`."""
+        if self.queue_path is None:
+            return []
+        with self._scope():
+            return self.scheduler().recover()
 
     def submit(self, *args: Any, priority: Optional[int] = None,
                **options: Any):

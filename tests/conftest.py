@@ -14,9 +14,12 @@ place to look them up):
 ``chaos``
     Fault-injection tests that deliberately hang or kill worker
     processes to exercise the resilience layer (crash recovery,
-    poison-pill quarantine, deadline rescue).  They spawn and destroy
-    process pools, so they are the suite's flakiest-by-design corner:
-    ``pytest -m chaos`` runs them alone.
+    poison-pill quarantine, deadline rescue) or SIGKILL whole service
+    processes to exercise the durability layer (write-ahead queue
+    replay, torn-journal quarantine, restart == uninterrupted;
+    ``tests/test_durability.py``).  They spawn and destroy process
+    pools and subprocesses, so they are the suite's
+    flakiest-by-design corner: ``pytest -m chaos`` runs them alone.
 ``surrogate``
     The vector-fitting surrogate suite: fitter property tests
     (hypothesis), golden fits, prescreen-vs-transient equivalence pins

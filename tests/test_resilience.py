@@ -379,11 +379,21 @@ class TestCheckpoint:
         with pytest.raises(CheckpointError, match="different campaign"):
             CampaignCheckpoint(path, "key-b").load()
 
-    def test_corrupt_file_raises(self, tmp_path):
+    def test_corrupt_file_quarantined_and_run_restarts(self, tmp_path):
         path = tmp_path / "c.ckpt"
         path.write_bytes(b"not a pickle")
-        with pytest.raises(CheckpointError, match="unreadable"):
-            CampaignCheckpoint(str(path), "k").load()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert CampaignCheckpoint(str(path), "k").load() == {}
+        assert not path.exists()
+        assert (tmp_path / "c.ckpt.corrupt").read_bytes() == b"not a pickle"
+
+    def test_unknown_schema_quarantined(self, tmp_path):
+        import pickle
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(pickle.dumps({"schema": "repro.checkpoint/999"}))
+        with pytest.warns(RuntimeWarning, match="unknown schema"):
+            assert CampaignCheckpoint(str(path), "k").load() == {}
+        assert (tmp_path / "c.ckpt.corrupt").exists()
 
     def test_interval_batches_writes(self, tmp_path):
         from repro.faults.campaign import FaultOutcome
